@@ -1,0 +1,56 @@
+//! Placement performance: the trivial sizing rule vs the shelf packer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipass_layout::{Rect, ShelfPacker, SubstrateRule};
+use ipass_units::Area;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Rect::new(rng.gen_range(0.5..6.0), rng.gen_range(0.3..4.0)))
+        .collect()
+}
+
+fn bench_trivial_rule(c: &mut Criterion) {
+    let rule = SubstrateRule::mcm_d_si();
+    c.bench_function("trivial_placement_rule", |b| {
+        b.iter(|| black_box(rule.required_area(black_box(Area::from_mm2(637.0)))))
+    });
+}
+
+fn bench_packer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shelf_pack");
+    for n in [100usize, 1_000, 10_000] {
+        let rects = random_rects(n, 42);
+        let total: f64 = rects.iter().map(|r| r.area().mm2()).sum();
+        let strip = (1.2 * total).sqrt();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rects, |b, rects| {
+            b.iter(|| black_box(ShelfPacker::new(strip).pack(rects).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let rects = random_rects(1_000, 7);
+    let total: f64 = rects.iter().map(|r| r.area().mm2()).sum();
+    let packing = ShelfPacker::new((1.2 * total).sqrt()).pack(&rects).unwrap();
+    c.bench_function("packing_validate_1k", |b| {
+        b.iter(|| black_box(packing.validate()))
+    });
+}
+
+criterion_group!(name = layout; config = fast(); targets = bench_trivial_rule, bench_packer, bench_validate);
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(layout);

@@ -1,0 +1,151 @@
+//! MOE engine performance: Monte Carlo scaling, threading, analytic
+//! evaluation and rework loops on the real solution-2 flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipass_core::{BuildUp, SelectionObjective};
+use ipass_gps::{bom::gps_bom, table2::cost_inputs};
+use ipass_moe::{
+    CostCategory, FailAction, Flow, Line, Part, Process, Rework, SimOptions, StepCost, Test,
+    YieldModel,
+};
+use ipass_units::{Money, Probability};
+use std::hint::black_box;
+
+fn solution2_flow() -> Flow {
+    let buildup = BuildUp::paper_solutions()[1];
+    let plan = buildup
+        .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+        .unwrap();
+    plan.production_flow(plan.area().substrate_area, &cost_inputs(&buildup))
+        .unwrap()
+}
+
+fn bench_mc_scaling(c: &mut Criterion) {
+    let flow = solution2_flow();
+    let mut group = c.benchmark_group("mc_units");
+    for units in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(units));
+        group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
+            b.iter(|| {
+                black_box(
+                    flow.simulate(&SimOptions::new(units).with_seed(3))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_threads(c: &mut Criterion) {
+    let flow = solution2_flow();
+    let mut group = c.benchmark_group("mc_threads_100k");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        flow.simulate(
+                            &SimOptions::new(100_000).with_seed(3).with_threads(threads),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let flow = solution2_flow();
+    c.bench_function("analytic_solution2", |b| {
+        b.iter(|| black_box(flow.analyze().unwrap()))
+    });
+}
+
+fn rework_flow(max_attempts: u32) -> Flow {
+    let line = Line::builder(
+        "rework-bench",
+        Part::new("carrier", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(5.0))),
+    )
+    .process(
+        Process::new("assemble")
+            .with_cost(StepCost::fixed(Money::new(1.0)))
+            .with_yield(YieldModel::percent(85.0)),
+    )
+    .test(
+        Test::new("test")
+            .with_cost(StepCost::fixed(Money::new(0.5)))
+            .with_coverage(Probability::clamped(0.98))
+            .on_fail(FailAction::Rework(Rework::new(
+                StepCost::fixed(Money::new(0.8)),
+                Probability::clamped(0.6),
+                max_attempts,
+            ))),
+    )
+    .build()
+    .unwrap();
+    Flow::new(line)
+}
+
+fn bench_rework(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rework_mc_20k");
+    for attempts in [0u32, 1, 3] {
+        let flow = if attempts == 0 {
+            // plain scrap
+            Flow::new(
+                Line::builder(
+                    "scrap-bench",
+                    Part::new("carrier", CostCategory::Substrate)
+                        .with_cost(StepCost::fixed(Money::new(5.0))),
+                )
+                .process(
+                    Process::new("assemble")
+                        .with_cost(StepCost::fixed(Money::new(1.0)))
+                        .with_yield(YieldModel::percent(85.0)),
+                )
+                .test(
+                    Test::new("test")
+                        .with_cost(StepCost::fixed(Money::new(0.5)))
+                        .with_coverage(Probability::clamped(0.98)),
+                )
+                .build()
+                .unwrap(),
+            )
+        } else {
+            rework_flow(attempts)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(attempts),
+            &flow,
+            |b, flow| {
+                b.iter(|| {
+                    black_box(flow.simulate(&SimOptions::new(20_000).with_seed(9)).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = engine;
+    config = fast();
+    targets =
+    bench_mc_scaling,
+    bench_mc_threads,
+    bench_analytic,
+    bench_rework
+);
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(engine);

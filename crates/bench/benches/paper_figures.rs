@@ -1,0 +1,115 @@
+//! One bench per table/figure of the paper. Each regenerated artifact is
+//! printed once (so `cargo bench` output contains the paper's rows), then
+//! the regeneration itself is timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipass_gps::experiments;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    println!("\n{}", experiments::fig1().render());
+    c.bench_function("fig1_smd_area", |b| b.iter(|| black_box(experiments::fig1())));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n{}", experiments::table1().unwrap().render());
+    c.bench_function("table1_area_data", |b| {
+        b.iter(|| black_box(experiments::table1().unwrap()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("\n{}", experiments::fig3().unwrap().render());
+    c.bench_function("fig3_area", |b| b.iter(|| black_box(experiments::fig3().unwrap())));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    println!("\n{}", experiments::fig4(42).unwrap().render());
+    c.bench_function("fig4_moe_model", |b| {
+        b.iter(|| black_box(experiments::fig4(black_box(42)).unwrap()))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("\n{}", experiments::fig5().unwrap().render());
+    c.bench_function("fig5_cost_analysis", |b| {
+        b.iter(|| black_box(experiments::fig5().unwrap()))
+    });
+    c.bench_function("fig5_cost_analysis_mc_10k", |b| {
+        b.iter(|| black_box(experiments::fig5_monte_carlo(10_000, 7).unwrap()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    println!("\n{}", experiments::fig6().unwrap().render());
+    c.bench_function("fig6_figure_of_merit", |b| {
+        b.iter(|| black_box(experiments::fig6().unwrap()))
+    });
+}
+
+fn bench_performance_scores(c: &mut Criterion) {
+    use ipass_core::BuildUp;
+    use ipass_gps::filters::assess_performance;
+    for buildup in BuildUp::paper_solutions() {
+        println!("{}", assess_performance(&buildup));
+    }
+    c.bench_function("perf_filter_analysis", |b| {
+        b.iter(|| {
+            for buildup in BuildUp::paper_solutions() {
+                black_box(assess_performance(black_box(&buildup)));
+            }
+        })
+    });
+}
+
+fn bench_fig2_chain(c: &mut Criterion) {
+    use ipass_core::BuildUp;
+    use ipass_gps::chain::chain_budget;
+    for buildup in BuildUp::paper_solutions() {
+        let chain = chain_budget(&buildup);
+        println!(
+            "{:<24} NF {:.2} dB, gain {:.1} dB",
+            chain.buildup,
+            chain.noise_figure_db(),
+            chain.gain_db()
+        );
+    }
+    c.bench_function("fig2_chain_budget", |b| {
+        b.iter(|| {
+            for buildup in BuildUp::paper_solutions() {
+                black_box(chain_budget(black_box(&buildup)));
+            }
+        })
+    });
+}
+
+fn bench_final_design(c: &mut Criterion) {
+    println!("\n{}", experiments::final_design_check().unwrap().render());
+    c.bench_function("sec44_final_design_check", |b| {
+        b.iter(|| black_box(experiments::final_design_check().unwrap()))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = fast();
+    targets =
+    bench_fig1,
+    bench_table1,
+    bench_fig2_chain,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_performance_scores,
+    bench_final_design
+);
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(figures);

@@ -1,0 +1,65 @@
+//! Integrated-passive synthesis performance (Table 1 regeneration cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipass_passives::eseries::ESeries;
+use ipass_passives::{MimCapacitor, SpiralInductor, ThinFilmProcess, ThinFilmResistor};
+use ipass_units::{Capacitance, Frequency, Inductance, Resistance};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let process = ThinFilmProcess::summit_mcm_d();
+    c.bench_function("synthesize_resistor_100k", |b| {
+        b.iter(|| {
+            black_box(
+                ThinFilmResistor::synthesize(black_box(Resistance::from_kilo(100.0)), &process)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("synthesize_capacitor_50p", |b| {
+        b.iter(|| {
+            black_box(
+                MimCapacitor::synthesize(black_box(Capacitance::from_pico(50.0)), &process)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("synthesize_inductor_40n", |b| {
+        b.iter(|| {
+            black_box(
+                SpiralInductor::synthesize(black_box(Inductance::from_nano(40.0)), &process)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("synthesize_inductor_for_q", |b| {
+        b.iter(|| {
+            black_box(
+                SpiralInductor::synthesize_for_q(
+                    black_box(Inductance::from_nano(107.0)),
+                    &process,
+                    Frequency::from_mega(175.0),
+                    10.0,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_eseries(c: &mut Criterion) {
+    c.bench_function("eseries_e96_snap", |b| {
+        b.iter(|| black_box(ESeries::E96.snap(black_box(4900.0))))
+    });
+}
+
+criterion_group!(name = passives; config = fast(); targets = bench_synthesis, bench_eseries);
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(passives);

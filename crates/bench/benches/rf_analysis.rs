@@ -1,0 +1,58 @@
+//! RF engine performance: filter synthesis, frequency sweeps and the
+//! tolerance Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipass_gps::filters::{if_filter, if_filter_spec, lna_filter, TechnologyQ};
+use ipass_rf::{linspace, tolerance_yield};
+use ipass_units::Frequency;
+use std::hint::black_box;
+
+fn bench_design(c: &mut Criterion) {
+    let q = TechnologyQ::integrated();
+    c.bench_function("design_lna_image_reject", |b| {
+        b.iter(|| black_box(lna_filter(black_box(&q))))
+    });
+    c.bench_function("design_if_chebyshev", |b| {
+        b.iter(|| black_box(if_filter(black_box(&q))))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let design = lna_filter(&TechnologyQ::integrated());
+    let mut group = c.benchmark_group("frequency_sweep");
+    for points in [101usize, 1001] {
+        let grid = linspace(
+            Frequency::from_giga(0.8),
+            Frequency::from_giga(2.4),
+            points,
+        );
+        group.throughput(Throughput::Elements(points as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(points), &grid, |b, grid| {
+            b.iter(|| black_box(design.ladder().sweep(grid)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tolerance_mc(c: &mut Criterion) {
+    let spec = if_filter_spec();
+    let nominal = if_filter(&TechnologyQ::hybrid());
+    c.bench_function("tolerance_mc_500", |b| {
+        b.iter(|| {
+            black_box(tolerance_yield(&spec, 500, 11, |_rng| {
+                nominal.ladder().clone()
+            }))
+        })
+    });
+}
+
+criterion_group!(name = rf; config = fast(); targets = bench_design, bench_sweep, bench_tolerance_mc);
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_main!(rf);

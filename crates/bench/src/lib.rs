@@ -1,0 +1,10 @@
+//! Shared helpers for the benchmark harness (see `benches/`).
+//!
+//! The actual table/figure regeneration lives in Criterion benches; this
+//! library only hosts small utilities they share.
+#![forbid(unsafe_code)]
+
+/// Format a percentage for bench harness output.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -1,0 +1,385 @@
+//! The five-step methodology behind a single entry point.
+//!
+//! [`TradeStudy`] takes the BOM, the candidate build-ups with their cost
+//! cards and performance scores, and runs selection → area → cost →
+//! figure of merit in one call, returning a [`StudyReport`] that renders
+//! the full decision story.
+
+use crate::bom::BomItem;
+use crate::flowbuild::CostInputs;
+use crate::fom::{CandidateScore, DecisionError, DecisionTable, FomWeights};
+use crate::plan::{AreaBreakdown, BuildUpPlan, PlanError, SelectionObjective};
+use crate::technology::BuildUp;
+use ipass_moe::{CostReport, FlowError};
+use std::error::Error;
+use std::fmt;
+
+/// One candidate of a trade study: a build-up, its Table-2-style cost
+/// card and its (externally assessed) performance score.
+#[derive(Debug, Clone)]
+pub struct StudyCandidate {
+    /// The build-up.
+    pub buildup: BuildUp,
+    /// The cost/yield card.
+    pub inputs: CostInputs,
+    /// Performance score in `(0, 1]` (from the RF assessment).
+    pub performance: f64,
+}
+
+impl StudyCandidate {
+    /// Create a candidate.
+    pub fn new(buildup: BuildUp, inputs: CostInputs, performance: f64) -> StudyCandidate {
+        StudyCandidate {
+            buildup,
+            inputs,
+            performance,
+        }
+    }
+}
+
+/// Error running a trade study.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StudyError {
+    /// No candidates were registered.
+    NoCandidates,
+    /// Technology selection failed for a candidate.
+    Plan(PlanError),
+    /// Cost evaluation failed for a candidate.
+    Flow(FlowError),
+    /// Ranking failed.
+    Decision(DecisionError),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::NoCandidates => write!(f, "trade study has no candidates"),
+            StudyError::Plan(e) => write!(f, "planning failed: {e}"),
+            StudyError::Flow(e) => write!(f, "cost evaluation failed: {e}"),
+            StudyError::Decision(e) => write!(f, "ranking failed: {e}"),
+        }
+    }
+}
+
+impl Error for StudyError {}
+
+impl From<PlanError> for StudyError {
+    fn from(e: PlanError) -> StudyError {
+        StudyError::Plan(e)
+    }
+}
+
+impl From<FlowError> for StudyError {
+    fn from(e: FlowError) -> StudyError {
+        StudyError::Flow(e)
+    }
+}
+
+impl From<DecisionError> for StudyError {
+    fn from(e: DecisionError) -> StudyError {
+        StudyError::Decision(e)
+    }
+}
+
+/// A configured trade study (methodology steps 1–5).
+///
+/// The first registered candidate is the reference the others are
+/// normalized against (the paper's "solution 1 = 100 %").
+///
+/// # Examples
+///
+/// ```
+/// use ipass_core::{
+///     BomItem, BuildUp, FomWeights, PassivePolicy, Realization, SelectionObjective,
+///     StudyCandidate, TradeStudy,
+/// };
+/// use ipass_units::{Area, Money, Probability};
+///
+/// # fn card(pcb: bool) -> ipass_core::CostInputs {
+/// #     ipass_core::CostInputs {
+/// #         substrate_cost_per_cm2: Money::new(if pcb { 0.1 } else { 2.25 }),
+/// #         substrate_fab_yield_per_cm2: None,
+/// #         substrate_yield: Probability::clamped(if pcb { 0.9999 } else { 0.9 }),
+/// #         chips: vec![ipass_core::ChipCost::new("ASIC", Money::new(20.0), Probability::clamped(0.99))],
+/// #         chip_attach_cost_per_die: Money::new(0.1),
+/// #         chip_attach_yield: Probability::clamped(0.99),
+/// #         wire_bond_cost_per_bond: Money::new(0.01),
+/// #         wire_bond_yield: Probability::clamped(0.9999),
+/// #         smd_parts_cost_override: None,
+/// #         smd_attach_cost_per_part: Money::new(0.01),
+/// #         smd_attach_yield: Probability::clamped(0.9999),
+/// #         packaging: (!pcb).then(|| (Money::new(3.5), Probability::clamped(0.968))),
+/// #         final_test_cost: Money::new(2.0),
+/// #         fault_coverage: Probability::clamped(0.99),
+/// #         yield_basis: ipass_core::YieldBasis::PerStep,
+/// #     }
+/// # }
+/// let bom = vec![
+///     BomItem::die("ASIC")
+///         .with_packaged(Realization::new(Area::from_mm2(400.0), Money::new(25.0)))
+///         .with_flip_chip(Realization::new(Area::from_mm2(36.0), Money::new(20.0))),
+///     BomItem::passive("bias R", 30)
+///         .with_smd(Realization::new(Area::from_mm2(3.75), Money::new(0.02)))
+///         .with_integrated(Realization::new(Area::from_mm2(0.2), Money::ZERO)),
+/// ];
+/// let report = TradeStudy::new("demo", bom)
+///     .candidate(StudyCandidate::new(BuildUp::pcb_reference(), card(true), 1.0))
+///     .candidate(StudyCandidate::new(
+///         BuildUp::mcm_flip_chip(PassivePolicy::Optimized),
+///         card(false),
+///         1.0,
+///     ))
+///     .run()?;
+/// assert_eq!(report.rows().len(), 2);
+/// println!("{}", report.render());
+/// # Ok::<(), ipass_core::StudyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TradeStudy {
+    name: String,
+    bom: Vec<BomItem>,
+    candidates: Vec<StudyCandidate>,
+    objective: SelectionObjective,
+    weights: FomWeights,
+}
+
+impl TradeStudy {
+    /// Create a study over a BOM.
+    pub fn new(name: impl Into<String>, bom: Vec<BomItem>) -> TradeStudy {
+        TradeStudy {
+            name: name.into(),
+            bom,
+            candidates: Vec::new(),
+            objective: SelectionObjective::MinArea,
+            weights: FomWeights::unweighted(),
+        }
+    }
+
+    /// Register a candidate (the first is the reference).
+    pub fn candidate(mut self, candidate: StudyCandidate) -> TradeStudy {
+        self.candidates.push(candidate);
+        self
+    }
+
+    /// Change the selection objective (default: the paper's minimum
+    /// area).
+    pub fn with_objective(mut self, objective: SelectionObjective) -> TradeStudy {
+        self.objective = objective;
+        self
+    }
+
+    /// Change the figure-of-merit weights (default: unweighted product).
+    pub fn with_weights(mut self, weights: FomWeights) -> TradeStudy {
+        self.weights = weights;
+        self
+    }
+
+    /// Run all five steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] when no candidates are registered, a
+    /// candidate cannot be planned, or a flow cannot be evaluated.
+    pub fn run(&self) -> Result<StudyReport, StudyError> {
+        if self.candidates.is_empty() {
+            return Err(StudyError::NoCandidates);
+        }
+        let mut rows = Vec::with_capacity(self.candidates.len());
+        for candidate in &self.candidates {
+            let plan = candidate.buildup.plan(&self.bom, self.objective)?;
+            let area = plan.area();
+            let cost = plan
+                .production_flow(area.substrate_area, &candidate.inputs)?
+                .analyze()?;
+            rows.push(StudyRow {
+                plan,
+                area,
+                cost,
+                performance: candidate.performance,
+            });
+        }
+        let scores: Vec<CandidateScore> = rows
+            .iter()
+            .map(|row| {
+                CandidateScore::new(
+                    row.plan.buildup().to_string(),
+                    row.performance,
+                    row.area.module_area,
+                    row.cost.final_cost_per_shipped(),
+                )
+            })
+            .collect();
+        let reference = scores[0].name.clone();
+        let decision = DecisionTable::rank(&scores, &reference, self.weights)?;
+        Ok(StudyReport {
+            name: self.name.clone(),
+            rows,
+            decision,
+        })
+    }
+}
+
+/// The full assessment of one candidate.
+#[derive(Debug, Clone)]
+pub struct StudyRow {
+    /// The selected plan (step 1).
+    pub plan: BuildUpPlan,
+    /// The sized areas (step 3).
+    pub area: AreaBreakdown,
+    /// The cost report (step 4).
+    pub cost: CostReport,
+    /// The performance score (step 2, supplied).
+    pub performance: f64,
+}
+
+/// The outcome of a [`TradeStudy`].
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    name: String,
+    rows: Vec<StudyRow>,
+    decision: DecisionTable,
+}
+
+impl StudyReport {
+    /// Study name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-candidate assessments, in registration order.
+    pub fn rows(&self) -> &[StudyRow] {
+        &self.rows
+    }
+
+    /// The ranked decision (step 5).
+    pub fn decision(&self) -> &DecisionTable {
+        &self.decision
+    }
+
+    /// Render the study: one line per candidate plus the decision table.
+    pub fn render(&self) -> String {
+        let mut out = format!("trade study: {}\n", self.name);
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>5} {:>4} {:>12} {:>10} {:>6}\n",
+            "candidate", "SMDs", "IPs", "dies", "module [mm²]", "cost", "perf"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:>6} {:>5} {:>4} {:>12.0} {:>10.2} {:>6.2}\n",
+                row.plan.buildup().to_string(),
+                row.plan.smd_placements(),
+                row.plan.integrated_count(),
+                row.plan.die_count(),
+                row.area.module_area.mm2(),
+                row.cost.final_cost_per_shipped().units(),
+                row.performance
+            ));
+        }
+        out.push('\n');
+        out.push_str(&self.decision.render());
+        out
+    }
+}
+
+impl fmt::Display for StudyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bom::Realization;
+    use crate::flowbuild::{ChipCost, YieldBasis};
+    use crate::technology::PassivePolicy;
+    use ipass_units::{Area, Money, Probability};
+
+    fn card(pcb: bool) -> CostInputs {
+        CostInputs {
+            substrate_cost_per_cm2: Money::new(if pcb { 0.1 } else { 2.25 }),
+            substrate_fab_yield_per_cm2: None,
+            substrate_yield: Probability::clamped(if pcb { 0.9999 } else { 0.9 }),
+            chips: vec![ChipCost::new(
+                "ASIC",
+                Money::new(20.0),
+                Probability::clamped(0.99),
+            )],
+            chip_attach_cost_per_die: Money::new(0.1),
+            chip_attach_yield: Probability::clamped(0.99),
+            wire_bond_cost_per_bond: Money::new(0.01),
+            wire_bond_yield: Probability::clamped(0.9999),
+            smd_parts_cost_override: None,
+            smd_attach_cost_per_part: Money::new(0.01),
+            smd_attach_yield: Probability::clamped(0.9999),
+            packaging: (!pcb).then(|| (Money::new(3.5), Probability::clamped(0.968))),
+            final_test_cost: Money::new(2.0),
+            fault_coverage: Probability::clamped(0.99),
+            yield_basis: YieldBasis::PerStep,
+        }
+    }
+
+    fn bom() -> Vec<BomItem> {
+        vec![
+            BomItem::die("ASIC")
+                .with_packaged(Realization::new(Area::from_mm2(400.0), Money::new(25.0)))
+                .with_flip_chip(Realization::new(Area::from_mm2(36.0), Money::new(20.0))),
+            BomItem::passive("bias R", 30)
+                .with_smd(Realization::new(Area::from_mm2(3.75), Money::new(0.02)))
+                .with_integrated(Realization::new(Area::from_mm2(0.2), Money::ZERO)),
+        ]
+    }
+
+    fn study() -> TradeStudy {
+        TradeStudy::new("unit test", bom())
+            .candidate(StudyCandidate::new(BuildUp::pcb_reference(), card(true), 1.0))
+            .candidate(StudyCandidate::new(
+                BuildUp::mcm_flip_chip(PassivePolicy::Optimized),
+                card(false),
+                0.9,
+            ))
+    }
+
+    #[test]
+    fn runs_end_to_end() {
+        let report = study().run().unwrap();
+        assert_eq!(report.rows().len(), 2);
+        assert_eq!(report.decision().rows().len(), 2);
+        assert_eq!(report.name(), "unit test");
+        // The reference row normalizes to 1.
+        assert_eq!(report.decision().rows()[0].size_ratio, 1.0);
+        let text = report.render();
+        assert!(text.contains("module") && text.contains("FoM"));
+    }
+
+    #[test]
+    fn empty_study_is_an_error() {
+        let err = TradeStudy::new("empty", bom()).run().unwrap_err();
+        assert!(matches!(err, StudyError::NoCandidates));
+    }
+
+    #[test]
+    fn plan_errors_propagate() {
+        let study = TradeStudy::new("bad", vec![BomItem::passive("ghost", 1)])
+            .candidate(StudyCandidate::new(BuildUp::pcb_reference(), card(true), 1.0));
+        assert!(matches!(study.run(), Err(StudyError::Plan(_))));
+    }
+
+    #[test]
+    fn weights_are_applied() {
+        let default = study().run().unwrap();
+        let perf_heavy = study()
+            .with_weights(FomWeights {
+                performance: 10.0,
+                size: 1.0,
+                cost: 1.0,
+            })
+            .run()
+            .unwrap();
+        // With heavy performance weighting the 0.9-perf MCM drops.
+        let d = default.decision().rows()[1].fom;
+        let p = perf_heavy.decision().rows()[1].fom;
+        assert!(p < d);
+    }
+}

@@ -1,0 +1,149 @@
+//! The Fig. 2 receiver chain as a gain/noise budget per build-up.
+//!
+//! §3: "the GPS signal passes via a matched impedance line to a
+//! low-noise amplifier (LNA), and is filtered at 1.575 GHz to reject the
+//! image frequency … the signal is downconverted via intermediate
+//! frequencies to the base band." The filters' §4.1 insertion losses are
+//! computed from the technology's element Q and inserted into the
+//! cascade; Friis' formula then shows what the integration choice costs
+//! the receiver's noise figure.
+
+use crate::filters::{if_filter, image_frequency, lna_filter, TechnologyQ};
+use ipass_core::BuildUp;
+use ipass_rf::{CascadeStage, ChainBudget};
+use std::fmt;
+
+/// Typical 1999-era GPS front-end active-stage parameters (the chip set's
+/// own numbers are confidential, like its price).
+mod active {
+    /// LNA gain, dB.
+    pub const LNA_GAIN: f64 = 15.0;
+    /// LNA noise figure, dB.
+    pub const LNA_NF: f64 = 1.8;
+    /// Mixer conversion gain, dB.
+    pub const MIXER_GAIN: f64 = 8.0;
+    /// Mixer noise figure, dB.
+    pub const MIXER_NF: f64 = 9.0;
+    /// IF amplifier gain, dB.
+    pub const IF_AMP_GAIN: f64 = 30.0;
+    /// IF amplifier noise figure, dB.
+    pub const IF_AMP_NF: f64 = 4.0;
+    /// External (pre-LNA) filter loss, dB — identical in every build-up.
+    pub const EXTERNAL_FILTER_LOSS: f64 = 1.0;
+}
+
+/// The budget of one build-up's receive chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainAssessment {
+    /// Build-up name.
+    pub buildup: String,
+    /// The cascade budget.
+    pub budget: ChainBudget,
+    /// Image rejection provided by the LNA output filter (dB).
+    pub image_rejection_db: f64,
+}
+
+impl ChainAssessment {
+    /// Chain noise figure in dB.
+    pub fn noise_figure_db(&self) -> f64 {
+        self.budget.noise_figure_db()
+    }
+
+    /// Total chain gain in dB.
+    pub fn gain_db(&self) -> f64 {
+        self.budget.total_gain_db()
+    }
+}
+
+impl fmt::Display for ChainAssessment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: NF {:.2} dB, gain {:.1} dB, image rejection {:.1} dB",
+            self.buildup,
+            self.noise_figure_db(),
+            self.gain_db(),
+            self.image_rejection_db
+        )?;
+        f.write_str(&self.budget.render())
+    }
+}
+
+/// Build the Fig. 2 chain budget for a build-up, with filter losses
+/// computed from its passive technology.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_core::{BuildUp, PassivePolicy};
+/// use ipass_gps::chain::chain_budget;
+///
+/// let reference = chain_budget(&BuildUp::pcb_reference());
+/// let full_ip = chain_budget(&BuildUp::mcm_flip_chip(PassivePolicy::AllIntegrated));
+/// // The integrated filters cost noise figure, but the LNA in front
+/// // cushions most of it — the system-level reason the paper can even
+/// // consider a 0.45-performance build-up.
+/// let penalty = full_ip.noise_figure_db() - reference.noise_figure_db();
+/// assert!(penalty > 0.05 && penalty < 1.0);
+/// ```
+pub fn chain_budget(buildup: &BuildUp) -> ChainAssessment {
+    let q = TechnologyQ::for_buildup(buildup);
+    let lna_design = lna_filter(&q);
+    let lna_loss = lna_design
+        .ladder()
+        .insertion_loss_db(crate::filters::gps_l1());
+    let if_loss = if_filter(&q)
+        .ladder()
+        .insertion_loss_db(crate::filters::intermediate_frequency());
+    let budget = ChainBudget::new(vec![
+        CascadeStage::passive("external filter", active::EXTERNAL_FILTER_LOSS),
+        CascadeStage::new("LNA", active::LNA_GAIN, active::LNA_NF),
+        CascadeStage::passive("LNA output BP (image reject)", lna_loss),
+        CascadeStage::new("mixer", active::MIXER_GAIN, active::MIXER_NF),
+        CascadeStage::passive("IF BP 175 MHz", if_loss),
+        CascadeStage::new("IF amplifier", active::IF_AMP_GAIN, active::IF_AMP_NF),
+        CascadeStage::passive("2nd IF BP", if_loss),
+    ]);
+    ChainAssessment {
+        buildup: buildup.to_string(),
+        budget,
+        image_rejection_db: lna_design.ladder().insertion_loss_db(image_frequency()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipass_core::PassivePolicy;
+
+    #[test]
+    fn all_solutions_have_workable_receivers() {
+        for b in BuildUp::paper_solutions() {
+            let chain = chain_budget(&b);
+            // GPS needs NF well under 6 dB and plenty of gain.
+            assert!(chain.noise_figure_db() < 6.0, "{b}: NF {}", chain.noise_figure_db());
+            assert!(chain.gain_db() > 35.0, "{b}: gain {}", chain.gain_db());
+            assert!(chain.image_rejection_db > 20.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn integration_penalty_is_cushioned_by_the_lna() {
+        let reference = chain_budget(&BuildUp::pcb_reference());
+        let full_ip = chain_budget(&BuildUp::mcm_flip_chip(PassivePolicy::AllIntegrated));
+        let hybrid = chain_budget(&BuildUp::mcm_flip_chip(PassivePolicy::Optimized));
+        // Filter-loss deltas of ~4 dB shrink to fractions of a dB of NF.
+        let penalty_ip = full_ip.noise_figure_db() - reference.noise_figure_db();
+        let penalty_hybrid = hybrid.noise_figure_db() - reference.noise_figure_db();
+        assert!(penalty_ip > penalty_hybrid);
+        assert!(penalty_ip < 1.0, "penalty {penalty_ip}");
+        assert!(penalty_hybrid > 0.0);
+    }
+
+    #[test]
+    fn display_contains_the_lineup() {
+        let chain = chain_budget(&BuildUp::pcb_reference());
+        let text = chain.to_string();
+        assert!(text.contains("LNA") && text.contains("mixer") && text.contains("ΣNF"));
+    }
+}

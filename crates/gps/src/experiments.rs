@@ -1,0 +1,868 @@
+//! One reproduction entry point per table and figure of the paper.
+//!
+//! Every function returns a structure holding the *measured* values next
+//! to the *paper's* published ones, plus a `render()` for human-readable
+//! output. EXPERIMENTS.md records the resulting deltas.
+
+use crate::bom::gps_bom;
+use crate::filters::{assess_performance, PerformanceAssessment};
+use crate::paper;
+use crate::table2::cost_inputs;
+use ipass_core::{
+    AreaBreakdown, BuildUp, BuildUpPlan, CandidateScore, DecisionError, DecisionTable, FomWeights,
+    PlanError, SelectionObjective,
+};
+use ipass_moe::{CostCategory, CostReport, FlowError, SimOptions, SimSummary};
+use ipass_passives::{
+    smd_area_series, MimCapacitor, SpiralInductor, SynthesisError, ThinFilmProcess,
+    ThinFilmResistor,
+};
+use ipass_units::{Capacitance, Inductance, Resistance};
+use std::error::Error;
+use std::fmt;
+
+/// Error from an experiment driver.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// Technology selection failed.
+    Plan(PlanError),
+    /// Cost-flow evaluation failed.
+    Flow(FlowError),
+    /// Decision ranking failed.
+    Decision(DecisionError),
+    /// Component synthesis failed.
+    Synthesis(SynthesisError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Plan(e) => write!(f, "planning failed: {e}"),
+            ExperimentError::Flow(e) => write!(f, "cost evaluation failed: {e}"),
+            ExperimentError::Decision(e) => write!(f, "decision failed: {e}"),
+            ExperimentError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {}
+
+impl From<PlanError> for ExperimentError {
+    fn from(e: PlanError) -> Self {
+        ExperimentError::Plan(e)
+    }
+}
+
+impl From<FlowError> for ExperimentError {
+    fn from(e: FlowError) -> Self {
+        ExperimentError::Flow(e)
+    }
+}
+
+impl From<DecisionError> for ExperimentError {
+    fn from(e: DecisionError) -> Self {
+        ExperimentError::Decision(e)
+    }
+}
+
+impl From<SynthesisError> for ExperimentError {
+    fn from(e: SynthesisError) -> Self {
+        ExperimentError::Synthesis(e)
+    }
+}
+
+/// Everything the methodology derives for one solution.
+#[derive(Debug, Clone)]
+pub struct SolutionAssessment {
+    /// The build-up.
+    pub buildup: BuildUp,
+    /// The paper's name for it.
+    pub label: &'static str,
+    /// The selected plan.
+    pub plan: BuildUpPlan,
+    /// Step 3: areas.
+    pub area: AreaBreakdown,
+    /// Step 2: filter performance.
+    pub performance: PerformanceAssessment,
+    /// Step 4: the analytic cost report.
+    pub cost: CostReport,
+}
+
+/// Run methodology steps 1–4 for all four paper solutions (analytic cost
+/// engine).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning or cost evaluation fails.
+pub fn assess_all() -> Result<Vec<SolutionAssessment>, ExperimentError> {
+    BuildUp::paper_solutions()
+        .iter()
+        .zip(paper::SOLUTION_NAMES.iter())
+        .map(|(buildup, label)| {
+            let plan = buildup.plan(&gps_bom(buildup), SelectionObjective::MinArea)?;
+            let area = plan.area();
+            let flow = plan.production_flow(area.substrate_area, &cost_inputs(buildup))?;
+            let cost = flow.analyze()?;
+            Ok(SolutionAssessment {
+                buildup: *buildup,
+                label,
+                plan,
+                area,
+                performance: assess_performance(buildup),
+                cost,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 1 — area vs SMD type.
+// ---------------------------------------------------------------------
+
+/// One bar of Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Case code (e.g. "0603").
+    pub code: &'static str,
+    /// Pure component (body) area, mm².
+    pub body_mm2: f64,
+    /// Mounted footprint area, mm².
+    pub footprint_mm2: f64,
+}
+
+/// Fig. 1: pure component vs footprint area over the SMD sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1 {
+    /// The bars, largest case first.
+    pub rows: Vec<Fig1Row>,
+}
+
+impl Fig1 {
+    /// Render the series.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 1 — area vs SMD type [mm²]\n");
+        out.push_str("type    body   footprint  overhead\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<6} {:>6.2} {:>10.2} {:>9.2}\n",
+                r.code,
+                r.body_mm2,
+                r.footprint_mm2,
+                r.footprint_mm2 - r.body_mm2
+            ));
+        }
+        out
+    }
+}
+
+/// Regenerate Fig. 1 from the SMD catalog.
+pub fn fig1() -> Fig1 {
+    Fig1 {
+        rows: smd_area_series()
+            .into_iter()
+            .map(|(size, body, footprint)| Fig1Row {
+                code: size.code(),
+                body_mm2: body.mm2(),
+                footprint_mm2: footprint.mm2(),
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — area-relevant data (with synthesis cross-checks).
+// ---------------------------------------------------------------------
+
+/// One paper-vs-synthesized area comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// What is compared.
+    pub label: String,
+    /// The paper's Table 1 value (mm²).
+    pub paper_mm2: f64,
+    /// Our synthesized/catalog value (mm²).
+    pub measured_mm2: f64,
+}
+
+/// Table 1 reproduced: paper constants vs in-crate synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// The comparison rows.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Render the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table 1 — area-relevant data [mm²]\n");
+        out.push_str(&format!("{:<34} {:>8} {:>10}\n", "component", "paper", "measured"));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<34} {:>8.3} {:>10.3}\n",
+                r.label, r.paper_mm2, r.measured_mm2
+            ));
+        }
+        out
+    }
+}
+
+/// Regenerate Table 1's integrated-passive areas by synthesis in the
+/// SUMMIT process, next to the catalog SMD footprints.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Synthesis`] if a component cannot be
+/// synthesized (it can, for the published values).
+pub fn table1() -> Result<Table1, ExperimentError> {
+    let process = ThinFilmProcess::summit_mcm_d();
+    let r100k = ThinFilmResistor::synthesize(Resistance::from_kilo(100.0), &process)?;
+    let c50p = MimCapacitor::synthesize(Capacitance::from_pico(50.0), &process)?;
+    let l40n = SpiralInductor::synthesize(Inductance::from_nano(40.0), &process)?;
+    let rows = vec![
+        Table1Row {
+            label: "IP-R 100 kΩ (CrSi meander)".into(),
+            paper_mm2: paper::TABLE1_IP_R_100K_MM2,
+            measured_mm2: r100k.area().mm2(),
+        },
+        Table1Row {
+            label: "IP-C 50 pF (high-κ MIM)".into(),
+            paper_mm2: paper::TABLE1_IP_C_50P_MM2,
+            measured_mm2: c50p.area().mm2(),
+        },
+        Table1Row {
+            label: "IP-L 40 nH (square spiral)".into(),
+            paper_mm2: paper::TABLE1_IP_L_40N_MM2,
+            measured_mm2: l40n.area().mm2(),
+        },
+        Table1Row {
+            label: "SMD 0603 footprint".into(),
+            paper_mm2: 3.75,
+            measured_mm2: ipass_passives::SmdSize::I0603.footprint_area().mm2(),
+        },
+        Table1Row {
+            label: "SMD 0805 footprint".into(),
+            paper_mm2: 4.5,
+            measured_mm2: ipass_passives::SmdSize::I0805.footprint_area().mm2(),
+        },
+    ];
+    Ok(Table1 { rows })
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3 — area consumed by the build-ups.
+// ---------------------------------------------------------------------
+
+/// One bar of Fig. 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Solution label.
+    pub label: &'static str,
+    /// Absolute module area.
+    pub module_area_mm2: f64,
+    /// Percent of the PCB reference.
+    pub measured_percent: f64,
+    /// The paper's percentage.
+    pub paper_percent: f64,
+}
+
+/// Fig. 3 reproduced.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// The four bars.
+    pub rows: Vec<Fig3Row>,
+}
+
+impl Fig3 {
+    /// Render the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 3 — area consumed by the build-ups\n");
+        out.push_str(&format!(
+            "{:<26} {:>12} {:>10} {:>8}\n",
+            "implementation", "module [mm²]", "measured", "paper"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:>12.1} {:>9.1}% {:>7.0}%\n",
+                r.label, r.module_area_mm2, r.measured_percent, r.paper_percent
+            ));
+        }
+        out
+    }
+}
+
+/// Regenerate Fig. 3 (methodology step 3 for all four solutions).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning fails.
+pub fn fig3() -> Result<Fig3, ExperimentError> {
+    let assessments = assess_all()?;
+    let reference = assessments[0].area.module_area;
+    Ok(Fig3 {
+        rows: assessments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| Fig3Row {
+                label: a.label,
+                module_area_mm2: a.area.module_area.mm2(),
+                measured_percent: a.area.module_area / reference * 100.0,
+                paper_percent: paper::FIG3_AREA_PERCENT[i],
+            })
+            .collect(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4 — the MOE production model, Monte Carlo.
+// ---------------------------------------------------------------------
+
+/// Fig. 4 reproduced: the solution-2 production model run through the
+/// Monte Carlo engine with the figure's unit count.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Stage names of the generic model, in flow order.
+    pub stages: Vec<String>,
+    /// The Fig. 4-style box diagram of the model.
+    pub diagram: String,
+    /// The Monte Carlo outcome.
+    pub summary: SimSummary,
+    /// Units started (the figure's 8007).
+    pub started: u64,
+}
+
+impl Fig4 {
+    /// Modules shipped in the run.
+    pub fn shipped(&self) -> f64 {
+        self.summary.report.shipped()
+    }
+
+    /// Modules scrapped in the run.
+    pub fn scrapped(&self) -> f64 {
+        self.summary.scrapped
+    }
+
+    /// Render the model and outcome.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 4 — generic MOE model (solution 2), Monte Carlo run\n");
+        out.push_str(&self.diagram);
+        out.push_str(&format!(
+            "  started {} → shipped {:.0} (paper's illustration: {} → {}), scrapped {:.0} (paper: {})\n",
+            self.started,
+            self.shipped(),
+            paper::FIG4_STARTED,
+            paper::FIG4_SHIPPED,
+            self.scrapped(),
+            paper::FIG4_SCRAPPED,
+        ));
+        out
+    }
+}
+
+/// Run the Fig. 4 model with `seed`; `paper::FIG4_STARTED` units enter.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning or simulation fails.
+pub fn fig4(seed: u64) -> Result<Fig4, ExperimentError> {
+    let buildup = BuildUp::paper_solutions()[1];
+    let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
+    let area = plan.area();
+    let flow = plan.production_flow(area.substrate_area, &cost_inputs(&buildup))?;
+    let mut stages: Vec<String> = vec![format!("component/carrier: {}", flow.line().carrier().name())];
+    stages.extend(flow.line().stages().iter().map(|s| s.name().to_owned()));
+    stages.push("collector: modules to be shipped".into());
+    stages.push("scrap".into());
+    let summary = flow.simulate_summary(&SimOptions::new(paper::FIG4_STARTED).with_seed(seed))?;
+    Ok(Fig4 {
+        stages,
+        diagram: flow.line().render_diagram(),
+        summary,
+        started: paper::FIG4_STARTED,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 — cost analysis.
+// ---------------------------------------------------------------------
+
+/// One bar of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Solution label.
+    pub label: &'static str,
+    /// Final cost per shipped unit (Eq. 1), cost units.
+    pub final_cost: f64,
+    /// Percent of the PCB reference.
+    pub measured_percent: f64,
+    /// The paper's percentage.
+    pub paper_percent: f64,
+    /// Direct-cost component per shipped unit.
+    pub direct_cost: f64,
+    /// Yield-loss component per shipped unit.
+    pub yield_loss: f64,
+    /// "Thereof: chip cost" per shipped unit.
+    pub chip_cost: f64,
+}
+
+/// Fig. 5 reproduced.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// The four bars.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5 {
+    /// Render the stacked-bar data.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 5 — final cost (MOE), percent of PCB reference\n");
+        out.push_str(&format!(
+            "{:<26} {:>7} {:>9} {:>7} {:>9} {:>11} {:>10}\n",
+            "implementation", "final", "measured", "paper", "direct", "yield loss", "chip cost"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<26} {:>7.1} {:>8.1}% {:>6.1}% {:>9.1} {:>11.1} {:>10.1}\n",
+                r.label,
+                r.final_cost,
+                r.measured_percent,
+                r.paper_percent,
+                r.direct_cost,
+                r.yield_loss,
+                r.chip_cost
+            ));
+        }
+        out
+    }
+}
+
+fn fig5_from_reports(reports: Vec<(&'static str, CostReport)>) -> Fig5 {
+    let reference = reports[0].1.final_cost_per_shipped();
+    Fig5 {
+        rows: reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, report))| Fig5Row {
+                label,
+                final_cost: report.final_cost_per_shipped().units(),
+                measured_percent: report.final_cost_per_shipped() / reference * 100.0,
+                paper_percent: paper::FIG5_COST_PERCENT[i],
+                direct_cost: report.direct_cost_per_shipped().units(),
+                yield_loss: report.yield_loss_per_shipped().units(),
+                chip_cost: report.category_cost_per_shipped(CostCategory::Chip).units(),
+            })
+            .collect(),
+    }
+}
+
+/// Regenerate Fig. 5 with the closed-form engine.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning or evaluation fails.
+pub fn fig5() -> Result<Fig5, ExperimentError> {
+    let assessments = assess_all()?;
+    Ok(fig5_from_reports(
+        assessments.into_iter().map(|a| (a.label, a.cost)).collect(),
+    ))
+}
+
+/// Regenerate Fig. 5 with the Monte Carlo engine (the paper's actual
+/// procedure).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning or simulation fails.
+pub fn fig5_monte_carlo(units: u64, seed: u64) -> Result<Fig5, ExperimentError> {
+    let mut reports = Vec::with_capacity(4);
+    for (buildup, label) in BuildUp::paper_solutions()
+        .iter()
+        .zip(paper::SOLUTION_NAMES.iter())
+    {
+        let plan = buildup.plan(&gps_bom(buildup), SelectionObjective::MinArea)?;
+        let flow = plan.production_flow(plan.area().substrate_area, &cost_inputs(buildup))?;
+        reports.push((*label, flow.simulate(&SimOptions::new(units).with_seed(seed))?));
+    }
+    Ok(fig5_from_reports(reports))
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — figure of merit.
+// ---------------------------------------------------------------------
+
+/// Fig. 6 reproduced: the decision table plus the paper's column.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// The computed decision table.
+    pub table: DecisionTable,
+    /// The paper's published FoM values, aligned with the rows.
+    pub paper_fom: [f64; 4],
+}
+
+impl Fig6 {
+    /// Render paper-vs-measured.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 6 — figure of merit (perf × 1/size × 1/cost)\n");
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>8} {:>8} {:>8} {:>7}\n",
+            "implementation", "perf", "size", "cost", "FoM", "paper"
+        ));
+        for (row, paper_fom) in self.table.rows().iter().zip(self.paper_fom.iter()) {
+            out.push_str(&format!(
+                "{:<26} {:>6.2} {:>7.2}× {:>7.3}× {:>8.2} {:>7.2}{}\n",
+                row.name,
+                row.performance,
+                row.size_ratio,
+                row.cost_ratio,
+                row.fom,
+                paper_fom,
+                if row.name == self.table.best().name {
+                    "  ◀ chosen"
+                } else {
+                    ""
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Regenerate Fig. 6 (methodology step 5).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if any earlier step fails.
+pub fn fig6() -> Result<Fig6, ExperimentError> {
+    let assessments = assess_all()?;
+    let candidates: Vec<CandidateScore> = assessments
+        .iter()
+        .map(|a| {
+            CandidateScore::new(
+                a.label,
+                a.performance.overall,
+                a.area.module_area,
+                a.cost.final_cost_per_shipped(),
+            )
+        })
+        .collect();
+    let table = DecisionTable::rank(
+        &candidates,
+        paper::SOLUTION_NAMES[0],
+        FomWeights::unweighted(),
+    )?;
+    Ok(Fig6 {
+        table,
+        paper_fom: paper::FIG6_FOM,
+    })
+}
+
+
+// ---------------------------------------------------------------------
+// Sensitivity — which Table 2 inputs drive solution 4's cost?
+// ---------------------------------------------------------------------
+
+/// Tornado sensitivity of a solution's final cost to the Table 2 inputs.
+///
+/// Perturbs each input to a low/high variant (±20 % costs, ±5 points
+/// yields, coverage 95…99.9 %) and ranks the swings. The paper's remark
+/// that results were compared "for different cost and yield
+/// implications" becomes a chart.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning or evaluation fails.
+pub fn sensitivity(solution_index: usize) -> Result<ipass_moe::Tornado, ExperimentError> {
+    use ipass_moe::TornadoInput;
+    use ipass_units::{Money, Probability};
+
+    let buildup = BuildUp::paper_solutions()[solution_index];
+    let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
+    let area = plan.area().substrate_area;
+    let base_card = cost_inputs(&buildup);
+    let flow_for = |card: &ipass_core::CostInputs| plan.production_flow(area, card);
+
+    let baseline = flow_for(&base_card)?;
+
+    let scale_chips = |factor: f64| {
+        let mut card = base_card.clone();
+        for chip in card.chips.iter_mut() {
+            chip.cost = chip.cost * factor;
+        }
+        card
+    };
+    let scale_substrate = |factor: f64| {
+        let mut card = base_card.clone();
+        card.substrate_cost_per_cm2 = card.substrate_cost_per_cm2 * factor;
+        card
+    };
+    let shift_substrate_yield = |delta: f64| {
+        let mut card = base_card.clone();
+        let y = Probability::clamped(card.substrate_yield.value() + delta);
+        card.substrate_yield = y;
+        card.substrate_fab_yield_per_cm2 = card.substrate_fab_yield_per_cm2.map(|_| y);
+        card
+    };
+    let set_coverage = |cov: f64| {
+        let mut card = base_card.clone();
+        card.fault_coverage = Probability::clamped(cov);
+        card
+    };
+    let scale_packaging = |factor: f64| {
+        let mut card = base_card.clone();
+        card.packaging = card.packaging.map(|(c, y)| (c * factor, y));
+        card
+    };
+    let scale_test = |factor: f64| {
+        let mut card = base_card.clone();
+        card.final_test_cost = Money::new(card.final_test_cost.units() * factor);
+        card
+    };
+
+    let inputs = vec![
+        TornadoInput {
+            name: "chip cost ±10 %",
+            low: flow_for(&scale_chips(0.9))?,
+            high: flow_for(&scale_chips(1.1))?,
+        },
+        TornadoInput {
+            name: "substrate cost/cm² ±20 %",
+            low: flow_for(&scale_substrate(0.8))?,
+            high: flow_for(&scale_substrate(1.2))?,
+        },
+        TornadoInput {
+            name: "substrate yield ∓5 pts",
+            low: flow_for(&shift_substrate_yield(0.05))?,
+            high: flow_for(&shift_substrate_yield(-0.05))?,
+        },
+        TornadoInput {
+            name: "fault coverage 99.9 → 95 %",
+            low: flow_for(&set_coverage(0.999))?,
+            high: flow_for(&set_coverage(0.95))?,
+        },
+        TornadoInput {
+            name: "packaging cost ±30 %",
+            low: flow_for(&scale_packaging(0.7))?,
+            high: flow_for(&scale_packaging(1.3))?,
+        },
+        TornadoInput {
+            name: "test cost ±50 %",
+            low: flow_for(&scale_test(0.5))?,
+            high: flow_for(&scale_test(1.5))?,
+        },
+    ];
+    Ok(ipass_moe::Tornado::evaluate(&baseline, inputs)?)
+}
+
+
+// ---------------------------------------------------------------------
+// §4.4 — the final design check.
+// ---------------------------------------------------------------------
+
+/// The paper's closing validation: "an adaptation of solution 4 has been
+/// chosen for the final design. The silicon area of the final layout
+/// corresponded well with the predicted value."
+///
+/// We re-enact it: place solution 4's actual component outlines with the
+/// bottom-left skyline packer and compare the resulting silicon area to
+/// the trivial-placement prediction.
+#[derive(Debug, Clone)]
+pub struct FinalDesignCheck {
+    /// Predicted silicon substrate area (trivial placement, step 3).
+    pub predicted_mm2: f64,
+    /// Area of the packed layout (skyline packer, with edge clearance).
+    pub packed_mm2: f64,
+    /// Components placed.
+    pub placed: usize,
+}
+
+impl FinalDesignCheck {
+    /// Packed / predicted ratio (1.0 = perfect prediction).
+    pub fn ratio(&self) -> f64 {
+        self.packed_mm2 / self.predicted_mm2
+    }
+
+    /// Render the comparison.
+    pub fn render(&self) -> String {
+        format!(
+            "§4.4 final design (solution 4): predicted Si {:.0} mm², packed layout {:.0} mm² \
+             ({} parts, ratio {:.2}) — \"corresponded well with the predicted value\"\n",
+            self.predicted_mm2,
+            self.packed_mm2,
+            self.placed,
+            self.ratio()
+        )
+    }
+}
+
+/// Re-enact the §4.4 layout-vs-prediction check.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning fails (packing of the GPS set
+/// cannot fail: every part fits the predicted substrate width).
+pub fn final_design_check() -> Result<FinalDesignCheck, ExperimentError> {
+    use ipass_layout::{Rect, SkylinePacker, SubstrateRule};
+
+    let buildup = BuildUp::paper_solutions()[3];
+    let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
+    let predicted = plan.area().substrate_area;
+
+    let mut rects = Vec::new();
+    for sel in plan.selections() {
+        let side = sel.realization.area().square_side_mm();
+        for _ in 0..sel.quantity {
+            rects.push(Rect::new(side, side));
+        }
+    }
+    let rule = SubstrateRule::mcm_d_si();
+    let usable = predicted.square_side_mm() - 2.0 * rule.edge_clearance_mm();
+    let packing = SkylinePacker::new(usable)
+        .pack(&rects)
+        .expect("every GPS part fits the predicted substrate width");
+    let packed_side = packing.height().max(usable) + 2.0 * rule.edge_clearance_mm();
+    Ok(FinalDesignCheck {
+        predicted_mm2: predicted.mm2(),
+        packed_mm2: packed_side * packed_side,
+        placed: packing.placements().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_matches_the_papers_argument() {
+        let fig = fig1();
+        assert_eq!(fig.rows.len(), 6);
+        // Bodies shrink monotonically, footprints much more slowly.
+        for w in fig.rows.windows(2) {
+            assert!(w[1].body_mm2 < w[0].body_mm2);
+            assert!(w[1].footprint_mm2 < w[0].footprint_mm2);
+        }
+        let first = &fig.rows[0];
+        let last = &fig.rows[5];
+        assert!(first.body_mm2 / last.body_mm2 > 50.0);
+        assert!(first.footprint_mm2 / last.footprint_mm2 < 15.0);
+        assert!(fig.render().contains("0603"));
+    }
+
+    #[test]
+    fn table1_synthesis_tracks_paper_values() {
+        let t = table1().unwrap();
+        for row in &t.rows {
+            let rel = (row.measured_mm2 - row.paper_mm2).abs() / row.paper_mm2;
+            assert!(
+                rel < 0.35,
+                "{}: measured {} vs paper {} ({}% off)",
+                row.label,
+                row.measured_mm2,
+                row.paper_mm2,
+                (rel * 100.0) as i32
+            );
+        }
+        assert!(t.render().contains("IP-R"));
+    }
+
+    #[test]
+    fn fig3_reproduces_the_area_ladder() {
+        let fig = fig3().unwrap();
+        for row in &fig.rows {
+            assert!(
+                (row.measured_percent - row.paper_percent).abs() < 3.0,
+                "{}: measured {:.1}% vs paper {:.0}%",
+                row.label,
+                row.measured_percent,
+                row.paper_percent
+            );
+        }
+        assert!(fig.render().contains("Fig. 3"));
+    }
+
+    #[test]
+    fn fig5_reproduces_the_cost_ordering() {
+        let fig = fig5().unwrap();
+        let m: Vec<f64> = fig.rows.iter().map(|r| r.measured_percent).collect();
+        // Ordering: 1 < 2 < 4 < 3.
+        assert!(m[0] < m[1] && m[1] < m[3] && m[3] < m[2], "{m:?}");
+        // Magnitudes within 2.5 points of the paper.
+        for row in &fig.rows {
+            assert!(
+                (row.measured_percent - row.paper_percent).abs() < 2.5,
+                "{}: measured {:.1}% vs paper {:.1}%",
+                row.label,
+                row.measured_percent,
+                row.paper_percent
+            );
+        }
+        // Chip cost dominates the direct cost (Fig. 5's callout).
+        for row in &fig.rows {
+            assert!(row.chip_cost / row.direct_cost > 0.5);
+        }
+    }
+
+    #[test]
+    fn fig6_picks_solution_4() {
+        let fig = fig6().unwrap();
+        assert!(fig.table.best().name.contains("IP&SMD"));
+        let foms: Vec<f64> = fig.table.rows().iter().map(|r| r.fom).collect();
+        assert!((foms[0] - 1.0).abs() < 1e-9);
+        assert!((foms[1] - paper::FIG6_FOM[1]).abs() < 0.15, "sol2 {}", foms[1]);
+        assert!((foms[2] - paper::FIG6_FOM[2]).abs() < 0.15, "sol3 {}", foms[2]);
+        assert!((foms[3] - paper::FIG6_FOM[3]).abs() < 0.3, "sol4 {}", foms[3]);
+        assert!(fig.render().contains("◀ chosen"));
+    }
+
+    #[test]
+    fn fig4_model_and_simulation() {
+        let fig = fig4(42).unwrap();
+        // The generic model's stages (Fig. 4's boxes).
+        let joined = fig.stages.join(" | ");
+        assert!(joined.contains("chip assembly"));
+        assert!(joined.contains("wire bonding"));
+        assert!(joined.contains("SMD mounting"));
+        assert!(joined.contains("functional test"));
+        assert!(joined.contains("scrap"));
+        // Conservation.
+        assert!((fig.shipped() + fig.scrapped() - fig.started as f64).abs() < 0.5);
+        assert!(fig.render().contains("7799"));
+    }
+
+    #[test]
+    fn final_design_layout_matches_prediction() {
+        let check = final_design_check().unwrap();
+        assert_eq!(check.placed, 127); // 2 dies + 112 discretes + 13 filter elements
+        // "Corresponded well": within 25 % of the trivial prediction.
+        assert!(
+            (0.8..1.25).contains(&check.ratio()),
+            "packed/predicted ratio {}",
+            check.ratio()
+        );
+        assert!(check.render().contains("final design"));
+    }
+
+    #[test]
+    fn sensitivity_ranks_chip_cost_first() {
+        let tornado = sensitivity(3).unwrap();
+        assert!(!tornado.rows().is_empty());
+        // The calibrated chip set dominates everything else.
+        assert_eq!(tornado.rows()[0].name, "chip cost ±10 %");
+        assert!(tornado.baseline_cost() > 200.0);
+        assert!(tornado.render().contains("█"));
+    }
+
+    #[test]
+    fn mc_and_analytic_fig5_agree() {
+        let analytic = fig5().unwrap();
+        let mc = fig5_monte_carlo(60_000, 7).unwrap();
+        for (a, m) in analytic.rows.iter().zip(mc.rows.iter()) {
+            assert!(
+                (a.measured_percent - m.measured_percent).abs() < 1.0,
+                "{}: analytic {:.1}% vs MC {:.1}%",
+                a.label,
+                a.measured_percent,
+                m.measured_percent
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The GPS receiver front-end case study — the paper's evaluation,
+//! reproduced end to end.
+//!
+//! This crate encodes the SUMMIT GPS demonstrator: the chip set
+//! ([`chipset`]), the full bill of materials ([`bom`]), the RF filter
+//! chain and its §4.1 performance scores ([`filters`]), the Table 2
+//! cost/yield cards ([`table2`]), and one reproduction entry point per
+//! table/figure ([`experiments`]). The paper's published numbers are
+//! collected in [`paper`] so every experiment can report
+//! paper-vs-measured.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipass_gps::experiments;
+//!
+//! // Fig. 3: relative module areas of the four build-ups.
+//! let fig3 = experiments::fig3()?;
+//! let measured: Vec<f64> = fig3.rows.iter().map(|r| r.measured_percent).collect();
+//! assert!((measured[0] - 100.0).abs() < 1e-9);
+//! assert!((measured[3] - 37.0).abs() < 3.0); // the paper's 37 %
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bom;
+pub mod chain;
+pub mod chipset;
+pub mod experiments;
+pub mod filters;
+pub mod paper;
+pub mod table2;

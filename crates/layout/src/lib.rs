@@ -1,0 +1,41 @@
+//! Area estimation and placement for substrate sizing.
+//!
+//! Implements step 3 of the paper's methodology ("calculate the substrate
+//! area required … by the sum of the single components and performing a
+//! trivial placement"), with the two sizing rules of Table 1:
+//!
+//! * MCM substrate: `1.1 × Σ(component area)` plus 1 mm edge clearance on
+//!   either side;
+//! * laminate (BGA carrier): silicon substrate plus 5 mm edge clearance
+//!   on either side;
+//!
+//! plus a PCB rule for the reference build-up (double-sided FR4 with a
+//! coarser routing overhead), and a [shelf packer](ShelfPacker) that
+//! cross-checks the utilization factors against an actual rectangle
+//! placement.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipass_layout::{BgaLaminate, SubstrateRule};
+//! use ipass_units::Area;
+//!
+//! // Size an MCM-D substrate for 637 mm² of components…
+//! let si = SubstrateRule::mcm_d_si().required_area(Area::from_mm2(637.0));
+//! assert!((si.mm2() - 810.0).abs() < 5.0);
+//! // …and the BGA laminate it is packaged onto:
+//! let module = BgaLaminate::standard().module_area(si);
+//! assert!((module.mm2() - 1480.0).abs() < 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod packer;
+mod skyline;
+mod substrate;
+
+pub use packer::{PackError, Packing, Placement, Rect, ShelfPacker};
+pub use skyline::SkylinePacker;
+pub use substrate::{BgaLaminate, SubstrateRule};

@@ -1,0 +1,506 @@
+//! Closed-form expected-value engine.
+//!
+//! The population of in-flight units is propagated as a small set of
+//! *cohorts* — groups of units with identical accumulated cost. Process
+//! and attach stages transform cohorts in place; test stages split them
+//! (pass / scrap / rework loop). The result is exact, including bounded
+//! rework loops and nested subassembly lines.
+
+use crate::cost::{CostCategory, CostVector};
+use crate::error::FlowError;
+use crate::labels::{self, InputLabels, LineLabels, StageLabels};
+use crate::line::Line;
+use crate::part::AttachInput;
+use crate::stage::{FailAction, Stage};
+use ipass_units::Money;
+
+const NCAT: usize = CostCategory::COUNT;
+
+/// A group of in-flight units with identical accumulated cost.
+#[derive(Debug, Clone)]
+struct Cohort {
+    /// Mass of defect-free units.
+    good: f64,
+    /// Mass of defective units.
+    def: f64,
+    /// Accumulated cost per unit.
+    cost: f64,
+    /// Accumulated cost per unit, by category.
+    by_cat: [f64; NCAT],
+}
+
+impl Cohort {
+    fn mass(&self) -> f64 {
+        self.good + self.def
+    }
+
+    fn add_cost(&mut self, amount: f64, category: CostCategory) {
+        self.cost += amount;
+        self.by_cat[category.index()] += amount;
+    }
+
+    fn add_costs(&mut self, amount: f64, cats: &[f64; NCAT]) {
+        self.cost += amount;
+        for (a, b) in self.by_cat.iter_mut().zip(cats.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// Scrap and defect accounting, normalized per started unit of the line
+/// being evaluated.
+#[derive(Debug, Clone)]
+struct Acc {
+    scrap_mass: f64,
+    scrap_spend: f64,
+    scrap_by_cat: [f64; NCAT],
+    defects: Vec<f64>,
+}
+
+impl Acc {
+    fn new(n_labels: usize) -> Acc {
+        Acc {
+            scrap_mass: 0.0,
+            scrap_spend: 0.0,
+            scrap_by_cat: [0.0; NCAT],
+            defects: vec![0.0; n_labels],
+        }
+    }
+
+    fn scrap(&mut self, mass: f64, cohort: &Cohort) {
+        self.scrap_mass += mass;
+        self.scrap_spend += mass * cohort.cost;
+        for (a, b) in self.scrap_by_cat.iter_mut().zip(cohort.by_cat.iter()) {
+            *a += mass * b;
+        }
+    }
+
+    fn merge_scaled(&mut self, other: &Acc, scale: f64) {
+        self.scrap_mass += other.scrap_mass * scale;
+        self.scrap_spend += other.scrap_spend * scale;
+        for (a, b) in self.scrap_by_cat.iter_mut().zip(other.scrap_by_cat.iter()) {
+            *a += b * scale;
+        }
+        for (a, b) in self.defects.iter_mut().zip(other.defects.iter()) {
+            *a += b * scale;
+        }
+    }
+}
+
+/// Per-started-unit outcome of a line.
+#[derive(Debug, Clone)]
+struct LineOutcome {
+    shipped: f64,
+    good: f64,
+    embodied: f64,
+    by_cat: [f64; NCAT],
+}
+
+/// Evaluate `line` analytically; returns the report ingredients
+/// normalized to one started unit.
+pub(crate) fn analyze_line(
+    line: &Line,
+    nre: Money,
+    volume: u64,
+) -> Result<crate::report::CostReport, FlowError> {
+    line.validate()?;
+    let mut names = Vec::new();
+    let line_labels = labels::index_line(line, "", &mut names);
+    let (outcome, acc) = eval_line(line, &line_labels, names.len());
+    if outcome.shipped <= 1e-12 {
+        return Err(FlowError::NothingShipped {
+            flow: line.name().to_owned(),
+        });
+    }
+    let mut by_category = CostVector::new();
+    for cat in CostCategory::ALL {
+        let i = cat.index();
+        by_category.book(cat, Money::new(outcome.by_cat[i] + acc.scrap_by_cat[i]));
+    }
+    Ok(crate::report::CostReport::from_parts(
+        line.name().to_owned(),
+        1.0,
+        outcome.shipped,
+        outcome.good,
+        Money::new(outcome.embodied + acc.scrap_spend),
+        Money::new(outcome.embodied),
+        by_category,
+        nre,
+        volume,
+        labels::pareto(&names, &acc.defects, 1.0),
+    ))
+}
+
+fn eval_line(line: &Line, line_labels: &LineLabels, n_labels: usize) -> (LineOutcome, Acc) {
+    let mut acc = Acc::new(n_labels);
+
+    // Carrier enters the line.
+    let carrier = line.carrier();
+    let y0 = carrier.incoming_yield().value().value();
+    let c0 = carrier.cost().total().units();
+    let mut by_cat = [0.0; NCAT];
+    by_cat[carrier.category().index()] = c0;
+    acc.defects[line_labels.carrier] += 1.0 - y0;
+    let mut cohorts = vec![Cohort {
+        good: y0,
+        def: 1.0 - y0,
+        cost: c0,
+        by_cat,
+    }];
+
+    for (stage, stage_labels) in line.stages().iter().zip(line_labels.stages.iter()) {
+        match (stage, stage_labels) {
+            (Stage::Process(p), StageLabels::Process(label)) => {
+                let y = p.process_yield().value().value();
+                let cost = p.cost().total().units();
+                for cohort in cohorts.iter_mut() {
+                    cohort.add_cost(cost, p.category());
+                    let newly = cohort.good * (1.0 - y);
+                    cohort.good -= newly;
+                    cohort.def += newly;
+                    acc.defects[*label] += newly;
+                }
+            }
+            (Stage::Attach(a), StageLabels::Attach { op, inputs }) => {
+                // Assembly operation: cost and yield of the joining itself.
+                let y_op = a.attach_yield().value().value();
+                let op_cost = a.cost().total().units();
+                for cohort in cohorts.iter_mut() {
+                    cohort.add_cost(op_cost, a.category());
+                    let newly = cohort.good * (1.0 - y_op);
+                    cohort.good -= newly;
+                    cohort.def += newly;
+                    acc.defects[*op] += newly;
+                }
+                // Consumed inputs, applied sequentially for a well-defined
+                // defect attribution.
+                for ((input, qty), input_labels) in a.inputs().iter().zip(inputs.iter()) {
+                    let q = *qty as f64;
+                    match (input, input_labels) {
+                        (AttachInput::Part(part), InputLabels::Part(label)) => {
+                            let p_good = part.incoming_yield().value().value().powf(q);
+                            let unit_cost = part.cost().total().units();
+                            let cat = part.category();
+                            for cohort in cohorts.iter_mut() {
+                                cohort.add_cost(q * unit_cost, cat);
+                                let newly = cohort.good * (1.0 - p_good);
+                                cohort.good -= newly;
+                                cohort.def += newly;
+                                acc.defects[*label] += newly;
+                            }
+                        }
+                        (AttachInput::Line(sub), InputLabels::Line(sub_labels)) => {
+                            let (sub_out, sub_acc) = eval_line(sub, sub_labels, n_labels);
+                            if sub_out.shipped <= 1e-12 {
+                                // The subassembly ships nothing: every
+                                // consumer is starved. Model as all-defective
+                                // free input; the flow-level NothingShipped
+                                // check reports the problem if it matters.
+                                for cohort in cohorts.iter_mut() {
+                                    cohort.def += cohort.good;
+                                    cohort.good = 0.0;
+                                }
+                                continue;
+                            }
+                            let unit_cost = sub_out.embodied / sub_out.shipped;
+                            let mut unit_cats = [0.0; NCAT];
+                            for (u, s) in unit_cats.iter_mut().zip(sub_out.by_cat.iter()) {
+                                *u = s / sub_out.shipped;
+                            }
+                            for u in unit_cats.iter_mut() {
+                                *u *= q;
+                            }
+                            let p_good = (sub_out.good / sub_out.shipped).powf(q);
+                            let alive: f64 = cohorts.iter().map(Cohort::mass).sum();
+                            // Sub-units consumed per started outer unit, and
+                            // sub-starts needed to produce them.
+                            let consumed = alive * q;
+                            let sub_starts = consumed / sub_out.shipped;
+                            acc.merge_scaled(&sub_acc, sub_starts);
+                            for cohort in cohorts.iter_mut() {
+                                cohort.add_costs(q * unit_cost, &unit_cats);
+                                let newly = cohort.good * (1.0 - p_good);
+                                cohort.good -= newly;
+                                cohort.def += newly;
+                                // Escapes of the sub-line are already counted
+                                // in its own defect labels (scaled above), so
+                                // no extra label here.
+                            }
+                        }
+                        _ => unreachable!("label map mismatch"),
+                    }
+                }
+            }
+            (Stage::Test(t), StageLabels::Test) => {
+                let cov = t.coverage().value();
+                let t_cost = t.cost().total().units();
+                let mut next = Vec::with_capacity(cohorts.len() + 2);
+                for mut cohort in cohorts.drain(..) {
+                    cohort.add_cost(t_cost, CostCategory::Test);
+                    let caught = cohort.def * cov;
+                    let escape = cohort.def - caught;
+                    let pass = Cohort {
+                        good: cohort.good,
+                        def: escape,
+                        cost: cohort.cost,
+                        by_cat: cohort.by_cat,
+                    };
+                    if pass.mass() > 0.0 {
+                        next.push(pass);
+                    }
+                    if caught <= 0.0 {
+                        continue;
+                    }
+                    match t.fail_action() {
+                        FailAction::Scrap => {
+                            let scrapped = Cohort {
+                                good: 0.0,
+                                def: caught,
+                                cost: cohort.cost,
+                                by_cat: cohort.by_cat,
+                            };
+                            acc.scrap(caught, &scrapped);
+                        }
+                        FailAction::Rework(rework) => {
+                            let r_cost = rework.cost.total().units();
+                            let rho = rework.success.value();
+                            let mut current = caught;
+                            let mut unit = Cohort {
+                                good: 0.0,
+                                def: current,
+                                cost: cohort.cost,
+                                by_cat: cohort.by_cat,
+                            };
+                            for _ in 0..rework.max_attempts {
+                                if current <= 0.0 {
+                                    break;
+                                }
+                                unit.add_cost(r_cost, CostCategory::Other);
+                                unit.add_cost(t_cost, CostCategory::Test);
+                                let fixed = current * rho;
+                                let unfixed = current - fixed;
+                                let escaped = unfixed * (1.0 - cov);
+                                let recaught = unfixed - escaped;
+                                if fixed + escaped > 0.0 {
+                                    next.push(Cohort {
+                                        good: fixed,
+                                        def: escaped,
+                                        cost: unit.cost,
+                                        by_cat: unit.by_cat,
+                                    });
+                                }
+                                current = recaught;
+                            }
+                            if current > 0.0 {
+                                let scrapped = Cohort {
+                                    good: 0.0,
+                                    def: current,
+                                    cost: unit.cost,
+                                    by_cat: unit.by_cat,
+                                };
+                                acc.scrap(current, &scrapped);
+                            }
+                        }
+                    }
+                }
+                cohorts = next;
+            }
+            _ => unreachable!("label map mismatch"),
+        }
+    }
+
+    let mut outcome = LineOutcome {
+        shipped: 0.0,
+        good: 0.0,
+        embodied: 0.0,
+        by_cat: [0.0; NCAT],
+    };
+    for cohort in &cohorts {
+        outcome.shipped += cohort.mass();
+        outcome.good += cohort.good;
+        outcome.embodied += cohort.mass() * cohort.cost;
+        for (o, c) in outcome.by_cat.iter_mut().zip(cohort.by_cat.iter()) {
+            *o += cohort.mass() * c;
+        }
+    }
+    (outcome, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StepCost;
+    use crate::part::Part;
+    use crate::stage::{Attach, Process, Rework, Test};
+    use crate::yield_model::YieldModel;
+    use ipass_units::Probability;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn money(v: f64) -> Money {
+        Money::new(v)
+    }
+
+    #[test]
+    fn single_process_no_test_ships_everything() {
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(money(2.0))))
+            .process(
+                Process::new("p")
+                    .with_cost(StepCost::fixed(money(3.0)))
+                    .with_yield(YieldModel::flat(p(0.9))),
+            )
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        assert!((r.shipped_fraction() - 1.0).abs() < 1e-12);
+        // 10 % of shipped units are defective escapes (no test).
+        assert!((r.escape_rate() - 0.1).abs() < 1e-12);
+        assert!((r.final_cost_per_shipped().units() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_test_scraps_all_defectives() {
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(money(10.0))))
+            .process(Process::new("p").with_yield(YieldModel::flat(p(0.8))))
+            .test(Test::new("t").with_cost(StepCost::fixed(money(1.0))))
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        assert!((r.shipped_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(r.escape_rate(), 0.0);
+        // Each shipped unit costs 11; scrap = 0.2 × 11 spread over 0.8.
+        assert!((r.direct_cost_per_shipped().units() - 11.0).abs() < 1e-12);
+        assert!((r.yield_loss_per_shipped().units() - 0.2 * 11.0 / 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imperfect_coverage_lets_escapes_through() {
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate))
+            .process(Process::new("p").with_yield(YieldModel::flat(p(0.9))))
+            .test(Test::new("t").with_coverage(p(0.99)))
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        let expected_shipped = 0.9 + 0.1 * 0.01;
+        assert!((r.shipped_fraction() - expected_shipped).abs() < 1e-12);
+        assert!((r.escapes() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attach_brings_part_cost_and_defects() {
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate))
+            .attach(
+                Attach::new("a")
+                    .input(
+                        Part::new("die", CostCategory::Chip)
+                            .with_cost(StepCost::fixed(money(5.0)))
+                            .with_incoming_yield(YieldModel::flat(p(0.95))),
+                        2,
+                    )
+                    .with_cost(StepCost::per_item(money(0.1), 2))
+                    .with_yield(YieldModel::flat(p(0.99))),
+            )
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        // Cost: 2 dies × 5 + op 0.2.
+        assert!((r.direct_cost_per_shipped().units() - 10.2).abs() < 1e-12);
+        // Good fraction: 0.99 (op) × 0.95².
+        let expected_good = 0.99 * 0.95f64.powi(2);
+        assert!((1.0 - r.escape_rate() - expected_good).abs() < 1e-12);
+        assert!((r.category_cost_per_shipped(CostCategory::Chip).units() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rework_recovers_units() {
+        // All units defective after the process; rework always succeeds.
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(money(1.0))))
+            .process(Process::new("break").with_yield(YieldModel::flat(p(0.0))))
+            .test(
+                Test::new("t")
+                    .with_cost(StepCost::fixed(money(1.0)))
+                    .on_fail(FailAction::Rework(Rework::new(
+                        StepCost::fixed(money(0.5)),
+                        p(1.0),
+                        3,
+                    ))),
+            )
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        assert!((r.shipped_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(r.escape_rate(), 0.0);
+        // Cost: carrier 1 + test 1 + rework 0.5 + retest 1 = 3.5.
+        assert!((r.final_cost_per_shipped().units() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rework_exhausts_attempts_and_scraps() {
+        // Rework never succeeds, coverage perfect: after 2 attempts scrap.
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(money(1.0))))
+            .process(Process::new("break").with_yield(YieldModel::flat(p(0.5))))
+            .test(
+                Test::new("t")
+                    .on_fail(FailAction::Rework(Rework::new(StepCost::ZERO, p(0.0), 2))),
+            )
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        assert!((r.shipped_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(r.escape_rate(), 0.0);
+    }
+
+    #[test]
+    fn nested_line_scrap_is_booked_globally() {
+        // Sub-line: 50 % yield with perfect test → every consumed good
+        // unit costs 2 sub-starts; sub scrap appears as yield loss.
+        let sub = Line::builder("sub", Part::new("blank", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(money(4.0))))
+            .process(Process::new("fab").with_yield(YieldModel::flat(p(0.5))))
+            .test(Test::new("probe"))
+            .build()
+            .unwrap();
+        let line = Line::builder("main", Part::new("pcb", CostCategory::Substrate))
+            .attach(Attach::new("join").input(sub, 1))
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        // Direct: one good sub-unit embodies 4.0.
+        assert!((r.direct_cost_per_shipped().units() - 4.0).abs() < 1e-12);
+        // Scrap: one extra sub-start of 4.0 sunk per shipped unit.
+        assert!((r.yield_loss_per_shipped().units() - 4.0).abs() < 1e-12);
+        assert!((r.final_cost_per_shipped().units() - 8.0).abs() < 1e-12);
+        // Sub-line consumed good units only → no escapes.
+        assert_eq!(r.escape_rate(), 0.0);
+    }
+
+    #[test]
+    fn pareto_identifies_dominant_defect_source() {
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate))
+            .process(Process::new("small").with_yield(YieldModel::flat(p(0.99))))
+            .process(Process::new("big").with_yield(YieldModel::flat(p(0.8))))
+            .build()
+            .unwrap();
+        let r = analyze_line(&line, Money::ZERO, 1).unwrap();
+        let pareto = r.defect_pareto();
+        assert_eq!(pareto[0].0, "big");
+        assert!((pareto[0].1 - 0.99 * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nothing_shipped_is_an_error() {
+        let line = Line::builder("l", Part::new("c", CostCategory::Substrate))
+            .process(Process::new("kill").with_yield(YieldModel::flat(p(0.0))))
+            .test(Test::new("t"))
+            .build()
+            .unwrap();
+        let err = analyze_line(&line, Money::ZERO, 1).unwrap_err();
+        assert!(matches!(err, FlowError::NothingShipped { .. }));
+    }
+}

@@ -1,0 +1,107 @@
+//! Errors reported when building or evaluating a production flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building or evaluating a production flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The line has no stages besides the carrier start.
+    EmptyLine {
+        /// Name of the offending line.
+        line: String,
+    },
+    /// An attach stage lists no inputs.
+    AttachWithoutInputs {
+        /// Name of the offending stage.
+        stage: String,
+    },
+    /// An attach stage lists an input with quantity zero.
+    ZeroQuantityInput {
+        /// Name of the offending stage.
+        stage: String,
+        /// Name of the offending input.
+        input: String,
+    },
+    /// Nested lines exceed the supported depth (guards against cycles
+    /// introduced by programmatic construction).
+    TooDeeplyNested {
+        /// The depth limit that was exceeded.
+        limit: usize,
+    },
+    /// The flow ships (essentially) nothing, so cost per shipped unit is
+    /// undefined.
+    NothingShipped {
+        /// Name of the flow.
+        flow: String,
+    },
+    /// A Monte Carlo run was requested with zero units.
+    NoUnits,
+    /// A nested line never produced a passing unit within the retry
+    /// budget of the Monte Carlo engine.
+    SubassemblyStarved {
+        /// Name of the starving nested line.
+        line: String,
+        /// Retry budget that was exhausted.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::EmptyLine { line } => {
+                write!(f, "production line {line:?} has no stages")
+            }
+            FlowError::AttachWithoutInputs { stage } => {
+                write!(f, "attach stage {stage:?} has no inputs")
+            }
+            FlowError::ZeroQuantityInput { stage, input } => {
+                write!(
+                    f,
+                    "attach stage {stage:?} lists input {input:?} with quantity zero"
+                )
+            }
+            FlowError::TooDeeplyNested { limit } => {
+                write!(f, "nested subassembly lines exceed depth limit {limit}")
+            }
+            FlowError::NothingShipped { flow } => {
+                write!(f, "flow {flow:?} ships no units; cost per unit undefined")
+            }
+            FlowError::NoUnits => write!(f, "monte carlo run requested with zero units"),
+            FlowError::SubassemblyStarved { line, attempts } => {
+                write!(
+                    f,
+                    "nested line {line:?} produced no passing unit in {attempts} attempts"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = FlowError::EmptyLine {
+            line: "sol2".into(),
+        };
+        assert!(e.to_string().contains("sol2"));
+        let e = FlowError::ZeroQuantityInput {
+            stage: "smd".into(),
+            input: "kit".into(),
+        };
+        assert!(e.to_string().contains("smd") && e.to_string().contains("kit"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Internal label map: assigns stable indices to every defect source in a
+//! (possibly nested) line so both engines report the same pareto.
+
+use crate::line::Line;
+use crate::part::AttachInput;
+use crate::stage::Stage;
+
+#[derive(Debug)]
+pub(crate) struct LineLabels {
+    /// Label for defects the carrier brings in.
+    pub carrier: usize,
+    /// Per-stage labels, aligned with `Line::stages`.
+    pub stages: Vec<StageLabels>,
+}
+
+#[derive(Debug)]
+pub(crate) enum StageLabels {
+    Process(usize),
+    Attach {
+        op: usize,
+        inputs: Vec<InputLabels>,
+    },
+    Test,
+}
+
+#[derive(Debug)]
+pub(crate) enum InputLabels {
+    Part(usize),
+    Line(Box<LineLabels>),
+}
+
+/// Walk `line` and register a label for every defect source.
+pub(crate) fn index_line(line: &Line, prefix: &str, names: &mut Vec<String>) -> LineLabels {
+    let carrier = push(names, format!("{prefix}{} (incoming)", line.carrier().name()));
+    let mut stages = Vec::with_capacity(line.stages().len());
+    for stage in line.stages() {
+        stages.push(match stage {
+            Stage::Process(p) => {
+                StageLabels::Process(push(names, format!("{prefix}{}", p.name())))
+            }
+            Stage::Attach(a) => {
+                let op = push(names, format!("{prefix}{}", a.name()));
+                let mut inputs = Vec::with_capacity(a.inputs().len());
+                for (input, _) in a.inputs() {
+                    inputs.push(match input {
+                        AttachInput::Part(p) => InputLabels::Part(push(
+                            names,
+                            format!("{prefix}{}/{} (incoming)", a.name(), p.name()),
+                        )),
+                        AttachInput::Line(sub) => {
+                            let sub_prefix = format!("{prefix}{}/", sub.name());
+                            InputLabels::Line(Box::new(index_line(sub, &sub_prefix, names)))
+                        }
+                    });
+                }
+                StageLabels::Attach { op, inputs }
+            }
+            Stage::Test(_) => StageLabels::Test,
+        });
+    }
+    LineLabels { carrier, stages }
+}
+
+fn push(names: &mut Vec<String>, name: String) -> usize {
+    names.push(name);
+    names.len() - 1
+}
+
+/// Turn raw defect counts into a sorted pareto, dropping zero entries and
+/// normalizing by `started`.
+pub(crate) fn pareto(names: &[String], defects: &[f64], started: f64) -> Vec<(String, f64)> {
+    let mut rows: Vec<(String, f64)> = names
+        .iter()
+        .zip(defects.iter())
+        .filter(|(_, &d)| d > 0.0)
+        .map(|(n, &d)| (n.clone(), if started > 0.0 { d / started } else { 0.0 }))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostCategory;
+    use crate::part::Part;
+    use crate::stage::{Attach, Process, Test};
+
+    #[test]
+    fn labels_cover_nested_structure() {
+        let sub = Line::builder("sub", Part::new("blank", CostCategory::Substrate))
+            .process(Process::new("etch"))
+            .build()
+            .unwrap();
+        let line = Line::builder("main", Part::new("pcb", CostCategory::Substrate))
+            .attach(
+                Attach::new("join")
+                    .input(Part::new("die", CostCategory::Chip), 2)
+                    .input(sub, 1),
+            )
+            .test(Test::new("ft"))
+            .build()
+            .unwrap();
+        let mut names = Vec::new();
+        let labels = index_line(&line, "", &mut names);
+        assert_eq!(names[labels.carrier], "pcb (incoming)");
+        assert!(names.iter().any(|n| n == "join"));
+        assert!(names.iter().any(|n| n == "join/die (incoming)"));
+        assert!(names.iter().any(|n| n == "sub/etch"));
+        assert!(names.iter().any(|n| n == "sub/blank (incoming)"));
+        assert_eq!(labels.stages.len(), 2);
+    }
+
+    #[test]
+    fn pareto_sorts_and_normalizes() {
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let defects = vec![1.0, 4.0, 0.0];
+        let rows = pareto(&names, &defects, 10.0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "b");
+        assert!((rows[0].1 - 0.4).abs() < 1e-12);
+        assert!((rows[1].1 - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,535 @@
+//! Seeded Monte Carlo engine: routes individual units through the flow,
+//! the way the paper describes MOE ("yield figures are translated into
+//! faults using Monte Carlo simulation").
+
+use crate::cost::{CostCategory, CostVector};
+use crate::error::FlowError;
+use crate::labels::{self, InputLabels, LineLabels, StageLabels};
+use crate::line::Line;
+use crate::part::AttachInput;
+use crate::stage::{FailAction, Stage};
+use ipass_units::Money;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NCAT: usize = CostCategory::COUNT;
+
+/// Retry budget when a nested line must deliver one passing unit.
+const SUBASSEMBLY_RETRY_BUDGET: u32 = 100_000;
+
+/// Options for a Monte Carlo run.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_moe::SimOptions;
+///
+/// let opts = SimOptions::new(50_000).with_seed(7).with_threads(2);
+/// assert_eq!(opts.units, 50_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Number of carrier units to start.
+    pub units: u64,
+    /// RNG seed; equal seeds (and thread counts) reproduce results.
+    pub seed: u64,
+    /// Worker threads; the unit budget is split evenly among them.
+    pub threads: usize,
+}
+
+impl SimOptions {
+    /// Create options for `units` started units (seed 0, single thread).
+    pub fn new(units: u64) -> SimOptions {
+        SimOptions {
+            units,
+            seed: 0,
+            threads: 1,
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> SimOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of worker threads (minimum 1).
+    pub fn with_threads(mut self, threads: usize) -> SimOptions {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions::new(100_000)
+    }
+}
+
+/// Extra Monte Carlo statistics beyond the [`CostReport`].
+///
+/// [`CostReport`]: crate::CostReport
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSummary {
+    /// The cost report assembled from the simulated counts.
+    pub report: crate::report::CostReport,
+    /// Units scrapped anywhere in the flow (including subassemblies).
+    pub scrapped: f64,
+    /// Total rework attempts performed.
+    pub rework_attempts: u64,
+    /// Units produced by nested lines (consumed + scrapped).
+    pub sub_units_built: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Totals {
+    shipped: f64,
+    good_shipped: f64,
+    embodied: f64,
+    embodied_by_cat: [f64; NCAT],
+    scrap_spend: f64,
+    scrap_by_cat: [f64; NCAT],
+    scrapped: f64,
+    defects: Vec<f64>,
+    rework_attempts: u64,
+    sub_units_built: u64,
+}
+
+impl Totals {
+    fn new(n_labels: usize) -> Totals {
+        Totals {
+            shipped: 0.0,
+            good_shipped: 0.0,
+            embodied: 0.0,
+            embodied_by_cat: [0.0; NCAT],
+            scrap_spend: 0.0,
+            scrap_by_cat: [0.0; NCAT],
+            scrapped: 0.0,
+            defects: vec![0.0; n_labels],
+            rework_attempts: 0,
+            sub_units_built: 0,
+        }
+    }
+
+    fn scrap(&mut self, unit: &Unit) {
+        self.scrapped += 1.0;
+        self.scrap_spend += unit.cost;
+        for (a, b) in self.scrap_by_cat.iter_mut().zip(unit.by_cat.iter()) {
+            *a += *b;
+        }
+    }
+
+    fn merge(&mut self, other: &Totals) {
+        self.shipped += other.shipped;
+        self.good_shipped += other.good_shipped;
+        self.embodied += other.embodied;
+        self.scrap_spend += other.scrap_spend;
+        self.scrapped += other.scrapped;
+        self.rework_attempts += other.rework_attempts;
+        self.sub_units_built += other.sub_units_built;
+        for (a, b) in self.embodied_by_cat.iter_mut().zip(other.embodied_by_cat.iter()) {
+            *a += *b;
+        }
+        for (a, b) in self.scrap_by_cat.iter_mut().zip(other.scrap_by_cat.iter()) {
+            *a += *b;
+        }
+        for (a, b) in self.defects.iter_mut().zip(other.defects.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Unit {
+    cost: f64,
+    by_cat: [f64; NCAT],
+    defective: bool,
+}
+
+impl Unit {
+    fn add_cost(&mut self, amount: f64, category: CostCategory) {
+        self.cost += amount;
+        self.by_cat[category.index()] += amount;
+    }
+}
+
+/// Run the Monte Carlo simulation for a validated line.
+pub(crate) fn simulate_line(
+    line: &Line,
+    nre: Money,
+    volume: u64,
+    options: &SimOptions,
+) -> Result<SimSummary, FlowError> {
+    line.validate()?;
+    if options.units == 0 {
+        return Err(FlowError::NoUnits);
+    }
+    let mut names = Vec::new();
+    let line_labels = labels::index_line(line, "", &mut names);
+
+    let n_labels = names.len();
+    let totals = if options.threads <= 1 {
+        run_chunk(line, &line_labels, n_labels, options.units, options.seed)?
+    } else {
+        let threads = options.threads.min((options.units as usize).max(1));
+        let per = options.units / threads as u64;
+        let remainder = options.units % threads as u64;
+        let mut partials: Vec<Result<Totals, FlowError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let units = per + u64::from((t as u64) < remainder);
+                let seed = options
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+                let line_labels = &line_labels;
+                handles.push(
+                    scope.spawn(move || run_chunk(line, line_labels, n_labels, units, seed)),
+                );
+            }
+            for h in handles {
+                partials.push(h.join().expect("simulation worker panicked"));
+            }
+        });
+        let mut merged = Totals::new(n_labels);
+        for partial in partials {
+            merged.merge(&partial?);
+        }
+        merged
+    };
+
+    let started = options.units as f64;
+    if totals.shipped <= 0.0 {
+        return Err(FlowError::NothingShipped {
+            flow: line.name().to_owned(),
+        });
+    }
+    let mut by_category = CostVector::new();
+    for cat in CostCategory::ALL {
+        let i = cat.index();
+        by_category.book(
+            cat,
+            Money::new(totals.embodied_by_cat[i] + totals.scrap_by_cat[i]),
+        );
+    }
+    let report = crate::report::CostReport::from_parts(
+        line.name().to_owned(),
+        started,
+        totals.shipped,
+        totals.good_shipped,
+        Money::new(totals.embodied + totals.scrap_spend),
+        Money::new(totals.embodied),
+        by_category,
+        nre,
+        volume,
+        labels::pareto(&names, &totals.defects, started),
+    );
+    Ok(SimSummary {
+        report,
+        scrapped: totals.scrapped,
+        rework_attempts: totals.rework_attempts,
+        sub_units_built: totals.sub_units_built,
+    })
+}
+
+fn run_chunk(
+    line: &Line,
+    line_labels: &LineLabels,
+    n_labels: usize,
+    units: u64,
+    seed: u64,
+) -> Result<Totals, FlowError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut totals = Totals::new(n_labels);
+    for _ in 0..units {
+        if let Some(unit) = produce_unit(line, line_labels, &mut rng, &mut totals)? {
+            totals.shipped += 1.0;
+            if !unit.defective {
+                totals.good_shipped += 1.0;
+            }
+            totals.embodied += unit.cost;
+            for (a, b) in totals.embodied_by_cat.iter_mut().zip(unit.by_cat.iter()) {
+                *a += *b;
+            }
+        }
+    }
+    Ok(totals)
+}
+
+/// Route one unit through `line`. `Ok(None)` means the unit was scrapped
+/// (already booked into `totals`).
+fn produce_unit(
+    line: &Line,
+    line_labels: &LineLabels,
+    rng: &mut StdRng,
+    totals: &mut Totals,
+) -> Result<Option<Unit>, FlowError> {
+    let carrier = line.carrier();
+    let mut unit = Unit {
+        cost: 0.0,
+        by_cat: [0.0; NCAT],
+        defective: false,
+    };
+    unit.add_cost(carrier.cost().total().units(), carrier.category());
+    if !bernoulli(rng, carrier.incoming_yield().value().value()) {
+        unit.defective = true;
+        totals.defects[line_labels.carrier] += 1.0;
+    }
+
+    for (stage, stage_labels) in line.stages().iter().zip(line_labels.stages.iter()) {
+        match (stage, stage_labels) {
+            (Stage::Process(p), StageLabels::Process(label)) => {
+                unit.add_cost(p.cost().total().units(), p.category());
+                if !unit.defective && !bernoulli(rng, p.process_yield().value().value()) {
+                    unit.defective = true;
+                    totals.defects[*label] += 1.0;
+                }
+            }
+            (Stage::Attach(a), StageLabels::Attach { op, inputs }) => {
+                unit.add_cost(a.cost().total().units(), a.category());
+                if !unit.defective && !bernoulli(rng, a.attach_yield().value().value()) {
+                    unit.defective = true;
+                    totals.defects[*op] += 1.0;
+                }
+                for ((input, qty), input_labels) in a.inputs().iter().zip(inputs.iter()) {
+                    match (input, input_labels) {
+                        (AttachInput::Part(part), InputLabels::Part(label)) => {
+                            let q = *qty as f64;
+                            unit.add_cost(q * part.cost().total().units(), part.category());
+                            if !unit.defective {
+                                let all_good = part
+                                    .incoming_yield()
+                                    .value()
+                                    .value()
+                                    .powf(q);
+                                if !bernoulli(rng, all_good) {
+                                    unit.defective = true;
+                                    totals.defects[*label] += 1.0;
+                                }
+                            }
+                        }
+                        (AttachInput::Line(sub), InputLabels::Line(sub_labels)) => {
+                            for _ in 0..*qty {
+                                let sub_unit =
+                                    produce_passing(sub, sub_labels, rng, totals)?;
+                                unit.cost += sub_unit.cost;
+                                for (a_, b) in
+                                    unit.by_cat.iter_mut().zip(sub_unit.by_cat.iter())
+                                {
+                                    *a_ += *b;
+                                }
+                                if sub_unit.defective {
+                                    unit.defective = true;
+                                    // The escape was already attributed inside
+                                    // the sub-line's own labels.
+                                }
+                            }
+                        }
+                        _ => unreachable!("label map mismatch"),
+                    }
+                }
+            }
+            (Stage::Test(t), StageLabels::Test) => {
+                unit.add_cost(t.cost().total().units(), CostCategory::Test);
+                if unit.defective && bernoulli(rng, t.coverage().value()) {
+                    // Caught.
+                    match t.fail_action() {
+                        FailAction::Scrap => {
+                            totals.scrap(&unit);
+                            return Ok(None);
+                        }
+                        FailAction::Rework(rework) => {
+                            let mut recovered = false;
+                            for _ in 0..rework.max_attempts {
+                                totals.rework_attempts += 1;
+                                unit.add_cost(rework.cost.total().units(), CostCategory::Other);
+                                unit.add_cost(t.cost().total().units(), CostCategory::Test);
+                                if bernoulli(rng, rework.success.value()) {
+                                    unit.defective = false;
+                                    recovered = true;
+                                    break;
+                                }
+                                if !bernoulli(rng, t.coverage().value()) {
+                                    // Escaped on re-test: continues defective.
+                                    recovered = true;
+                                    break;
+                                }
+                            }
+                            if !recovered {
+                                totals.scrap(&unit);
+                                return Ok(None);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("label map mismatch"),
+        }
+    }
+    Ok(Some(unit))
+}
+
+/// Keep producing sub-units until one passes the nested line.
+fn produce_passing(
+    line: &Line,
+    line_labels: &LineLabels,
+    rng: &mut StdRng,
+    totals: &mut Totals,
+) -> Result<Unit, FlowError> {
+    for _ in 0..SUBASSEMBLY_RETRY_BUDGET {
+        totals.sub_units_built += 1;
+        if let Some(unit) = produce_unit(line, line_labels, rng, totals)? {
+            return Ok(unit);
+        }
+    }
+    Err(FlowError::SubassemblyStarved {
+        line: line.name().to_owned(),
+        attempts: SUBASSEMBLY_RETRY_BUDGET,
+    })
+}
+
+fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
+    if p >= 1.0 {
+        true
+    } else if p <= 0.0 {
+        false
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StepCost;
+    use crate::part::Part;
+    use crate::stage::{Attach, Process, Test};
+    use crate::yield_model::YieldModel;
+    use ipass_units::Probability;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn simple_line() -> Line {
+        Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(2.0))),
+        )
+        .process(
+            Process::new("p")
+                .with_cost(StepCost::fixed(Money::new(1.0)))
+                .with_yield(YieldModel::flat(p(0.9))),
+        )
+        .test(
+            Test::new("t")
+                .with_cost(StepCost::fixed(Money::new(0.5)))
+                .with_coverage(p(0.99)),
+        )
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_units_rejected() {
+        let err = simulate_line(&simple_line(), Money::ZERO, 1, &SimOptions::new(0)).unwrap_err();
+        assert_eq!(err, FlowError::NoUnits);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let opts = SimOptions::new(20_000).with_seed(42);
+        let a = simulate_line(&simple_line(), Money::ZERO, 1, &opts).unwrap();
+        let b = simulate_line(&simple_line(), Money::ZERO, 1, &opts).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.scrapped, b.scrapped);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = simulate_line(
+            &simple_line(),
+            Money::ZERO,
+            1,
+            &SimOptions::new(20_000).with_seed(1),
+        )
+        .unwrap();
+        let b = simulate_line(
+            &simple_line(),
+            Money::ZERO,
+            1,
+            &SimOptions::new(20_000).with_seed(2),
+        )
+        .unwrap();
+        assert_ne!(a.report.shipped(), b.report.shipped());
+    }
+
+    #[test]
+    fn mc_matches_analytic_on_simple_line() {
+        let line = simple_line();
+        let analytic = crate::analytic::analyze_line(&line, Money::ZERO, 1).unwrap();
+        let mc = simulate_line(&line, Money::ZERO, 1, &SimOptions::new(200_000).with_seed(7))
+            .unwrap()
+            .report;
+        assert!((mc.shipped_fraction() - analytic.shipped_fraction()).abs() < 0.005);
+        let rel = mc.final_cost_per_shipped().units() / analytic.final_cost_per_shipped().units();
+        assert!((rel - 1.0).abs() < 0.01, "relative error {rel}");
+    }
+
+    #[test]
+    fn mc_matches_analytic_with_subassembly() {
+        let sub = Line::builder(
+            "sub",
+            Part::new("blank", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(4.0))),
+        )
+        .process(Process::new("fab").with_yield(YieldModel::flat(p(0.6))))
+        .test(Test::new("probe"))
+        .build()
+        .unwrap();
+        let line = Line::builder("main", Part::new("pcb", CostCategory::Substrate))
+            .attach(Attach::new("join").input(sub, 2))
+            .build()
+            .unwrap();
+        let analytic = crate::analytic::analyze_line(&line, Money::ZERO, 1).unwrap();
+        let sim = simulate_line(&line, Money::ZERO, 1, &SimOptions::new(100_000).with_seed(3))
+            .unwrap();
+        let mc = sim.report;
+        assert!(sim.sub_units_built > 200_000); // retries needed at 60 % yield
+        let rel = mc.final_cost_per_shipped().units() / analytic.final_cost_per_shipped().units();
+        assert!((rel - 1.0).abs() < 0.01, "relative error {rel}");
+        assert!((mc.yield_loss_per_shipped().units() - analytic.yield_loss_per_shipped().units())
+            .abs()
+            < 0.2);
+    }
+
+    #[test]
+    fn starved_subassembly_is_reported() {
+        let sub = Line::builder("dead", Part::new("blank", CostCategory::Substrate))
+            .process(Process::new("kill").with_yield(YieldModel::flat(p(0.0))))
+            .test(Test::new("probe"))
+            .build()
+            .unwrap();
+        let line = Line::builder("main", Part::new("pcb", CostCategory::Substrate))
+            .attach(Attach::new("join").input(sub, 1))
+            .build()
+            .unwrap();
+        let err = simulate_line(&line, Money::ZERO, 1, &SimOptions::new(10)).unwrap_err();
+        assert!(matches!(err, FlowError::SubassemblyStarved { .. }));
+    }
+
+    #[test]
+    fn defect_pareto_tracks_sources() {
+        let report = simulate_line(
+            &simple_line(),
+            Money::ZERO,
+            1,
+            &SimOptions::new(50_000).with_seed(5),
+        )
+        .unwrap()
+        .report;
+        let pareto = report.defect_pareto();
+        assert_eq!(pareto.len(), 1);
+        assert_eq!(pareto[0].0, "p");
+        assert!((pareto[0].1 - 0.1).abs() < 0.01);
+    }
+}

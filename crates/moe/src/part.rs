@@ -1,0 +1,140 @@
+//! Parts consumed by the production line.
+
+use crate::cost::{CostCategory, StepCost};
+use crate::line::Line;
+use crate::yield_model::YieldModel;
+
+/// A purchased or fabricated component entering the flow: a die, a
+/// substrate, an SMD kit.
+///
+/// A part carries its purchase cost and an *incoming yield* — the
+/// probability that the part is good on arrival (bare dies are typically
+/// not fully tested; the paper uses 95 % for the RF die).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_moe::{CostCategory, Part, StepCost, YieldModel};
+/// use ipass_units::{Money, Probability};
+///
+/// let rf = Part::new("RF chip (bare die)", CostCategory::Chip)
+///     .with_cost(StepCost::fixed(Money::new(79.3)))
+///     .with_incoming_yield(YieldModel::flat(Probability::new(0.95)?));
+/// assert_eq!(rf.name(), "RF chip (bare die)");
+/// assert_eq!(rf.cost().total(), Money::new(79.3));
+/// # Ok::<(), ipass_units::ProbabilityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    name: String,
+    category: CostCategory,
+    cost: StepCost,
+    incoming_yield: YieldModel,
+}
+
+impl Part {
+    /// Create a free, always-good part; chain `with_*` to configure.
+    pub fn new(name: impl Into<String>, category: CostCategory) -> Part {
+        Part {
+            name: name.into(),
+            category,
+            cost: StepCost::ZERO,
+            incoming_yield: YieldModel::Certain,
+        }
+    }
+
+    /// Set the purchase cost.
+    pub fn with_cost(mut self, cost: StepCost) -> Part {
+        self.cost = cost;
+        self
+    }
+
+    /// Set the incoming yield (probability of being good on arrival).
+    pub fn with_incoming_yield(mut self, incoming: YieldModel) -> Part {
+        self.incoming_yield = incoming;
+        self
+    }
+
+    /// The part's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The accounting category of the purchase cost.
+    pub fn category(&self) -> CostCategory {
+        self.category
+    }
+
+    /// The purchase cost.
+    pub fn cost(&self) -> &StepCost {
+        &self.cost
+    }
+
+    /// The incoming yield model.
+    pub fn incoming_yield(&self) -> &YieldModel {
+        &self.incoming_yield
+    }
+}
+
+/// What an [`Attach`](crate::Attach) stage consumes: a bought [`Part`] or
+/// the output of a nested production [`Line`] (a pre-assembled and
+/// possibly pre-tested subassembly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttachInput {
+    /// A purchased part.
+    Part(Part),
+    /// A unit produced by a nested line. Scrap generated inside the
+    /// nested line is booked against the overall flow; only passing units
+    /// are consumed.
+    Line(Box<Line>),
+}
+
+impl AttachInput {
+    /// Display name of the input.
+    pub fn name(&self) -> &str {
+        match self {
+            AttachInput::Part(p) => p.name(),
+            AttachInput::Line(l) => l.name(),
+        }
+    }
+}
+
+impl From<Part> for AttachInput {
+    fn from(p: Part) -> AttachInput {
+        AttachInput::Part(p)
+    }
+}
+
+impl From<Line> for AttachInput {
+    fn from(l: Line) -> AttachInput {
+        AttachInput::Line(Box::new(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipass_units::{Money, Probability};
+
+    #[test]
+    fn builder_defaults() {
+        let p = Part::new("x", CostCategory::Other);
+        assert_eq!(p.cost().total(), Money::ZERO);
+        assert!(p.incoming_yield().value().is_certain());
+        assert_eq!(p.category(), CostCategory::Other);
+    }
+
+    #[test]
+    fn attach_input_names() {
+        let p = Part::new("die", CostCategory::Chip);
+        let input: AttachInput = p.into();
+        assert_eq!(input.name(), "die");
+    }
+
+    #[test]
+    fn part_with_yield() {
+        let p = Part::new("die", CostCategory::Chip)
+            .with_incoming_yield(YieldModel::flat(Probability::new(0.95).unwrap()));
+        assert!((p.incoming_yield().value().value() - 0.95).abs() < 1e-12);
+    }
+}

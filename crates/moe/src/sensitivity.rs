@@ -1,0 +1,181 @@
+//! Tornado-style sensitivity analysis: which inputs move the final cost?
+//!
+//! The paper compares "the results for different cost and yield
+//! implications"; this module systematizes that: perturb each input to
+//! its low/high variant, re-evaluate the flow analytically, and rank the
+//! inputs by their cost swing.
+
+use crate::error::FlowError;
+use crate::flow::Flow;
+use std::fmt;
+
+/// One input parameter with its low/high flow variants.
+#[derive(Debug)]
+pub struct TornadoInput<'a> {
+    /// Parameter label.
+    pub name: &'a str,
+    /// The flow with the parameter at its low value.
+    pub low: Flow,
+    /// The flow with the parameter at its high value.
+    pub high: Flow,
+}
+
+/// One bar of the tornado chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornadoRow {
+    /// Parameter label.
+    pub name: String,
+    /// Final cost per shipped unit with the low variant.
+    pub low_cost: f64,
+    /// Final cost per shipped unit with the high variant.
+    pub high_cost: f64,
+}
+
+impl TornadoRow {
+    /// The swing (absolute difference) this parameter produces.
+    pub fn swing(&self) -> f64 {
+        (self.high_cost - self.low_cost).abs()
+    }
+}
+
+/// The tornado chart: rows sorted by decreasing swing around the
+/// baseline cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tornado {
+    baseline_cost: f64,
+    rows: Vec<TornadoRow>,
+}
+
+impl Tornado {
+    /// Evaluate the baseline and every input variant analytically.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any flow is invalid or ships nothing.
+    pub fn evaluate(baseline: &Flow, inputs: Vec<TornadoInput<'_>>) -> Result<Tornado, FlowError> {
+        let baseline_cost = baseline.analyze()?.final_cost_per_shipped().units();
+        let mut rows = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            rows.push(TornadoRow {
+                name: input.name.to_owned(),
+                low_cost: input.low.analyze()?.final_cost_per_shipped().units(),
+                high_cost: input.high.analyze()?.final_cost_per_shipped().units(),
+            });
+        }
+        rows.sort_by(|a, b| {
+            b.swing()
+                .partial_cmp(&a.swing())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(Tornado {
+            baseline_cost,
+            rows,
+        })
+    }
+
+    /// The baseline final cost per shipped unit.
+    pub fn baseline_cost(&self) -> f64 {
+        self.baseline_cost
+    }
+
+    /// Rows sorted by decreasing swing.
+    pub fn rows(&self) -> &[TornadoRow] {
+        &self.rows
+    }
+
+    /// Render the chart as text bars.
+    pub fn render(&self) -> String {
+        let mut out = format!("tornado (baseline {:.2})\n", self.baseline_cost);
+        let max_swing = self.rows.first().map_or(1.0, TornadoRow::swing).max(1e-12);
+        for row in &self.rows {
+            let width = ((row.swing() / max_swing) * 30.0).round() as usize;
+            out.push_str(&format!(
+                "  {:<28} {:>8.2} … {:>8.2}  {}\n",
+                row.name,
+                row.low_cost,
+                row.high_cost,
+                "█".repeat(width.max(1))
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tornado {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostCategory, StepCost};
+    use crate::line::Line;
+    use crate::part::Part;
+    use crate::stage::{Process, Test};
+    use crate::yield_model::YieldModel;
+    use ipass_units::{Money, Probability};
+
+    fn flow(part_cost: f64, process_yield: f64) -> Flow {
+        let line = Line::builder(
+            "t",
+            Part::new("c", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(Money::new(part_cost))),
+        )
+        .process(Process::new("p").with_yield(YieldModel::flat(
+            Probability::new(process_yield).unwrap(),
+        )))
+        .test(Test::new("t").with_coverage(Probability::new(0.99).unwrap()))
+        .build()
+        .unwrap();
+        Flow::new(line)
+    }
+
+    #[test]
+    fn ranks_by_swing() {
+        let tornado = Tornado::evaluate(
+            &flow(10.0, 0.9),
+            vec![
+                TornadoInput {
+                    name: "part cost ±10%",
+                    low: flow(9.0, 0.9),
+                    high: flow(11.0, 0.9),
+                },
+                TornadoInput {
+                    name: "process yield ±5pts",
+                    low: flow(10.0, 0.85),
+                    high: flow(10.0, 0.95),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(tornado.rows().len(), 2);
+        // Yield ±5 pts swings ~11 % of cost; part cost ±10 % swings ~20 %.
+        assert_eq!(tornado.rows()[0].name, "part cost ±10%");
+        assert!(tornado.rows()[0].swing() > tornado.rows()[1].swing());
+        assert!((tornado.baseline_cost() - 10.0 / 0.9009).abs() < 0.11);
+    }
+
+    #[test]
+    fn render_draws_bars() {
+        let tornado = Tornado::evaluate(
+            &flow(10.0, 0.9),
+            vec![TornadoInput {
+                name: "x",
+                low: flow(8.0, 0.9),
+                high: flow(12.0, 0.9),
+            }],
+        )
+        .unwrap();
+        let text = tornado.render();
+        assert!(text.contains("█") && text.contains("baseline"));
+    }
+
+    #[test]
+    fn empty_inputs_is_just_the_baseline() {
+        let tornado = Tornado::evaluate(&flow(10.0, 0.9), vec![]).unwrap();
+        assert!(tornado.rows().is_empty());
+        assert!(tornado.baseline_cost() > 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Parameter sweeps and crossover search over flow families.
+
+use crate::error::FlowError;
+use crate::flow::Flow;
+use crate::report::CostReport;
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// The analytic cost report at this value.
+    pub report: CostReport,
+}
+
+impl SweepPoint {
+    /// Convenience accessor: final cost per shipped unit at this point.
+    pub fn final_cost(&self) -> f64 {
+        self.report.final_cost_per_shipped().units()
+    }
+}
+
+/// Evaluate a family of flows over parameter values `xs` with the
+/// analytic engine.
+///
+/// The builder receives each `x` and returns the flow to evaluate —
+/// typically a production model whose component count, area or yield
+/// depends on `x` (e.g. the "more than 10 resistors" rule-of-thumb sweep).
+///
+/// # Errors
+///
+/// Fails on the first flow that is invalid or ships nothing.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_moe::{sweep, CostCategory, Flow, Line, Part, Process, StepCost, YieldModel};
+/// use ipass_units::Money;
+///
+/// let points = sweep([1.0, 2.0, 4.0], |x| {
+///     let line = Line::builder("family", Part::new("c", CostCategory::Substrate)
+///             .with_cost(StepCost::fixed(Money::new(x))))
+///         .process(Process::new("p"))
+///         .build()?;
+///     Ok(Flow::new(line))
+/// })?;
+/// assert_eq!(points.len(), 3);
+/// assert!(points[2].final_cost() > points[0].final_cost());
+/// # Ok::<(), ipass_moe::FlowError>(())
+/// ```
+pub fn sweep<I, F>(xs: I, mut build: F) -> Result<Vec<SweepPoint>, FlowError>
+where
+    I: IntoIterator<Item = f64>,
+    F: FnMut(f64) -> Result<Flow, FlowError>,
+{
+    let mut points = Vec::new();
+    for x in xs {
+        let flow = build(x)?;
+        let report = flow.analyze()?;
+        points.push(SweepPoint { x, report });
+    }
+    Ok(points)
+}
+
+/// Find where two cost curves cross, by linear interpolation between
+/// sample points.
+///
+/// Both series must be sampled on the same ascending `x` grid. Returns
+/// the interpolated `x` of the first sign change of `a − b`, or `None`
+/// when one curve dominates everywhere (or the grids disagree).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_moe::find_crossover;
+///
+/// // a: flat 10; b: 4 + 2x — b overtakes a at x = 3.
+/// let a: Vec<(f64, f64)> = (0..=5).map(|i| (i as f64, 10.0)).collect();
+/// let b: Vec<(f64, f64)> = (0..=5).map(|i| (i as f64, 4.0 + 2.0 * i as f64)).collect();
+/// let x = find_crossover(&a, &b).unwrap();
+/// assert!((x - 3.0).abs() < 1e-9);
+/// ```
+pub fn find_crossover(a: &[(f64, f64)], b: &[(f64, f64)]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let diff: Vec<(f64, f64)> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&(xa, ya), &(xb, yb))| {
+            if (xa - xb).abs() > 1e-9 {
+                (f64::NAN, f64::NAN)
+            } else {
+                (xa, ya - yb)
+            }
+        })
+        .collect();
+    if diff.iter().any(|(x, _)| x.is_nan()) {
+        return None;
+    }
+    for w in diff.windows(2) {
+        let (x0, d0) = w[0];
+        let (x1, d1) = w[1];
+        if d0 == 0.0 {
+            return Some(x0);
+        }
+        if d0 * d1 < 0.0 {
+            // Linear interpolation to the root of d(x).
+            return Some(x0 + (x1 - x0) * d0 / (d0 - d1));
+        }
+        if d1 == 0.0 && w == diff.windows(2).last().unwrap() {
+            return Some(x1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostCategory, StepCost};
+    use crate::line::Line;
+    use crate::part::Part;
+    use crate::stage::Process;
+    use ipass_units::Money;
+
+    fn linear_flow(cost: f64) -> Result<Flow, FlowError> {
+        let line = Line::builder(
+            "family",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(cost))),
+        )
+        .process(Process::new("p"))
+        .build()?;
+        Ok(Flow::new(line))
+    }
+
+    #[test]
+    fn sweep_produces_monotone_costs() {
+        let points = sweep((0..5).map(|i| i as f64), linear_flow).unwrap();
+        assert_eq!(points.len(), 5);
+        for w in points.windows(2) {
+            assert!(w[1].final_cost() >= w[0].final_cost());
+        }
+    }
+
+    #[test]
+    fn sweep_propagates_errors() {
+        let err = sweep([1.0], |_| {
+            Line::builder("bad", Part::new("c", CostCategory::Substrate))
+                .build()
+                .map(Flow::new)
+        })
+        .unwrap_err();
+        assert!(matches!(err, FlowError::EmptyLine { .. }));
+    }
+
+    #[test]
+    fn crossover_exact_grid_point() {
+        let a = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let b = [(0.0, 7.0), (1.0, 5.0), (2.0, 3.0)];
+        // d = a−b: 0 at x=1 reached from d0=−2 ... first window has d0=-2,d1=0:
+        // no sign change strictly; second window d0=0 → returns 1.0.
+        assert_eq!(find_crossover(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn crossover_none_when_dominated() {
+        let a = [(0.0, 1.0), (1.0, 1.0)];
+        let b = [(0.0, 2.0), (1.0, 3.0)];
+        assert_eq!(find_crossover(&a, &b), None);
+    }
+
+    #[test]
+    fn crossover_rejects_mismatched_grids() {
+        let a = [(0.0, 1.0), (1.0, 1.0)];
+        let b = [(0.0, 2.0), (1.5, 0.0)];
+        assert_eq!(find_crossover(&a, &b), None);
+        assert_eq!(find_crossover(&a[..1], &b[..1]), None);
+    }
+
+    #[test]
+    fn crossover_interpolates() {
+        let a = [(0.0, 0.0), (10.0, 10.0)];
+        let b = [(0.0, 5.0), (10.0, 5.0)];
+        let x = find_crossover(&a, &b).unwrap();
+        assert!((x - 5.0).abs() < 1e-9);
+    }
+}

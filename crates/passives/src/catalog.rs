@@ -1,0 +1,430 @@
+//! Component catalog: propose SMD and integrated realizations for an
+//! electrical requirement.
+//!
+//! This is the data source for BOM construction: given "47 nH, ±5 %,
+//! Q ≥ 20 at 1.575 GHz", list what the technologies can offer — the
+//! smallest feasible SMD case with its footprint and price, and the
+//! synthesized thin-film component with its area, tolerance class and
+//! computed Q.
+
+use crate::capacitor::MimCapacitor;
+use crate::error::SynthesisError;
+use crate::inductor::SpiralInductor;
+use crate::materials::ThinFilmProcess;
+use crate::resistor::ThinFilmResistor;
+use crate::smd::{SmdKind, SmdSize};
+use crate::tolerance::Tolerance;
+use ipass_units::{Area, Capacitance, Frequency, Inductance, Resistance};
+use std::fmt;
+
+/// The electrical value of a passive requirement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PassiveValue {
+    /// A resistance.
+    Resistor(Resistance),
+    /// A capacitance.
+    Capacitor(Capacitance),
+    /// An inductance.
+    Inductor(Inductance),
+}
+
+impl fmt::Display for PassiveValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassiveValue::Resistor(r) => write!(f, "{r}"),
+            PassiveValue::Capacitor(c) => write!(f, "{c}"),
+            PassiveValue::Inductor(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A passive requirement: value plus the constraints that matter for
+/// technology selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassiveSpec {
+    /// Required value.
+    pub value: PassiveValue,
+    /// Required tolerance class.
+    pub tolerance: Tolerance,
+    /// Operating frequency, when Q matters (RF parts).
+    pub frequency: Option<Frequency>,
+    /// Minimum unloaded Q at `frequency`.
+    pub min_q: Option<f64>,
+}
+
+impl PassiveSpec {
+    /// A requirement with relaxed tolerance (±20 %) and no Q constraint.
+    pub fn new(value: PassiveValue) -> PassiveSpec {
+        PassiveSpec {
+            value,
+            tolerance: Tolerance::percent(20.0),
+            frequency: None,
+            min_q: None,
+        }
+    }
+
+    /// Set the tolerance requirement.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> PassiveSpec {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Require a minimum Q at an operating frequency.
+    pub fn with_min_q(mut self, frequency: Frequency, min_q: f64) -> PassiveSpec {
+        self.frequency = Some(frequency);
+        self.min_q = Some(min_q);
+        self
+    }
+}
+
+/// How a proposal is realized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Technology {
+    /// A surface-mounted chip component.
+    Smd {
+        /// Case size.
+        size: SmdSize,
+        /// Component family.
+        kind: SmdKind,
+    },
+    /// A thin-film component embedded in the substrate.
+    Integrated {
+        /// Short description of the structure (meander / MIM / spiral).
+        structure: &'static str,
+        /// Whether laser trimming is required to meet the tolerance.
+        needs_trim: bool,
+    },
+}
+
+/// One candidate realization of a [`PassiveSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proposal {
+    /// The realization technology.
+    pub technology: Technology,
+    /// Carrier area consumed (footprint for SMD, substrate for IP).
+    pub area: Area,
+    /// Purchase cost per piece (zero for integrated parts).
+    pub unit_cost: f64,
+    /// Achievable tolerance class.
+    pub tolerance: Tolerance,
+    /// Unloaded Q at the spec's frequency, when requested and computable.
+    pub q: Option<f64>,
+}
+
+impl fmt::Display for Proposal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.technology {
+            Technology::Smd { size, .. } => write!(f, "SMD {size}: {} ", self.area)?,
+            Technology::Integrated { structure, needs_trim } => {
+                write!(f, "IP {structure}{}: {} ", if *needs_trim { " (trimmed)" } else { "" }, self.area)?
+            }
+        }
+        write!(f, "{}", self.tolerance)?;
+        if let Some(q) = self.q {
+            write!(f, " Q≈{q:.0}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Smallest SMD case that can host the value (late-1990s component
+/// availability; larger values need larger bodies).
+fn smallest_case(value: PassiveValue) -> Option<(SmdSize, SmdKind)> {
+    match value {
+        PassiveValue::Resistor(r) => {
+            let ohms = r.ohms();
+            if !(0.1..=10e6).contains(&ohms) {
+                return None;
+            }
+            Some((SmdSize::I0402, SmdKind::Resistor))
+        }
+        PassiveValue::Capacitor(c) => {
+            let nf = c.nanofarads();
+            let size = if nf <= 1.0 {
+                SmdSize::I0402
+            } else if nf <= 10.0 {
+                SmdSize::I0603
+            } else if nf <= 100.0 {
+                SmdSize::I0805
+            } else if nf <= 1000.0 {
+                SmdSize::I1206
+            } else {
+                return None;
+            };
+            Some((size, SmdKind::Capacitor))
+        }
+        PassiveValue::Inductor(l) => {
+            let nh = l.nanohenries();
+            let size = if nh <= 100.0 {
+                SmdSize::I0603
+            } else if nh <= 1000.0 {
+                SmdSize::I0805
+            } else if nh <= 10_000.0 {
+                SmdSize::I1206
+            } else {
+                return None;
+            };
+            Some((size, SmdKind::Inductor))
+        }
+    }
+}
+
+fn smd_tolerance(kind: SmdKind) -> Tolerance {
+    match kind {
+        SmdKind::Resistor => Tolerance::percent(1.0),
+        SmdKind::Capacitor => Tolerance::percent(5.0),
+        SmdKind::Inductor => Tolerance::percent(5.0),
+    }
+}
+
+/// Propose every feasible realization of `spec`, SMD first.
+///
+/// Infeasible technologies are silently omitted: an empty result means
+/// the requirement cannot be met by either technology (value out of
+/// range, tolerance too tight, or Q unreachable).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_passives::{propose, PassiveSpec, PassiveValue, Technology, ThinFilmProcess, Tolerance};
+/// use ipass_units::{Capacitance, Frequency, Inductance};
+///
+/// let process = ThinFilmProcess::summit_mcm_d();
+///
+/// // A decoupling cap: both technologies work, the SMD is far smaller.
+/// let spec = PassiveSpec::new(PassiveValue::Capacitor(Capacitance::from_nano(3.3)));
+/// let options = propose(&spec, &process);
+/// assert_eq!(options.len(), 2);
+/// assert!(options[0].area.mm2() < options[1].area.mm2() / 5.0);
+///
+/// // An RF inductor with a Q floor at 1.575 GHz: both still qualify.
+/// let spec = PassiveSpec::new(PassiveValue::Inductor(Inductance::from_nano(40.0)))
+///     .with_min_q(Frequency::from_giga(1.575), 15.0);
+/// assert!(!propose(&spec, &process).is_empty());
+/// ```
+pub fn propose(spec: &PassiveSpec, process: &ThinFilmProcess) -> Vec<Proposal> {
+    let mut proposals = Vec::with_capacity(2);
+    if let Some(p) = propose_smd(spec) {
+        proposals.push(p);
+    }
+    if let Some(p) = propose_integrated(spec, process) {
+        proposals.push(p);
+    }
+    proposals
+}
+
+fn propose_smd(spec: &PassiveSpec) -> Option<Proposal> {
+    let (size, kind) = smallest_case(spec.value)?;
+    let tolerance = smd_tolerance(kind);
+    if !tolerance.satisfies(spec.tolerance) {
+        return None;
+    }
+    let q = spec.frequency.map(|_| kind.typical_q());
+    if let (Some(min_q), Some(q)) = (spec.min_q, q) {
+        if q < min_q {
+            return None;
+        }
+    }
+    Some(Proposal {
+        technology: Technology::Smd { size, kind },
+        area: size.footprint_area(),
+        unit_cost: kind.typical_unit_price(size),
+        tolerance,
+        q,
+    })
+}
+
+fn propose_integrated(spec: &PassiveSpec, process: &ThinFilmProcess) -> Option<Proposal> {
+    match spec.value {
+        PassiveValue::Resistor(r) => {
+            let part = ThinFilmResistor::synthesize(r, process).ok()?;
+            let as_fab = part.tolerance();
+            let (tolerance, needs_trim) = if as_fab.satisfies(spec.tolerance) {
+                (as_fab, false)
+            } else {
+                let trimmed = part.clone().with_trim();
+                if !trimmed.tolerance().satisfies(spec.tolerance) {
+                    return None;
+                }
+                (trimmed.tolerance(), true)
+            };
+            Some(Proposal {
+                technology: Technology::Integrated {
+                    structure: "meander",
+                    needs_trim,
+                },
+                area: part.area(),
+                unit_cost: 0.0,
+                tolerance,
+                q: None,
+            })
+        }
+        PassiveValue::Capacitor(c) => {
+            // Large caps go on the robust bulk dielectric, small on high-κ.
+            let part = if c.nanofarads() >= 1.0 {
+                MimCapacitor::synthesize_decoupling(c, process).ok()?
+            } else {
+                MimCapacitor::synthesize(c, process).ok()?
+            };
+            if !part.tolerance().satisfies(spec.tolerance) {
+                return None;
+            }
+            let q = spec.frequency.map(|f| part.q_factor(f));
+            if let (Some(min_q), Some(q)) = (spec.min_q, q) {
+                if q < min_q {
+                    return None;
+                }
+            }
+            Some(Proposal {
+                technology: Technology::Integrated {
+                    structure: "MIM",
+                    needs_trim: false,
+                },
+                area: part.area(),
+                unit_cost: 0.0,
+                tolerance: part.tolerance(),
+                q,
+            })
+        }
+        PassiveValue::Inductor(l) => {
+            let part: Result<SpiralInductor, SynthesisError> =
+                match (spec.frequency, spec.min_q) {
+                    (Some(f), Some(min_q)) => {
+                        SpiralInductor::synthesize_for_q(l, process, f, min_q)
+                    }
+                    _ => SpiralInductor::synthesize(l, process),
+                };
+            let part = part.ok()?;
+            if !part.tolerance().satisfies(spec.tolerance) {
+                return None;
+            }
+            let q = spec.frequency.map(|f| part.q_factor(f));
+            Some(Proposal {
+                technology: Technology::Integrated {
+                    structure: "spiral",
+                    needs_trim: false,
+                },
+                area: part.area(),
+                unit_cost: 0.0,
+                tolerance: part.tolerance(),
+                q,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process() -> ThinFilmProcess {
+        ThinFilmProcess::summit_mcm_d()
+    }
+
+    #[test]
+    fn pullup_resistor_gets_both_and_ip_is_tiny() {
+        let spec = PassiveSpec::new(PassiveValue::Resistor(Resistance::from_kilo(100.0)));
+        let options = propose(&spec, &process());
+        assert_eq!(options.len(), 2);
+        let ip = options
+            .iter()
+            .find(|p| matches!(p.technology, Technology::Integrated { .. }))
+            .unwrap();
+        assert!(ip.area.mm2() < 0.3);
+        assert_eq!(ip.unit_cost, 0.0);
+    }
+
+    #[test]
+    fn tight_resistor_tolerance_requires_trim() {
+        let spec = PassiveSpec::new(PassiveValue::Resistor(Resistance::from_kilo(10.0)))
+            .with_tolerance(Tolerance::percent(1.0));
+        let options = propose(&spec, &process());
+        let ip = options
+            .iter()
+            .find(|p| matches!(p.technology, Technology::Integrated { .. }))
+            .unwrap();
+        assert!(matches!(
+            ip.technology,
+            Technology::Integrated { needs_trim: true, .. }
+        ));
+        assert!(ip.tolerance.satisfies(Tolerance::percent(1.0)));
+    }
+
+    #[test]
+    fn decap_prefers_bulk_dielectric_and_is_huge() {
+        let spec = PassiveSpec::new(PassiveValue::Capacitor(Capacitance::from_nano(3.3)));
+        let options = propose(&spec, &process());
+        let ip = options
+            .iter()
+            .find(|p| matches!(p.technology, Technology::Integrated { .. }))
+            .unwrap();
+        assert!((ip.area.mm2() - 33.0).abs() < 1.5);
+        let smd = options
+            .iter()
+            .find(|p| matches!(p.technology, Technology::Smd { .. }))
+            .unwrap();
+        assert_eq!(
+            smd.area,
+            SmdSize::I0603.footprint_area(),
+            "3.3 nF fits an 0603 X7R"
+        );
+    }
+
+    #[test]
+    fn capacitor_tolerance_can_rule_out_ip() {
+        // ±2 % NP0-class requirement: thin-film ±10…15 % fails; SMD fails
+        // too at ±5 % class → only an empty proposal set remains honest.
+        let spec = PassiveSpec::new(PassiveValue::Capacitor(Capacitance::from_pico(50.0)))
+            .with_tolerance(Tolerance::percent(2.0));
+        assert!(propose(&spec, &process()).is_empty());
+    }
+
+    #[test]
+    fn if_inductor_q_requirement_inflates_the_spiral() {
+        let f = Frequency::from_mega(175.0);
+        let relaxed = PassiveSpec::new(PassiveValue::Inductor(Inductance::from_nano(107.0)));
+        let strict = relaxed.with_min_q(f, 12.0);
+        let ip_relaxed = propose(&relaxed, &process())
+            .into_iter()
+            .find(|p| matches!(p.technology, Technology::Integrated { .. }))
+            .unwrap();
+        let ip_strict = propose(&strict, &process())
+            .into_iter()
+            .find(|p| matches!(p.technology, Technology::Integrated { .. }))
+            .unwrap();
+        assert!(ip_strict.area.mm2() > 2.0 * ip_relaxed.area.mm2());
+        assert!(ip_strict.q.unwrap() >= 12.0);
+    }
+
+    #[test]
+    fn impossible_q_leaves_only_smd_or_nothing() {
+        let spec = PassiveSpec::new(PassiveValue::Inductor(Inductance::from_nano(200.0)))
+            .with_min_q(Frequency::from_mega(175.0), 40.0);
+        let options = propose(&spec, &process());
+        // The wire-wound SMD (Q≈45) survives; the spiral cannot.
+        assert_eq!(options.len(), 1);
+        assert!(matches!(options[0].technology, Technology::Smd { .. }));
+    }
+
+    #[test]
+    fn out_of_range_values_propose_nothing() {
+        let spec = PassiveSpec::new(PassiveValue::Capacitor(Capacitance::from_micro(100.0)));
+        assert!(propose(&spec, &process()).is_empty());
+        let spec = PassiveSpec::new(PassiveValue::Resistor(Resistance::new(0.01)));
+        assert!(propose(&spec, &process()).is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let spec = PassiveSpec::new(PassiveValue::Inductor(Inductance::from_nano(40.0)))
+            .with_min_q(Frequency::from_giga(1.575), 10.0);
+        for p in propose(&spec, &process()) {
+            let s = p.to_string();
+            assert!(s.contains("mm²") && s.contains("Q≈"), "{s}");
+        }
+        assert_eq!(
+            PassiveValue::Inductor(Inductance::from_nano(40.0)).to_string(),
+            "40 nH"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors from integrated component synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error synthesizing an integrated passive from a target value.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The requested value is not positive (or not finite).
+    NonPositiveValue {
+        /// What was being synthesized.
+        what: &'static str,
+        /// The offending value in base units.
+        value: f64,
+    },
+    /// The requested value cannot be realized within the process limits.
+    OutOfRange {
+        /// What was being synthesized.
+        what: &'static str,
+        /// The offending value in base units.
+        value: f64,
+        /// Smallest realizable value in base units.
+        min: f64,
+        /// Largest realizable value in base units.
+        max: f64,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NonPositiveValue { what, value } => {
+                write!(f, "{what} value must be positive, got {value}")
+            }
+            SynthesisError::OutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "{what} value {value} outside realizable range [{min}, {max}]"
+            ),
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SynthesisError::OutOfRange {
+            what: "inductance",
+            value: 1e-3,
+            min: 1e-9,
+            max: 1e-6,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("inductance") && msg.contains("0.001"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthesisError>();
+    }
+}

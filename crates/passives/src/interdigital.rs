@@ -1,0 +1,253 @@
+//! Interdigital (comb) capacitor synthesis for sub-picofarad values.
+//!
+//! The paper (§2) mentions both "sandwich structure or interdigitated
+//! combs". MIM sandwiches are superb for tens of pF and up, but below
+//! ~1 pF the plate becomes so small that overlay misalignment dominates
+//! the value. Interdigital capacitors are defined by a single lithography
+//! layer — their tolerance is the line tolerance (≈ ±5 %) — which makes
+//! them the structure of choice for the RF filters' coupling capacitors.
+
+use crate::error::SynthesisError;
+use crate::materials::ThinFilmProcess;
+use crate::tolerance::Tolerance;
+use ipass_units::{Area, Capacitance, Frequency};
+use std::fmt;
+
+/// Realizable interdigital range.
+const MIN_FARADS: f64 = 0.02e-12;
+const MAX_FARADS: f64 = 5e-12;
+
+/// Longest practical finger, in µm (beyond this the finger inductance
+/// spoils the RF behaviour).
+const MAX_FINGER_UM: f64 = 1_500.0;
+
+/// First-order capacitance per finger pair per mm of overlap for 20 µm
+/// lines/gaps over a passivated silicon substrate (ε_eff ≈ 7), in pF/mm.
+/// Scales inversely with the pitch for other line widths.
+const PF_PER_PAIR_MM_AT_20UM: f64 = 0.04;
+
+/// A synthesized interdigital capacitor.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_passives::{InterdigitalCapacitor, ThinFilmProcess};
+/// use ipass_units::Capacitance;
+///
+/// let process = ThinFilmProcess::summit_mcm_d();
+/// let c = InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.5), &process)?;
+/// assert!(c.fingers() >= 4);
+/// // Litho-defined tolerance beats the MIM film's:
+/// assert!(c.tolerance().satisfies(ipass_passives::Tolerance::percent(5.0)));
+/// # Ok::<(), ipass_passives::SynthesisError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterdigitalCapacitor {
+    target: Capacitance,
+    fingers: u32,
+    finger_um: f64,
+    width_um: f64,
+    gap_um: f64,
+    area: Area,
+}
+
+impl InterdigitalCapacitor {
+    /// Synthesize the smallest comb realizing `target` at the process'
+    /// minimum line/gap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError`] for non-positive targets or values
+    /// outside the interdigital sweet spot (0.02–5 pF).
+    pub fn synthesize(
+        target: Capacitance,
+        process: &ThinFilmProcess,
+    ) -> Result<InterdigitalCapacitor, SynthesisError> {
+        let c = target.farads();
+        if !(c.is_finite() && c > 0.0) {
+            return Err(SynthesisError::NonPositiveValue {
+                what: "capacitance",
+                value: c,
+            });
+        }
+        if !(MIN_FARADS..=MAX_FARADS).contains(&c) {
+            return Err(SynthesisError::OutOfRange {
+                what: "interdigital capacitance",
+                value: c,
+                min: MIN_FARADS,
+                max: MAX_FARADS,
+            });
+        }
+        let w = process.min_line_um();
+        let g = process.min_space_um();
+        // Per-pair capacitance scales inversely with pitch.
+        let c_pair_pf_mm = PF_PER_PAIR_MM_AT_20UM * (40.0 / (w + g));
+        let target_pf = target.picofarads();
+
+        // Search the finger count for the most square outline.
+        let mut best: Option<(u32, f64, f64)> = None; // (fingers, len_um, area)
+        for fingers in 4..=100u32 {
+            let pairs = f64::from(fingers - 1);
+            let len_mm = target_pf / (pairs * c_pair_pf_mm);
+            let len_um = len_mm * 1e3;
+            if !(2.0 * w..=MAX_FINGER_UM).contains(&len_um) {
+                continue;
+            }
+            // Outline: fingers across, finger length + bus bars along.
+            let width = f64::from(fingers) * (w + g) - g;
+            let height = len_um + 2.0 * (w + g);
+            let area = (width * 1e-3) * (height * 1e-3);
+            if best.is_none_or(|(.., a)| area < a) {
+                best = Some((fingers, len_um, area));
+            }
+        }
+        let (fingers, finger_um, area_mm2) = best.ok_or(SynthesisError::OutOfRange {
+            what: "interdigital capacitance",
+            value: c,
+            min: MIN_FARADS,
+            max: MAX_FARADS,
+        })?;
+        Ok(InterdigitalCapacitor {
+            target,
+            fingers,
+            finger_um,
+            width_um: w,
+            gap_um: g,
+            area: Area::from_mm2(area_mm2),
+        })
+    }
+
+    /// The target capacitance.
+    pub fn capacitance(&self) -> Capacitance {
+        self.target
+    }
+
+    /// Number of fingers.
+    pub fn fingers(&self) -> u32 {
+        self.fingers
+    }
+
+    /// Finger overlap length in µm.
+    pub fn finger_um(&self) -> f64 {
+        self.finger_um
+    }
+
+    /// Substrate area consumed.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Litho-defined tolerance: the line-width class (±5 %), independent
+    /// of dielectric thickness.
+    pub fn tolerance(&self) -> Tolerance {
+        Tolerance::percent(5.0)
+    }
+
+    /// Quality factor at `f`: essentially the (low-loss) substrate
+    /// dielectric, with electrode resistance; combs are excellent.
+    pub fn q_factor(&self, f: Frequency) -> f64 {
+        // Electrode ESR: fingers in parallel, ~len/w squares each.
+        let squares = self.finger_um / self.width_um;
+        let esr = 7e-3 * squares / (2.0 / 3.0 * f64::from(self.fingers));
+        let inv_q = 0.001 + f.angular() * self.target.farads() * esr;
+        1.0 / inv_q
+    }
+}
+
+impl fmt::Display for InterdigitalCapacitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} interdigital C ({} fingers × {:.0} µm, {}, {})",
+            self.target,
+            self.fingers,
+            self.finger_um,
+            self.area,
+            self.tolerance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacitor::MimCapacitor;
+    use proptest::prelude::*;
+
+    fn process() -> ThinFilmProcess {
+        ThinFilmProcess::summit_mcm_d()
+    }
+
+    #[test]
+    fn synthesizes_sub_picofarad_values() {
+        for pf in [0.1, 0.25, 0.5, 1.0, 2.0] {
+            let c =
+                InterdigitalCapacitor::synthesize(Capacitance::from_pico(pf), &process()).unwrap();
+            assert!(c.fingers() >= 4, "{pf} pF: {} fingers", c.fingers());
+            assert!(c.area().mm2() < 3.0, "{pf} pF: {}", c.area());
+        }
+    }
+
+    #[test]
+    fn realized_value_matches_target() {
+        let c = InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.53), &process()).unwrap();
+        // Reconstruct from the geometry.
+        let c_pair = 0.04 * (40.0 / 40.0); // 20 µm lines and gaps
+        let realized = f64::from(c.fingers() - 1) * c_pair * (c.finger_um() / 1000.0);
+        assert!((realized - 0.53).abs() / 0.53 < 0.01, "realized {realized}");
+    }
+
+    #[test]
+    fn tolerance_beats_mim_below_a_picofarad() {
+        // The design reason this structure exists.
+        let comb = InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.5), &process())
+            .unwrap();
+        let mim = MimCapacitor::synthesize(Capacitance::from_pico(0.5), &process()).unwrap();
+        assert!(comb.tolerance().fraction() < mim.tolerance().fraction());
+    }
+
+    #[test]
+    fn q_is_high_at_rf() {
+        let c = InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.5), &process()).unwrap();
+        assert!(c.q_factor(Frequency::from_giga(1.575)) > 100.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(
+            InterdigitalCapacitor::synthesize(Capacitance::from_pico(50.0), &process()).is_err()
+        );
+        assert!(
+            InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.001), &process()).is_err()
+        );
+        assert!(InterdigitalCapacitor::synthesize(Capacitance::new(0.0), &process()).is_err());
+    }
+
+    #[test]
+    fn coarser_process_needs_more_area() {
+        let fine = InterdigitalCapacitor::synthesize(Capacitance::from_pico(1.0), &process())
+            .unwrap();
+        let coarse = InterdigitalCapacitor::synthesize(
+            Capacitance::from_pico(1.0),
+            &ThinFilmProcess::polyimide_flex(),
+        )
+        .unwrap();
+        assert!(coarse.area().mm2() > fine.area().mm2());
+    }
+
+    #[test]
+    fn display_mentions_fingers() {
+        let c = InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.5), &process()).unwrap();
+        assert!(c.to_string().contains("fingers"));
+    }
+
+    proptest! {
+        #[test]
+        fn area_grows_with_value(pf in 0.05f64..2.0) {
+            let p = process();
+            let small = InterdigitalCapacitor::synthesize(Capacitance::from_pico(pf), &p).unwrap();
+            let large = InterdigitalCapacitor::synthesize(Capacitance::from_pico(pf * 2.0), &p).unwrap();
+            prop_assert!(large.area().mm2() > small.area().mm2() * 0.9);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Tolerance models and value sampling for Monte Carlo analyses.
+
+use rand::Rng;
+use std::fmt;
+
+/// Whether an integrated resistor has been laser-trimmed.
+///
+/// The paper: "Tolerances are about ±15 %, with laser tuning values below
+/// 1 % have been achieved."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrimState {
+    /// As deposited (±15 % class).
+    #[default]
+    AsFabricated,
+    /// Laser trimmed (±1 % class); adds trim cost/time.
+    LaserTrimmed,
+}
+
+/// A symmetric relative tolerance, e.g. `Tolerance::percent(15.0)` for
+/// ±15 %.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_passives::Tolerance;
+///
+/// let t = Tolerance::percent(15.0);
+/// assert!((t.fraction() - 0.15).abs() < 1e-12);
+/// assert_eq!(t.to_string(), "±15%");
+/// let (lo, hi) = t.bounds(100.0);
+/// assert!((lo - 85.0).abs() < 1e-9 && (hi - 115.0).abs() < 1e-9);
+/// assert!(t.contains(100.0, 110.0));
+/// assert!(!t.contains(100.0, 120.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Tolerance(f64);
+
+impl Tolerance {
+    /// Exact value (±0 %).
+    pub const EXACT: Tolerance = Tolerance(0.0);
+
+    /// Create from a percentage (`15.0` → ±15 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite percentages.
+    pub fn percent(percent: f64) -> Tolerance {
+        assert!(
+            percent.is_finite() && percent >= 0.0,
+            "tolerance must be a non-negative percentage, got {percent}"
+        );
+        Tolerance(percent / 100.0)
+    }
+
+    /// Create from a fraction (`0.15` → ±15 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite fractions.
+    pub fn fraction_of(fraction: f64) -> Tolerance {
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "tolerance must be a non-negative fraction, got {fraction}"
+        );
+        Tolerance(fraction)
+    }
+
+    /// The tolerance as a fraction (±0.15 for ±15 %).
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The tolerance as a percentage.
+    pub fn percent_value(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The `(low, high)` bounds around a nominal value.
+    pub fn bounds(self, nominal: f64) -> (f64, f64) {
+        (nominal * (1.0 - self.0), nominal * (1.0 + self.0))
+    }
+
+    /// Whether `actual` lies within the tolerance band around `nominal`.
+    pub fn contains(self, nominal: f64, actual: f64) -> bool {
+        let (lo, hi) = self.bounds(nominal);
+        (lo..=hi).contains(&actual)
+    }
+
+    /// Whether this tolerance class satisfies a requirement (is at least
+    /// as tight).
+    pub fn satisfies(self, required: Tolerance) -> bool {
+        self.0 <= required.0 + 1e-12
+    }
+
+    /// Sample a value uniformly within the tolerance band.
+    pub fn sample_uniform<R: Rng + ?Sized>(self, nominal: f64, rng: &mut R) -> f64 {
+        if self.0 == 0.0 {
+            return nominal;
+        }
+        let (lo, hi) = self.bounds(nominal);
+        rng.gen_range(lo.min(hi)..=hi.max(lo))
+    }
+
+    /// Sample a value from a truncated normal distribution whose ±3σ
+    /// points sit at the tolerance bounds (the usual manufacturing
+    /// assumption).
+    pub fn sample_normal<R: Rng + ?Sized>(self, nominal: f64, rng: &mut R) -> f64 {
+        if self.0 == 0.0 {
+            return nominal;
+        }
+        let sigma = nominal.abs() * self.0 / 3.0;
+        loop {
+            // Box-Muller transform; rejection keeps us inside the band.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = nominal + sigma * z;
+            if self.contains(nominal, v) {
+                return v;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = self.percent_value();
+        if (pct - pct.round()).abs() < 1e-9 {
+            write!(f, "±{}%", pct.round())
+        } else {
+            write!(f, "±{pct:.2}%")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tolerance::percent(1.0);
+        assert!((t.fraction() - 0.01).abs() < 1e-15);
+        assert!((t.percent_value() - 1.0).abs() < 1e-12);
+        assert_eq!(Tolerance::fraction_of(0.15), Tolerance::percent(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_rejected() {
+        let _ = Tolerance::percent(-5.0);
+    }
+
+    #[test]
+    fn satisfies_is_tighter_or_equal() {
+        assert!(Tolerance::percent(1.0).satisfies(Tolerance::percent(15.0)));
+        assert!(Tolerance::percent(15.0).satisfies(Tolerance::percent(15.0)));
+        assert!(!Tolerance::percent(15.0).satisfies(Tolerance::percent(1.0)));
+    }
+
+    #[test]
+    fn display_rounds_nicely() {
+        assert_eq!(Tolerance::percent(15.0).to_string(), "±15%");
+        assert_eq!(Tolerance::percent(0.25).to_string(), "±0.25%");
+    }
+
+    #[test]
+    fn exact_sampling_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Tolerance::EXACT.sample_uniform(42.0, &mut rng), 42.0);
+        assert_eq!(Tolerance::EXACT.sample_normal(42.0, &mut rng), 42.0);
+    }
+
+    #[test]
+    fn normal_samples_cluster_near_nominal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tolerance::percent(15.0);
+        let n = 4000;
+        let mut mean = 0.0;
+        let mut inside_one_sigma = 0;
+        for _ in 0..n {
+            let v = t.sample_normal(100.0, &mut rng);
+            assert!(t.contains(100.0, v));
+            mean += v;
+            if (v - 100.0).abs() < 5.0 {
+                inside_one_sigma += 1;
+            }
+        }
+        mean /= n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        // ±1σ should hold ≈ 68 % of samples.
+        let frac = inside_one_sigma as f64 / n as f64;
+        assert!((0.6..0.76).contains(&frac), "one-sigma fraction {frac}");
+    }
+
+    #[test]
+    fn trim_state_default() {
+        assert_eq!(TrimState::default(), TrimState::AsFabricated);
+    }
+
+    proptest! {
+        #[test]
+        fn uniform_samples_stay_in_band(pct in 0.0f64..50.0, nominal in 0.001f64..1e6, seed in 0u64..1000) {
+            let t = Tolerance::percent(pct);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = t.sample_uniform(nominal, &mut rng);
+            prop_assert!(t.contains(nominal, v * (1.0 - 1e-12) + 0.0));
+        }
+
+        #[test]
+        fn bounds_are_symmetric(pct in 0.0f64..100.0, nominal in 0.001f64..1e6) {
+            let t = Tolerance::percent(pct);
+            let (lo, hi) = t.bounds(nominal);
+            prop_assert!(((nominal - lo) - (hi - nominal)).abs() < 1e-6 * nominal);
+        }
+    }
+}

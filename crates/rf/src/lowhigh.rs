@@ -1,0 +1,356 @@
+//! Low-pass and high-pass ladder designs, filter-order estimators and
+//! group delay — rounding out the synthesis toolbox beyond the paper's
+//! two bandpass cases (PLL loop filters are low-pass; DC blocks are
+//! high-pass).
+
+use crate::design::{Approximation, ElementLosses};
+use crate::elements::Immittance;
+use crate::twoport::{Branch, Ladder};
+use ipass_units::{Capacitance, Frequency, Inductance};
+
+/// Design a ladder low-pass (shunt capacitor first).
+///
+/// # Panics
+///
+/// Panics on zero order, non-positive cutoff or impedance.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::{lowpass, Approximation, ElementLosses};
+/// use ipass_units::Frequency;
+///
+/// let lp = lowpass(
+///     3,
+///     Approximation::Butterworth,
+///     Frequency::from_mega(10.0),
+///     50.0,
+///     ElementLosses::ideal(),
+/// );
+/// // −3 dB at the Butterworth cutoff:
+/// let at_fc = lp.insertion_loss_db(Frequency::from_mega(10.0));
+/// assert!((at_fc - 3.01).abs() < 0.05);
+/// // 3rd order: −18 dB/octave: ≈ 18 dB more one octave up.
+/// let oct = lp.insertion_loss_db(Frequency::from_mega(20.0));
+/// assert!((oct - at_fc - 15.3).abs() < 1.0);
+/// ```
+pub fn lowpass(
+    order: usize,
+    approximation: Approximation,
+    cutoff: Frequency,
+    z0: f64,
+    losses: ElementLosses,
+) -> Ladder {
+    assert!(order >= 1, "filter order must be at least 1");
+    assert!(cutoff.hertz() > 0.0, "cutoff must be positive");
+    assert!(z0 > 0.0 && z0.is_finite(), "impedance must be positive");
+    let (g, g_load) = approximation.g_values_pub(order);
+    let wc = cutoff.angular();
+    let branches = g
+        .iter()
+        .enumerate()
+        .map(|(k, &gk)| {
+            if k % 2 == 0 {
+                Branch::Shunt(Immittance::capacitor(
+                    Capacitance::new(gk / (z0 * wc)),
+                    losses.capacitor,
+                ))
+            } else {
+                Branch::Series(Immittance::inductor(
+                    Inductance::new(gk * z0 / wc),
+                    losses.inductor,
+                ))
+            }
+        })
+        .collect();
+    Ladder::new(branches, z0, z0 * g_load)
+}
+
+/// Design a ladder high-pass (shunt inductor first) by the standard
+/// `ω → −ωc/ω` transformation.
+///
+/// # Panics
+///
+/// Panics on zero order, non-positive cutoff or impedance.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::{highpass, Approximation, ElementLosses};
+/// use ipass_units::Frequency;
+///
+/// let hp = highpass(
+///     3,
+///     Approximation::Butterworth,
+///     Frequency::from_mega(10.0),
+///     50.0,
+///     ElementLosses::ideal(),
+/// );
+/// assert!(hp.insertion_loss_db(Frequency::from_mega(1.0)) > 50.0);
+/// assert!(hp.insertion_loss_db(Frequency::from_mega(100.0)) < 0.1);
+/// ```
+pub fn highpass(
+    order: usize,
+    approximation: Approximation,
+    cutoff: Frequency,
+    z0: f64,
+    losses: ElementLosses,
+) -> Ladder {
+    assert!(order >= 1, "filter order must be at least 1");
+    assert!(cutoff.hertz() > 0.0, "cutoff must be positive");
+    assert!(z0 > 0.0 && z0.is_finite(), "impedance must be positive");
+    let (g, g_load) = approximation.g_values_pub(order);
+    let wc = cutoff.angular();
+    let branches = g
+        .iter()
+        .enumerate()
+        .map(|(k, &gk)| {
+            if k % 2 == 0 {
+                Branch::Shunt(Immittance::inductor(
+                    Inductance::new(z0 / (gk * wc)),
+                    losses.inductor,
+                ))
+            } else {
+                Branch::Series(Immittance::capacitor(
+                    Capacitance::new(1.0 / (gk * z0 * wc)),
+                    losses.capacitor,
+                ))
+            }
+        })
+        .collect();
+    Ladder::new(branches, z0, z0 * g_load)
+}
+
+/// Minimum Butterworth order for `atten_db` of attenuation at `omega`
+/// times the cutoff frequency.
+///
+/// # Panics
+///
+/// Panics unless `atten_db > 0` and `omega > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::butterworth_order;
+///
+/// // 40 dB one decade out needs n = 2; 40 dB one octave out needs n = 7.
+/// assert_eq!(butterworth_order(40.0, 10.0), 2);
+/// assert_eq!(butterworth_order(40.0, 2.0), 7);
+/// ```
+pub fn butterworth_order(atten_db: f64, omega: f64) -> usize {
+    assert!(atten_db > 0.0, "attenuation must be positive dB");
+    assert!(omega > 1.0, "normalized frequency must exceed 1");
+    let n = ((10f64.powf(atten_db / 10.0) - 1.0).log10()) / (2.0 * omega.log10());
+    n.ceil().max(1.0) as usize
+}
+
+/// Minimum Chebyshev order for `atten_db` at `omega` × cutoff given the
+/// passband `ripple_db`.
+///
+/// # Panics
+///
+/// Panics unless all arguments are positive and `omega > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::chebyshev_order;
+///
+/// // The equal-ripple response buys ~2 orders over Butterworth here.
+/// assert!(chebyshev_order(40.0, 0.5, 2.0) < 7);
+/// ```
+pub fn chebyshev_order(atten_db: f64, ripple_db: f64, omega: f64) -> usize {
+    assert!(atten_db > 0.0, "attenuation must be positive dB");
+    assert!(ripple_db > 0.0, "ripple must be positive dB");
+    assert!(omega > 1.0, "normalized frequency must exceed 1");
+    let num = ((10f64.powf(atten_db / 10.0) - 1.0) / (10f64.powf(ripple_db / 10.0) - 1.0)).sqrt();
+    let n = num.acosh() / omega.acosh();
+    n.ceil().max(1.0) as usize
+}
+
+/// Group delay of a ladder at `f`, in seconds, from the phase slope of
+/// S21 (central finite difference).
+///
+/// # Panics
+///
+/// Panics for non-positive `f`.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::{group_delay, lowpass, Approximation, ElementLosses};
+/// use ipass_units::Frequency;
+///
+/// let lp = lowpass(3, Approximation::Butterworth, Frequency::from_mega(10.0),
+///                  50.0, ElementLosses::ideal());
+/// // A 10 MHz Butterworth has tens of nanoseconds of in-band delay.
+/// let tau = group_delay(&lp, Frequency::from_mega(5.0));
+/// assert!(tau > 10e-9 && tau < 100e-9);
+/// ```
+pub fn group_delay(ladder: &Ladder, f: Frequency) -> f64 {
+    assert!(f.hertz() > 0.0, "frequency must be positive");
+    let df = f.hertz() * 1e-6;
+    let lo = ladder.s_params(Frequency::new(f.hertz() - df)).s21;
+    let hi = ladder.s_params(Frequency::new(f.hertz() + df)).s21;
+    // Unwrapped phase difference via the angle of the ratio — immune to
+    // branch cuts as long as the step is small.
+    let dphi = (hi / lo).arg();
+    -dphi / (2.0 * std::f64::consts::PI * 2.0 * df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twoport::linspace;
+
+    fn mhz(v: f64) -> Frequency {
+        Frequency::from_mega(v)
+    }
+
+    #[test]
+    fn butterworth_lowpass_is_maximally_flat() {
+        let lp = lowpass(
+            5,
+            Approximation::Butterworth,
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        for f in linspace(mhz(0.5), mhz(5.0), 10) {
+            assert!(lp.insertion_loss_db(f) < 0.2, "at {f}");
+        }
+        // Exact analytic magnitude: |H|² = 1/(1+Ω^2n).
+        let at = lp.insertion_loss_db(mhz(15.0));
+        let expect = 10.0 * (1.0 + 1.5f64.powi(10)).log10();
+        assert!((at - expect).abs() < 0.1, "{at} vs {expect}");
+    }
+
+    #[test]
+    fn chebyshev_lowpass_ripples_up_to_cutoff() {
+        let lp = lowpass(
+            5,
+            Approximation::Chebyshev { ripple_db: 0.5 },
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        let mut max_in_band: f64 = 0.0;
+        for f in linspace(mhz(0.5), mhz(9.99), 200) {
+            max_in_band = max_in_band.max(lp.insertion_loss_db(f));
+        }
+        assert!((max_in_band - 0.5).abs() < 0.05, "ripple {max_in_band}");
+        // Far steeper than Butterworth of the same order at 2×fc.
+        let bw = lowpass(
+            5,
+            Approximation::Butterworth,
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        assert!(lp.insertion_loss_db(mhz(20.0)) > bw.insertion_loss_db(mhz(20.0)) + 8.0);
+    }
+
+    #[test]
+    fn highpass_mirrors_lowpass() {
+        let lp = lowpass(
+            3,
+            Approximation::Butterworth,
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        let hp = highpass(
+            3,
+            Approximation::Butterworth,
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        // ω → ωc²/ω symmetry: loss at 2fc of LP equals loss at fc/2 of HP.
+        let a = lp.insertion_loss_db(mhz(20.0));
+        let b = hp.insertion_loss_db(mhz(5.0));
+        assert!((a - b).abs() < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn losses_add_passband_attenuation() {
+        let ideal = lowpass(
+            3,
+            Approximation::Butterworth,
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        let lossy = lowpass(
+            3,
+            Approximation::Butterworth,
+            mhz(10.0),
+            50.0,
+            ElementLosses::q(20.0, 100.0),
+        );
+        let f = mhz(8.0);
+        assert!(lossy.insertion_loss_db(f) > ideal.insertion_loss_db(f) + 0.1);
+    }
+
+    #[test]
+    fn order_estimators_match_realized_filters() {
+        // Ask for 30 dB at 3×fc, design it, verify.
+        let n = butterworth_order(30.0, 3.0);
+        let lp = lowpass(
+            n,
+            Approximation::Butterworth,
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        assert!(lp.insertion_loss_db(mhz(30.0)) >= 30.0);
+        // One order less must fail.
+        if n > 1 {
+            let lp_small = lowpass(
+                n - 1,
+                Approximation::Butterworth,
+                mhz(10.0),
+                50.0,
+                ElementLosses::ideal(),
+            );
+            assert!(lp_small.insertion_loss_db(mhz(30.0)) < 30.0);
+        }
+        let nc = chebyshev_order(30.0, 0.5, 3.0);
+        assert!(nc <= n);
+        let cheb = lowpass(
+            nc,
+            Approximation::Chebyshev { ripple_db: 0.5 },
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        assert!(cheb.insertion_loss_db(mhz(30.0)) >= 30.0);
+    }
+
+    #[test]
+    fn group_delay_peaks_near_cutoff_for_chebyshev() {
+        let lp = lowpass(
+            5,
+            Approximation::Chebyshev { ripple_db: 0.5 },
+            mhz(10.0),
+            50.0,
+            ElementLosses::ideal(),
+        );
+        let mid = group_delay(&lp, mhz(3.0));
+        let edge = group_delay(&lp, mhz(9.8));
+        assert!(edge > 2.0 * mid, "edge {edge} vs mid {mid}");
+        assert!(mid > 0.0);
+    }
+
+    #[test]
+    fn group_delay_of_through_is_zero() {
+        let through = Ladder::new(vec![], 50.0, 50.0);
+        assert!(group_delay(&through, mhz(100.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn order_estimator_rejects_in_band_point() {
+        let _ = butterworth_order(20.0, 0.5);
+    }
+}

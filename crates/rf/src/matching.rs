@@ -1,0 +1,432 @@
+//! L-section impedance matching design (the paper's "50 Ω matching
+//! networks for the LNA and the mixer").
+
+use crate::elements::{Immittance, Loss};
+use crate::twoport::{Branch, Ladder};
+use ipass_units::{Capacitance, Frequency, Inductance};
+use std::fmt;
+
+/// The two canonical L-section orientations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LSectionKind {
+    /// Series inductor (source side), shunt capacitor (load side); used
+    /// to step *up* from a lower source to a higher load resistance.
+    SeriesLShuntC,
+    /// Shunt capacitor (source side), series inductor (load side); used
+    /// to step *down*.
+    ShuntCSeriesL,
+}
+
+/// A designed L-section match between two real impedance levels.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::{design_l_match, Loss};
+/// use ipass_units::Frequency;
+///
+/// // Match 50 Ω to a 200 Ω LNA input at 1.575 GHz.
+/// let m = design_l_match(50.0, 200.0, Frequency::from_giga(1.575), Loss::Ideal, Loss::Ideal);
+/// let ladder = m.ladder();
+/// // At the design frequency the match is essentially transparent:
+/// assert!(ladder.insertion_loss_db(Frequency::from_giga(1.575)) < 0.01);
+/// // Away from it, mismatch loss appears:
+/// assert!(ladder.insertion_loss_db(Frequency::from_giga(4.0)) > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LMatch {
+    kind: LSectionKind,
+    source_ohms: f64,
+    load_ohms: f64,
+    f0: Frequency,
+    inductance: Inductance,
+    capacitance: Capacitance,
+    l_loss: Loss,
+    c_loss: Loss,
+}
+
+/// Design an L-section matching `source_ohms` to `load_ohms` at `f0`.
+///
+/// The orientation is chosen automatically: the series arm always goes on
+/// the lower-impedance side.
+///
+/// # Panics
+///
+/// Panics when either resistance is non-positive, when they are equal
+/// (nothing to match), or `f0` is non-positive.
+pub fn design_l_match(
+    source_ohms: f64,
+    load_ohms: f64,
+    f0: Frequency,
+    l_loss: Loss,
+    c_loss: Loss,
+) -> LMatch {
+    assert!(
+        source_ohms > 0.0 && source_ohms.is_finite(),
+        "source resistance must be positive, got {source_ohms}"
+    );
+    assert!(
+        load_ohms > 0.0 && load_ohms.is_finite(),
+        "load resistance must be positive, got {load_ohms}"
+    );
+    assert!(
+        (source_ohms - load_ohms).abs() > 1e-9,
+        "terminations are already equal; no match needed"
+    );
+    assert!(f0.hertz() > 0.0, "design frequency must be positive");
+
+    let (r_low, r_high) = if source_ohms < load_ohms {
+        (source_ohms, load_ohms)
+    } else {
+        (load_ohms, source_ohms)
+    };
+    let q = (r_high / r_low - 1.0).sqrt();
+    let xs = q * r_low; // series reactance on the low side
+    let xp = r_high / q; // shunt reactance on the high side
+    let w = f0.angular();
+    let inductance = Inductance::new(xs / w);
+    let capacitance = Capacitance::new(1.0 / (w * xp));
+    let kind = if source_ohms < load_ohms {
+        LSectionKind::SeriesLShuntC
+    } else {
+        LSectionKind::ShuntCSeriesL
+    };
+    LMatch {
+        kind,
+        source_ohms,
+        load_ohms,
+        f0,
+        inductance,
+        capacitance,
+        l_loss,
+        c_loss,
+    }
+}
+
+impl LMatch {
+    /// The chosen orientation.
+    pub fn kind(&self) -> LSectionKind {
+        self.kind
+    }
+
+    /// The series inductance.
+    pub fn inductance(&self) -> Inductance {
+        self.inductance
+    }
+
+    /// The shunt capacitance.
+    pub fn capacitance(&self) -> Capacitance {
+        self.capacitance
+    }
+
+    /// The design frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.f0
+    }
+
+    /// The loaded Q of the section, `√(R_high/R_low − 1)`.
+    pub fn loaded_q(&self) -> f64 {
+        let (lo, hi) = if self.source_ohms < self.load_ohms {
+            (self.source_ohms, self.load_ohms)
+        } else {
+            (self.load_ohms, self.source_ohms)
+        };
+        (hi / lo - 1.0).sqrt()
+    }
+
+    /// Realize the section as a [`Ladder`] between its terminations.
+    pub fn ladder(&self) -> Ladder {
+        let series = Branch::Series(Immittance::inductor(self.inductance, self.l_loss));
+        let shunt = Branch::Shunt(Immittance::capacitor(self.capacitance, self.c_loss));
+        let branches = match self.kind {
+            LSectionKind::SeriesLShuntC => vec![series, shunt],
+            LSectionKind::ShuntCSeriesL => vec![shunt, series],
+        };
+        Ladder::new(branches, self.source_ohms, self.load_ohms)
+    }
+}
+
+impl fmt::Display for LMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L-match {}Ω→{}Ω at {}: L={}, C={}",
+            self.source_ohms, self.load_ohms, self.f0, self.inductance, self.capacitance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ghz(v: f64) -> Frequency {
+        Frequency::from_giga(v)
+    }
+
+    #[test]
+    fn step_up_is_transparent_at_f0() {
+        let m = design_l_match(50.0, 200.0, ghz(1.575), Loss::Ideal, Loss::Ideal);
+        assert_eq!(m.kind(), LSectionKind::SeriesLShuntC);
+        assert!(m.ladder().insertion_loss_db(ghz(1.575)) < 1e-3);
+        assert!((m.loaded_q() - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_down_is_transparent_at_f0() {
+        let m = design_l_match(200.0, 50.0, ghz(1.575), Loss::Ideal, Loss::Ideal);
+        assert_eq!(m.kind(), LSectionKind::ShuntCSeriesL);
+        assert!(m.ladder().insertion_loss_db(ghz(1.575)) < 1e-3);
+    }
+
+    #[test]
+    fn lossy_elements_leave_residual_loss() {
+        let m = design_l_match(50.0, 200.0, ghz(1.575), Loss::Q(17.0), Loss::Q(80.0));
+        let il = m.ladder().insertion_loss_db(ghz(1.575));
+        assert!(il > 0.05 && il < 1.5, "residual loss {il} dB");
+    }
+
+    #[test]
+    fn return_loss_is_excellent_at_f0() {
+        let m = design_l_match(50.0, 200.0, ghz(1.575), Loss::Ideal, Loss::Ideal);
+        let s = m.ladder().s_params(ghz(1.575));
+        assert!(s.return_loss_db() > 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already equal")]
+    fn equal_terminations_rejected() {
+        let _ = design_l_match(50.0, 50.0, ghz(1.0), Loss::Ideal, Loss::Ideal);
+    }
+
+    #[test]
+    fn display_shows_elements() {
+        let m = design_l_match(50.0, 200.0, ghz(1.575), Loss::Ideal, Loss::Ideal);
+        let s = m.to_string();
+        assert!(s.contains("50Ω→200Ω") && s.contains("L="));
+    }
+
+    proptest! {
+        #[test]
+        fn any_real_match_is_lossless_at_f0(
+            r1 in 5.0f64..500.0,
+            ratio in 1.1f64..20.0,
+            up in proptest::bool::ANY,
+            f_ghz in 0.1f64..5.0,
+        ) {
+            let (rs, rl) = if up { (r1, r1 * ratio) } else { (r1 * ratio, r1) };
+            let m = design_l_match(rs, rl, ghz(f_ghz), Loss::Ideal, Loss::Ideal);
+            prop_assert!(m.ladder().insertion_loss_db(ghz(f_ghz)) < 1e-6);
+        }
+
+        #[test]
+        fn element_values_are_positive(r in 5.0f64..500.0, ratio in 1.1f64..20.0) {
+            let m = design_l_match(r, r * ratio, ghz(1.0), Loss::Ideal, Loss::Ideal);
+            prop_assert!(m.inductance().henries() > 0.0);
+            prop_assert!(m.capacitance().farads() > 0.0);
+        }
+    }
+}
+
+/// A designed pi-section match: shunt C — series L — shunt C.
+///
+/// Unlike the [`LMatch`], whose loaded Q is fixed by the impedance ratio,
+/// a pi section lets the designer choose a higher Q (narrower bandwidth,
+/// e.g. for harmonic suppression at a PA output).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::{design_pi_match, Loss};
+/// use ipass_units::Frequency;
+///
+/// let f0 = Frequency::from_giga(1.575);
+/// let m = design_pi_match(50.0, 200.0, f0, 5.0, Loss::Ideal, Loss::Ideal);
+/// assert!(m.ladder().insertion_loss_db(f0) < 0.01);
+/// // Higher Q than the minimal L-section ⇒ narrower:
+/// let l = ipass_rf::design_l_match(50.0, 200.0, f0, Loss::Ideal, Loss::Ideal);
+/// let off = Frequency::from_giga(1.9);
+/// assert!(m.ladder().insertion_loss_db(off) > l.ladder().insertion_loss_db(off));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiMatch {
+    source_ohms: f64,
+    load_ohms: f64,
+    f0: Frequency,
+    loaded_q: f64,
+    c_source: Capacitance,
+    series_l: Inductance,
+    c_load: Capacitance,
+    l_loss: Loss,
+    c_loss: Loss,
+}
+
+/// Design a pi-section matching `source_ohms` to `load_ohms` at `f0`
+/// with the chosen loaded Q (defined at the higher-impedance side).
+///
+/// # Panics
+///
+/// Panics when a resistance is non-positive, the terminations are equal,
+/// `f0` is non-positive, or `q` is not above the minimum
+/// `√(R_high/R_low − 1)` that the impedance ratio demands.
+pub fn design_pi_match(
+    source_ohms: f64,
+    load_ohms: f64,
+    f0: Frequency,
+    q: f64,
+    l_loss: Loss,
+    c_loss: Loss,
+) -> PiMatch {
+    assert!(
+        source_ohms > 0.0 && source_ohms.is_finite(),
+        "source resistance must be positive, got {source_ohms}"
+    );
+    assert!(
+        load_ohms > 0.0 && load_ohms.is_finite(),
+        "load resistance must be positive, got {load_ohms}"
+    );
+    assert!(
+        (source_ohms - load_ohms).abs() > 1e-9,
+        "terminations are already equal; no match needed"
+    );
+    assert!(f0.hertz() > 0.0, "design frequency must be positive");
+    let (r_low, r_high) = if source_ohms < load_ohms {
+        (source_ohms, load_ohms)
+    } else {
+        (load_ohms, source_ohms)
+    };
+    let q_min = (r_high / r_low - 1.0).sqrt();
+    assert!(
+        q > q_min,
+        "loaded Q {q} must exceed the ratio minimum {q_min:.3}"
+    );
+    // Virtual resistance below both terminations sets the Q.
+    let r_v = r_high / (q * q + 1.0);
+    let q_high = q;
+    let q_low = (r_low / r_v - 1.0).sqrt();
+    let w = f0.angular();
+    // Each half is an L-section down to r_v: shunt X = R/Q, series X = Q·r_v.
+    let (q_src, q_ld) = if source_ohms >= load_ohms {
+        (q_high, q_low)
+    } else {
+        (q_low, q_high)
+    };
+    let c_source = Capacitance::new(q_src / (w * source_ohms));
+    let c_load = Capacitance::new(q_ld / (w * load_ohms));
+    let series_l = Inductance::new((q_src + q_ld) * r_v / w);
+    PiMatch {
+        source_ohms,
+        load_ohms,
+        f0,
+        loaded_q: q,
+        c_source,
+        series_l,
+        c_load,
+        l_loss,
+        c_loss,
+    }
+}
+
+impl PiMatch {
+    /// The shunt capacitor on the source side.
+    pub fn c_source(&self) -> Capacitance {
+        self.c_source
+    }
+
+    /// The series inductor.
+    pub fn series_l(&self) -> Inductance {
+        self.series_l
+    }
+
+    /// The shunt capacitor on the load side.
+    pub fn c_load(&self) -> Capacitance {
+        self.c_load
+    }
+
+    /// The chosen loaded Q.
+    pub fn loaded_q(&self) -> f64 {
+        self.loaded_q
+    }
+
+    /// Realize the section as a [`Ladder`].
+    pub fn ladder(&self) -> Ladder {
+        Ladder::new(
+            vec![
+                Branch::Shunt(Immittance::capacitor(self.c_source, self.c_loss)),
+                Branch::Series(Immittance::inductor(self.series_l, self.l_loss)),
+                Branch::Shunt(Immittance::capacitor(self.c_load, self.c_loss)),
+            ],
+            self.source_ohms,
+            self.load_ohms,
+        )
+    }
+}
+
+impl fmt::Display for PiMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pi-match {}Ω→{}Ω at {} (Q {:.1}): C={}, L={}, C={}",
+            self.source_ohms,
+            self.load_ohms,
+            self.f0,
+            self.loaded_q,
+            self.c_source,
+            self.series_l,
+            self.c_load
+        )
+    }
+}
+
+#[cfg(test)]
+mod pi_tests {
+    use super::*;
+
+    fn ghz(v: f64) -> Frequency {
+        Frequency::from_giga(v)
+    }
+
+    #[test]
+    fn pi_is_transparent_at_f0_both_directions() {
+        for (rs, rl) in [(50.0, 200.0), (200.0, 50.0), (50.0, 75.0)] {
+            let m = design_pi_match(rs, rl, ghz(1.575), 6.0, Loss::Ideal, Loss::Ideal);
+            let il = m.ladder().insertion_loss_db(ghz(1.575));
+            assert!(il < 0.01, "{rs}→{rl}: {il} dB");
+        }
+    }
+
+    #[test]
+    fn higher_q_is_narrower() {
+        let low_q = design_pi_match(50.0, 200.0, ghz(1.575), 3.0, Loss::Ideal, Loss::Ideal);
+        let high_q = design_pi_match(50.0, 200.0, ghz(1.575), 10.0, Loss::Ideal, Loss::Ideal);
+        let off = ghz(1.9);
+        assert!(
+            high_q.ladder().insertion_loss_db(off) > low_q.ladder().insertion_loss_db(off)
+        );
+        assert_eq!(high_q.loaded_q(), 10.0);
+    }
+
+    #[test]
+    fn element_values_are_sane() {
+        let m = design_pi_match(50.0, 200.0, ghz(1.575), 5.0, Loss::Ideal, Loss::Ideal);
+        assert!(m.c_source().picofarads() > 0.1 && m.c_source().picofarads() < 100.0);
+        assert!(m.c_load().picofarads() > 0.1 && m.c_load().picofarads() < 100.0);
+        assert!(m.series_l().nanohenries() > 0.1 && m.series_l().nanohenries() < 100.0);
+        assert!(m.to_string().contains("pi-match"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the ratio minimum")]
+    fn q_below_minimum_rejected() {
+        let _ = design_pi_match(50.0, 200.0, ghz(1.0), 1.0, Loss::Ideal, Loss::Ideal);
+    }
+
+    #[test]
+    fn lossy_pi_still_reasonable() {
+        let m = design_pi_match(50.0, 200.0, ghz(1.575), 5.0, Loss::Q(25.0), Loss::Q(80.0));
+        let il = m.ladder().insertion_loss_db(ghz(1.575));
+        // Loaded Q 5 with element Q 25: IL ≈ 4.343·Q_loaded/Q_u ≈ 0.9 dB.
+        assert!(il > 0.3 && il < 2.0, "{il} dB");
+    }
+}

@@ -1,0 +1,109 @@
+//! Decibel conversions for insertion-loss and rejection bookkeeping.
+
+/// Convert a power ratio to decibels: `10·log₁₀(ratio)`.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative or NaN. A zero ratio yields `-inf`,
+/// which is the correct limit for total rejection.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_units::power_ratio_to_db;
+///
+/// assert!((power_ratio_to_db(0.5) - (-3.0103)).abs() < 1e-4);
+/// assert_eq!(power_ratio_to_db(1.0), 0.0);
+/// ```
+pub fn power_ratio_to_db(ratio: f64) -> f64 {
+    assert!(
+        ratio >= 0.0 && !ratio.is_nan(),
+        "power ratio must be non-negative, got {ratio}"
+    );
+    10.0 * ratio.log10()
+}
+
+/// Convert decibels to a power ratio: `10^(db/10)`.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_units::db_to_power_ratio;
+///
+/// assert!((db_to_power_ratio(-3.0103) - 0.5).abs() < 1e-4);
+/// ```
+pub fn db_to_power_ratio(db: f64) -> f64 {
+    10.0_f64.powf(db / 10.0)
+}
+
+/// Convert a voltage (amplitude) ratio to decibels: `20·log₁₀(ratio)`.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative or NaN.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_units::voltage_ratio_to_db;
+///
+/// assert!((voltage_ratio_to_db(0.5) - (-6.0206)).abs() < 1e-4);
+/// ```
+pub fn voltage_ratio_to_db(ratio: f64) -> f64 {
+    assert!(
+        ratio >= 0.0 && !ratio.is_nan(),
+        "voltage ratio must be non-negative, got {ratio}"
+    );
+    20.0 * ratio.log10()
+}
+
+/// Convert decibels to a voltage (amplitude) ratio: `10^(db/20)`.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_units::db_to_voltage_ratio;
+///
+/// assert!((db_to_voltage_ratio(-6.0206) - 0.5).abs() < 1e-4);
+/// ```
+pub fn db_to_voltage_ratio(db: f64) -> f64 {
+    10.0_f64.powf(db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_points() {
+        assert!((power_ratio_to_db(100.0) - 20.0).abs() < 1e-12);
+        assert!((voltage_ratio_to_db(100.0) - 40.0).abs() < 1e-12);
+        assert_eq!(power_ratio_to_db(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ratio_panics() {
+        let _ = power_ratio_to_db(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn power_roundtrip(db in -120.0f64..120.0) {
+            let r = db_to_power_ratio(db);
+            prop_assert!((power_ratio_to_db(r) - db).abs() < 1e-9);
+        }
+
+        #[test]
+        fn voltage_roundtrip(db in -120.0f64..120.0) {
+            let r = db_to_voltage_ratio(db);
+            prop_assert!((voltage_ratio_to_db(r) - db).abs() < 1e-9);
+        }
+
+        #[test]
+        fn voltage_is_twice_power_db(ratio in 1e-6f64..1e6) {
+            prop_assert!((voltage_ratio_to_db(ratio) - 2.0 * power_ratio_to_db(ratio)).abs() < 1e-9);
+        }
+    }
+}

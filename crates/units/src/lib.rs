@@ -1,0 +1,49 @@
+//! Physical quantities and probability types shared by the
+//! integrated-passives workspace.
+//!
+//! The crate provides thin `f64` newtypes for the handful of physical
+//! dimensions the cost/size/performance methodology manipulates —
+//! resistance, capacitance, inductance, frequency, area, money — plus a
+//! validated [`Probability`] type with the yield algebra used by the
+//! production-flow cost model, and engineering-notation formatting/parsing
+//! (`4.7 nF`, `360 Ω/sq`, `1.575 GHz`).
+//!
+//! Newtypes are deliberately lightweight (C-NEWTYPE): they exist so a
+//! capacitance cannot be passed where an inductance is expected, not to
+//! build a full dimensional-analysis tower. Arithmetic that stays within a
+//! dimension (`+`, `-`, scaling by `f64`) is provided; cross-dimension
+//! products go through explicit named methods (e.g.
+//! [`Frequency::angular`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ipass_units::{Capacitance, Frequency, Probability};
+//!
+//! let c = Capacitance::from_nano(4.7);
+//! assert_eq!(format!("{c}"), "4.7 nF");
+//!
+//! let f = Frequency::from_giga(1.575);
+//! assert!((f.hertz() - 1.575e9).abs() < 1.0);
+//!
+//! // Yield algebra: ten placements at 99.99 % each.
+//! let step = Probability::new(0.9999).unwrap();
+//! let overall = step.powi(10);
+//! assert!((overall.value() - 0.9999f64.powi(10)).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod db;
+mod error;
+mod prob;
+mod quantity;
+mod si;
+
+pub use db::{db_to_power_ratio, db_to_voltage_ratio, power_ratio_to_db, voltage_ratio_to_db};
+pub use error::{ParseQuantityError, ProbabilityError};
+pub use prob::Probability;
+pub use quantity::{Area, Capacitance, Frequency, Inductance, Money, Resistance};
+pub use si::{format_engineering, parse_engineering, SiPrefix};

@@ -1,0 +1,291 @@
+//! SI-prefix engineering notation: formatting and parsing.
+
+use crate::error::ParseQuantityError;
+use std::fmt::Write as _;
+
+/// An SI prefix covering the range used in electronics (`f` … `T`).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_units::SiPrefix;
+///
+/// assert_eq!(SiPrefix::for_value(4.7e-9), SiPrefix::Nano);
+/// assert_eq!(SiPrefix::Nano.symbol(), "n");
+/// assert_eq!(SiPrefix::Nano.factor(), 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SiPrefix {
+    /// `f`, 10⁻¹⁵
+    Femto,
+    /// `p`, 10⁻¹²
+    Pico,
+    /// `n`, 10⁻⁹
+    Nano,
+    /// `µ` (accepted as `u` on input), 10⁻⁶
+    Micro,
+    /// `m`, 10⁻³
+    Milli,
+    /// no prefix, 10⁰
+    None,
+    /// `k`, 10³
+    Kilo,
+    /// `M`, 10⁶
+    Mega,
+    /// `G`, 10⁹
+    Giga,
+    /// `T`, 10¹²
+    Tera,
+}
+
+impl SiPrefix {
+    /// All prefixes in ascending order of magnitude.
+    pub const ALL: [SiPrefix; 10] = [
+        SiPrefix::Femto,
+        SiPrefix::Pico,
+        SiPrefix::Nano,
+        SiPrefix::Micro,
+        SiPrefix::Milli,
+        SiPrefix::None,
+        SiPrefix::Kilo,
+        SiPrefix::Mega,
+        SiPrefix::Giga,
+        SiPrefix::Tera,
+    ];
+
+    /// The multiplier this prefix denotes (e.g. `1e-9` for [`SiPrefix::Nano`]).
+    pub fn factor(self) -> f64 {
+        match self {
+            SiPrefix::Femto => 1e-15,
+            SiPrefix::Pico => 1e-12,
+            SiPrefix::Nano => 1e-9,
+            SiPrefix::Micro => 1e-6,
+            SiPrefix::Milli => 1e-3,
+            SiPrefix::None => 1.0,
+            SiPrefix::Kilo => 1e3,
+            SiPrefix::Mega => 1e6,
+            SiPrefix::Giga => 1e9,
+            SiPrefix::Tera => 1e12,
+        }
+    }
+
+    /// The printed symbol (empty string for [`SiPrefix::None`]).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            SiPrefix::Femto => "f",
+            SiPrefix::Pico => "p",
+            SiPrefix::Nano => "n",
+            SiPrefix::Micro => "µ",
+            SiPrefix::Milli => "m",
+            SiPrefix::None => "",
+            SiPrefix::Kilo => "k",
+            SiPrefix::Mega => "M",
+            SiPrefix::Giga => "G",
+            SiPrefix::Tera => "T",
+        }
+    }
+
+    /// Parse a prefix symbol. Accepts `u` as an ASCII alias for `µ`.
+    pub fn from_symbol(s: &str) -> Option<SiPrefix> {
+        Some(match s {
+            "f" => SiPrefix::Femto,
+            "p" => SiPrefix::Pico,
+            "n" => SiPrefix::Nano,
+            "µ" | "u" => SiPrefix::Micro,
+            "m" => SiPrefix::Milli,
+            "" => SiPrefix::None,
+            "k" | "K" => SiPrefix::Kilo,
+            "M" => SiPrefix::Mega,
+            "G" => SiPrefix::Giga,
+            "T" => SiPrefix::Tera,
+            _ => return None,
+        })
+    }
+
+    /// The prefix that renders `value` with a mantissa in `[1, 1000)`.
+    ///
+    /// Zero, NaN and infinities map to [`SiPrefix::None`]; values outside
+    /// the covered range saturate at [`SiPrefix::Femto`] / [`SiPrefix::Tera`].
+    pub fn for_value(value: f64) -> SiPrefix {
+        let mag = value.abs();
+        if !mag.is_finite() || mag == 0.0 {
+            return SiPrefix::None;
+        }
+        let mut best = SiPrefix::Femto;
+        for p in SiPrefix::ALL {
+            if mag >= p.factor() {
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// Format `value` in engineering notation with the given `unit` suffix.
+///
+/// The mantissa is rounded to at most three decimal places and trailing
+/// zeros are trimmed, which matches data-sheet conventions (`4.7 nF`,
+/// `1.575 GHz`, `225 mm²` are printed without spurious digits).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_units::format_engineering;
+///
+/// assert_eq!(format_engineering(4.7e-9, "F"), "4.7 nF");
+/// assert_eq!(format_engineering(0.0, "Ω"), "0 Ω");
+/// assert_eq!(format_engineering(-50e-12, "F"), "-50 pF");
+/// ```
+pub fn format_engineering(value: f64, unit: &str) -> String {
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let prefix = SiPrefix::for_value(value);
+    let mantissa = value / prefix.factor();
+    // Round to 3 decimals, then trim trailing zeros.
+    let mut s = format!("{mantissa:.3}");
+    while s.contains('.') && (s.ends_with('0') || s.ends_with('.')) {
+        s.pop();
+    }
+    let mut out = s;
+    out.push(' ');
+    let _ = write!(out, "{}{}", prefix.symbol(), unit);
+    out
+}
+
+/// Parse engineering notation such as `"4.7nF"`, `"1.575 GHz"` or `"200"`.
+///
+/// The expected `unit` suffix (e.g. `"F"`, `"Hz"`, `"Ω"`) is optional in
+/// the input; when present it must match. An SI prefix may precede it.
+///
+/// # Errors
+///
+/// Returns [`ParseQuantityError`] when the mantissa is not a number, the
+/// prefix is unknown, or the unit suffix does not match.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_units::parse_engineering;
+///
+/// assert!((parse_engineering("4.7nF", "F").unwrap() - 4.7e-9).abs() < 1e-18);
+/// assert_eq!(parse_engineering("1.575 GHz", "Hz").unwrap(), 1.575e9);
+/// assert_eq!(parse_engineering("200", "Ω").unwrap(), 200.0);
+/// assert!(parse_engineering("4.7xF", "F").is_err());
+/// ```
+pub fn parse_engineering(input: &str, unit: &str) -> Result<f64, ParseQuantityError> {
+    let s = input.trim();
+    if s.is_empty() {
+        return Err(ParseQuantityError::empty(input));
+    }
+    // Split the numeric head from the symbolic tail.
+    let split = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_digit() || matches!(c, '.' | '+' | '-' | 'e' | 'E')))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    // `1e3` style exponents swallow a trailing sign; be permissive and let
+    // f64::parse decide what is numeric.
+    let (mut head, mut tail) = s.split_at(split);
+    // `1E6` would split before `E`? No: E is allowed in the head, but a bare
+    // prefix like `1.5k` splits correctly. However `1e` followed by unit is
+    // ambiguous; handle by retry below.
+    let mut mantissa: Result<f64, _> = head.parse();
+    if mantissa.is_err() && head.ends_with(['e', 'E']) {
+        head = &head[..head.len() - 1];
+        tail = &s[head.len()..];
+        mantissa = head.parse();
+    }
+    let mantissa = mantissa.map_err(|_| ParseQuantityError::bad_number(input))?;
+    let tail = tail.trim();
+    let tail = match tail.strip_suffix(unit) {
+        Some(rest) => rest.trim(),
+        None if tail.is_empty() => "",
+        None => tail, // maybe the remainder is just a prefix with no unit
+    };
+    let prefix =
+        SiPrefix::from_symbol(tail).ok_or_else(|| ParseQuantityError::bad_prefix(input))?;
+    Ok(mantissa * prefix.factor())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_roundtrip() {
+        for p in SiPrefix::ALL {
+            if p == SiPrefix::None {
+                continue;
+            }
+            assert_eq!(SiPrefix::from_symbol(p.symbol()), Some(p));
+        }
+    }
+
+    #[test]
+    fn prefix_selection_covers_boundaries() {
+        assert_eq!(SiPrefix::for_value(999.0), SiPrefix::None);
+        assert_eq!(SiPrefix::for_value(1000.0), SiPrefix::Kilo);
+        assert_eq!(SiPrefix::for_value(1e-3), SiPrefix::Milli);
+        assert_eq!(SiPrefix::for_value(9.9e-4), SiPrefix::Micro);
+        assert_eq!(SiPrefix::for_value(0.0), SiPrefix::None);
+        assert_eq!(SiPrefix::for_value(1e30), SiPrefix::Tera);
+        assert_eq!(SiPrefix::for_value(1e-30), SiPrefix::Femto);
+    }
+
+    #[test]
+    fn formats_common_component_values() {
+        assert_eq!(format_engineering(100e3, "Ω"), "100 kΩ");
+        assert_eq!(format_engineering(50e-12, "F"), "50 pF");
+        assert_eq!(format_engineering(40e-9, "H"), "40 nH");
+        assert_eq!(format_engineering(175e6, "Hz"), "175 MHz");
+        assert_eq!(format_engineering(1.575e9, "Hz"), "1.575 GHz");
+    }
+
+    #[test]
+    fn formats_trim_trailing_zeros() {
+        assert_eq!(format_engineering(1.5e3, "Ω"), "1.5 kΩ");
+        assert_eq!(format_engineering(2.0, "Ω"), "2 Ω");
+        assert_eq!(format_engineering(1.234_56e3, "Ω"), "1.235 kΩ");
+    }
+
+    #[test]
+    fn formats_nonfinite() {
+        assert_eq!(format_engineering(f64::INFINITY, "Ω"), "inf Ω");
+    }
+
+    #[test]
+    fn parses_with_and_without_unit() {
+        assert_eq!(parse_engineering("100k", "Ω").unwrap(), 100e3);
+        assert_eq!(parse_engineering("100 kΩ", "Ω").unwrap(), 100e3);
+        assert_eq!(parse_engineering("0.5", "F").unwrap(), 0.5);
+        assert_eq!(parse_engineering("3u", "F").unwrap(), 3e-6);
+        assert_eq!(parse_engineering("3µF", "F").unwrap(), 3e-6);
+    }
+
+    #[test]
+    fn parses_scientific_mantissa() {
+        assert_eq!(parse_engineering("1e3", "Hz").unwrap(), 1e3);
+        assert_eq!(parse_engineering("1.5e-9 F", "F").unwrap(), 1.5e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_engineering("", "F").is_err());
+        assert!(parse_engineering("abc", "F").is_err());
+        assert!(parse_engineering("1.5 qF", "F").is_err());
+        assert!(parse_engineering("1.5 kV", "F").is_err());
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        for &v in &[4.7e-9, 1.575e9, 100e3, 0.25, 360.0, 2.2e-12] {
+            let s = format_engineering(v, "X");
+            let back = parse_engineering(&s, "X").unwrap();
+            assert!(
+                (back - v).abs() <= v.abs() * 5e-4 + 1e-18,
+                "{v} -> {s} -> {back}"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The "rule of thumb" scenario from the paper's introduction: for a
+//! purely digital board (passives are pull-ups and decoupling), at what
+//! resistor count does the integrated-passives substrate become the
+//! cheaper choice? (Bleiweiss & Roelants [2] claim "more than 10
+//! resistors".)
+//!
+//! Run with `cargo run --example digital_decoupling`.
+
+use integrated_passives::core::{
+    BomItem, BuildUp, ChipCost, CostInputs, PassivePolicy, Realization, SelectionObjective,
+    YieldBasis,
+};
+use integrated_passives::moe::find_crossover;
+use integrated_passives::units::{Area, Money, Probability};
+
+fn digital_bom(resistor_count: u32) -> Vec<BomItem> {
+    vec![
+        BomItem::die("logic ASIC")
+            .with_packaged(Realization::new(Area::from_mm2(300.0), Money::new(12.0)))
+            .with_flip_chip(Realization::new(Area::from_mm2(25.0), Money::new(10.0)))
+            .with_wire_bond(Realization::new(Area::from_mm2(36.0), Money::new(10.0)).with_bonds(80)),
+        BomItem::passive("pull-up R 10 kΩ", resistor_count)
+            .with_smd(Realization::new(Area::from_mm2(3.75), Money::new(0.02)))
+            .with_integrated(Realization::new(Area::from_mm2(0.08), Money::ZERO)),
+    ]
+}
+
+fn cost_card(is_pcb: bool) -> CostInputs {
+    let p = Probability::clamped;
+    CostInputs {
+        substrate_cost_per_cm2: Money::new(if is_pcb { 0.1 } else { 2.0 }),
+        substrate_fab_yield_per_cm2: Some(p(if is_pcb { 0.9999 } else { 0.97 })),
+        substrate_yield: p(if is_pcb { 0.9999 } else { 0.97 }),
+        chips: vec![ChipCost::new(
+            "logic ASIC",
+            Money::new(if is_pcb { 12.0 } else { 10.0 }),
+            p(if is_pcb { 0.999 } else { 0.98 }),
+        )],
+        chip_attach_cost_per_die: Money::new(if is_pcb { 0.15 } else { 0.10 }),
+        chip_attach_yield: p(if is_pcb { 0.97 } else { 0.99 }),
+        wire_bond_cost_per_bond: Money::new(0.01),
+        wire_bond_yield: p(0.9999),
+        smd_parts_cost_override: None,
+        smd_attach_cost_per_part: Money::new(0.01),
+        smd_attach_yield: p(0.9999),
+        packaging: (!is_pcb).then(|| (Money::new(2.0), p(0.99))),
+        final_test_cost: Money::new(1.5),
+        fault_coverage: p(0.99),
+        yield_basis: YieldBasis::PerStep,
+    }
+}
+
+fn final_cost(buildup: &BuildUp, n: u32) -> Result<f64, Box<dyn std::error::Error>> {
+    let plan = buildup.plan(&digital_bom(n), SelectionObjective::MinArea)?;
+    let is_pcb = !buildup.substrate().supports_integrated_passives();
+    let report = plan
+        .production_flow(plan.area().substrate_area, &cost_card(is_pcb))?
+        .analyze()?;
+    Ok(report.final_cost_per_shipped().units())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pcb = BuildUp::pcb_reference();
+    let mcm = BuildUp::mcm_flip_chip(PassivePolicy::AllIntegrated);
+
+    println!("resistors   PCB/SMD   MCM-D/IP   cheaper");
+    let mut pcb_curve = Vec::new();
+    let mut mcm_curve = Vec::new();
+    for n in (2..=60).step_by(2) {
+        let c_pcb = final_cost(&pcb, n)?;
+        let c_mcm = final_cost(&mcm, n)?;
+        pcb_curve.push((f64::from(n), c_pcb));
+        mcm_curve.push((f64::from(n), c_mcm));
+        if n % 8 == 2 {
+            println!(
+                "{n:>9} {c_pcb:>9.2} {c_mcm:>10.2}   {}",
+                if c_mcm < c_pcb { "integrated" } else { "SMD" }
+            );
+        }
+    }
+
+    match find_crossover(&mcm_curve, &pcb_curve) {
+        Some(x) => println!(
+            "\ncrossover at ≈ {x:.1} resistors — compare the literature's \"more than 10\" [2].\n\
+             (The exact point depends on the substrate premium; sweep it in bench `ablations`.)"
+        ),
+        None => println!("\nno crossover in the swept range"),
+    }
+    Ok(())
+}

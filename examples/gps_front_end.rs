@@ -1,0 +1,98 @@
+//! The full paper reproduction: every table and figure of *Assessing the
+//! Cost Effectiveness of Integrated Passives* (DATE 2000), regenerated.
+//!
+//! Run with `cargo run --example gps_front_end` for everything, or pass
+//! any of `--fig1 --table1 --table2 --chain --fig3 --fig4 --fig5
+//! --fig5-mc --fig6 --final --sensitivity` to select artifacts.
+
+use integrated_passives::core::BuildUp;
+use integrated_passives::gps::{bom, experiments, filters, table2};
+use integrated_passives::gps::paper::SOLUTION_NAMES;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    if want("--fig1") {
+        println!("{}", experiments::fig1().render());
+    }
+    if want("--table1") {
+        println!("{}", experiments::table1()?.render());
+    }
+    if want("--table2") {
+        println!("Table 2 — cost & yield cards");
+        for (buildup, label) in BuildUp::paper_solutions().iter().zip(SOLUTION_NAMES) {
+            let card = table2::cost_inputs(buildup);
+            println!(
+                "  {label}: substrate {}/cm² (yield {}), chips {}, test {} (coverage {})",
+                card.substrate_cost_per_cm2,
+                card.substrate_yield,
+                card.chips
+                    .iter()
+                    .map(|c| format!("{} {} ({})", c.name, c.cost, c.incoming_yield))
+                    .collect::<Vec<_>>()
+                    .join(" + "),
+                card.final_test_cost,
+                card.fault_coverage,
+            );
+        }
+        println!();
+    }
+    if want("--chain") {
+        println!("Fig. 2 — the analog chain (performance assessment, §4.1)");
+        for buildup in BuildUp::paper_solutions() {
+            println!("  {}", filters::assess_performance(&buildup));
+        }
+        println!("\nreceiver budgets (gain / noise figure, Friis):");
+        for buildup in BuildUp::paper_solutions() {
+            let chain = integrated_passives::gps::chain::chain_budget(&buildup);
+            println!(
+                "  {:<24} NF {:.2} dB, gain {:.1} dB",
+                chain.buildup,
+                chain.noise_figure_db(),
+                chain.gain_db()
+            );
+        }
+        println!();
+    }
+    if want("--fig3") {
+        println!("{}", experiments::fig3()?.render());
+    }
+    if want("--fig4") {
+        println!("{}", experiments::fig4(42)?.render());
+    }
+    if want("--fig5") {
+        println!("{}", experiments::fig5()?.render());
+    }
+    if want("--fig5-mc") {
+        println!(
+            "Fig. 5 cross-check by Monte Carlo (100 000 units/solution):\n{}",
+            experiments::fig5_monte_carlo(100_000, 2000)?.render()
+        );
+    }
+    if want("--fig6") {
+        println!("{}", experiments::fig6()?.render());
+    }
+    if want("--final") {
+        println!("{}", experiments::final_design_check()?.render());
+    }
+    if want("--sensitivity") {
+        println!(
+            "Sensitivity of solution 4's final cost (tornado):\n{}",
+            experiments::sensitivity(3)?.render()
+        );
+    }
+    if all {
+        // The per-solution selection tables, for the curious.
+        println!("Per-solution technology selections (methodology step 1):");
+        for buildup in BuildUp::paper_solutions() {
+            let plan = buildup.plan(
+                &bom::gps_bom(&buildup),
+                integrated_passives::core::SelectionObjective::MinArea,
+            )?;
+            println!("{plan}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: assess whether integrating passives pays off for a small
+//! mixed-signal module.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use integrated_passives::core::{
+    BomItem, BuildUp, CandidateScore, ChipCost, CostInputs, DecisionTable, FomWeights,
+    PassivePolicy, Realization, SelectionObjective, YieldBasis,
+};
+use integrated_passives::units::{Area, Money, Probability};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small BOM: one ASIC, some decoupling, some bias resistors.
+    let bom = vec![
+        BomItem::die("ASIC")
+            .with_packaged(Realization::new(Area::from_mm2(400.0), Money::new(25.0)))
+            .with_wire_bond(Realization::new(Area::from_mm2(49.0), Money::new(21.0)).with_bonds(64))
+            .with_flip_chip(Realization::new(Area::from_mm2(36.0), Money::new(21.0))),
+        BomItem::passive("decoupling C 2.2 nF", 6)
+            .with_smd(Realization::new(Area::from_mm2(4.5), Money::new(0.10)))
+            .with_integrated(Realization::new(Area::from_mm2(22.0), Money::ZERO)),
+        BomItem::passive("bias R 47 kΩ", 24)
+            .with_smd(Realization::new(Area::from_mm2(3.75), Money::new(0.02)))
+            .with_integrated(Realization::new(Area::from_mm2(0.13), Money::ZERO)),
+    ];
+
+    // 2. Candidate build-ups: the PCB reference vs a passives-optimized MCM.
+    let candidates = [
+        BuildUp::pcb_reference(),
+        BuildUp::mcm_flip_chip(PassivePolicy::Optimized),
+    ];
+
+    let mut scores = Vec::new();
+    for buildup in &candidates {
+        // Select a technology per component (the "passives optimized" rule).
+        let plan = buildup.plan(&bom, SelectionObjective::MinArea)?;
+        let area = plan.area();
+
+        // A cost/yield card in the shape of the paper's Table 2.
+        let is_pcb = !buildup.substrate().supports_integrated_passives();
+        let inputs = CostInputs {
+            substrate_cost_per_cm2: Money::new(if is_pcb { 0.1 } else { 2.25 }),
+            substrate_fab_yield_per_cm2: Some(Probability::new(if is_pcb { 0.9999 } else { 0.95 })?),
+            substrate_yield: Probability::new(if is_pcb { 0.9999 } else { 0.95 })?,
+            chips: vec![ChipCost::new(
+                "ASIC",
+                Money::new(if is_pcb { 25.0 } else { 21.0 }),
+                Probability::new(if is_pcb { 0.999 } else { 0.97 })?,
+            )],
+            chip_attach_cost_per_die: Money::new(if is_pcb { 0.15 } else { 0.10 }),
+            chip_attach_yield: Probability::new(if is_pcb { 0.975 } else { 0.99 })?,
+            wire_bond_cost_per_bond: Money::new(0.01),
+            wire_bond_yield: Probability::new(0.9999)?,
+            smd_parts_cost_override: None,
+            smd_attach_cost_per_part: Money::new(0.01),
+            smd_attach_yield: Probability::new(0.9999)?,
+            packaging: (!is_pcb).then(|| (Money::new(3.50), Probability::clamped(0.968))),
+            final_test_cost: Money::new(2.0),
+            fault_coverage: Probability::new(0.99)?,
+            yield_basis: YieldBasis::PerStep,
+        };
+
+        // Cost with test and yield aspects (Eq. 1).
+        let report = plan
+            .production_flow(area.substrate_area, &inputs)?
+            .analyze()?;
+
+        println!("{plan}");
+        println!(
+            "  final cost/shipped: {} (direct {}, yield loss {})\n",
+            report.final_cost_per_shipped(),
+            report.direct_cost_per_shipped(),
+            report.yield_loss_per_shipped()
+        );
+        scores.push(CandidateScore::new(
+            buildup.to_string(),
+            1.0, // no RF filters in this toy BOM
+            area.module_area,
+            report.final_cost_per_shipped(),
+        ));
+    }
+
+    // 3. The figure of merit decides.
+    let table = DecisionTable::rank(&scores, "PCB/SMD", FomWeights::unweighted())?;
+    println!("{table}");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Explore beyond the paper's four candidates: rank *every* structurally
+//! viable build-up of the GPS front end, under both selection objectives
+//! and several figure-of-merit weightings.
+//!
+//! Run with `cargo run --example tradeoff_explorer`.
+
+use integrated_passives::core::{
+    BuildUp, CandidateScore, DecisionTable, FomWeights, SelectionObjective,
+};
+use integrated_passives::gps::{bom::gps_bom, filters::assess_performance, table2::cost_inputs};
+use integrated_passives::units::Money;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (objective, objective_name) in [
+        (SelectionObjective::MinArea, "minimum area (the paper's rule)"),
+        (
+            SelectionObjective::MinCost {
+                substrate_cost_per_cm2: Money::new(2.25),
+                smd_assembly_cost: Money::new(0.01),
+            },
+            "minimum cost",
+        ),
+    ] {
+        println!("== objective: {objective_name} ==");
+        let mut candidates = Vec::new();
+        for buildup in BuildUp::enumerate() {
+            let plan = buildup.plan(&gps_bom(&buildup), objective)?;
+            let area = plan.area();
+            let report = plan
+                .production_flow(area.substrate_area, &cost_inputs(&buildup))?
+                .analyze()?;
+            let perf = assess_performance(&buildup);
+            println!(
+                "  {:<22} {:>4} SMDs, {:>3} IPs, module {:>7.0} mm², cost {:>7.1}, perf {:.2}",
+                buildup.to_string(),
+                plan.smd_placements(),
+                plan.integrated_count(),
+                area.module_area.mm2(),
+                report.final_cost_per_shipped().units(),
+                perf.overall
+            );
+            candidates.push(CandidateScore::new(
+                buildup.to_string(),
+                perf.overall,
+                area.module_area,
+                report.final_cost_per_shipped(),
+            ));
+        }
+
+        for (weights, label) in [
+            (FomWeights::unweighted(), "paper weights (1/1/1)"),
+            (
+                FomWeights {
+                    performance: 3.0,
+                    size: 1.0,
+                    cost: 1.0,
+                },
+                "performance-critical (3/1/1)",
+            ),
+            (
+                FomWeights {
+                    performance: 1.0,
+                    size: 0.25,
+                    cost: 2.0,
+                },
+                "cost-driven (1/0.25/2)",
+            ),
+        ] {
+            let table = DecisionTable::rank(&candidates, "PCB/SMD", weights)?;
+            println!("  {label}: best = {} (FoM {:.2})", table.best().name, table.best().fom);
+        }
+        println!();
+    }
+    Ok(())
+}

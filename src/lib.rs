@@ -1,0 +1,26 @@
+//! Facade crate re-exporting the integrated-passives workspace — a
+//! reproduction of Scheffler & Tröster, *Assessing the Cost
+//! Effectiveness of Integrated Passives* (DATE 2000).
+//!
+//! See the individual crates for full documentation: [`units`], [`moe`],
+//! [`passives`], [`rf`], [`layout`], [`core`], [`gps`] — and README.md /
+//! DESIGN.md / EXPERIMENTS.md at the workspace root.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's headline decision (Fig. 6):
+//!
+//! ```
+//! let fig6 = integrated_passives::gps::experiments::fig6()?;
+//! assert!(fig6.table.best().name.contains("IP&SMD")); // solution 4 wins
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+
+pub use ipass_core as core;
+pub use ipass_gps as gps;
+pub use ipass_layout as layout;
+pub use ipass_moe as moe;
+pub use ipass_passives as passives;
+pub use ipass_rf as rf;
+pub use ipass_units as units;

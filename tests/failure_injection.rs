@@ -1,0 +1,156 @@
+//! Failure-injection tests: every error path of the public API fires
+//! with an informative error instead of a wrong answer.
+
+use integrated_passives::core::{BomItem, BuildUp, PlanError, Realization, SelectionObjective};
+use integrated_passives::moe::{
+    CostCategory, FailAction, Flow, FlowError, Line, Part, Process, SimOptions, StepCost, Test,
+    YieldModel,
+};
+use integrated_passives::passives::{
+    MimCapacitor, SpiralInductor, SynthesisError, ThinFilmProcess, ThinFilmResistor,
+};
+use integrated_passives::rf::FilterSpec;
+use integrated_passives::units::{Area, Capacitance, Frequency, Inductance, Money, Probability,
+    Resistance};
+
+#[test]
+fn dead_process_line_reports_nothing_shipped() {
+    let line = Line::builder("dead", Part::new("c", CostCategory::Substrate))
+        .process(Process::new("kill").with_yield(YieldModel::flat(Probability::ZERO)))
+        .test(Test::new("t"))
+        .build()
+        .unwrap();
+    let flow = Flow::new(line);
+    assert!(matches!(
+        flow.analyze(),
+        Err(FlowError::NothingShipped { .. })
+    ));
+    assert!(matches!(
+        flow.simulate(&SimOptions::new(100)),
+        Err(FlowError::NothingShipped { .. })
+    ));
+}
+
+#[test]
+fn zero_coverage_ships_defects_instead_of_catching_them() {
+    // Coverage 0: the test is a pure cost adder; every defect escapes.
+    let line = Line::builder(
+        "blind",
+        Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(1.0))),
+    )
+    .process(Process::new("p").with_yield(YieldModel::percent(80.0)))
+    .test(
+        Test::new("blind test")
+            .with_coverage(Probability::ZERO)
+            .on_fail(FailAction::Scrap),
+    )
+    .build()
+    .unwrap();
+    let report = Flow::new(line).analyze().unwrap();
+    assert!((report.shipped_fraction() - 1.0).abs() < 1e-12);
+    assert!((report.escape_rate() - 0.2).abs() < 1e-12);
+    assert_eq!(report.scrap_spend(), Money::ZERO);
+}
+
+#[test]
+fn rework_that_never_succeeds_degenerates_to_scrap() {
+    use integrated_passives::moe::Rework;
+    let build = |action: FailAction| {
+        let line = Line::builder(
+            "r",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(5.0))),
+        )
+        .process(Process::new("p").with_yield(YieldModel::percent(70.0)))
+        .test(Test::new("t").on_fail(action))
+        .build()
+        .unwrap();
+        Flow::new(line).analyze().unwrap()
+    };
+    let scrap = build(FailAction::Scrap);
+    let futile = build(FailAction::Rework(Rework::new(
+        StepCost::ZERO,
+        Probability::ZERO,
+        3,
+    )));
+    // Same shipped fraction; the futile rework only burns attempts.
+    assert!((scrap.shipped_fraction() - futile.shipped_fraction()).abs() < 1e-12);
+}
+
+#[test]
+fn plan_errors_name_the_culprit() {
+    let orphan = BomItem::passive("mystery blob", 3);
+    let err = BuildUp::pcb_reference()
+        .plan(&[orphan], SelectionObjective::MinArea)
+        .unwrap_err();
+    match err {
+        PlanError::NoFeasibleRealization { item, buildup } => {
+            assert_eq!(item, "mystery blob");
+            assert!(buildup.contains("PCB"));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn die_without_flip_chip_variant_blocks_fc_buildups() {
+    let wb_only = BomItem::die("old ASIC")
+        .with_packaged(Realization::new(Area::from_mm2(100.0), Money::new(5.0)))
+        .with_wire_bond(Realization::new(Area::from_mm2(25.0), Money::new(4.0)).with_bonds(40));
+    assert!(BuildUp::mcm_wire_bond(integrated_passives::core::PassivePolicy::AllSmd)
+        .plan(std::slice::from_ref(&wb_only), SelectionObjective::MinArea)
+        .is_ok());
+    assert!(matches!(
+        BuildUp::mcm_flip_chip(integrated_passives::core::PassivePolicy::AllSmd)
+            .plan(&[wb_only], SelectionObjective::MinArea),
+        Err(PlanError::NoFeasibleRealization { .. })
+    ));
+}
+
+#[test]
+fn synthesis_rejects_unbuildable_components() {
+    let process = ThinFilmProcess::summit_mcm_d();
+    for err in [
+        ThinFilmResistor::synthesize(Resistance::new(-5.0), &process).unwrap_err(),
+        ThinFilmResistor::synthesize(Resistance::from_mega(500.0), &process).unwrap_err(),
+        MimCapacitor::synthesize(Capacitance::from_micro(10.0), &process).unwrap_err(),
+        SpiralInductor::synthesize(Inductance::from_micro(100.0), &process).unwrap_err(),
+    ] {
+        assert!(matches!(
+            err,
+            SynthesisError::OutOfRange { .. } | SynthesisError::NonPositiveValue { .. }
+        ));
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn spec_scoring_handles_total_rejection() {
+    // A spec evaluated against a network that blocks the passband
+    // entirely: score collapses toward zero but stays finite.
+    use integrated_passives::rf::{Branch, Immittance, Ladder, Loss};
+    let blocker = Ladder::new(
+        vec![Branch::Series(Immittance::capacitor(
+            Capacitance::from_pico(0.001),
+            Loss::Ideal,
+        ))],
+        50.0,
+        50.0,
+    );
+    let spec = FilterSpec::new("through", Frequency::from_mega(1.0), 3.0);
+    let report = spec.evaluate(&blocker);
+    assert!(!report.meets_spec());
+    let score = report.performance_score();
+    assert!(score > 0.0 && score < 0.1, "score {score}");
+}
+
+#[test]
+fn monte_carlo_rejects_zero_units() {
+    let line = Line::builder("x", Part::new("c", CostCategory::Substrate))
+        .process(Process::new("p"))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        Flow::new(line).simulate(&SimOptions::new(0)),
+        Err(FlowError::NoUnits)
+    ));
+}

@@ -1,0 +1,140 @@
+//! Acceptance tests: every table and figure of the paper, reproduced
+//! within its tolerance band (documented in EXPERIMENTS.md).
+
+use integrated_passives::gps::{experiments, paper};
+
+#[test]
+fn fig1_footprint_saturation() {
+    let fig = experiments::fig1();
+    // The paper's argument: bodies shrink ~10× faster than footprints.
+    let body_ratio = fig.rows[2].body_mm2 / fig.rows[5].body_mm2; // 0805 vs 0201
+    let foot_ratio = fig.rows[2].footprint_mm2 / fig.rows[5].footprint_mm2;
+    assert!(body_ratio > 10.0, "body shrink {body_ratio}");
+    assert!(foot_ratio < 2.5, "footprint shrink {foot_ratio}");
+    // Table 1 anchors inside the series.
+    let r0603 = fig.rows.iter().find(|r| r.code == "0603").unwrap();
+    assert!((r0603.footprint_mm2 - 3.75).abs() < 1e-12);
+}
+
+#[test]
+fn table1_areas_synthesized_from_physics() {
+    let t = experiments::table1().unwrap();
+    let find = |label: &str| {
+        t.rows
+            .iter()
+            .find(|r| r.label.contains(label))
+            .unwrap_or_else(|| panic!("row {label} missing"))
+    };
+    // 100 kΩ meander: 0.25 mm² within 20 %.
+    let r = find("IP-R");
+    assert!((r.measured_mm2 - r.paper_mm2).abs() / r.paper_mm2 < 0.2);
+    // 50 pF MIM: 0.3 mm² within 10 %.
+    let c = find("IP-C");
+    assert!((c.measured_mm2 - c.paper_mm2).abs() / c.paper_mm2 < 0.1);
+    // 40 nH spiral: 1 mm² within 35 % (minimum-area synthesis packs a
+    // little tighter than the paper's layout).
+    let l = find("IP-L");
+    assert!((l.measured_mm2 - l.paper_mm2).abs() / l.paper_mm2 < 0.35);
+}
+
+#[test]
+fn fig3_area_ladder() {
+    let fig = experiments::fig3().unwrap();
+    let measured: Vec<f64> = fig.rows.iter().map(|r| r.measured_percent).collect();
+    for (m, p) in measured.iter().zip(paper::FIG3_AREA_PERCENT.iter()) {
+        assert!((m - p).abs() < 3.0, "measured {m:.1}% vs paper {p}%");
+    }
+    // Strictly decreasing: every step toward integration shrinks the module.
+    assert!(measured.windows(2).all(|w| w[1] < w[0]));
+}
+
+#[test]
+fn fig4_moe_model_structure_and_conservation() {
+    let fig = experiments::fig4(1).unwrap();
+    assert_eq!(fig.started, paper::FIG4_STARTED);
+    assert!((fig.shipped() + fig.scrapped() - fig.started as f64).abs() < 0.5);
+    // The pictured stages all exist.
+    let joined = fig.stages.join("|");
+    for stage in [
+        "substrate",
+        "chip assembly",
+        "wire bonding",
+        "SMD mounting",
+        "functional test",
+        "scrap",
+    ] {
+        assert!(joined.contains(stage), "missing stage {stage}");
+    }
+}
+
+#[test]
+fn fig5_cost_shape() {
+    let fig = experiments::fig5().unwrap();
+    let m: Vec<f64> = fig.rows.iter().map(|r| r.measured_percent).collect();
+    // Who wins: the PCB stays cheapest; the full-IP substrate is the most
+    // expensive; the WB and passives-optimized variants sit within a
+    // point of each other around +5 %.
+    assert!(m[0] < m[1] && m[1] < m[2] && m[3] < m[2]);
+    for (i, (mi, pi)) in m.iter().zip(paper::FIG5_COST_PERCENT.iter()).enumerate() {
+        assert!(
+            (mi - pi).abs() < 2.5,
+            "solution {}: measured {mi:.1}% vs paper {pi}%",
+            i + 1
+        );
+    }
+    // The stacked composition: yield loss grows monotonically from
+    // solution 1 to solution 3 (the paper's bar stacking).
+    assert!(fig.rows[0].yield_loss < fig.rows[1].yield_loss);
+    assert!(fig.rows[1].yield_loss < fig.rows[2].yield_loss);
+}
+
+#[test]
+fn fig6_figure_of_merit_and_decision() {
+    let fig = experiments::fig6().unwrap();
+    let foms: Vec<f64> = fig.table.rows().iter().map(|r| r.fom).collect();
+    for (i, (m, p)) in foms.iter().zip(paper::FIG6_FOM.iter()).enumerate() {
+        let tol = if i == 3 { 0.3 } else { 0.15 };
+        assert!((m - p).abs() < tol, "solution {}: FoM {m:.2} vs paper {p}", i + 1);
+    }
+    // The paper's decision: "an adaptation of solution 4 has been chosen".
+    assert!(fig.table.best().name.contains("IP&SMD"));
+    // And solution 3 is the only one below the reference.
+    assert!(foms[2] < 1.0 && foms[1] > 1.0 && foms[3] > 1.0);
+}
+
+#[test]
+fn section41_performance_scores() {
+    use integrated_passives::core::BuildUp;
+    use integrated_passives::gps::filters::assess_performance;
+    let scores: Vec<f64> = BuildUp::paper_solutions()
+        .iter()
+        .map(|b| assess_performance(b).overall)
+        .collect();
+    assert_eq!(scores[0], 1.0);
+    assert_eq!(scores[1], 1.0);
+    assert!((scores[2] - 0.45).abs() < 0.08, "sol3 {}", scores[2]);
+    assert!((scores[3] - 0.70).abs() < 0.08, "sol4 {}", scores[3]);
+}
+
+#[test]
+fn table2_counts_flow_into_the_plans() {
+    use integrated_passives::core::{BuildUp, SelectionObjective};
+    use integrated_passives::gps::bom::gps_bom;
+    let counts: Vec<u32> = BuildUp::paper_solutions()
+        .iter()
+        .map(|b| {
+            b.plan(&gps_bom(b), SelectionObjective::MinArea)
+                .unwrap()
+                .smd_placements()
+        })
+        .collect();
+    assert_eq!(counts, paper::SMD_COUNTS.to_vec());
+    let bonds = BuildUp::paper_solutions()[1]
+        .plan(
+            &gps_bom(&BuildUp::paper_solutions()[1]),
+            SelectionObjective::MinArea,
+        )
+        .unwrap()
+        .bond_count();
+    assert_eq!(bonds, paper::BOND_COUNT);
+}

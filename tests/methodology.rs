@@ -1,0 +1,123 @@
+//! End-to-end methodology behaviour beyond the paper's four candidates:
+//! objectives, weights and the enumerated design space.
+
+use integrated_passives::core::{
+    BuildUp, CandidateScore, DecisionTable, FomWeights, PassivePolicy, SelectionObjective,
+};
+use integrated_passives::gps::{bom::gps_bom, filters::assess_performance, table2::cost_inputs};
+use integrated_passives::units::Money;
+
+fn assess(buildup: &BuildUp, objective: SelectionObjective) -> CandidateScore {
+    let plan = buildup.plan(&gps_bom(buildup), objective).unwrap();
+    let area = plan.area();
+    let report = plan
+        .production_flow(area.substrate_area, &cost_inputs(buildup))
+        .unwrap()
+        .analyze()
+        .unwrap();
+    CandidateScore::new(
+        buildup.to_string(),
+        assess_performance(buildup).overall,
+        area.module_area,
+        report.final_cost_per_shipped(),
+    )
+}
+
+#[test]
+fn every_enumerated_buildup_is_plannable() {
+    for buildup in BuildUp::enumerate() {
+        let plan = buildup
+            .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+            .unwrap();
+        assert!(plan.component_area().mm2() > 0.0, "{buildup}");
+        // The module always exceeds the per-side component load (a
+        // double-sided PCB may be smaller than Σ component area).
+        assert!(
+            plan.area().module_area.mm2() > plan.component_area().mm2() / 2.0,
+            "{buildup}"
+        );
+    }
+}
+
+#[test]
+fn paper_winner_is_robust_in_the_larger_space() {
+    // Rank all seven build-ups: solution 4 still wins under the paper's
+    // weights.
+    let candidates: Vec<CandidateScore> = BuildUp::enumerate()
+        .iter()
+        .map(|b| assess(b, SelectionObjective::MinArea))
+        .collect();
+    let table = DecisionTable::rank(&candidates, "PCB/SMD", FomWeights::unweighted()).unwrap();
+    assert!(table.best().name.contains("FC/IP&SMD"), "best: {}", table.best().name);
+}
+
+#[test]
+fn objectives_disagree_on_the_precision_inductors() {
+    // The paper's area rule keeps the 4 precision IF inductors as SMDs
+    // (3.75 mm² beats the 5 mm² wide-line spiral). A purely cost-driven
+    // selection would integrate them — spiral substrate area is cheaper
+    // than a 0.45-unit wire-wound part — and silently sacrifice the IF
+    // filter's Q. Both objectives agree on the decaps.
+    let buildup = BuildUp::mcm_flip_chip(PassivePolicy::Optimized);
+    let by_area = buildup
+        .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+        .unwrap();
+    let by_cost = buildup
+        .plan(
+            &gps_bom(&buildup),
+            SelectionObjective::MinCost {
+                substrate_cost_per_cm2: Money::new(2.25),
+                smd_assembly_cost: Money::new(0.01),
+            },
+        )
+        .unwrap();
+    assert_eq!(by_area.smd_placements(), 12);
+    assert_eq!(by_cost.smd_placements(), 8, "cost objective keeps only the decaps SMD");
+}
+
+#[test]
+fn performance_weighting_flips_the_decision() {
+    let candidates: Vec<CandidateScore> = BuildUp::paper_solutions()
+        .iter()
+        .map(|b| assess(b, SelectionObjective::MinArea))
+        .collect();
+    let heavy = FomWeights {
+        performance: 8.0,
+        size: 1.0,
+        cost: 1.0,
+    };
+    let table = DecisionTable::rank(&candidates, "PCB/SMD", heavy).unwrap();
+    // A spec-paranoid product manager keeps full-performance solutions.
+    assert!(
+        !table.best().name.contains("IP&SMD"),
+        "heavy perf weighting still picked {}",
+        table.best().name
+    );
+}
+
+#[test]
+fn wire_bond_optimized_hybrid_exists_but_loses_to_flip_chip() {
+    // The enumeration contains MCM/WB/IP&SMD (not in the paper); it is
+    // strictly worse than the flip-chip version on area.
+    let wb = assess(
+        &BuildUp::mcm_wire_bond(PassivePolicy::Optimized),
+        SelectionObjective::MinArea,
+    );
+    let fc = assess(
+        &BuildUp::mcm_flip_chip(PassivePolicy::Optimized),
+        SelectionObjective::MinArea,
+    );
+    assert!(wb.module_area.mm2() > fc.module_area.mm2());
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade crate exposes every sub-crate under a stable name.
+    let _ = integrated_passives::units::Money::new(1.0);
+    let _ = integrated_passives::moe::SimOptions::new(1);
+    let _ = integrated_passives::passives::SmdSize::I0603;
+    let _ = integrated_passives::rf::Complex::I;
+    let _ = integrated_passives::layout::BgaLaminate::standard();
+    let _ = integrated_passives::core::FomWeights::unweighted();
+    let _ = integrated_passives::gps::paper::FIG6_FOM;
+}

@@ -1,0 +1,78 @@
+//! Cross-check the paper's "trivial placement" area factors against an
+//! actual rectangle packing of the GPS component set.
+
+use integrated_passives::core::{BuildUp, PassivePolicy, SelectionObjective};
+use integrated_passives::gps::bom::gps_bom;
+use integrated_passives::layout::{Rect, ShelfPacker, SubstrateRule};
+use integrated_passives::units::Area;
+
+/// Approximate each selected component as a square of its area (good
+/// enough for a utilization cross-check).
+fn rectangles(buildup: &BuildUp) -> Vec<Rect> {
+    let plan = buildup
+        .plan(&gps_bom(buildup), SelectionObjective::MinArea)
+        .unwrap();
+    let mut rects = Vec::new();
+    for sel in plan.selections() {
+        let side = sel.realization.area().square_side_mm();
+        for _ in 0..sel.quantity {
+            rects.push(Rect::new(side, side));
+        }
+    }
+    rects
+}
+
+#[test]
+fn mcm_11x_overhead_is_realizable_by_packing() {
+    // Pack solution 2's parts into the strip width the 1.1× rule
+    // allocates; the shelf packer must fit within a modest excess.
+    let buildup = BuildUp::mcm_wire_bond(PassivePolicy::AllSmd);
+    let rects = rectangles(&buildup);
+    let total: f64 = rects.iter().map(|r| r.area().mm2()).sum();
+    let rule = SubstrateRule::mcm_d_si();
+    let strip = (rule.overhead() * total).sqrt();
+    let packing = ShelfPacker::new(strip).pack(&rects).unwrap();
+    assert!(packing.validate());
+    // Shelf packing is suboptimal; staying within ~1.35× confirms that
+    // 1.1× with a real placer is credible.
+    assert!(
+        packing.overhead() < 1.35,
+        "shelf overhead {:.3} for Σ {total:.0} mm²",
+        packing.overhead()
+    );
+}
+
+#[test]
+fn optimized_solution_packs_too() {
+    let buildup = BuildUp::mcm_flip_chip(PassivePolicy::Optimized);
+    let rects = rectangles(&buildup);
+    let rule = SubstrateRule::mcm_d_si();
+    let total: f64 = rects.iter().map(|r| r.area().mm2()).sum();
+    let strip = rule.required_side_mm(Area::from_mm2(total)) - 2.0 * rule.edge_clearance_mm();
+    let packing = ShelfPacker::new(strip).pack(&rects).unwrap();
+    assert!(packing.validate());
+    // Everything fits close to the substrate the sizing rule predicts.
+    // Solution 4 is a small, heterogeneous set (a 7.7 mm die next to
+    // 2 mm chips), the worst case for a shelf heuristic — allow its
+    // usual slack over the hand-layout 1.1× assumption.
+    assert!(
+        packing.height() <= strip * 1.45,
+        "height {:.1} vs strip {strip:.1}",
+        packing.height()
+    );
+}
+
+#[test]
+fn packer_matches_trivial_placement_for_uniform_parts() {
+    // For a board of uniform passives the trivial Σarea model and the
+    // packer agree almost exactly — the factor is pure geometry.
+    let rects = vec![Rect::new(2.0, 1.25); 120];
+    let total: f64 = rects.iter().map(|r| r.area().mm2()).sum();
+    let packing = ShelfPacker::new(20.0).pack(&rects).unwrap();
+    assert!(packing.validate());
+    assert!(
+        (packing.bounding_area().mm2() / total) < 1.1,
+        "uniform overhead {:.3}",
+        packing.bounding_area().mm2() / total
+    );
+}
