@@ -11,7 +11,10 @@ use std::hint::black_box;
 /// Ablation 1: per-step vs per-item yield interpretation of Table 2.
 fn ablation_yield_basis(c: &mut Criterion) {
     println!("\n== ablation: yield basis (final cost % of solution 1) ==");
-    println!("{:<28} {:>9} {:>9} {:>7}", "implementation", "per-step", "per-item", "paper");
+    println!(
+        "{:<28} {:>9} {:>9} {:>7}",
+        "implementation", "per-step", "per-item", "paper"
+    );
     let mut per_step = Vec::new();
     let mut per_item = Vec::new();
     for (i, buildup) in BuildUp::paper_solutions().iter().enumerate() {
@@ -82,9 +85,7 @@ fn ablation_defect_models(c: &mut Criterion) {
         println!("  {model:?}: substrate yield {y}");
     }
     c.bench_function("ablation_defect_models", |b| {
-        b.iter(|| {
-            black_box(DefectModel::Murphy.yield_at(black_box(d0 * area.cm2())))
-        })
+        b.iter(|| black_box(DefectModel::Murphy.yield_at(black_box(d0 * area.cm2()))))
     });
 }
 
@@ -158,7 +159,9 @@ fn ablation_resistor_crossover(c: &mut Criterion) {
         ]
     }
     fn cost(buildup: &BuildUp, n: u32) -> f64 {
-        let plan = buildup.plan(&board(n), SelectionObjective::MinArea).unwrap();
+        let plan = buildup
+            .plan(&board(n), SelectionObjective::MinArea)
+            .unwrap();
         let is_pcb = !buildup.substrate().supports_integrated_passives();
         let mut card = cost_inputs(buildup);
         // Lighter demo economics: one cheap die, cheap test.
@@ -216,14 +219,22 @@ fn ablation_mc_convergence(c: &mut Criterion) {
         );
     }
     c.bench_function("ablation_mc_10k", |b| {
-        b.iter(|| black_box(flow.simulate(&SimOptions::new(10_000).with_seed(13)).unwrap()))
+        b.iter(|| {
+            black_box(
+                flow.simulate(&SimOptions::new(10_000).with_seed(13))
+                    .unwrap(),
+            )
+        })
     });
 }
 
 /// Ablation 6: tornado sensitivity of solution 4's final cost.
 fn ablation_sensitivity(c: &mut Criterion) {
     println!("\n== ablation: Table 2 input sensitivity (solution 4) ==");
-    println!("{}", ipass_gps::experiments::sensitivity(3).unwrap().render());
+    println!(
+        "{}",
+        ipass_gps::experiments::sensitivity(3).unwrap().render()
+    );
     c.bench_function("ablation_sensitivity_tornado", |b| {
         b.iter(|| black_box(ipass_gps::experiments::sensitivity(black_box(3)).unwrap()))
     });

@@ -2,15 +2,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ipass_layout::{Rect, ShelfPacker, SubstrateRule};
+use ipass_sim::SimRng;
 use ipass_units::Area;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::from_seed(seed);
     (0..n)
-        .map(|_| Rect::new(rng.gen_range(0.5..6.0), rng.gen_range(0.3..4.0)))
+        .map(|_| Rect::new(rng.range_f64(0.5, 6.0), rng.range_f64(0.3, 4.0)))
         .collect()
 }
 

@@ -8,7 +8,9 @@ use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {
     println!("\n{}", experiments::fig1().render());
-    c.bench_function("fig1_smd_area", |b| b.iter(|| black_box(experiments::fig1())));
+    c.bench_function("fig1_smd_area", |b| {
+        b.iter(|| black_box(experiments::fig1()))
+    });
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -20,7 +22,9 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_fig3(c: &mut Criterion) {
     println!("\n{}", experiments::fig3().unwrap().render());
-    c.bench_function("fig3_area", |b| b.iter(|| black_box(experiments::fig3().unwrap())));
+    c.bench_function("fig3_area", |b| {
+        b.iter(|| black_box(experiments::fig3().unwrap()))
+    });
 }
 
 fn bench_fig4(c: &mut Criterion) {

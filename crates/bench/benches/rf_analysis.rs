@@ -21,11 +21,7 @@ fn bench_sweep(c: &mut Criterion) {
     let design = lna_filter(&TechnologyQ::integrated());
     let mut group = c.benchmark_group("frequency_sweep");
     for points in [101usize, 1001] {
-        let grid = linspace(
-            Frequency::from_giga(0.8),
-            Frequency::from_giga(2.4),
-            points,
-        );
+        let grid = linspace(Frequency::from_giga(0.8), Frequency::from_giga(2.4), points);
         group.throughput(Throughput::Elements(points as u64));
         group.bench_with_input(BenchmarkId::from_parameter(points), &grid, |b, grid| {
             b.iter(|| black_box(design.ladder().sweep(grid)))

@@ -97,7 +97,12 @@ pub struct BomItem {
 }
 
 impl BomItem {
-    fn new(name: impl Into<String>, role: ItemRole, quantity: u32, category: CostCategory) -> BomItem {
+    fn new(
+        name: impl Into<String>,
+        role: ItemRole,
+        quantity: u32,
+        category: CostCategory,
+    ) -> BomItem {
         assert!(quantity > 0, "BOM quantity must be positive");
         BomItem {
             name: name.into(),
@@ -124,7 +129,12 @@ impl BomItem {
     ///
     /// Panics on zero quantity.
     pub fn passive(name: impl Into<String>, quantity: u32) -> BomItem {
-        BomItem::new(name, ItemRole::Passive, quantity, CostCategory::PassiveParts)
+        BomItem::new(
+            name,
+            ItemRole::Passive,
+            quantity,
+            CostCategory::PassiveParts,
+        )
     }
 
     /// A component that is always mounted as an SMD regardless of policy.
@@ -133,7 +143,12 @@ impl BomItem {
     ///
     /// Panics on zero quantity.
     pub fn fixed_smd(name: impl Into<String>, quantity: u32) -> BomItem {
-        BomItem::new(name, ItemRole::FixedSmd, quantity, CostCategory::PassiveParts)
+        BomItem::new(
+            name,
+            ItemRole::FixedSmd,
+            quantity,
+            CostCategory::PassiveParts,
+        )
     }
 
     /// Set the packaged (QFP-on-PCB) realization.

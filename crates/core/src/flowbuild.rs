@@ -290,7 +290,11 @@ mod tests {
         let names: Vec<&str> = flow.line().stages().iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["chip assembly", "packaging / mount on laminate", "functional test"]
+            [
+                "chip assembly",
+                "packaging / mount on laminate",
+                "functional test"
+            ]
         );
     }
 

@@ -55,7 +55,12 @@ impl CandidateScore {
     ///
     /// Panics when performance is outside `(0, 1]` or area/cost are
     /// non-positive.
-    pub fn new(name: impl Into<String>, performance: f64, module_area: Area, final_cost: Money) -> CandidateScore {
+    pub fn new(
+        name: impl Into<String>,
+        performance: f64,
+        module_area: Area,
+        final_cost: Money,
+    ) -> CandidateScore {
         assert!(
             performance > 0.0 && performance <= 1.0,
             "performance score must be in (0, 1], got {performance}"
@@ -157,12 +162,13 @@ impl DecisionTable {
         if candidates.is_empty() {
             return Err(DecisionError::NoCandidates);
         }
-        let reference_candidate = candidates
-            .iter()
-            .find(|c| c.name == reference)
-            .ok_or_else(|| DecisionError::UnknownReference {
-                name: reference.to_owned(),
-            })?;
+        let reference_candidate =
+            candidates
+                .iter()
+                .find(|c| c.name == reference)
+                .ok_or_else(|| DecisionError::UnknownReference {
+                    name: reference.to_owned(),
+                })?;
         let ref_area = reference_candidate.module_area;
         let ref_cost = reference_candidate.final_cost;
         let rows = candidates
@@ -202,15 +208,17 @@ impl DecisionTable {
     pub fn best(&self) -> &DecisionRow {
         self.rows
             .iter()
-            .max_by(|a, b| a.fom.partial_cmp(&b.fom).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.fom
+                    .partial_cmp(&b.fom)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("table is never empty")
     }
 
     /// Render the Fig. 6 style table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "implementation                 perf.   size    cost     FoM\n",
-        );
+        let mut out = String::from("implementation                 perf.   size    cost     FoM\n");
         for row in &self.rows {
             out.push_str(&format!(
                 "{:<30} {:>5.2}  1/{:<5.2} 1/{:<5.2} {:>6.2}{}\n",
@@ -219,7 +227,11 @@ impl DecisionTable {
                 row.size_ratio,
                 row.cost_ratio,
                 row.fom,
-                if row.name == self.best().name { "  ◀ best" } else { "" }
+                if row.name == self.best().name {
+                    "  ◀ best"
+                } else {
+                    ""
+                }
             ));
         }
         out
@@ -240,17 +252,31 @@ mod tests {
         // The paper's Fig. 6 inputs: perf, area %, cost %.
         vec![
             CandidateScore::new("1 PCB/SMD", 1.0, Area::from_mm2(1000.0), Money::new(100.0)),
-            CandidateScore::new("2 MCM/WB/SMD", 1.0, Area::from_mm2(790.0), Money::new(104.7)),
-            CandidateScore::new("3 MCM/FC/IP", 0.45, Area::from_mm2(600.0), Money::new(112.8)),
-            CandidateScore::new("4 MCM/FC/IP&SMD", 0.70, Area::from_mm2(370.0), Money::new(105.3)),
+            CandidateScore::new(
+                "2 MCM/WB/SMD",
+                1.0,
+                Area::from_mm2(790.0),
+                Money::new(104.7),
+            ),
+            CandidateScore::new(
+                "3 MCM/FC/IP",
+                0.45,
+                Area::from_mm2(600.0),
+                Money::new(112.8),
+            ),
+            CandidateScore::new(
+                "4 MCM/FC/IP&SMD",
+                0.70,
+                Area::from_mm2(370.0),
+                Money::new(105.3),
+            ),
         ]
     }
 
     #[test]
     fn reproduces_fig6() {
-        let table =
-            DecisionTable::rank(&paper_candidates(), "1 PCB/SMD", FomWeights::unweighted())
-                .unwrap();
+        let table = DecisionTable::rank(&paper_candidates(), "1 PCB/SMD", FomWeights::unweighted())
+            .unwrap();
         let foms: Vec<f64> = table.rows().iter().map(|r| r.fom).collect();
         assert!((foms[0] - 1.0).abs() < 1e-12);
         assert!((foms[1] - 1.2).abs() < 0.05, "sol2 {}", foms[1]);
@@ -283,8 +309,8 @@ mod tests {
 
     #[test]
     fn unknown_reference_is_an_error() {
-        let err = DecisionTable::rank(&paper_candidates(), "nope", FomWeights::default())
-            .unwrap_err();
+        let err =
+            DecisionTable::rank(&paper_candidates(), "nope", FomWeights::default()).unwrap_err();
         assert!(matches!(err, DecisionError::UnknownReference { .. }));
     }
 

@@ -132,12 +132,11 @@ impl BuildUp {
         }
         let mut selections = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
-            let (choice, realization) = select(self, item, objective).ok_or_else(|| {
-                PlanError::NoFeasibleRealization {
+            let (choice, realization) =
+                select(self, item, objective).ok_or_else(|| PlanError::NoFeasibleRealization {
                     item: item.name().to_owned(),
                     buildup: self.to_string(),
-                }
-            })?;
+                })?;
             selections.push(Selection {
                 item_index: i,
                 item_name: item.name().to_owned(),
@@ -202,9 +201,8 @@ fn pick(
             substrate_cost_per_cm2,
             smd_assembly_cost,
         } => {
-            let smd_cost = smd.1.unit_cost()
-                + smd_assembly_cost
-                + substrate_cost_per_cm2 * smd.1.area().cm2();
+            let smd_cost =
+                smd.1.unit_cost() + smd_assembly_cost + substrate_cost_per_cm2 * smd.1.area().cm2();
             let ip_cost =
                 integrated.1.unit_cost() + substrate_cost_per_cm2 * integrated.1.area().cm2();
             if smd_cost.units() < ip_cost.units() {

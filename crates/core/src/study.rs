@@ -11,6 +11,7 @@ use crate::fom::{CandidateScore, DecisionError, DecisionTable, FomWeights};
 use crate::plan::{AreaBreakdown, BuildUpPlan, PlanError, SelectionObjective};
 use crate::technology::BuildUp;
 use ipass_moe::{CostReport, FlowError};
+use ipass_sim::Executor;
 use std::error::Error;
 use std::fmt;
 
@@ -142,6 +143,7 @@ pub struct TradeStudy {
     candidates: Vec<StudyCandidate>,
     objective: SelectionObjective,
     weights: FomWeights,
+    executor: Executor,
 }
 
 impl TradeStudy {
@@ -153,6 +155,7 @@ impl TradeStudy {
             candidates: Vec::new(),
             objective: SelectionObjective::MinArea,
             weights: FomWeights::unweighted(),
+            executor: Executor::available(),
         }
     }
 
@@ -175,48 +178,160 @@ impl TradeStudy {
         self
     }
 
+    /// Change the executor candidates are fanned out on (default: one
+    /// worker per available core; results do not depend on the choice).
+    pub fn with_executor(mut self, executor: Executor) -> TradeStudy {
+        self.executor = executor;
+        self
+    }
+
     /// Run all five steps.
+    ///
+    /// Candidates are evaluated in parallel on the study's executor.
     ///
     /// # Errors
     ///
     /// Returns [`StudyError`] when no candidates are registered, a
     /// candidate cannot be planned, or a flow cannot be evaluated.
     pub fn run(&self) -> Result<StudyReport, StudyError> {
+        let mut reports = self.run_scenarios(std::slice::from_ref(&StudyScenario::baseline()))?;
+        Ok(reports.pop().expect("one scenario in, one report out"))
+    }
+
+    /// Run the study under several scenarios at once.
+    ///
+    /// The full candidate × objective grid is fanned out through the
+    /// executor, and expensive per-candidate sub-results (the selected
+    /// plan with its packed areas, and the analytic flow report) are
+    /// memoized: scenarios that share a selection objective share the
+    /// plan and cost evaluation and only re-rank the decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] when no candidates are registered, or any
+    /// candidate fails to plan or evaluate under any scenario.
+    pub fn run_scenarios(
+        &self,
+        scenarios: &[StudyScenario],
+    ) -> Result<Vec<StudyReport>, StudyError> {
         if self.candidates.is_empty() {
             return Err(StudyError::NoCandidates);
         }
-        let mut rows = Vec::with_capacity(self.candidates.len());
-        for candidate in &self.candidates {
-            let plan = candidate.buildup.plan(&self.bom, self.objective)?;
-            let area = plan.area();
-            let cost = plan
-                .production_flow(area.substrate_area, &candidate.inputs)?
-                .analyze()?;
-            rows.push(StudyRow {
-                plan,
-                area,
-                cost,
-                performance: candidate.performance,
-            });
-        }
-        let scores: Vec<CandidateScore> = rows
+        // Scenario objectives collapse into equivalence classes: that
+        // deduplication *is* the memoization — each (candidate,
+        // objective) cell is planned and costed exactly once however
+        // many scenarios share it.
+        let mut classes: Vec<SelectionObjective> = Vec::new();
+        let scenario_class: Vec<usize> = scenarios
             .iter()
-            .map(|row| {
-                CandidateScore::new(
-                    row.plan.buildup().to_string(),
-                    row.performance,
-                    row.area.module_area,
-                    row.cost.final_cost_per_shipped(),
-                )
+            .map(|s| {
+                let objective = s.objective.unwrap_or(self.objective);
+                match classes.iter().position(|c| *c == objective) {
+                    Some(i) => i,
+                    None => {
+                        classes.push(objective);
+                        classes.len() - 1
+                    }
+                }
             })
             .collect();
-        let reference = scores[0].name.clone();
-        let decision = DecisionTable::rank(&scores, &reference, self.weights)?;
-        Ok(StudyReport {
-            name: self.name.clone(),
-            rows,
-            decision,
+        let grid: Vec<(usize, usize)> = (0..self.candidates.len())
+            .flat_map(|c| (0..classes.len()).map(move |o| (c, o)))
+            .collect();
+        let cells = self
+            .executor
+            .try_map(&grid, |_, &(c, o)| self.evaluate_candidate(c, classes[o]))?;
+        scenarios
+            .iter()
+            .zip(scenario_class.iter())
+            .map(|(scenario, &class)| {
+                let rows: Vec<StudyRow> = (0..self.candidates.len())
+                    .map(|c| cells[c * classes.len() + class].clone())
+                    .collect();
+                let scores: Vec<CandidateScore> = rows
+                    .iter()
+                    .map(|row| {
+                        CandidateScore::new(
+                            row.plan.buildup().to_string(),
+                            row.performance,
+                            row.area.module_area,
+                            row.cost.final_cost_per_shipped(),
+                        )
+                    })
+                    .collect();
+                let reference = scores[0].name.clone();
+                let weights = scenario.weights.unwrap_or(self.weights);
+                let decision = DecisionTable::rank(&scores, &reference, weights)?;
+                let name = if scenario.name.is_empty() {
+                    self.name.clone()
+                } else {
+                    format!("{} / {}", self.name, scenario.name)
+                };
+                Ok(StudyReport {
+                    name,
+                    rows,
+                    decision,
+                })
+            })
+            .collect()
+    }
+
+    fn evaluate_candidate(
+        &self,
+        index: usize,
+        objective: SelectionObjective,
+    ) -> Result<StudyRow, StudyError> {
+        let candidate = &self.candidates[index];
+        let plan = candidate.buildup.plan(&self.bom, objective)?;
+        let area = plan.area();
+        let cost = plan
+            .production_flow(area.substrate_area, &candidate.inputs)?
+            .analyze()?;
+        Ok(StudyRow {
+            plan,
+            area,
+            cost,
+            performance: candidate.performance,
         })
+    }
+}
+
+/// One scenario of a [`TradeStudy::run_scenarios`] batch: overrides for
+/// the study's selection objective and/or figure-of-merit weights.
+#[derive(Debug, Clone, Default)]
+pub struct StudyScenario {
+    /// Scenario label, appended to the report name (empty = baseline).
+    pub name: String,
+    /// Objective override (`None` uses the study's objective).
+    pub objective: Option<SelectionObjective>,
+    /// Weight override (`None` uses the study's weights).
+    pub weights: Option<FomWeights>,
+}
+
+impl StudyScenario {
+    /// The study's own configuration, unmodified.
+    pub fn baseline() -> StudyScenario {
+        StudyScenario::default()
+    }
+
+    /// A named scenario with no overrides yet.
+    pub fn named(name: impl Into<String>) -> StudyScenario {
+        StudyScenario {
+            name: name.into(),
+            ..StudyScenario::default()
+        }
+    }
+
+    /// Override the selection objective.
+    pub fn with_objective(mut self, objective: SelectionObjective) -> StudyScenario {
+        self.objective = Some(objective);
+        self
+    }
+
+    /// Override the figure-of-merit weights.
+    pub fn with_weights(mut self, weights: FomWeights) -> StudyScenario {
+        self.weights = Some(weights);
+        self
     }
 }
 
@@ -333,7 +448,11 @@ mod tests {
 
     fn study() -> TradeStudy {
         TradeStudy::new("unit test", bom())
-            .candidate(StudyCandidate::new(BuildUp::pcb_reference(), card(true), 1.0))
+            .candidate(StudyCandidate::new(
+                BuildUp::pcb_reference(),
+                card(true),
+                1.0,
+            ))
             .candidate(StudyCandidate::new(
                 BuildUp::mcm_flip_chip(PassivePolicy::Optimized),
                 card(false),
@@ -361,9 +480,65 @@ mod tests {
 
     #[test]
     fn plan_errors_propagate() {
-        let study = TradeStudy::new("bad", vec![BomItem::passive("ghost", 1)])
-            .candidate(StudyCandidate::new(BuildUp::pcb_reference(), card(true), 1.0));
+        let study = TradeStudy::new("bad", vec![BomItem::passive("ghost", 1)]).candidate(
+            StudyCandidate::new(BuildUp::pcb_reference(), card(true), 1.0),
+        );
         assert!(matches!(study.run(), Err(StudyError::Plan(_))));
+    }
+
+    #[test]
+    fn scenario_batch_shares_subresults_and_reranks() {
+        let batch = study()
+            .run_scenarios(&[
+                StudyScenario::baseline(),
+                StudyScenario::named("perf-heavy").with_weights(FomWeights {
+                    performance: 10.0,
+                    size: 1.0,
+                    cost: 1.0,
+                }),
+            ])
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].name(), "unit test");
+        assert_eq!(batch[1].name(), "unit test / perf-heavy");
+        // Same objective ⇒ identical memoized plans and cost rows.
+        for (a, b) in batch[0].rows().iter().zip(batch[1].rows().iter()) {
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.area.module_area, b.area.module_area);
+        }
+        // Different weights ⇒ different ranking of the MCM candidate.
+        let base_fom = batch[0].decision().rows()[1].fom;
+        let heavy_fom = batch[1].decision().rows()[1].fom;
+        assert!(heavy_fom < base_fom);
+        // Batch result matches individual runs exactly.
+        let solo = study().run().unwrap();
+        assert_eq!(solo.decision().rows()[1].fom, base_fom);
+    }
+
+    #[test]
+    fn empty_scenario_list_is_empty() {
+        assert!(study().run_scenarios(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn serial_executor_matches_parallel() {
+        let parallel = study().run().unwrap();
+        let serial = study()
+            .with_executor(ipass_sim::Executor::serial())
+            .run()
+            .unwrap();
+        assert_eq!(
+            parallel.decision().rows().len(),
+            serial.decision().rows().len()
+        );
+        for (a, b) in parallel
+            .decision()
+            .rows()
+            .iter()
+            .zip(serial.decision().rows().iter())
+        {
+            assert_eq!(a.fom, b.fom);
+        }
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl BuildUp {
     /// Panics on inconsistent combinations: a PCB cannot integrate
     /// passives or carry bare dies, and an MCM does not host packaged
     /// parts.
-    pub fn new(substrate: SubstrateTech, die_attach: DieAttach, passives: PassivePolicy) -> BuildUp {
+    pub fn new(
+        substrate: SubstrateTech,
+        die_attach: DieAttach,
+        passives: PassivePolicy,
+    ) -> BuildUp {
         match substrate {
             SubstrateTech::Pcb => {
                 assert!(
@@ -131,7 +135,11 @@ impl BuildUp {
 
     /// The PCB/SMD reference (the paper's solution 1).
     pub fn pcb_reference() -> BuildUp {
-        BuildUp::new(SubstrateTech::Pcb, DieAttach::Packaged, PassivePolicy::AllSmd)
+        BuildUp::new(
+            SubstrateTech::Pcb,
+            DieAttach::Packaged,
+            PassivePolicy::AllSmd,
+        )
     }
 
     /// MCM-D with wire-bonded dies (solution 2 uses `AllSmd`).
@@ -191,7 +199,11 @@ impl fmt::Display for BuildUp {
         match self.substrate {
             SubstrateTech::Pcb => write!(f, "PCB/SMD"),
             SubstrateTech::McmDSi => {
-                write!(f, "{}/{}/{}", self.substrate, self.die_attach, self.passives)
+                write!(
+                    f,
+                    "{}/{}/{}",
+                    self.substrate, self.die_attach, self.passives
+                )
             }
         }
     }
@@ -254,7 +266,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "packaged parts")]
     fn pcb_with_flip_chip_rejected() {
-        let _ = BuildUp::new(SubstrateTech::Pcb, DieAttach::FlipChip, PassivePolicy::AllSmd);
+        let _ = BuildUp::new(
+            SubstrateTech::Pcb,
+            DieAttach::FlipChip,
+            PassivePolicy::AllSmd,
+        );
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace ships
+//! this local shim implementing the subset of the criterion API the
+//! benches use: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId` and `Throughput`.
+//!
+//! Each benchmark reports min/mean ns per iteration on stdout. When the
+//! `BENCH_JSON` environment variable names a file, all results of the
+//! run are additionally written there as a JSON array — that is how the
+//! committed `BENCH_*.json` baselines are produced.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id (`group/param` or the function name).
+    pub id: String,
+    /// Mean nanoseconds per iteration over the measured samples.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Declared throughput elements per iteration, if any.
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Elements per second, when a throughput was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 / (self.mean_ns * 1e-9))
+    }
+}
+
+/// The benchmark driver (a small timing harness).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the target measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), None, |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one<F>(&mut self, id: String, elements: Option<u64>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up + per-iteration estimate.
+        let mut bench = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up {
+            f(&mut bench);
+            per_iter = bench.elapsed.max(Duration::from_nanos(1));
+        }
+        // Choose an iteration count so all samples fit the measurement
+        // window.
+        let budget = self.measurement.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bench = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bench);
+            samples_ns.push(bench.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0_f64, f64::max);
+        let result = BenchResult {
+            id,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: samples_ns.len(),
+            iters_per_sample: iters,
+            elements,
+        };
+        let throughput = result
+            .elements_per_sec()
+            .map(|eps| format!("  ({eps:.0} elem/s)"))
+            .unwrap_or_default();
+        println!(
+            "bench {:<44} {:>12.0} ns/iter (min {:.0}, max {:.0}){}",
+            result.id, result.mean_ns, result.min_ns, result.max_ns, throughput
+        );
+        self.results.push(result);
+    }
+}
+
+/// A group of related benchmarks sharing a name and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        });
+        self
+    }
+
+    /// Benchmark one parameterized case.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let elements = self.throughput;
+        self.criterion.run_one(full, elements, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an unparameterized case inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let elements = self.throughput;
+        self.criterion.run_one(full, elements, |b| f(b));
+        self
+    }
+
+    /// Close the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The measurement callback handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Declared per-iteration workload, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Write recorded results as JSON to the `BENCH_JSON` path, if set.
+/// Called by [`criterion_main!`]; harmless to call directly.
+pub fn finalize(results: &[BenchResult]) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}, \"elements\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+            r.elements.map_or("null".to_string(), |e| e.to_string()),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write BENCH_JSON={path}: {e}");
+    } else {
+        println!("wrote benchmark baseline to {path}");
+    }
+}
+
+/// Define a benchmark group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut all: Vec<$crate::BenchResult> = Vec::new();
+            $(all.extend($group().results().iter().cloned());)+
+            $crate::finalize(&all);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_records_results() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(30));
+        spin(&mut c);
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "spin");
+        assert_eq!(c.results()[1].id, "grouped/4");
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert!(c.results()[1].elements_per_sec().unwrap() > 0.0);
+        assert!(c.results()[0].min_ns <= c.results()[0].mean_ns);
+    }
+}

@@ -97,8 +97,7 @@ fn filter_items(style: FilterStyle) -> Vec<BomItem> {
                 .with_smd(smd(27.5, FILTER_MODULE_COST)),
             BomItem::passive("IF BP filter 175 MHz (module)", 2)
                 .with_smd(smd(27.5, FILTER_MODULE_COST)),
-            BomItem::passive("PLL loop filter (module)", 1)
-                .with_smd(smd(27.5, FILTER_MODULE_COST)),
+            BomItem::passive("PLL loop filter (module)", 1).with_smd(smd(27.5, FILTER_MODULE_COST)),
         ],
         FilterStyle::Elements => vec![
             // The image-reject BP stays a block: its integrated form is
@@ -259,6 +258,9 @@ mod tests {
             })
             .map(|i| i.quantity())
             .sum();
-        assert!((40..=70).contains(&filtering), "filtering passives {filtering}");
+        assert!(
+            (40..=70).contains(&filtering),
+            "filtering passives {filtering}"
+        );
     }
 }

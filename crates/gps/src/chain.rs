@@ -121,7 +121,11 @@ mod tests {
         for b in BuildUp::paper_solutions() {
             let chain = chain_budget(&b);
             // GPS needs NF well under 6 dB and plenty of gain.
-            assert!(chain.noise_figure_db() < 6.0, "{b}: NF {}", chain.noise_figure_db());
+            assert!(
+                chain.noise_figure_db() < 6.0,
+                "{b}: NF {}",
+                chain.noise_figure_db()
+            );
             assert!(chain.gain_db() > 35.0, "{b}: gain {}", chain.gain_db());
             assert!(chain.image_rejection_db > 20.0, "{b}");
         }

@@ -90,30 +90,32 @@ pub struct SolutionAssessment {
 }
 
 /// Run methodology steps 1–4 for all four paper solutions (analytic cost
-/// engine).
+/// engine). The solutions are assessed in parallel on the shared
+/// [`ipass_sim`] executor — an embarrassingly parallel batch.
 ///
 /// # Errors
 ///
 /// Returns [`ExperimentError`] if planning or cost evaluation fails.
 pub fn assess_all() -> Result<Vec<SolutionAssessment>, ExperimentError> {
-    BuildUp::paper_solutions()
+    let solutions: Vec<(BuildUp, &'static str)> = BuildUp::paper_solutions()
         .iter()
-        .zip(paper::SOLUTION_NAMES.iter())
-        .map(|(buildup, label)| {
-            let plan = buildup.plan(&gps_bom(buildup), SelectionObjective::MinArea)?;
-            let area = plan.area();
-            let flow = plan.production_flow(area.substrate_area, &cost_inputs(buildup))?;
-            let cost = flow.analyze()?;
-            Ok(SolutionAssessment {
-                buildup: *buildup,
-                label,
-                plan,
-                area,
-                performance: assess_performance(buildup),
-                cost,
-            })
+        .copied()
+        .zip(paper::SOLUTION_NAMES.iter().copied())
+        .collect();
+    ipass_sim::Executor::available().try_map(&solutions, |_, &(buildup, label)| {
+        let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
+        let area = plan.area();
+        let flow = plan.production_flow(area.substrate_area, &cost_inputs(&buildup))?;
+        let cost = flow.analyze()?;
+        Ok(SolutionAssessment {
+            buildup,
+            label,
+            plan,
+            area,
+            performance: assess_performance(&buildup),
+            cost,
         })
-        .collect()
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -196,7 +198,10 @@ impl Table1 {
     /// Render the comparison.
     pub fn render(&self) -> String {
         let mut out = String::from("Table 1 — area-relevant data [mm²]\n");
-        out.push_str(&format!("{:<34} {:>8} {:>10}\n", "component", "paper", "measured"));
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>10}\n",
+            "component", "paper", "measured"
+        ));
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<34} {:>8.3} {:>10.3}\n",
@@ -369,7 +374,10 @@ pub fn fig4(seed: u64) -> Result<Fig4, ExperimentError> {
     let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
     let area = plan.area();
     let flow = plan.production_flow(area.substrate_area, &cost_inputs(&buildup))?;
-    let mut stages: Vec<String> = vec![format!("component/carrier: {}", flow.line().carrier().name())];
+    let mut stages: Vec<String> = vec![format!(
+        "component/carrier: {}",
+        flow.line().carrier().name()
+    )];
     stages.extend(flow.line().stages().iter().map(|s| s.name().to_owned()));
     stages.push("collector: modules to be shipped".into());
     stages.push("scrap".into());
@@ -468,21 +476,28 @@ pub fn fig5() -> Result<Fig5, ExperimentError> {
 }
 
 /// Regenerate Fig. 5 with the Monte Carlo engine (the paper's actual
-/// procedure).
+/// procedure). The four solutions are simulated in parallel; the
+/// reports are bit-identical to serial runs (the determinism contract
+/// of `ipass-sim`).
 ///
 /// # Errors
 ///
 /// Returns [`ExperimentError`] if planning or simulation fails.
 pub fn fig5_monte_carlo(units: u64, seed: u64) -> Result<Fig5, ExperimentError> {
-    let mut reports = Vec::with_capacity(4);
-    for (buildup, label) in BuildUp::paper_solutions()
+    let solutions: Vec<(BuildUp, &'static str)> = BuildUp::paper_solutions()
         .iter()
-        .zip(paper::SOLUTION_NAMES.iter())
-    {
-        let plan = buildup.plan(&gps_bom(buildup), SelectionObjective::MinArea)?;
-        let flow = plan.production_flow(plan.area().substrate_area, &cost_inputs(buildup))?;
-        reports.push((*label, flow.simulate(&SimOptions::new(units).with_seed(seed))?));
-    }
+        .copied()
+        .zip(paper::SOLUTION_NAMES.iter().copied())
+        .collect();
+    let reports =
+        ipass_sim::Executor::available().try_map(&solutions, |_, &(buildup, label)| {
+            let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
+            let flow = plan.production_flow(plan.area().substrate_area, &cost_inputs(&buildup))?;
+            Ok::<_, ExperimentError>((
+                label,
+                flow.simulate(&SimOptions::new(units).with_seed(seed))?,
+            ))
+        })?;
     Ok(fig5_from_reports(reports))
 }
 
@@ -555,7 +570,6 @@ pub fn fig6() -> Result<Fig6, ExperimentError> {
         paper_fom: paper::FIG6_FOM,
     })
 }
-
 
 // ---------------------------------------------------------------------
 // Sensitivity — which Table 2 inputs drive solution 4's cost?
@@ -652,7 +666,6 @@ pub fn sensitivity(solution_index: usize) -> Result<ipass_moe::Tornado, Experime
     ];
     Ok(ipass_moe::Tornado::evaluate(&baseline, inputs)?)
 }
-
 
 // ---------------------------------------------------------------------
 // §4.4 — the final design check.
@@ -807,9 +820,21 @@ mod tests {
         assert!(fig.table.best().name.contains("IP&SMD"));
         let foms: Vec<f64> = fig.table.rows().iter().map(|r| r.fom).collect();
         assert!((foms[0] - 1.0).abs() < 1e-9);
-        assert!((foms[1] - paper::FIG6_FOM[1]).abs() < 0.15, "sol2 {}", foms[1]);
-        assert!((foms[2] - paper::FIG6_FOM[2]).abs() < 0.15, "sol3 {}", foms[2]);
-        assert!((foms[3] - paper::FIG6_FOM[3]).abs() < 0.3, "sol4 {}", foms[3]);
+        assert!(
+            (foms[1] - paper::FIG6_FOM[1]).abs() < 0.15,
+            "sol2 {}",
+            foms[1]
+        );
+        assert!(
+            (foms[2] - paper::FIG6_FOM[2]).abs() < 0.15,
+            "sol3 {}",
+            foms[2]
+        );
+        assert!(
+            (foms[3] - paper::FIG6_FOM[3]).abs() < 0.3,
+            "sol4 {}",
+            foms[3]
+        );
         assert!(fig.render().contains("◀ chosen"));
     }
 
@@ -832,7 +857,7 @@ mod tests {
     fn final_design_layout_matches_prediction() {
         let check = final_design_check().unwrap();
         assert_eq!(check.placed, 127); // 2 dies + 112 discretes + 13 filter elements
-        // "Corresponded well": within 25 % of the trivial prediction.
+                                       // "Corresponded well": within 25 % of the trivial prediction.
         assert!(
             (0.8..1.25).contains(&check.ratio()),
             "packed/predicted ratio {}",

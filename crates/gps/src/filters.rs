@@ -235,7 +235,11 @@ mod tests {
         for b in BuildUp::paper_solutions() {
             let a = assess_performance(&b);
             assert_eq!(a.lna_score, 1.0, "{b}: LNA loss {} dB", a.lna_loss_db);
-            assert!(a.image_rejection_db > 20.0, "{b}: rejection {}", a.image_rejection_db);
+            assert!(
+                a.image_rejection_db > 20.0,
+                "{b}: rejection {}",
+                a.image_rejection_db
+            );
         }
     }
 

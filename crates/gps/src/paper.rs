@@ -62,7 +62,8 @@ mod tests {
         assert_eq!(SOLUTION_NAMES.len(), 4);
         // The paper's own FoM arithmetic: perf × (1/size) × (1/cost).
         for i in 0..4 {
-            let fom = PERFORMANCE_SCORES[i] * (100.0 / FIG3_AREA_PERCENT[i])
+            let fom = PERFORMANCE_SCORES[i]
+                * (100.0 / FIG3_AREA_PERCENT[i])
                 * (100.0 / FIG5_COST_PERCENT[i]);
             assert!(
                 (fom - FIG6_FOM[i]).abs() < 0.1,

@@ -41,7 +41,10 @@ impl Rect {
 
     /// The rectangle rotated by 90°.
     pub fn rotated(&self) -> Rect {
-        Rect { w: self.h, h: self.w }
+        Rect {
+            w: self.h,
+            h: self.w,
+        }
     }
 }
 
@@ -180,7 +183,11 @@ impl ShelfPacker {
                 }
             }
         }
-        items.sort_by(|a, b| b.1.h.partial_cmp(&a.1.h).unwrap_or(std::cmp::Ordering::Equal));
+        items.sort_by(|a, b| {
+            b.1.h
+                .partial_cmp(&a.1.h)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         let mut placements = Vec::with_capacity(items.len());
         let mut shelf_y = 0.0f64;
@@ -226,11 +233,7 @@ pub struct Packing {
 
 impl Packing {
     /// Assemble a packing from raw parts (used by the packers).
-    pub(crate) fn from_parts(
-        strip_width: f64,
-        height: f64,
-        placements: Vec<Placement>,
-    ) -> Packing {
+    pub(crate) fn from_parts(strip_width: f64, height: f64, placements: Vec<Placement>) -> Packing {
         Packing {
             strip_width,
             height,
@@ -298,9 +301,8 @@ impl Packing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ipass_sim::SimRng;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     #[test]
     fn packs_uniform_parts_tightly() {
@@ -319,7 +321,10 @@ mod tests {
         let with_rot = ShelfPacker::new(8.0).pack(&parts).unwrap();
         assert!(with_rot.validate());
         assert!(with_rot.placements().iter().all(|p| p.rotated));
-        let without = ShelfPacker::new(8.0).without_rotation().pack(&parts).unwrap();
+        let without = ShelfPacker::new(8.0)
+            .without_rotation()
+            .pack(&parts)
+            .unwrap();
         assert!(without.height() >= with_rot.height());
     }
 
@@ -357,8 +362,8 @@ mod tests {
         // packer achieves ≤ ~1.35 overhead (shelf packing is not optimal,
         // so the claimed 1.1 with hand layout is plausible).
         let mut parts = vec![
-            Rect::new(5.3, 5.3),  // RF die (WB)
-            Rect::new(9.4, 9.4),  // DSP die (WB)
+            Rect::new(5.3, 5.3), // RF die (WB)
+            Rect::new(9.4, 9.4), // DSP die (WB)
         ];
         parts.extend(std::iter::repeat_n(Rect::new(1.6 + 0.95, 0.8 + 0.95), 100)); // 0603 footprints
         parts.extend(std::iter::repeat_n(Rect::new(2.0 + 1.0, 1.25 + 1.0), 8)); // 0805 footprints
@@ -404,9 +409,9 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn packing_never_overlaps(seed in 0u64..500, n in 1usize..60, strip in 5.0f64..50.0) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::stream(seed, 0);
             let rects: Vec<Rect> = (0..n)
-                .map(|_| Rect::new(rng.gen_range(0.2..4.0), rng.gen_range(0.2..4.0)))
+                .map(|_| Rect::new(rng.range_f64(0.2, 4.0), rng.range_f64(0.2, 4.0)))
                 .collect();
             let packing = ShelfPacker::new(strip).pack(&rects).unwrap();
             prop_assert!(packing.validate());

@@ -74,7 +74,10 @@ impl SubstrateRule {
             overhead >= 1.0 && overhead.is_finite(),
             "routing overhead must be ≥ 1, got {overhead}"
         );
-        assert!(sides == 1 || sides == 2, "sides must be 1 or 2, got {sides}");
+        assert!(
+            sides == 1 || sides == 2,
+            "sides must be 1 or 2, got {sides}"
+        );
         assert!(
             edge_clearance_mm >= 0.0 && edge_clearance_mm.is_finite(),
             "edge clearance must be non-negative, got {edge_clearance_mm}"
@@ -224,7 +227,9 @@ mod tests {
         let module = BgaLaminate::standard().module_area(si);
         let expect = (810.0f64.sqrt() + 10.0).powi(2);
         assert!((module.mm2() - expect).abs() < 1e-9);
-        assert!((BgaLaminate::standard().module_side_mm(si) - (810.0f64.sqrt() + 10.0)).abs() < 1e-12);
+        assert!(
+            (BgaLaminate::standard().module_side_mm(si) - (810.0f64.sqrt() + 10.0)).abs() < 1e-12
+        );
     }
 
     #[test]

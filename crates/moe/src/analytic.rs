@@ -345,15 +345,17 @@ mod tests {
 
     #[test]
     fn single_process_no_test_ships_everything() {
-        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
-                .with_cost(StepCost::fixed(money(2.0))))
-            .process(
-                Process::new("p")
-                    .with_cost(StepCost::fixed(money(3.0)))
-                    .with_yield(YieldModel::flat(p(0.9))),
-            )
-            .build()
-            .unwrap();
+        let line = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(money(2.0))),
+        )
+        .process(
+            Process::new("p")
+                .with_cost(StepCost::fixed(money(3.0)))
+                .with_yield(YieldModel::flat(p(0.9))),
+        )
+        .build()
+        .unwrap();
         let r = analyze_line(&line, Money::ZERO, 1).unwrap();
         assert!((r.shipped_fraction() - 1.0).abs() < 1e-12);
         // 10 % of shipped units are defective escapes (no test).
@@ -363,12 +365,14 @@ mod tests {
 
     #[test]
     fn perfect_test_scraps_all_defectives() {
-        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
-                .with_cost(StepCost::fixed(money(10.0))))
-            .process(Process::new("p").with_yield(YieldModel::flat(p(0.8))))
-            .test(Test::new("t").with_cost(StepCost::fixed(money(1.0))))
-            .build()
-            .unwrap();
+        let line = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(money(10.0))),
+        )
+        .process(Process::new("p").with_yield(YieldModel::flat(p(0.8))))
+        .test(Test::new("t").with_cost(StepCost::fixed(money(1.0))))
+        .build()
+        .unwrap();
         let r = analyze_line(&line, Money::ZERO, 1).unwrap();
         assert!((r.shipped_fraction() - 0.8).abs() < 1e-12);
         assert_eq!(r.escape_rate(), 0.0);
@@ -418,20 +422,22 @@ mod tests {
     #[test]
     fn rework_recovers_units() {
         // All units defective after the process; rework always succeeds.
-        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
-                .with_cost(StepCost::fixed(money(1.0))))
-            .process(Process::new("break").with_yield(YieldModel::flat(p(0.0))))
-            .test(
-                Test::new("t")
-                    .with_cost(StepCost::fixed(money(1.0)))
-                    .on_fail(FailAction::Rework(Rework::new(
-                        StepCost::fixed(money(0.5)),
-                        p(1.0),
-                        3,
-                    ))),
-            )
-            .build()
-            .unwrap();
+        let line = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(money(1.0))),
+        )
+        .process(Process::new("break").with_yield(YieldModel::flat(p(0.0))))
+        .test(
+            Test::new("t")
+                .with_cost(StepCost::fixed(money(1.0)))
+                .on_fail(FailAction::Rework(Rework::new(
+                    StepCost::fixed(money(0.5)),
+                    p(1.0),
+                    3,
+                ))),
+        )
+        .build()
+        .unwrap();
         let r = analyze_line(&line, Money::ZERO, 1).unwrap();
         assert!((r.shipped_fraction() - 1.0).abs() < 1e-12);
         assert_eq!(r.escape_rate(), 0.0);
@@ -442,15 +448,14 @@ mod tests {
     #[test]
     fn rework_exhausts_attempts_and_scraps() {
         // Rework never succeeds, coverage perfect: after 2 attempts scrap.
-        let line = Line::builder("l", Part::new("c", CostCategory::Substrate)
-                .with_cost(StepCost::fixed(money(1.0))))
-            .process(Process::new("break").with_yield(YieldModel::flat(p(0.5))))
-            .test(
-                Test::new("t")
-                    .on_fail(FailAction::Rework(Rework::new(StepCost::ZERO, p(0.0), 2))),
-            )
-            .build()
-            .unwrap();
+        let line = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(money(1.0))),
+        )
+        .process(Process::new("break").with_yield(YieldModel::flat(p(0.5))))
+        .test(Test::new("t").on_fail(FailAction::Rework(Rework::new(StepCost::ZERO, p(0.0), 2))))
+        .build()
+        .unwrap();
         let r = analyze_line(&line, Money::ZERO, 1).unwrap();
         assert!((r.shipped_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(r.escape_rate(), 0.0);
@@ -460,12 +465,14 @@ mod tests {
     fn nested_line_scrap_is_booked_globally() {
         // Sub-line: 50 % yield with perfect test → every consumed good
         // unit costs 2 sub-starts; sub scrap appears as yield loss.
-        let sub = Line::builder("sub", Part::new("blank", CostCategory::Substrate)
-                .with_cost(StepCost::fixed(money(4.0))))
-            .process(Process::new("fab").with_yield(YieldModel::flat(p(0.5))))
-            .test(Test::new("probe"))
-            .build()
-            .unwrap();
+        let sub = Line::builder(
+            "sub",
+            Part::new("blank", CostCategory::Substrate).with_cost(StepCost::fixed(money(4.0))),
+        )
+        .process(Process::new("fab").with_yield(YieldModel::flat(p(0.5))))
+        .test(Test::new("probe"))
+        .build()
+        .unwrap();
         let line = Line::builder("main", Part::new("pcb", CostCategory::Substrate))
             .attach(Attach::new("join").input(sub, 1))
             .build()

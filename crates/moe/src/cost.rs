@@ -123,7 +123,9 @@ impl CostVector {
 
     /// Iterate `(category, amount)` pairs in display order.
     pub fn iter(&self) -> impl Iterator<Item = (CostCategory, Money)> + '_ {
-        CostCategory::ALL.iter().map(move |&c| (c, self.0[c.index()]))
+        CostCategory::ALL
+            .iter()
+            .map(move |&c| (c, self.0[c.index()]))
     }
 }
 
@@ -243,10 +245,7 @@ impl StepCost {
             (other.per_item, other.items),
             "per-item",
         );
-        let (per_cm2, area) = merge_area(
-            (self.per_cm2, self.area),
-            (other.per_cm2, other.area),
-        );
+        let (per_cm2, area) = merge_area((self.per_cm2, self.area), (other.per_cm2, other.area));
         StepCost {
             fixed: self.fixed + other.fixed,
             per_item,
@@ -384,14 +383,16 @@ mod tests {
 
     #[test]
     fn step_cost_merges_same_rates() {
-        let c = StepCost::per_item(Money::new(0.01), 100).and(StepCost::per_item(Money::new(0.01), 12));
+        let c =
+            StepCost::per_item(Money::new(0.01), 100).and(StepCost::per_item(Money::new(0.01), 12));
         assert_eq!(c.items(), 112);
     }
 
     #[test]
     #[should_panic(expected = "different rates")]
     fn step_cost_rejects_mixed_rates() {
-        let _ = StepCost::per_item(Money::new(0.01), 100).and(StepCost::per_item(Money::new(0.02), 12));
+        let _ =
+            StepCost::per_item(Money::new(0.01), 100).and(StepCost::per_item(Money::new(0.02), 12));
     }
 
     #[test]

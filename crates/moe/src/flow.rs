@@ -107,6 +107,23 @@ impl Flow {
     pub fn simulate_summary(&self, options: &SimOptions) -> Result<SimSummary, FlowError> {
         mc::simulate_line(&self.line, self.nre, self.volume, options)
     }
+
+    /// Like [`Flow::simulate_summary`], but stop as soon as the
+    /// shipped-fraction confidence interval satisfies `stop` (treating
+    /// `options.units` as the budget). The stopping point is evaluated
+    /// at deterministic chunk boundaries, so results are bit-identical
+    /// for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::simulate`].
+    pub fn simulate_adaptive(
+        &self,
+        options: &SimOptions,
+        stop: ipass_sim::StopRule,
+    ) -> Result<SimSummary, FlowError> {
+        mc::simulate_line_adaptive(&self.line, self.nre, self.volume, options, stop)
+    }
 }
 
 #[cfg(test)]
@@ -156,9 +173,7 @@ mod tests {
     fn engines_agree() {
         let f = flow();
         let a = f.analyze().unwrap();
-        let m = f
-            .simulate(&SimOptions::new(200_000).with_seed(11))
-            .unwrap();
+        let m = f.simulate(&SimOptions::new(200_000).with_seed(11)).unwrap();
         assert!((a.shipped_fraction() - m.shipped_fraction()).abs() < 0.005);
         let rel = m.final_cost_per_shipped() / a.final_cost_per_shipped();
         assert!((rel - 1.0).abs() < 0.01);

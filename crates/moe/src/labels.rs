@@ -16,10 +16,7 @@ pub(crate) struct LineLabels {
 #[derive(Debug)]
 pub(crate) enum StageLabels {
     Process(usize),
-    Attach {
-        op: usize,
-        inputs: Vec<InputLabels>,
-    },
+    Attach { op: usize, inputs: Vec<InputLabels> },
     Test,
 }
 
@@ -31,13 +28,14 @@ pub(crate) enum InputLabels {
 
 /// Walk `line` and register a label for every defect source.
 pub(crate) fn index_line(line: &Line, prefix: &str, names: &mut Vec<String>) -> LineLabels {
-    let carrier = push(names, format!("{prefix}{} (incoming)", line.carrier().name()));
+    let carrier = push(
+        names,
+        format!("{prefix}{} (incoming)", line.carrier().name()),
+    );
     let mut stages = Vec::with_capacity(line.stages().len());
     for stage in line.stages() {
         stages.push(match stage {
-            Stage::Process(p) => {
-                StageLabels::Process(push(names, format!("{prefix}{}", p.name())))
-            }
+            Stage::Process(p) => StageLabels::Process(push(names, format!("{prefix}{}", p.name()))),
             Stage::Attach(a) => {
                 let op = push(names, format!("{prefix}{}", a.name()));
                 let mut inputs = Vec::with_capacity(a.inputs().len());

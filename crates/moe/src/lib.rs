@@ -65,10 +65,10 @@
 #![warn(missing_debug_implementations)]
 
 mod analytic;
-mod labels;
 mod cost;
 mod error;
 mod flow;
+mod labels;
 mod line;
 mod mc;
 mod part;
@@ -81,11 +81,12 @@ mod yield_model;
 pub use cost::{CostCategory, CostVector, StepCost};
 pub use error::FlowError;
 pub use flow::Flow;
+pub use ipass_sim::{Executor, StopRule};
 pub use line::{Line, LineBuilder};
-pub use mc::{SimOptions, SimSummary};
+pub use mc::{SimOptions, SimSummary, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
 pub use part::{AttachInput, Part};
 pub use report::{CostBreakdownRow, CostReport};
 pub use sensitivity::{Tornado, TornadoInput, TornadoRow};
 pub use stage::{Attach, FailAction, Process, Rework, Stage, Test};
-pub use sweep::{find_crossover, sweep, SweepPoint};
+pub use sweep::{find_crossover, sweep, sweep_with, SweepPoint};
 pub use yield_model::{DefectModel, YieldModel};

@@ -103,7 +103,6 @@ impl Line {
         Ok(())
     }
 
-
     /// Render the line as a Fig. 4-style text diagram: numbered boxes
     /// with their kind, cost and yield, plus the implicit collector and
     /// scrap sinks.
@@ -180,7 +179,12 @@ impl Line {
                 }
             }
         }
-        push(&mut out, "Collector", "modules to be shipped", String::new());
+        push(
+            &mut out,
+            "Collector",
+            "modules to be shipped",
+            String::new(),
+        );
         push(&mut out, "Sink", "SCRAP", String::new());
         out
     }

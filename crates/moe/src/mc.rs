@@ -1,6 +1,12 @@
 //! Seeded Monte Carlo engine: routes individual units through the flow,
 //! the way the paper describes MOE ("yield figures are translated into
 //! faults using Monte Carlo simulation").
+//!
+//! The engine runs on the [`ipass_sim`] substrate: every started unit
+//! draws from its own counter-based random stream and units fold into
+//! chunk accumulators that merge in fixed order, so a seeded run
+//! produces **bit-identical** results for any [`SimOptions::threads`]
+//! value — threads are a pure performance knob, not a semantic one.
 
 use crate::cost::{CostCategory, CostVector};
 use crate::error::FlowError;
@@ -8,14 +14,14 @@ use crate::labels::{self, InputLabels, LineLabels, StageLabels};
 use crate::line::Line;
 use crate::part::AttachInput;
 use crate::stage::{FailAction, Stage};
+use ipass_sim::{BinomialTally, Executor, RunOptions, Sampler, SimRng, StopRule};
 use ipass_units::Money;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const NCAT: usize = CostCategory::COUNT;
 
-/// Retry budget when a nested line must deliver one passing unit.
-const SUBASSEMBLY_RETRY_BUDGET: u32 = 100_000;
+/// Default retry budget when a nested line must deliver one passing
+/// unit (see [`SimOptions::subassembly_retry_budget`]).
+pub const DEFAULT_SUBASSEMBLY_RETRY_BUDGET: u32 = 100_000;
 
 /// Options for a Monte Carlo run.
 ///
@@ -31,10 +37,15 @@ const SUBASSEMBLY_RETRY_BUDGET: u32 = 100_000;
 pub struct SimOptions {
     /// Number of carrier units to start.
     pub units: u64,
-    /// RNG seed; equal seeds (and thread counts) reproduce results.
+    /// RNG seed; equal seeds reproduce results for *any* thread count.
     pub seed: u64,
-    /// Worker threads; the unit budget is split evenly among them.
+    /// Worker threads — a pure performance knob; results are
+    /// bit-identical regardless.
     pub threads: usize,
+    /// Retry budget when a nested line must deliver one passing unit;
+    /// exhausting it fails the run with
+    /// [`FlowError::SubassemblyStarved`].
+    pub subassembly_retry_budget: u32,
 }
 
 impl SimOptions {
@@ -44,6 +55,7 @@ impl SimOptions {
             units,
             seed: 0,
             threads: 1,
+            subassembly_retry_budget: DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
         }
     }
 
@@ -56,6 +68,12 @@ impl SimOptions {
     /// Set the number of worker threads (minimum 1).
     pub fn with_threads(mut self, threads: usize) -> SimOptions {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the subassembly retry budget (minimum 1).
+    pub fn with_retry_budget(mut self, budget: u32) -> SimOptions {
+        self.subassembly_retry_budget = budget.max(1);
         self
     }
 }
@@ -79,10 +97,14 @@ pub struct SimSummary {
     pub rework_attempts: u64,
     /// Units produced by nested lines (consumed + scrapped).
     pub sub_units_built: u64,
+    /// Whether an early-stopping rule ended the run before the full
+    /// unit budget.
+    pub stopped_early: bool,
 }
 
 #[derive(Debug, Clone)]
 struct Totals {
+    attempted: u64,
     shipped: f64,
     good_shipped: f64,
     embodied: f64,
@@ -98,6 +120,7 @@ struct Totals {
 impl Totals {
     fn new(n_labels: usize) -> Totals {
         Totals {
+            attempted: 0,
             shipped: 0.0,
             good_shipped: 0.0,
             embodied: 0.0,
@@ -120,6 +143,7 @@ impl Totals {
     }
 
     fn merge(&mut self, other: &Totals) {
+        self.attempted += other.attempted;
         self.shipped += other.shipped;
         self.good_shipped += other.good_shipped;
         self.embodied += other.embodied;
@@ -127,7 +151,11 @@ impl Totals {
         self.scrapped += other.scrapped;
         self.rework_attempts += other.rework_attempts;
         self.sub_units_built += other.sub_units_built;
-        for (a, b) in self.embodied_by_cat.iter_mut().zip(other.embodied_by_cat.iter()) {
+        for (a, b) in self
+            .embodied_by_cat
+            .iter_mut()
+            .zip(other.embodied_by_cat.iter())
+        {
             *a += *b;
         }
         for (a, b) in self.scrap_by_cat.iter_mut().zip(other.scrap_by_cat.iter()) {
@@ -153,6 +181,50 @@ impl Unit {
     }
 }
 
+/// The production line as an [`ipass_sim`] sampler: one sample routes
+/// one carrier unit through the (possibly nested) line.
+struct LineSampler<'a> {
+    line: &'a Line,
+    labels: &'a LineLabels,
+    n_labels: usize,
+    retry_budget: u32,
+}
+
+impl Sampler for LineSampler<'_> {
+    type Acc = Totals;
+    type Error = FlowError;
+
+    fn make_acc(&self) -> Totals {
+        Totals::new(self.n_labels)
+    }
+
+    fn sample(&self, _unit: u64, rng: &mut SimRng, totals: &mut Totals) -> Result<(), FlowError> {
+        totals.attempted += 1;
+        if let Some(unit) = produce_unit(self.line, self.labels, rng, totals, self.retry_budget)? {
+            totals.shipped += 1.0;
+            if !unit.defective {
+                totals.good_shipped += 1.0;
+            }
+            totals.embodied += unit.cost;
+            for (a, b) in totals.embodied_by_cat.iter_mut().zip(unit.by_cat.iter()) {
+                *a += *b;
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&self, into: &mut Totals, from: Totals) {
+        into.merge(&from);
+    }
+
+    fn ci_half_width(&self, acc: &Totals, z: f64) -> Option<f64> {
+        // Wilson, not Wald: the Wald width is 0 while every unit so far
+        // shipped (or scrapped), which would vacuously satisfy any stop
+        // rule on a high-yield line.
+        Some(BinomialTally::from_counts(acc.attempted, acc.shipped as u64).wilson_half_width(z))
+    }
+}
+
 /// Run the Monte Carlo simulation for a validated line.
 pub(crate) fn simulate_line(
     line: &Line,
@@ -160,45 +232,51 @@ pub(crate) fn simulate_line(
     volume: u64,
     options: &SimOptions,
 ) -> Result<SimSummary, FlowError> {
+    simulate_line_with(line, nre, volume, options, None)
+}
+
+/// Like [`simulate_line`], stopping early once the shipped-fraction
+/// confidence interval is narrower than the rule's target.
+pub(crate) fn simulate_line_adaptive(
+    line: &Line,
+    nre: Money,
+    volume: u64,
+    options: &SimOptions,
+    stop: StopRule,
+) -> Result<SimSummary, FlowError> {
+    simulate_line_with(line, nre, volume, options, Some(stop))
+}
+
+fn simulate_line_with(
+    line: &Line,
+    nre: Money,
+    volume: u64,
+    options: &SimOptions,
+    stop: Option<StopRule>,
+) -> Result<SimSummary, FlowError> {
     line.validate()?;
     if options.units == 0 {
         return Err(FlowError::NoUnits);
     }
     let mut names = Vec::new();
     let line_labels = labels::index_line(line, "", &mut names);
-
-    let n_labels = names.len();
-    let totals = if options.threads <= 1 {
-        run_chunk(line, &line_labels, n_labels, options.units, options.seed)?
-    } else {
-        let threads = options.threads.min((options.units as usize).max(1));
-        let per = options.units / threads as u64;
-        let remainder = options.units % threads as u64;
-        let mut partials: Vec<Result<Totals, FlowError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let units = per + u64::from((t as u64) < remainder);
-                let seed = options
-                    .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
-                let line_labels = &line_labels;
-                handles.push(
-                    scope.spawn(move || run_chunk(line, line_labels, n_labels, units, seed)),
-                );
-            }
-            for h in handles {
-                partials.push(h.join().expect("simulation worker panicked"));
-            }
-        });
-        let mut merged = Totals::new(n_labels);
-        for partial in partials {
-            merged.merge(&partial?);
-        }
-        merged
+    let sampler = LineSampler {
+        line,
+        labels: &line_labels,
+        n_labels: names.len(),
+        // Clamped at use: the field is public, so the builder's minimum
+        // can be bypassed with struct-update syntax.
+        retry_budget: options.subassembly_retry_budget.max(1),
     };
+    let outcome = Executor::new(options.threads).run_with(
+        &sampler,
+        options.units,
+        options.seed,
+        &RunOptions { stop },
+    )?;
+    let totals = outcome.acc;
 
-    let started = options.units as f64;
+    let started = totals.attempted as f64;
     if totals.shipped <= 0.0 {
         return Err(FlowError::NothingShipped {
             flow: line.name().to_owned(),
@@ -229,31 +307,8 @@ pub(crate) fn simulate_line(
         scrapped: totals.scrapped,
         rework_attempts: totals.rework_attempts,
         sub_units_built: totals.sub_units_built,
+        stopped_early: outcome.stopped_early,
     })
-}
-
-fn run_chunk(
-    line: &Line,
-    line_labels: &LineLabels,
-    n_labels: usize,
-    units: u64,
-    seed: u64,
-) -> Result<Totals, FlowError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut totals = Totals::new(n_labels);
-    for _ in 0..units {
-        if let Some(unit) = produce_unit(line, line_labels, &mut rng, &mut totals)? {
-            totals.shipped += 1.0;
-            if !unit.defective {
-                totals.good_shipped += 1.0;
-            }
-            totals.embodied += unit.cost;
-            for (a, b) in totals.embodied_by_cat.iter_mut().zip(unit.by_cat.iter()) {
-                *a += *b;
-            }
-        }
-    }
-    Ok(totals)
 }
 
 /// Route one unit through `line`. `Ok(None)` means the unit was scrapped
@@ -261,8 +316,9 @@ fn run_chunk(
 fn produce_unit(
     line: &Line,
     line_labels: &LineLabels,
-    rng: &mut StdRng,
+    rng: &mut SimRng,
     totals: &mut Totals,
+    retry_budget: u32,
 ) -> Result<Option<Unit>, FlowError> {
     let carrier = line.carrier();
     let mut unit = Unit {
@@ -271,7 +327,7 @@ fn produce_unit(
         defective: false,
     };
     unit.add_cost(carrier.cost().total().units(), carrier.category());
-    if !bernoulli(rng, carrier.incoming_yield().value().value()) {
+    if !rng.bernoulli(carrier.incoming_yield().value().value()) {
         unit.defective = true;
         totals.defects[line_labels.carrier] += 1.0;
     }
@@ -280,14 +336,14 @@ fn produce_unit(
         match (stage, stage_labels) {
             (Stage::Process(p), StageLabels::Process(label)) => {
                 unit.add_cost(p.cost().total().units(), p.category());
-                if !unit.defective && !bernoulli(rng, p.process_yield().value().value()) {
+                if !unit.defective && !rng.bernoulli(p.process_yield().value().value()) {
                     unit.defective = true;
                     totals.defects[*label] += 1.0;
                 }
             }
             (Stage::Attach(a), StageLabels::Attach { op, inputs }) => {
                 unit.add_cost(a.cost().total().units(), a.category());
-                if !unit.defective && !bernoulli(rng, a.attach_yield().value().value()) {
+                if !unit.defective && !rng.bernoulli(a.attach_yield().value().value()) {
                     unit.defective = true;
                     totals.defects[*op] += 1.0;
                 }
@@ -297,12 +353,8 @@ fn produce_unit(
                             let q = *qty as f64;
                             unit.add_cost(q * part.cost().total().units(), part.category());
                             if !unit.defective {
-                                let all_good = part
-                                    .incoming_yield()
-                                    .value()
-                                    .value()
-                                    .powf(q);
-                                if !bernoulli(rng, all_good) {
+                                let all_good = part.incoming_yield().value().value().powf(q);
+                                if !rng.bernoulli(all_good) {
                                     unit.defective = true;
                                     totals.defects[*label] += 1.0;
                                 }
@@ -311,11 +363,9 @@ fn produce_unit(
                         (AttachInput::Line(sub), InputLabels::Line(sub_labels)) => {
                             for _ in 0..*qty {
                                 let sub_unit =
-                                    produce_passing(sub, sub_labels, rng, totals)?;
+                                    produce_passing(sub, sub_labels, rng, totals, retry_budget)?;
                                 unit.cost += sub_unit.cost;
-                                for (a_, b) in
-                                    unit.by_cat.iter_mut().zip(sub_unit.by_cat.iter())
-                                {
+                                for (a_, b) in unit.by_cat.iter_mut().zip(sub_unit.by_cat.iter()) {
                                     *a_ += *b;
                                 }
                                 if sub_unit.defective {
@@ -331,7 +381,7 @@ fn produce_unit(
             }
             (Stage::Test(t), StageLabels::Test) => {
                 unit.add_cost(t.cost().total().units(), CostCategory::Test);
-                if unit.defective && bernoulli(rng, t.coverage().value()) {
+                if unit.defective && rng.bernoulli(t.coverage().value()) {
                     // Caught.
                     match t.fail_action() {
                         FailAction::Scrap => {
@@ -344,12 +394,12 @@ fn produce_unit(
                                 totals.rework_attempts += 1;
                                 unit.add_cost(rework.cost.total().units(), CostCategory::Other);
                                 unit.add_cost(t.cost().total().units(), CostCategory::Test);
-                                if bernoulli(rng, rework.success.value()) {
+                                if rng.bernoulli(rework.success.value()) {
                                     unit.defective = false;
                                     recovered = true;
                                     break;
                                 }
-                                if !bernoulli(rng, t.coverage().value()) {
+                                if !rng.bernoulli(t.coverage().value()) {
                                     // Escaped on re-test: continues defective.
                                     recovered = true;
                                     break;
@@ -373,29 +423,20 @@ fn produce_unit(
 fn produce_passing(
     line: &Line,
     line_labels: &LineLabels,
-    rng: &mut StdRng,
+    rng: &mut SimRng,
     totals: &mut Totals,
+    retry_budget: u32,
 ) -> Result<Unit, FlowError> {
-    for _ in 0..SUBASSEMBLY_RETRY_BUDGET {
+    for _ in 0..retry_budget {
         totals.sub_units_built += 1;
-        if let Some(unit) = produce_unit(line, line_labels, rng, totals)? {
+        if let Some(unit) = produce_unit(line, line_labels, rng, totals, retry_budget)? {
             return Ok(unit);
         }
     }
     Err(FlowError::SubassemblyStarved {
         line: line.name().to_owned(),
-        attempts: SUBASSEMBLY_RETRY_BUDGET,
+        attempts: retry_budget,
     })
-}
-
-fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
-    if p >= 1.0 {
-        true
-    } else if p <= 0.0 {
-        false
-    } else {
-        rng.gen::<f64>() < p
-    }
 }
 
 #[cfg(test)]
@@ -446,6 +487,28 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_is_a_pure_performance_knob() {
+        let line = simple_line();
+        let single = simulate_line(
+            &line,
+            Money::ZERO,
+            1,
+            &SimOptions::new(30_000).with_seed(42).with_threads(1),
+        )
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let multi = simulate_line(
+                &line,
+                Money::ZERO,
+                1,
+                &SimOptions::new(30_000).with_seed(42).with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(single, multi, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let a = simulate_line(
             &simple_line(),
@@ -468,9 +531,14 @@ mod tests {
     fn mc_matches_analytic_on_simple_line() {
         let line = simple_line();
         let analytic = crate::analytic::analyze_line(&line, Money::ZERO, 1).unwrap();
-        let mc = simulate_line(&line, Money::ZERO, 1, &SimOptions::new(200_000).with_seed(7))
-            .unwrap()
-            .report;
+        let mc = simulate_line(
+            &line,
+            Money::ZERO,
+            1,
+            &SimOptions::new(200_000).with_seed(7),
+        )
+        .unwrap()
+        .report;
         assert!((mc.shipped_fraction() - analytic.shipped_fraction()).abs() < 0.005);
         let rel = mc.final_cost_per_shipped().units() / analytic.final_cost_per_shipped().units();
         assert!((rel - 1.0).abs() < 0.01, "relative error {rel}");
@@ -491,15 +559,21 @@ mod tests {
             .build()
             .unwrap();
         let analytic = crate::analytic::analyze_line(&line, Money::ZERO, 1).unwrap();
-        let sim = simulate_line(&line, Money::ZERO, 1, &SimOptions::new(100_000).with_seed(3))
-            .unwrap();
+        let sim = simulate_line(
+            &line,
+            Money::ZERO,
+            1,
+            &SimOptions::new(100_000).with_seed(3),
+        )
+        .unwrap();
         let mc = sim.report;
         assert!(sim.sub_units_built > 200_000); // retries needed at 60 % yield
         let rel = mc.final_cost_per_shipped().units() / analytic.final_cost_per_shipped().units();
         assert!((rel - 1.0).abs() < 0.01, "relative error {rel}");
-        assert!((mc.yield_loss_per_shipped().units() - analytic.yield_loss_per_shipped().units())
-            .abs()
-            < 0.2);
+        assert!(
+            (mc.yield_loss_per_shipped().units() - analytic.yield_loss_per_shipped().units()).abs()
+                < 0.2
+        );
     }
 
     #[test]
@@ -515,6 +589,48 @@ mod tests {
             .unwrap();
         let err = simulate_line(&line, Money::ZERO, 1, &SimOptions::new(10)).unwrap_err();
         assert!(matches!(err, FlowError::SubassemblyStarved { .. }));
+    }
+
+    #[test]
+    fn retry_budget_is_configurable_and_reported() {
+        // 60 % yield: 8 consecutive failures are rare but happen across
+        // 10k units, so a budget of 8 starves; the generous default does
+        // not.
+        let sub = Line::builder("marginal", Part::new("blank", CostCategory::Substrate))
+            .process(Process::new("fab").with_yield(YieldModel::flat(p(0.6))))
+            .test(Test::new("probe"))
+            .build()
+            .unwrap();
+        let line = Line::builder("main", Part::new("pcb", CostCategory::Substrate))
+            .attach(Attach::new("join").input(sub, 1))
+            .build()
+            .unwrap();
+        let tight = SimOptions::new(10_000).with_seed(1).with_retry_budget(8);
+        match simulate_line(&line, Money::ZERO, 1, &tight) {
+            Err(FlowError::SubassemblyStarved { line, attempts }) => {
+                assert_eq!(line, "marginal");
+                assert_eq!(attempts, 8);
+            }
+            other => panic!("expected starvation, got {other:?}"),
+        }
+        let roomy = SimOptions::new(10_000).with_seed(1);
+        assert!(simulate_line(&line, Money::ZERO, 1, &roomy).is_ok());
+    }
+
+    #[test]
+    fn adaptive_stops_early_and_is_deterministic() {
+        let line = simple_line();
+        let stop = StopRule::half_width_95(0.01);
+        let opts = SimOptions::new(1_000_000).with_seed(9);
+        let a = simulate_line_adaptive(&line, Money::ZERO, 1, &opts, stop).unwrap();
+        assert!(a.stopped_early);
+        assert!(
+            a.report.started() < 1_000_000.0,
+            "ran {}",
+            a.report.started()
+        );
+        let b = simulate_line_adaptive(&line, Money::ZERO, 1, &opts.with_threads(4), stop).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -261,7 +261,11 @@ impl CostReport {
         out.push_str("  spend by category (incl. scrap):\n");
         for (cat, amount) in self.by_category.iter() {
             if amount.units() != 0.0 {
-                out.push_str(&format!("    {:<22} {:>10}\n", cat.label(), amount.to_string()));
+                out.push_str(&format!(
+                    "    {:<22} {:>10}\n",
+                    cat.label(),
+                    amount.to_string()
+                ));
             }
         }
         if !self.defect_pareto.is_empty() {

@@ -7,6 +7,7 @@
 
 use crate::error::FlowError;
 use crate::flow::Flow;
+use ipass_sim::Executor;
 use std::fmt;
 
 /// One input parameter with its low/high flow variants.
@@ -53,15 +54,40 @@ impl Tornado {
     ///
     /// Fails if any flow is invalid or ships nothing.
     pub fn evaluate(baseline: &Flow, inputs: Vec<TornadoInput<'_>>) -> Result<Tornado, FlowError> {
-        let baseline_cost = baseline.analyze()?.final_cost_per_shipped().units();
-        let mut rows = Vec::with_capacity(inputs.len());
-        for input in inputs {
-            rows.push(TornadoRow {
-                name: input.name.to_owned(),
-                low_cost: input.low.analyze()?.final_cost_per_shipped().units(),
-                high_cost: input.high.analyze()?.final_cost_per_shipped().units(),
-            });
+        Tornado::evaluate_with(&Executor::available(), baseline, inputs)
+    }
+
+    /// [`Tornado::evaluate`] on an explicit executor; the baseline and
+    /// every low/high variant are analyzed in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any flow is invalid or ships nothing.
+    pub fn evaluate_with(
+        executor: &Executor,
+        baseline: &Flow,
+        inputs: Vec<TornadoInput<'_>>,
+    ) -> Result<Tornado, FlowError> {
+        // One flat batch: baseline first, then each input's low/high.
+        let mut flows: Vec<&Flow> = Vec::with_capacity(1 + 2 * inputs.len());
+        flows.push(baseline);
+        for input in &inputs {
+            flows.push(&input.low);
+            flows.push(&input.high);
         }
+        let costs = executor.try_map(&flows, |_, flow| {
+            flow.analyze().map(|r| r.final_cost_per_shipped().units())
+        })?;
+        let baseline_cost = costs[0];
+        let mut rows: Vec<TornadoRow> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| TornadoRow {
+                name: input.name.to_owned(),
+                low_cost: costs[1 + 2 * i],
+                high_cost: costs[2 + 2 * i],
+            })
+            .collect();
         rows.sort_by(|a, b| {
             b.swing()
                 .partial_cmp(&a.swing())
@@ -123,9 +149,10 @@ mod tests {
             Part::new("c", CostCategory::Substrate)
                 .with_cost(StepCost::fixed(Money::new(part_cost))),
         )
-        .process(Process::new("p").with_yield(YieldModel::flat(
-            Probability::new(process_yield).unwrap(),
-        )))
+        .process(
+            Process::new("p")
+                .with_yield(YieldModel::flat(Probability::new(process_yield).unwrap())),
+        )
         .test(Test::new("t").with_coverage(Probability::new(0.99).unwrap()))
         .build()
         .unwrap();

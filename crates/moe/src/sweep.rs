@@ -3,6 +3,7 @@
 use crate::error::FlowError;
 use crate::flow::Flow;
 use crate::report::CostReport;
+use ipass_sim::Executor;
 
 /// One point of a parameter sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,18 +49,33 @@ impl SweepPoint {
 /// assert!(points[2].final_cost() > points[0].final_cost());
 /// # Ok::<(), ipass_moe::FlowError>(())
 /// ```
-pub fn sweep<I, F>(xs: I, mut build: F) -> Result<Vec<SweepPoint>, FlowError>
+pub fn sweep<I, F>(xs: I, build: F) -> Result<Vec<SweepPoint>, FlowError>
 where
     I: IntoIterator<Item = f64>,
-    F: FnMut(f64) -> Result<Flow, FlowError>,
+    F: Fn(f64) -> Result<Flow, FlowError> + Sync,
 {
-    let mut points = Vec::new();
-    for x in xs {
+    sweep_with(&Executor::available(), xs, build)
+}
+
+/// [`sweep`] on an explicit executor. Points are evaluated in parallel;
+/// the result (including which error is reported) is identical to the
+/// serial evaluation.
+///
+/// # Errors
+///
+/// Fails on the first flow (in `xs` order) that is invalid or ships
+/// nothing.
+pub fn sweep_with<I, F>(executor: &Executor, xs: I, build: F) -> Result<Vec<SweepPoint>, FlowError>
+where
+    I: IntoIterator<Item = f64>,
+    F: Fn(f64) -> Result<Flow, FlowError> + Sync,
+{
+    let xs: Vec<f64> = xs.into_iter().collect();
+    executor.try_map(&xs, |_, &x| {
         let flow = build(x)?;
         let report = flow.analyze()?;
-        points.push(SweepPoint { x, report });
-    }
-    Ok(points)
+        Ok(SweepPoint { x, report })
+    })
 }
 
 /// Find where two cost curves cross, by linear interpolation between

@@ -73,8 +73,7 @@ impl DefectModel {
 /// assert!((sub.value().value() - (-0.405f64).exp()).abs() < 1e-12);
 /// # Ok::<(), ipass_units::ProbabilityError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum YieldModel {
     /// Never introduces a defect.
     #[default]
@@ -165,7 +164,6 @@ impl YieldModel {
     }
 }
 
-
 impl fmt::Display for YieldModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.value())
@@ -233,10 +231,14 @@ mod tests {
     #[test]
     fn negative_binomial_limits() {
         let l = 0.8;
-        let nb_large = DefectModel::NegativeBinomial { alpha: 1e9 }.yield_at(l).value();
+        let nb_large = DefectModel::NegativeBinomial { alpha: 1e9 }
+            .yield_at(l)
+            .value();
         let poisson = DefectModel::Poisson.yield_at(l).value();
         assert!((nb_large - poisson).abs() < 1e-6);
-        let nb_one = DefectModel::NegativeBinomial { alpha: 1.0 }.yield_at(l).value();
+        let nb_one = DefectModel::NegativeBinomial { alpha: 1.0 }
+            .yield_at(l)
+            .value();
         let seeds = DefectModel::Seeds.yield_at(l).value();
         assert!((nb_one - seeds).abs() < 1e-12);
     }

@@ -15,15 +15,25 @@ fn p(v: f64) -> Probability {
 
 #[derive(Debug, Clone)]
 enum StageSpec {
-    Process { cost: f64, yield_: f64 },
-    Attach { part_cost: f64, part_yield: f64, qty: u32 },
-    Test { cost: f64, coverage: f64, rework: Option<(f64, f64, u32)> },
+    Process {
+        cost: f64,
+        yield_: f64,
+    },
+    Attach {
+        part_cost: f64,
+        part_yield: f64,
+        qty: u32,
+    },
+    Test {
+        cost: f64,
+        coverage: f64,
+        rework: Option<(f64, f64, u32)>,
+    },
 }
 
 fn stage_strategy() -> impl Strategy<Value = StageSpec> {
     prop_oneof![
-        (0.0f64..5.0, 0.8f64..1.0)
-            .prop_map(|(cost, yield_)| StageSpec::Process { cost, yield_ }),
+        (0.0f64..5.0, 0.8f64..1.0).prop_map(|(cost, yield_)| StageSpec::Process { cost, yield_ }),
         (0.0f64..20.0, 0.85f64..1.0, 1u32..4).prop_map(|(part_cost, part_yield, qty)| {
             StageSpec::Attach {
                 part_cost,
@@ -31,7 +41,11 @@ fn stage_strategy() -> impl Strategy<Value = StageSpec> {
                 qty,
             }
         }),
-        (0.0f64..3.0, 0.7f64..1.0, proptest::option::of((0.0f64..2.0, 0.2f64..0.9, 1u32..3)))
+        (
+            0.0f64..3.0,
+            0.7f64..1.0,
+            proptest::option::of((0.0f64..2.0, 0.2f64..0.9, 1u32..3))
+        )
             .prop_map(|(cost, coverage, rework)| StageSpec::Test {
                 cost,
                 coverage,
@@ -132,5 +146,57 @@ proptest! {
             cat_total,
             analytic.total_spend()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn mc_error_shrinks_as_units_grow(
+        carrier_cost in 1.0f64..20.0,
+        carrier_yield in 0.85f64..1.0,
+        stages in proptest::collection::vec(stage_strategy(), 1..5),
+        seed in 0u64..1_000,
+    ) {
+        // The Monte Carlo estimate converges on the analytic value: the
+        // worst shipped-fraction error over the growing unit ladder must
+        // come down, ending within the binomial noise floor.
+        let flow = build_flow(carrier_cost, carrier_yield, &stages);
+        let analytic = flow.analyze().expect("random line ships something");
+        let errors: Vec<f64> = [500u64, 5_000, 50_000, 500_000]
+            .iter()
+            .map(|&units| {
+                let mc = flow
+                    .simulate(&SimOptions::new(units).with_seed(seed))
+                    .expect("simulation runs");
+                (mc.shipped_fraction() - analytic.shipped_fraction()).abs()
+            })
+            .collect();
+        let first = errors.first().copied().unwrap();
+        let last = errors.last().copied().unwrap();
+        prop_assert!(
+            last <= first.max(0.004) && last < 0.004,
+            "errors did not converge: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_report(
+        carrier_cost in 1.0f64..20.0,
+        carrier_yield in 0.85f64..1.0,
+        stages in proptest::collection::vec(stage_strategy(), 1..5),
+        seed in 0u64..1_000,
+    ) {
+        // The determinism contract, end to end on random lines: the
+        // full CostReport (every floating-point field, the defect
+        // pareto, everything) is bit-identical for 1 vs 8 threads.
+        let flow = build_flow(carrier_cost, carrier_yield, &stages);
+        let single = flow
+            .simulate(&SimOptions::new(20_000).with_seed(seed).with_threads(1))
+            .expect("simulation runs");
+        let eight = flow
+            .simulate(&SimOptions::new(20_000).with_seed(seed).with_threads(8))
+            .expect("simulation runs");
+        prop_assert_eq!(single, eight);
     }
 }

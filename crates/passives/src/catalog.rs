@@ -115,9 +115,15 @@ impl fmt::Display for Proposal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.technology {
             Technology::Smd { size, .. } => write!(f, "SMD {size}: {} ", self.area)?,
-            Technology::Integrated { structure, needs_trim } => {
-                write!(f, "IP {structure}{}: {} ", if *needs_trim { " (trimmed)" } else { "" }, self.area)?
-            }
+            Technology::Integrated {
+                structure,
+                needs_trim,
+            } => write!(
+                f,
+                "IP {structure}{}: {} ",
+                if *needs_trim { " (trimmed)" } else { "" },
+                self.area
+            )?,
         }
         write!(f, "{}", self.tolerance)?;
         if let Some(q) = self.q {
@@ -287,13 +293,10 @@ fn propose_integrated(spec: &PassiveSpec, process: &ThinFilmProcess) -> Option<P
             })
         }
         PassiveValue::Inductor(l) => {
-            let part: Result<SpiralInductor, SynthesisError> =
-                match (spec.frequency, spec.min_q) {
-                    (Some(f), Some(min_q)) => {
-                        SpiralInductor::synthesize_for_q(l, process, f, min_q)
-                    }
-                    _ => SpiralInductor::synthesize(l, process),
-                };
+            let part: Result<SpiralInductor, SynthesisError> = match (spec.frequency, spec.min_q) {
+                (Some(f), Some(min_q)) => SpiralInductor::synthesize_for_q(l, process, f, min_q),
+                _ => SpiralInductor::synthesize(l, process),
+            };
             let part = part.ok()?;
             if !part.tolerance().satisfies(spec.tolerance) {
                 return None;
@@ -345,7 +348,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             ip.technology,
-            Technology::Integrated { needs_trim: true, .. }
+            Technology::Integrated {
+                needs_trim: true,
+                ..
+            }
         ));
         assert!(ip.tolerance.satisfies(Tolerance::percent(1.0)));
     }

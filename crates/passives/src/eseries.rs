@@ -37,8 +37,8 @@ pub enum ESeries {
 /// Historic rounded mantissas for E3–E24 (IEC 60063 deviates from the
 /// geometric progression for these series).
 const E24_MANTISSAS: [f64; 24] = [
-    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0, 3.3, 3.6, 3.9, 4.3, 4.7, 5.1,
-    5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+    1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0, 3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6,
+    6.2, 6.8, 7.5, 8.2, 9.1,
 ];
 
 impl ESeries {

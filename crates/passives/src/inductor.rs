@@ -273,7 +273,11 @@ impl SpiralInductor {
         let t = self.metal_thickness_um * 1e-6;
         let delta = (self.metal_rho_ohm_m / (std::f64::consts::PI * f.hertz() * MU0)).sqrt();
         let x = t / delta;
-        let skin = if x < 1e-6 { 1.0 } else { x / (1.0 - (-x).exp()) };
+        let skin = if x < 1e-6 {
+            1.0
+        } else {
+            x / (1.0 - (-x).exp())
+        };
         self.dc_resistance * skin * self.substrate_loss_factor
     }
 
@@ -330,7 +334,12 @@ impl fmt::Display for SpiralInductor {
         write!(
             f,
             "{} spiral ({} turns, ⌀{:.0} µm, w {:.0} µm, {}, R_dc {:.2} Ω)",
-            self.target, self.turns, self.outer_um, self.width_um, self.area(), self.dc_resistance
+            self.target,
+            self.turns,
+            self.outer_um,
+            self.width_um,
+            self.area(),
+            self.dc_resistance
         )
     }
 }
@@ -383,16 +392,15 @@ mod tests {
         // An IF-filter inductor (~107 nH) with wide lines reaches Q ≈ 12
         // at 175 MHz, matching the "borderline" IF filter discussion.
         let f = Frequency::from_mega(175.0);
-        let l = SpiralInductor::synthesize_for_q(
-            Inductance::from_nano(107.0),
-            &process(),
-            f,
-            10.0,
-        )
-        .unwrap();
+        let l = SpiralInductor::synthesize_for_q(Inductance::from_nano(107.0), &process(), f, 10.0)
+            .unwrap();
         assert!(l.q_factor(f) >= 10.0);
         assert!(l.width_um() > 20.0);
-        assert!(l.area().mm2() > 2.0, "wide-line spiral is big: {}", l.area());
+        assert!(
+            l.area().mm2() > 2.0,
+            "wide-line spiral is big: {}",
+            l.area()
+        );
     }
 
     #[test]

@@ -190,7 +190,8 @@ mod tests {
 
     #[test]
     fn realized_value_matches_target() {
-        let c = InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.53), &process()).unwrap();
+        let c =
+            InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.53), &process()).unwrap();
         // Reconstruct from the geometry.
         let c_pair = 0.04 * (40.0 / 40.0); // 20 µm lines and gaps
         let realized = f64::from(c.fingers() - 1) * c_pair * (c.finger_um() / 1000.0);
@@ -200,8 +201,8 @@ mod tests {
     #[test]
     fn tolerance_beats_mim_below_a_picofarad() {
         // The design reason this structure exists.
-        let comb = InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.5), &process())
-            .unwrap();
+        let comb =
+            InterdigitalCapacitor::synthesize(Capacitance::from_pico(0.5), &process()).unwrap();
         let mim = MimCapacitor::synthesize(Capacitance::from_pico(0.5), &process()).unwrap();
         assert!(comb.tolerance().fraction() < mim.tolerance().fraction());
     }
@@ -225,8 +226,8 @@ mod tests {
 
     #[test]
     fn coarser_process_needs_more_area() {
-        let fine = InterdigitalCapacitor::synthesize(Capacitance::from_pico(1.0), &process())
-            .unwrap();
+        let fine =
+            InterdigitalCapacitor::synthesize(Capacitance::from_pico(1.0), &process()).unwrap();
         let coarse = InterdigitalCapacitor::synthesize(
             Capacitance::from_pico(1.0),
             &ThinFilmProcess::polyimide_flex(),

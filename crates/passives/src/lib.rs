@@ -46,8 +46,8 @@
 
 mod capacitor;
 mod catalog;
-pub mod eseries;
 mod error;
+pub mod eseries;
 mod inductor;
 mod interdigital;
 mod materials;

@@ -342,7 +342,9 @@ mod tests {
     fn displays_are_descriptive() {
         assert!(ResistiveFilm::cr_si().to_string().contains("CrSi"));
         assert!(DielectricFilm::ba_ti_o().to_string().contains("pF/mm²"));
-        assert!(ThinFilmProcess::summit_mcm_d().to_string().contains("SUMMIT"));
+        assert!(ThinFilmProcess::summit_mcm_d()
+            .to_string()
+            .contains("SUMMIT"));
     }
 
     #[test]

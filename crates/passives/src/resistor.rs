@@ -233,7 +233,11 @@ mod tests {
             "area {} should be ≈0.25 mm²",
             r.area()
         );
-        assert!(r.legs() > 5, "100 kΩ needs a meander, got {} legs", r.legs());
+        assert!(
+            r.legs() > 5,
+            "100 kΩ needs a meander, got {} legs",
+            r.legs()
+        );
         assert!((r.squares() - 277.8).abs() < 0.1);
     }
 
@@ -291,8 +295,7 @@ mod tests {
     #[test]
     fn nicr_needs_more_squares_for_same_value() {
         let crsi = ThinFilmResistor::synthesize(Resistance::from_kilo(10.0), &process()).unwrap();
-        let nicr_process =
-            process().with_resistor_film(crate::materials::ResistiveFilm::ni_cr());
+        let nicr_process = process().with_resistor_film(crate::materials::ResistiveFilm::ni_cr());
         let nicr =
             ThinFilmResistor::synthesize(Resistance::from_kilo(10.0), &nicr_process).unwrap();
         assert!(nicr.squares() > crsi.squares());

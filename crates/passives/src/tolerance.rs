@@ -1,6 +1,6 @@
 //! Tolerance models and value sampling for Monte Carlo analyses.
 
-use rand::Rng;
+use ipass_sim::SimRng;
 use std::fmt;
 
 /// Whether an integrated resistor has been laser-trimmed.
@@ -93,28 +93,26 @@ impl Tolerance {
     }
 
     /// Sample a value uniformly within the tolerance band.
-    pub fn sample_uniform<R: Rng + ?Sized>(self, nominal: f64, rng: &mut R) -> f64 {
+    pub fn sample_uniform(self, nominal: f64, rng: &mut SimRng) -> f64 {
         if self.0 == 0.0 {
             return nominal;
         }
         let (lo, hi) = self.bounds(nominal);
-        rng.gen_range(lo.min(hi)..=hi.max(lo))
+        rng.range_f64(lo.min(hi), hi.max(lo))
     }
 
     /// Sample a value from a truncated normal distribution whose ±3σ
     /// points sit at the tolerance bounds (the usual manufacturing
     /// assumption).
-    pub fn sample_normal<R: Rng + ?Sized>(self, nominal: f64, rng: &mut R) -> f64 {
+    pub fn sample_normal(self, nominal: f64, rng: &mut SimRng) -> f64 {
         if self.0 == 0.0 {
             return nominal;
         }
         let sigma = nominal.abs() * self.0 / 3.0;
         loop {
-            // Box-Muller transform; rejection keeps us inside the band.
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            let v = nominal + sigma * z;
+            // Rejection keeps us inside the band (±3σ, so rejections are
+            // rare).
+            let v = rng.normal(nominal, sigma);
             if self.contains(nominal, v) {
                 return v;
             }
@@ -137,8 +135,6 @@ impl fmt::Display for Tolerance {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn construction_and_accessors() {
@@ -169,14 +165,14 @@ mod tests {
 
     #[test]
     fn exact_sampling_is_identity() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::from_seed(1);
         assert_eq!(Tolerance::EXACT.sample_uniform(42.0, &mut rng), 42.0);
         assert_eq!(Tolerance::EXACT.sample_normal(42.0, &mut rng), 42.0);
     }
 
     #[test]
     fn normal_samples_cluster_near_nominal() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::from_seed(7);
         let t = Tolerance::percent(15.0);
         let n = 4000;
         let mut mean = 0.0;
@@ -205,7 +201,7 @@ mod tests {
         #[test]
         fn uniform_samples_stay_in_band(pct in 0.0f64..50.0, nominal in 0.001f64..1e6, seed in 0u64..1000) {
             let t = Tolerance::percent(pct);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::from_seed(seed);
             let v = t.sample_uniform(nominal, &mut rng);
             prop_assert!(t.contains(nominal, v * (1.0 - 1e-12) + 0.0));
         }

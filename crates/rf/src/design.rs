@@ -123,7 +123,10 @@ fn check_bandpass_args(f0: Frequency, bandwidth: Frequency, z0: f64, order: usiz
         bandwidth.hertz() > 0.0 && bandwidth.hertz() < 2.0 * f0.hertz(),
         "bandwidth must be positive and below 2·f0"
     );
-    assert!(z0 > 0.0 && z0.is_finite(), "system impedance must be positive");
+    assert!(
+        z0 > 0.0 && z0.is_finite(),
+        "system impedance must be positive"
+    );
 }
 
 /// Design a conventional ladder bandpass filter (shunt resonator first)

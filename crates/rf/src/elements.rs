@@ -148,7 +148,9 @@ impl Immittance {
     /// used in ladder analysis.
     pub fn element_count(&self) -> usize {
         match self {
-            Immittance::Resistor(_) | Immittance::Inductor { .. } | Immittance::Capacitor { .. } => 1,
+            Immittance::Resistor(_)
+            | Immittance::Inductor { .. }
+            | Immittance::Capacitor { .. } => 1,
             Immittance::Series(parts) | Immittance::Parallel(parts) => {
                 parts.iter().map(Immittance::element_count).sum()
             }

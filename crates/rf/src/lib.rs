@@ -67,7 +67,9 @@ pub use design::{bandpass, image_reject_bandpass, Approximation, BandpassDesign,
 pub use elements::{Immittance, Loss};
 pub use lowhigh::{butterworth_order, chebyshev_order, group_delay, highpass, lowpass};
 pub use matching::{design_l_match, design_pi_match, LMatch, LSectionKind, PiMatch};
-pub use montecarlo::{tolerance_yield, ToleranceYield};
+pub use montecarlo::{
+    tolerance_yield, tolerance_yield_adaptive, tolerance_yield_with, ToleranceYield,
+};
 pub use prototype::{
     butterworth_g, chebyshev_g, chebyshev_load_g, combined_qu, midband_loss_estimate_db,
 };

@@ -401,9 +401,7 @@ mod pi_tests {
         let low_q = design_pi_match(50.0, 200.0, ghz(1.575), 3.0, Loss::Ideal, Loss::Ideal);
         let high_q = design_pi_match(50.0, 200.0, ghz(1.575), 10.0, Loss::Ideal, Loss::Ideal);
         let off = ghz(1.9);
-        assert!(
-            high_q.ladder().insertion_loss_db(off) > low_q.ladder().insertion_loss_db(off)
-        );
+        assert!(high_q.ladder().insertion_loss_db(off) > low_q.ladder().insertion_loss_db(off));
         assert_eq!(high_q.loaded_q(), 10.0);
     }
 

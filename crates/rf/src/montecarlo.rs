@@ -4,39 +4,55 @@
 //! Integrated passives ship with wide as-fabricated tolerances (±15 %
 //! resistors, ±10…15 % capacitors). This module quantifies the resulting
 //! *parametric yield*, complementing the deterministic §4.1 loss scoring.
+//!
+//! The sampling runs on the [`ipass_sim`] substrate: every filter
+//! instance draws from its own counter-based stream, so results are
+//! bit-identical for any executor thread count, and runs can stop early
+//! once the yield estimate's confidence interval is tight enough.
 
 use crate::spec::FilterSpec;
 use crate::twoport::Ladder;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ipass_sim::{
+    BinomialTally, Executor, MinMax, RunOptions, Sampler, SimRng, StopRule, Welford, Z95,
+};
 
 /// The outcome of a tolerance Monte Carlo run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ToleranceYield {
-    samples: usize,
-    passing: usize,
+    tally: BinomialTally,
     worst_passband_loss_db: f64,
-    mean_passband_loss_db: f64,
+    loss: Welford,
+    stopped_early: bool,
 }
 
 impl ToleranceYield {
     /// Number of sampled filter instances.
     pub fn samples(&self) -> usize {
-        self.samples
+        self.tally.trials() as usize
     }
 
     /// Instances meeting the full spec.
     pub fn passing(&self) -> usize {
-        self.passing
+        self.tally.successes() as usize
     }
 
     /// The parametric yield in `[0, 1]`.
     pub fn yield_fraction(&self) -> f64 {
-        if self.samples == 0 {
-            0.0
-        } else {
-            self.passing as f64 / self.samples as f64
-        }
+        self.tally.fraction()
+    }
+
+    /// 95 % confidence-interval half width of [`yield_fraction`]
+    /// (Wilson — consistent with the adaptive stop rule, and well
+    /// behaved when every sample lands on the same side).
+    ///
+    /// [`yield_fraction`]: ToleranceYield::yield_fraction
+    pub fn yield_ci_half_width(&self) -> f64 {
+        self.tally.wilson_half_width(Z95)
+    }
+
+    /// Wilson 95 % confidence interval of the parametric yield.
+    pub fn yield_interval(&self) -> (f64, f64) {
+        self.tally.wilson_interval(Z95)
     }
 
     /// Worst sampled passband loss (dB).
@@ -46,13 +62,87 @@ impl ToleranceYield {
 
     /// Mean sampled passband loss (dB).
     pub fn mean_passband_loss_db(&self) -> f64 {
-        self.mean_passband_loss_db
+        self.loss.mean()
+    }
+
+    /// Sample standard deviation of the passband loss (dB).
+    pub fn passband_loss_std_dev_db(&self) -> f64 {
+        self.loss.std_dev()
+    }
+
+    /// Whether an early-stopping rule ended the run before its sample
+    /// budget.
+    pub fn stopped_early(&self) -> bool {
+        self.stopped_early
+    }
+}
+
+/// Accumulator for the tolerance sampler.
+#[derive(Debug)]
+struct TolAcc {
+    tally: BinomialTally,
+    worst: MinMax,
+    loss: Welford,
+}
+
+struct TolSampler<'a, F> {
+    spec: &'a FilterSpec,
+    build: F,
+}
+
+impl<F> Sampler for TolSampler<'_, F>
+where
+    F: Fn(&mut SimRng) -> Ladder + Sync,
+{
+    type Acc = TolAcc;
+    type Error = std::convert::Infallible;
+
+    fn make_acc(&self) -> TolAcc {
+        TolAcc {
+            tally: BinomialTally::new(),
+            worst: MinMax::new(),
+            loss: Welford::new(),
+        }
+    }
+
+    fn sample(&self, _unit: u64, rng: &mut SimRng, acc: &mut TolAcc) -> Result<(), Self::Error> {
+        let ladder = (self.build)(rng);
+        let report = self.spec.evaluate(&ladder);
+        acc.tally.push(report.meets_spec());
+        acc.worst.push(report.passband_loss_db());
+        acc.loss.push(report.passband_loss_db());
+        Ok(())
+    }
+
+    fn merge(&self, into: &mut TolAcc, from: TolAcc) {
+        into.tally.merge(&from.tally);
+        into.worst.merge(&from.worst);
+        into.loss.merge(&from.loss);
+    }
+
+    fn ci_half_width(&self, acc: &TolAcc, z: f64) -> Option<f64> {
+        // Wilson, not Wald: near-certain pass/fail would otherwise report
+        // zero width and stop at the floor regardless of the target.
+        Some(acc.tally.wilson_half_width(z))
+    }
+}
+
+fn summarize(acc: TolAcc, stopped_early: bool) -> ToleranceYield {
+    ToleranceYield {
+        tally: acc.tally,
+        worst_passband_loss_db: acc.worst.max(),
+        loss: acc.loss,
+        stopped_early,
     }
 }
 
 /// Sample `n` filter instances from `build` (a closure that constructs a
 /// ladder with component values drawn from their tolerance
 /// distributions) and evaluate each against `spec`.
+///
+/// Each instance draws from its own deterministic stream of `seed`;
+/// [`tolerance_yield_with`] runs the identical computation on a
+/// multi-thread executor with bit-identical results.
 ///
 /// # Panics
 ///
@@ -85,30 +175,68 @@ impl ToleranceYield {
 /// );
 /// assert!(result.yield_fraction() > 0.9);
 /// ```
-pub fn tolerance_yield<F>(spec: &FilterSpec, n: usize, seed: u64, mut build: F) -> ToleranceYield
+pub fn tolerance_yield<F>(spec: &FilterSpec, n: usize, seed: u64, build: F) -> ToleranceYield
 where
-    F: FnMut(&mut StdRng) -> Ladder,
+    F: Fn(&mut SimRng) -> Ladder + Sync,
+{
+    tolerance_yield_with(spec, n, seed, &Executor::serial(), build)
+}
+
+/// [`tolerance_yield`] on an explicit executor; the thread count is a
+/// pure performance knob (results are bit-identical).
+///
+/// # Panics
+///
+/// Panics when `n` is zero.
+pub fn tolerance_yield_with<F>(
+    spec: &FilterSpec,
+    n: usize,
+    seed: u64,
+    executor: &Executor,
+    build: F,
+) -> ToleranceYield
+where
+    F: Fn(&mut SimRng) -> Ladder + Sync,
 {
     assert!(n > 0, "need at least one sample");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut passing = 0usize;
-    let mut worst = f64::NEG_INFINITY;
-    let mut sum = 0.0;
-    for _ in 0..n {
-        let ladder = build(&mut rng);
-        let report = spec.evaluate(&ladder);
-        if report.meets_spec() {
-            passing += 1;
-        }
-        worst = worst.max(report.passband_loss_db());
-        sum += report.passband_loss_db();
-    }
-    ToleranceYield {
-        samples: n,
-        passing,
-        worst_passband_loss_db: worst,
-        mean_passband_loss_db: sum / n as f64,
-    }
+    let sampler = TolSampler { spec, build };
+    let acc = match executor.run(&sampler, n as u64, seed) {
+        Ok(acc) => acc,
+        Err(e) => match e {},
+    };
+    summarize(acc, false)
+}
+
+/// Adaptive variant: sample until the 95 % confidence interval of the
+/// yield fraction is narrower than `±target_half_width` (or `max_n`
+/// instances were evaluated). The stopping point is evaluated at
+/// deterministic chunk boundaries, so results remain bit-identical for
+/// any executor.
+///
+/// # Panics
+///
+/// Panics when `max_n` is zero.
+pub fn tolerance_yield_adaptive<F>(
+    spec: &FilterSpec,
+    max_n: usize,
+    seed: u64,
+    target_half_width: f64,
+    executor: &Executor,
+    build: F,
+) -> ToleranceYield
+where
+    F: Fn(&mut SimRng) -> Ladder + Sync,
+{
+    assert!(max_n > 0, "need at least one sample");
+    let sampler = TolSampler { spec, build };
+    let options = RunOptions {
+        stop: Some(StopRule::half_width_95(target_half_width)),
+    };
+    let outcome = match executor.run_with(&sampler, max_n as u64, seed, &options) {
+        Ok(outcome) => outcome,
+        Err(e) => match e {},
+    };
+    summarize(outcome.acc, outcome.stopped_early)
 }
 
 #[cfg(test)]
@@ -125,7 +253,7 @@ mod tests {
     }
 
     fn toleranced_if_filter(
-        rng: &mut StdRng,
+        rng: &mut SimRng,
         tol_l: Tolerance,
         tol_c: Tolerance,
         q_l: f64,
@@ -155,7 +283,7 @@ mod tests {
 
     fn perturb_branch(
         branch: &Branch,
-        rng: &mut StdRng,
+        rng: &mut SimRng,
         tol_l: Tolerance,
         tol_c: Tolerance,
     ) -> Branch {
@@ -165,7 +293,12 @@ mod tests {
         }
     }
 
-    fn perturb(imm: &Immittance, rng: &mut StdRng, tol_l: Tolerance, tol_c: Tolerance) -> Immittance {
+    fn perturb(
+        imm: &Immittance,
+        rng: &mut SimRng,
+        tol_l: Tolerance,
+        tol_c: Tolerance,
+    ) -> Immittance {
         match imm {
             Immittance::Inductor { henries, loss } => Immittance::Inductor {
                 henries: Inductance::new(tol_l.sample_normal(henries.henries(), rng)),
@@ -177,10 +310,16 @@ mod tests {
             },
             Immittance::Resistor(r) => Immittance::Resistor(*r),
             Immittance::Series(parts) => Immittance::Series(
-                parts.iter().map(|p| perturb(p, rng, tol_l, tol_c)).collect(),
+                parts
+                    .iter()
+                    .map(|p| perturb(p, rng, tol_l, tol_c))
+                    .collect(),
             ),
             Immittance::Parallel(parts) => Immittance::Parallel(
-                parts.iter().map(|p| perturb(p, rng, tol_l, tol_c)).collect(),
+                parts
+                    .iter()
+                    .map(|p| perturb(p, rng, tol_l, tol_c))
+                    .collect(),
             ),
         }
     }
@@ -189,9 +328,19 @@ mod tests {
     fn tight_tolerances_yield_everything() {
         let spec = FilterSpec::new("IF", mhz(175.0), 3.0);
         let result = tolerance_yield(&spec, 300, 1, |rng| {
-            toleranced_if_filter(rng, Tolerance::percent(2.0), Tolerance::percent(2.0), 45.0, 200.0)
+            toleranced_if_filter(
+                rng,
+                Tolerance::percent(2.0),
+                Tolerance::percent(2.0),
+                45.0,
+                200.0,
+            )
         });
-        assert!(result.yield_fraction() > 0.97, "{}", result.yield_fraction());
+        assert!(
+            result.yield_fraction() > 0.97,
+            "{}",
+            result.yield_fraction()
+        );
         assert_eq!(result.samples(), 300);
     }
 
@@ -202,7 +351,13 @@ mod tests {
         // visible fraction of instances over the loss budget.
         let spec = FilterSpec::new("IF", mhz(175.0), 3.0);
         let tight = tolerance_yield(&spec, 400, 2, |rng| {
-            toleranced_if_filter(rng, Tolerance::percent(2.0), Tolerance::percent(2.0), 45.0, 200.0)
+            toleranced_if_filter(
+                rng,
+                Tolerance::percent(2.0),
+                Tolerance::percent(2.0),
+                45.0,
+                200.0,
+            )
         });
         let wide = tolerance_yield(&spec, 400, 2, |rng| {
             toleranced_if_filter(
@@ -213,7 +368,11 @@ mod tests {
                 200.0,
             )
         });
-        assert!(tight.yield_fraction() > 0.9, "tight {}", tight.yield_fraction());
+        assert!(
+            tight.yield_fraction() > 0.9,
+            "tight {}",
+            tight.yield_fraction()
+        );
         assert!(
             wide.yield_fraction() < tight.yield_fraction(),
             "wide {} vs tight {}",
@@ -227,18 +386,33 @@ mod tests {
     fn statistics_are_consistent() {
         let spec = FilterSpec::new("IF", mhz(175.0), 3.0);
         let r = tolerance_yield(&spec, 100, 3, |rng| {
-            toleranced_if_filter(rng, Tolerance::percent(5.0), Tolerance::percent(10.0), 25.0, 95.0)
+            toleranced_if_filter(
+                rng,
+                Tolerance::percent(5.0),
+                Tolerance::percent(10.0),
+                25.0,
+                95.0,
+            )
         });
         assert!(r.mean_passband_loss_db() <= r.worst_passband_loss_db());
         assert!(r.passing() <= r.samples());
         assert!((0.0..=1.0).contains(&r.yield_fraction()));
+        assert!(r.passband_loss_std_dev_db() >= 0.0);
+        let (lo, hi) = r.yield_interval();
+        assert!(lo <= r.yield_fraction() && r.yield_fraction() <= hi);
     }
 
     #[test]
     fn same_seed_reproduces() {
         let spec = FilterSpec::new("IF", mhz(175.0), 3.0);
-        let build = |rng: &mut StdRng| {
-            toleranced_if_filter(rng, Tolerance::percent(10.0), Tolerance::percent(10.0), 25.0, 95.0)
+        let build = |rng: &mut SimRng| {
+            toleranced_if_filter(
+                rng,
+                Tolerance::percent(10.0),
+                Tolerance::percent(10.0),
+                25.0,
+                95.0,
+            )
         };
         let a = tolerance_yield(&spec, 200, 7, build);
         let b = tolerance_yield(&spec, 200, 7, build);
@@ -246,11 +420,48 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_is_a_pure_performance_knob() {
+        let spec = FilterSpec::new("IF", mhz(175.0), 3.0);
+        let build = |rng: &mut SimRng| {
+            toleranced_if_filter(
+                rng,
+                Tolerance::percent(10.0),
+                Tolerance::percent(10.0),
+                25.0,
+                95.0,
+            )
+        };
+        let serial = tolerance_yield_with(&spec, 600, 7, &Executor::new(1), build);
+        let parallel = tolerance_yield_with(&spec, 600, 7, &Executor::new(8), build);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn adaptive_run_stops_when_tight() {
+        let spec = FilterSpec::new("IF", mhz(175.0), 3.0);
+        let build = |rng: &mut SimRng| {
+            toleranced_if_filter(
+                rng,
+                Tolerance::percent(2.0),
+                Tolerance::percent(2.0),
+                45.0,
+                200.0,
+            )
+        };
+        // Near-certain pass ⇒ tiny variance ⇒ stops at the floor.
+        let r = tolerance_yield_adaptive(&spec, 100_000, 5, 0.02, &Executor::new(4), build);
+        assert!(r.stopped_early(), "ran {} samples", r.samples());
+        assert!(r.samples() < 100_000);
+        assert!(r.yield_ci_half_width() <= 0.02);
+        // Determinism across executors.
+        let r2 = tolerance_yield_adaptive(&spec, 100_000, 5, 0.02, &Executor::new(1), build);
+        assert_eq!(r, r2);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         let spec = FilterSpec::new("IF", mhz(175.0), 3.0);
-        let _ = tolerance_yield(&spec, 0, 1, |_| {
-            Ladder::new(vec![], 50.0, 50.0)
-        });
+        let _ = tolerance_yield(&spec, 0, 1, |_| Ladder::new(vec![], 50.0, 50.0));
     }
 }

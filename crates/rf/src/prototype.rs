@@ -113,7 +113,10 @@ pub fn chebyshev_load_g(order: usize, ripple_db: f64) -> f64 {
 /// assert!(il > 6.0 && il < 7.5);
 /// ```
 pub fn midband_loss_estimate_db(g: &[f64], fbw: f64, qu: f64) -> f64 {
-    assert!(fbw > 0.0, "fractional bandwidth must be positive, got {fbw}");
+    assert!(
+        fbw > 0.0,
+        "fractional bandwidth must be positive, got {fbw}"
+    );
     assert!(qu > 0.0, "unloaded Q must be positive, got {qu}");
     4.343 * g.iter().sum::<f64>() / (fbw * qu)
 }

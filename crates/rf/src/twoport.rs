@@ -69,7 +69,10 @@ impl Abcd {
     ///
     /// Panics if `n` is zero or not finite.
     pub fn transformer(n: f64) -> Abcd {
-        assert!(n.is_finite() && n != 0.0, "turns ratio must be finite and non-zero");
+        assert!(
+            n.is_finite() && n != 0.0,
+            "turns ratio must be finite and non-zero"
+        );
         Abcd {
             a: Complex::real(n),
             b: Complex::ZERO,
@@ -292,7 +295,8 @@ impl Ladder {
     /// S-parameters at `f`, referenced to the (possibly unequal) source
     /// and load terminations.
     pub fn s_params(&self, f: Frequency) -> SParams {
-        self.abcd(f).to_s_params_between(self.source_ohms, self.load_ohms)
+        self.abcd(f)
+            .to_s_params_between(self.source_ohms, self.load_ohms)
     }
 
     /// Insertion loss in dB at `f` (relative to the maximum power
@@ -460,10 +464,7 @@ mod tests {
         let xp = 200.0 / q;
         let ladder = Ladder::new(
             vec![
-                Branch::Series(Immittance::inductor(
-                    Inductance::new(xs / w),
-                    Loss::Ideal,
-                )),
+                Branch::Series(Immittance::inductor(Inductance::new(xs / w), Loss::Ideal)),
                 Branch::Shunt(Immittance::capacitor(
                     Capacitance::new(1.0 / (w * xp)),
                     Loss::Ideal,

@@ -1,0 +1,670 @@
+//! The chunked, deterministic, parallel experiment executor.
+//!
+//! Units are partitioned into fixed-size chunks (a pure function of the
+//! unit count, never of the thread count). A fixed pool of scoped
+//! workers steals chunks from a shared cursor; each chunk accumulates
+//! into its own accumulator, and completed chunks are folded into a
+//! running *prefix* strictly in chunk order. Because every unit draws
+//! from its own counter-based [`SimRng`] stream and the floating-point
+//! merge order is fixed, the result is bit-identical for any thread
+//! count — threads are purely a performance knob.
+//!
+//! Optional sequential early stopping evaluates a confidence-interval
+//! rule at every prefix extension (again in chunk order), so the
+//! stopping point is a pure function of the data, not of scheduling.
+
+use crate::rng::SimRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A Monte Carlo experiment that accumulates directly into a mergeable
+/// accumulator (the zero-allocation form used by hot engines).
+///
+/// Implementations must be deterministic: `sample` may use only `unit`,
+/// the provided RNG stream and `&self`.
+pub trait Sampler: Sync {
+    /// Partial result accumulated per chunk and merged across chunks.
+    type Acc: Send;
+    /// Error that aborts the run (the first error in unit order wins).
+    type Error: Send;
+
+    /// Create an empty accumulator.
+    fn make_acc(&self) -> Self::Acc;
+
+    /// Route one unit, recording its outcome into `acc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sampler's error to abort the run.
+    fn sample(&self, unit: u64, rng: &mut SimRng, acc: &mut Self::Acc) -> Result<(), Self::Error>;
+
+    /// Fold a later chunk's accumulator into an earlier one.
+    fn merge(&self, into: &mut Self::Acc, from: Self::Acc);
+
+    /// Current confidence-interval half width of the quantity an early
+    /// stopping rule targets, or `None` when the sampler does not
+    /// support early stopping.
+    fn ci_half_width(&self, acc: &Self::Acc, z: f64) -> Option<f64> {
+        let _ = (acc, z);
+        None
+    }
+}
+
+/// A Monte Carlo experiment producing one output per unit (the
+/// convenient form; collected outputs preserve unit order).
+pub trait Experiment: Sync {
+    /// Per-unit output.
+    type Output: Send;
+    /// Error that aborts the run.
+    type Error: Send;
+
+    /// Evaluate one unit on its private RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the experiment's error to abort the run.
+    fn run(&self, unit: u64, rng: &mut SimRng) -> Result<Self::Output, Self::Error>;
+}
+
+/// Adapter: collect an [`Experiment`]'s outputs in unit order through
+/// the [`Sampler`] machinery.
+#[derive(Debug)]
+pub struct Collect<E>(pub E);
+
+impl<E: Experiment> Sampler for Collect<E> {
+    type Acc = Vec<E::Output>;
+    type Error = E::Error;
+
+    fn make_acc(&self) -> Self::Acc {
+        Vec::new()
+    }
+
+    fn sample(&self, unit: u64, rng: &mut SimRng, acc: &mut Self::Acc) -> Result<(), Self::Error> {
+        acc.push(self.0.run(unit, rng)?);
+        Ok(())
+    }
+
+    fn merge(&self, into: &mut Self::Acc, mut from: Self::Acc) {
+        into.append(&mut from);
+    }
+}
+
+/// Sequential early-stopping rule: stop once the sampler's confidence
+/// interval is tight enough.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Target half width of the confidence interval.
+    pub target_half_width: f64,
+    /// z value of the interval (e.g. [`crate::Z95`]).
+    pub z: f64,
+    /// Never stop before this many units (guards against a lucky first
+    /// chunk).
+    pub min_units: u64,
+}
+
+impl StopRule {
+    /// A 95 % rule with the given half-width target and a 1 000-unit
+    /// floor.
+    pub fn half_width_95(target: f64) -> StopRule {
+        StopRule {
+            target_half_width: target,
+            z: crate::stats::Z95,
+            min_units: 1_000,
+        }
+    }
+}
+
+/// Options for [`Executor::run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunOptions {
+    /// Optional early-stopping rule.
+    pub stop: Option<StopRule>,
+}
+
+/// The outcome of an executor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome<A> {
+    /// The merged accumulator over all units that were run.
+    pub acc: A,
+    /// Units actually routed (less than requested when stopped early).
+    pub units_run: u64,
+    /// Whether the early-stopping rule fired.
+    pub stopped_early: bool,
+}
+
+/// Fixed chunk geometry: a pure function of the unit count so that the
+/// floating-point merge order — and therefore every result — is
+/// independent of the thread count.
+fn chunk_size(units: u64) -> u64 {
+    (units / 64).clamp(256, 16_384).min(units.max(1))
+}
+
+/// The deterministic parallel executor.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_sim::{Executor, Experiment, SimRng};
+///
+/// struct Pi;
+/// impl Experiment for Pi {
+///     type Output = bool;
+///     type Error = std::convert::Infallible;
+///     fn run(&self, _unit: u64, rng: &mut SimRng) -> Result<bool, Self::Error> {
+///         let (x, y) = (rng.next_f64(), rng.next_f64());
+///         Ok(x * x + y * y <= 1.0)
+///     }
+/// }
+///
+/// let hits = |threads| {
+///     let outs = Executor::new(threads).collect(&Pi, 100_000, 7).unwrap();
+///     outs.iter().filter(|&&h| h).count()
+/// };
+/// let serial = hits(1);
+/// assert_eq!(serial, hits(4)); // bit-identical regardless of threads
+/// let pi = 4.0 * serial as f64 / 100_000.0;
+/// assert!((pi - std::f64::consts::PI).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor::serial()
+    }
+}
+
+impl Executor {
+    /// An executor with a fixed worker pool of `threads` (minimum 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded executor (same results, no worker pool).
+    pub fn serial() -> Executor {
+        Executor::new(1)
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn available() -> Executor {
+        Executor::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `units` units of `sampler` under `seed` and return the merged
+    /// accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sampler error in unit order.
+    pub fn run<S: Sampler>(&self, sampler: &S, units: u64, seed: u64) -> Result<S::Acc, S::Error> {
+        self.run_with(sampler, units, seed, &RunOptions::default())
+            .map(|outcome| outcome.acc)
+    }
+
+    /// Like [`Executor::run`], with early stopping and run metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sampler error in unit order.
+    pub fn run_with<S: Sampler>(
+        &self,
+        sampler: &S,
+        units: u64,
+        seed: u64,
+        options: &RunOptions,
+    ) -> Result<RunOutcome<S::Acc>, S::Error> {
+        if units == 0 {
+            return Ok(RunOutcome {
+                acc: sampler.make_acc(),
+                units_run: 0,
+                stopped_early: false,
+            });
+        }
+        let chunk = chunk_size(units);
+        let n_chunks = units.div_ceil(chunk);
+        let workers = self.threads.min(n_chunks as usize);
+        if workers <= 1 {
+            return run_serial(sampler, units, seed, chunk, options);
+        }
+        run_parallel(sampler, units, seed, chunk, n_chunks, workers, options)
+    }
+
+    /// Run an [`Experiment`] and collect its outputs in unit order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first experiment error in unit order.
+    pub fn collect<E: Experiment>(
+        &self,
+        experiment: &E,
+        units: u64,
+        seed: u64,
+    ) -> Result<Vec<E::Output>, E::Error> {
+        self.run(&Collect(experiment), units, seed)
+    }
+
+    /// Evaluate `f` over every item of a batch in parallel, preserving
+    /// order. On failure the error of the smallest index is returned —
+    /// deterministically, matching a serial evaluation: items after the
+    /// lowest failing index may be skipped, but everything before it is
+    /// always evaluated (items are claimed in index order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in item order.
+    pub fn try_map<T, O, E, F>(&self, items: &[T], f: F) -> Result<Vec<O>, E>
+    where
+        T: Sync,
+        O: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<O, E> + Sync,
+    {
+        let mut slots: Vec<Option<Result<O, E>>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        let slots = Mutex::new(slots);
+        let cursor = AtomicU64::new(0);
+        // Lowest failing index seen so far; items above it are skipped.
+        let min_error = AtomicU64::new(u64::MAX);
+        let workers = self.threads.min(items.len().max(1));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                out.push(f(i, item)?);
+            }
+            return Ok(out);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() as u64 {
+                        break;
+                    }
+                    if i > min_error.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    let i = i as usize;
+                    let result = f(i, &items[i]);
+                    if result.is_err() {
+                        min_error.fetch_min(i as u64, Ordering::Release);
+                    }
+                    slots.lock().expect("map worker poisoned the slot lock")[i] = Some(result);
+                });
+            }
+        });
+        let slots = slots.into_inner().expect("map slot lock poisoned");
+        let mut out = Vec::with_capacity(items.len());
+        for slot in slots {
+            // A `None` slot was skipped, which only happens behind a
+            // lower failing index — the error below surfaces first.
+            match slot {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("skipped item with no preceding error"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Infallible version of [`Executor::try_map`].
+    pub fn map<T, O, F>(&self, items: &[T], f: F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(usize, &T) -> O + Sync,
+    {
+        match self.try_map(items, |i, item| {
+            Ok::<O, std::convert::Infallible>(f(i, item))
+        }) {
+            Ok(out) => out,
+            Err(e) => match e {},
+        }
+    }
+}
+
+impl<E: Experiment> Experiment for &E {
+    type Output = E::Output;
+    type Error = E::Error;
+
+    fn run(&self, unit: u64, rng: &mut SimRng) -> Result<Self::Output, Self::Error> {
+        (*self).run(unit, rng)
+    }
+}
+
+/// Route one chunk of units, each on its own stream.
+fn run_chunk<S: Sampler>(sampler: &S, seed: u64, lo: u64, hi: u64) -> Result<S::Acc, S::Error> {
+    let mut acc = sampler.make_acc();
+    for unit in lo..hi {
+        let mut rng = SimRng::stream(seed, unit);
+        sampler.sample(unit, &mut rng, &mut acc)?;
+    }
+    Ok(acc)
+}
+
+fn stop_rule_met<S: Sampler>(
+    sampler: &S,
+    acc: &S::Acc,
+    units_so_far: u64,
+    rule: &StopRule,
+) -> bool {
+    units_so_far >= rule.min_units
+        && sampler
+            .ci_half_width(acc, rule.z)
+            .is_some_and(|hw| hw <= rule.target_half_width)
+}
+
+fn run_serial<S: Sampler>(
+    sampler: &S,
+    units: u64,
+    seed: u64,
+    chunk: u64,
+    options: &RunOptions,
+) -> Result<RunOutcome<S::Acc>, S::Error> {
+    let mut prefix = sampler.make_acc();
+    let mut lo = 0;
+    while lo < units {
+        let hi = (lo + chunk).min(units);
+        let part = run_chunk(sampler, seed, lo, hi)?;
+        sampler.merge(&mut prefix, part);
+        lo = hi;
+        if let Some(rule) = &options.stop {
+            if stop_rule_met(sampler, &prefix, lo, rule) {
+                return Ok(RunOutcome {
+                    acc: prefix,
+                    units_run: lo,
+                    stopped_early: true,
+                });
+            }
+        }
+    }
+    Ok(RunOutcome {
+        acc: prefix,
+        units_run: units,
+        stopped_early: false,
+    })
+}
+
+/// Shared fold state: completed chunk results waiting to join the
+/// in-order prefix.
+struct FoldState<S: Sampler> {
+    pending: Vec<Option<Result<S::Acc, S::Error>>>,
+    prefix: S::Acc,
+    /// Next chunk index the prefix is waiting for.
+    next: u64,
+    /// Units covered by the prefix.
+    units_merged: u64,
+    /// Chunk count at which the stop rule fired (prefix is final there).
+    stopped_at: Option<u64>,
+    error: Option<S::Error>,
+}
+
+fn run_parallel<S: Sampler>(
+    sampler: &S,
+    units: u64,
+    seed: u64,
+    chunk: u64,
+    n_chunks: u64,
+    workers: usize,
+    options: &RunOptions,
+) -> Result<RunOutcome<S::Acc>, S::Error> {
+    let cursor = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let state: Mutex<FoldState<S>> = Mutex::new(FoldState {
+        pending: {
+            let mut v = Vec::with_capacity(n_chunks as usize);
+            v.resize_with(n_chunks as usize, || None);
+            v
+        },
+        prefix: sampler.make_acc(),
+        next: 0,
+        units_merged: 0,
+        stopped_at: None,
+        error: None,
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(units);
+                let result = run_chunk(sampler, seed, lo, hi);
+                let mut st = state.lock().expect("executor fold lock poisoned");
+                st.pending[c as usize] = Some(result);
+                // Extend the in-order prefix as far as contiguous results
+                // allow; all determinism lives in this fold.
+                while st.stopped_at.is_none() && st.error.is_none() {
+                    let next = st.next as usize;
+                    let Some(slot) = st.pending.get_mut(next).and_then(Option::take) else {
+                        break;
+                    };
+                    match slot {
+                        Ok(part) => {
+                            sampler.merge(&mut st.prefix, part);
+                            st.next += 1;
+                            st.units_merged = (st.next * chunk).min(units);
+                            if let Some(rule) = &options.stop {
+                                if stop_rule_met(sampler, &st.prefix, st.units_merged, rule) {
+                                    st.stopped_at = Some(st.next);
+                                    done.store(true, Ordering::Release);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            st.error = Some(e);
+                            done.store(true, Ordering::Release);
+                        }
+                    }
+                }
+                if st.next >= n_chunks {
+                    done.store(true, Ordering::Release);
+                }
+            });
+        }
+    });
+
+    let st = state.into_inner().expect("executor fold lock poisoned");
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    Ok(RunOutcome {
+        acc: st.prefix,
+        units_run: st.units_merged,
+        stopped_early: st.stopped_at.is_some(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{BinomialTally, Z95};
+
+    /// Counts heads of a biased coin; supports early stopping.
+    struct Coin {
+        p: f64,
+    }
+
+    impl Sampler for Coin {
+        type Acc = BinomialTally;
+        type Error = std::convert::Infallible;
+
+        fn make_acc(&self) -> BinomialTally {
+            BinomialTally::new()
+        }
+
+        fn sample(
+            &self,
+            _unit: u64,
+            rng: &mut SimRng,
+            acc: &mut BinomialTally,
+        ) -> Result<(), Self::Error> {
+            acc.push(rng.bernoulli(self.p));
+            Ok(())
+        }
+
+        fn merge(&self, into: &mut BinomialTally, from: BinomialTally) {
+            into.merge(&from);
+        }
+
+        fn ci_half_width(&self, acc: &BinomialTally, z: f64) -> Option<f64> {
+            Some(acc.ci_half_width(z))
+        }
+    }
+
+    struct FailAt(u64);
+
+    impl Sampler for FailAt {
+        type Acc = u64;
+        type Error = u64;
+
+        fn make_acc(&self) -> u64 {
+            0
+        }
+
+        fn sample(&self, unit: u64, _rng: &mut SimRng, acc: &mut u64) -> Result<(), u64> {
+            if unit >= self.0 {
+                return Err(unit);
+            }
+            *acc += 1;
+            Ok(())
+        }
+
+        fn merge(&self, into: &mut u64, from: u64) {
+            *into += from;
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let coin = Coin { p: 0.37 };
+        let baseline = Executor::new(1).run(&coin, 50_000, 11).unwrap();
+        for threads in [2, 4, 8] {
+            let tally = Executor::new(threads).run(&coin, 50_000, 11).unwrap();
+            assert_eq!(tally, baseline, "threads = {threads}");
+        }
+        assert!((baseline.fraction() - 0.37).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_units_is_empty() {
+        let outcome = Executor::new(4)
+            .run_with(&Coin { p: 0.5 }, 0, 1, &RunOptions::default())
+            .unwrap();
+        assert_eq!(outcome.units_run, 0);
+        assert_eq!(outcome.acc.trials(), 0);
+        assert!(!outcome.stopped_early);
+    }
+
+    #[test]
+    fn early_stopping_fires_and_is_deterministic() {
+        let rule = StopRule {
+            target_half_width: 0.01,
+            z: Z95,
+            min_units: 1_000,
+        };
+        let options = RunOptions { stop: Some(rule) };
+        let a = Executor::new(1)
+            .run_with(&Coin { p: 0.2 }, 1_000_000, 3, &options)
+            .unwrap();
+        assert!(a.stopped_early);
+        assert!(a.units_run < 1_000_000, "ran {}", a.units_run);
+        assert!(a.acc.ci_half_width(Z95) <= 0.01);
+        for threads in [2, 8] {
+            let b = Executor::new(threads)
+                .run_with(&Coin { p: 0.2 }, 1_000_000, 3, &options)
+                .unwrap();
+            assert_eq!(b.units_run, a.units_run);
+            assert_eq!(b.acc, a.acc);
+            assert!(b.stopped_early);
+        }
+    }
+
+    #[test]
+    fn early_stopping_respects_min_units() {
+        let rule = StopRule {
+            target_half_width: 1.0, // trivially satisfied
+            z: Z95,
+            min_units: 5_000,
+        };
+        let outcome = Executor::new(4)
+            .run_with(
+                &Coin { p: 0.5 },
+                100_000,
+                1,
+                &RunOptions { stop: Some(rule) },
+            )
+            .unwrap();
+        assert!(outcome.stopped_early);
+        assert!(outcome.units_run >= 5_000);
+    }
+
+    #[test]
+    fn first_error_in_unit_order_wins() {
+        for threads in [1, 4] {
+            let err = Executor::new(threads)
+                .run(&FailAt(10_000), 100_000, 0)
+                .unwrap_err();
+            assert_eq!(err, 10_000, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn collect_preserves_unit_order() {
+        struct Ident;
+        impl Experiment for Ident {
+            type Output = u64;
+            type Error = std::convert::Infallible;
+            fn run(&self, unit: u64, _rng: &mut SimRng) -> Result<u64, Self::Error> {
+                Ok(unit)
+            }
+        }
+        let outs = Executor::new(4).collect(&Ident, 10_000, 0).unwrap();
+        assert_eq!(outs.len(), 10_000);
+        assert!(outs.iter().enumerate().all(|(i, &u)| i as u64 == u));
+    }
+
+    #[test]
+    fn try_map_orders_and_reports_first_error() {
+        let items: Vec<u64> = (0..500).collect();
+        let ok = Executor::new(4)
+            .try_map(&items, |i, &x| Ok::<_, String>(x + i as u64))
+            .unwrap();
+        assert_eq!(ok[7], 14);
+        let err = Executor::new(4)
+            .try_map(&items, |_, &x| {
+                if x % 100 == 99 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "bad 99");
+    }
+
+    #[test]
+    fn map_is_parallel_identity() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = Executor::new(8).map(&items, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

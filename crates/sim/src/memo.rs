@@ -1,0 +1,165 @@
+//! A small sharded memo cache for per-candidate sub-results.
+//!
+//! Trade studies and sweeps evaluate the same candidate under many
+//! scenarios; expensive sub-results (a packed layout, a flow report, a
+//! filter score) depend only on a subset of the scenario knobs and can
+//! be shared. [`Memo`] is a concurrent key → `Arc<V>` table; entries are
+//! computed outside the lock, and when two workers race on the same key
+//! the first insert wins (both computed the same deterministic value).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// Concurrent memoization table.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_sim::Memo;
+///
+/// let memo: Memo<u32, String> = Memo::new();
+/// let a = memo.get_or_insert_with(7, || "seven".to_string());
+/// let b = memo.get_or_insert_with(7, || unreachable!("cached"));
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(memo.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Memo<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<V>>>>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq, V> Default for Memo<K, V> {
+    fn default() -> Memo<K, V> {
+        Memo::new()
+    }
+}
+
+impl<K: Hash + Eq, V> Memo<K, V> {
+    /// An empty cache.
+    pub fn new() -> Memo<K, V> {
+        Memo {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % SHARDS]
+    }
+
+    /// Look up `key`, computing and caching `compute()` on a miss.
+    ///
+    /// `compute` runs outside the shard lock; concurrent misses on the
+    /// same key may compute twice, and the first insert wins.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(hit) = self.get(&key) {
+            return hit;
+        }
+        let value = Arc::new(compute());
+        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
+        Arc::clone(shard.entry(key).or_insert(value))
+    }
+
+    /// Fallible version of [`Memo::get_or_insert_with`]; errors are not
+    /// cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        if let Some(hit) = self.get(&key) {
+            return Ok(hit);
+        }
+        let value = Arc::new(compute()?);
+        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
+        Ok(Arc::clone(shard.entry(key).or_insert(value)))
+    }
+
+    /// Current cached value for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        self.shard(key)
+            .lock()
+            .expect("memo shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("memo shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn caches_and_shares() {
+        let memo: Memo<(usize, u8), Vec<u64>> = Memo::new();
+        let computed = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = memo.get_or_insert_with((1, 2), || {
+                computed.fetch_add(1, Ordering::Relaxed);
+                vec![1, 2, 3]
+            });
+            assert_eq!(*v, vec![1, 2, 3]);
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let memo: Memo<u32, u32> = Memo::new();
+        let err: Result<_, String> = memo.get_or_try_insert_with(1, || Err("boom".into()));
+        assert_eq!(err.unwrap_err(), "boom");
+        let ok = memo
+            .get_or_try_insert_with(1, || Ok::<_, String>(5))
+            .unwrap();
+        assert_eq!(*ok, 5);
+    }
+
+    #[test]
+    fn concurrent_access_converges() {
+        let memo: Memo<u64, u64> = Memo::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for k in 0..100 {
+                        let v = memo.get_or_insert_with(k, || k * k);
+                        assert_eq!(*v, k * k);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 100);
+    }
+}

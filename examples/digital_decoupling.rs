@@ -18,7 +18,9 @@ fn digital_bom(resistor_count: u32) -> Vec<BomItem> {
         BomItem::die("logic ASIC")
             .with_packaged(Realization::new(Area::from_mm2(300.0), Money::new(12.0)))
             .with_flip_chip(Realization::new(Area::from_mm2(25.0), Money::new(10.0)))
-            .with_wire_bond(Realization::new(Area::from_mm2(36.0), Money::new(10.0)).with_bonds(80)),
+            .with_wire_bond(
+                Realization::new(Area::from_mm2(36.0), Money::new(10.0)).with_bonds(80),
+            ),
         BomItem::passive("pull-up R 10 kΩ", resistor_count)
             .with_smd(Realization::new(Area::from_mm2(3.75), Money::new(0.02)))
             .with_integrated(Realization::new(Area::from_mm2(0.08), Money::ZERO)),

@@ -6,8 +6,8 @@
 use integrated_passives::gps::filters::{
     if_filter, if_filter_spec, image_frequency, lna_filter, lna_filter_spec, TechnologyQ,
 };
-use integrated_passives::rf::{linspace, tolerance_yield, Branch, Immittance, Ladder};
 use integrated_passives::passives::Tolerance;
+use integrated_passives::rf::{linspace, tolerance_yield, Branch, Immittance, Ladder};
 use integrated_passives::units::{Capacitance, Frequency, Inductance};
 
 fn main() {
@@ -32,11 +32,7 @@ fn main() {
 
     println!("\n-- integrated LNA filter response --");
     let design = lna_filter(&TechnologyQ::integrated());
-    let grid = linspace(
-        Frequency::from_giga(1.0),
-        Frequency::from_giga(2.2),
-        13,
-    );
+    let grid = linspace(Frequency::from_giga(1.0), Frequency::from_giga(2.2), 13);
     println!("f [GHz]   IL [dB]");
     for (f, s) in design.ladder().sweep(&grid) {
         println!("{:>7.3}   {:>7.2}", f.gigahertz(), s.insertion_loss_db());
@@ -51,7 +47,11 @@ fn main() {
             report.passband_loss_db(),
             report.loss_budget_db(),
             report.performance_score(),
-            if report.meets_spec() { "meets spec" } else { "MISSES SPEC" }
+            if report.meets_spec() {
+                "meets spec"
+            } else {
+                "MISSES SPEC"
+            }
         );
     }
 
@@ -94,7 +94,7 @@ fn main() {
     println!("→ the §4.1 'borderline' judgement, quantified: wide IP tolerances\n  detune the resonators and erode even a relaxed loss budget.");
 }
 
-fn perturb(imm: &Immittance, rng: &mut rand::rngs::StdRng) -> Immittance {
+fn perturb(imm: &Immittance, rng: &mut integrated_passives::sim::SimRng) -> Immittance {
     let tol_l = Tolerance::percent(2.0); // SMD multilayer inductors
     let tol_c = Tolerance::percent(15.0); // integrated capacitors
     match imm {

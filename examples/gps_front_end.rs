@@ -6,8 +6,8 @@
 //! --fig5-mc --fig6 --final --sensitivity` to select artifacts.
 
 use integrated_passives::core::BuildUp;
-use integrated_passives::gps::{bom, experiments, filters, table2};
 use integrated_passives::gps::paper::SOLUTION_NAMES;
+use integrated_passives::gps::{bom, experiments, filters, table2};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();

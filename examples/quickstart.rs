@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let is_pcb = !buildup.substrate().supports_integrated_passives();
         let inputs = CostInputs {
             substrate_cost_per_cm2: Money::new(if is_pcb { 0.1 } else { 2.25 }),
-            substrate_fab_yield_per_cm2: Some(Probability::new(if is_pcb { 0.9999 } else { 0.95 })?),
+            substrate_fab_yield_per_cm2: Some(Probability::new(if is_pcb {
+                0.9999
+            } else {
+                0.95
+            })?),
             substrate_yield: Probability::new(if is_pcb { 0.9999 } else { 0.95 })?,
             chips: vec![ChipCost::new(
                 "ASIC",

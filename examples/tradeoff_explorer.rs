@@ -12,7 +12,10 @@ use integrated_passives::units::Money;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (objective, objective_name) in [
-        (SelectionObjective::MinArea, "minimum area (the paper's rule)"),
+        (
+            SelectionObjective::MinArea,
+            "minimum area (the paper's rule)",
+        ),
         (
             SelectionObjective::MinCost {
                 substrate_cost_per_cm2: Money::new(2.25),
@@ -67,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         ] {
             let table = DecisionTable::rank(&candidates, "PCB/SMD", weights)?;
-            println!("  {label}: best = {} (FoM {:.2})", table.best().name, table.best().fom);
+            println!(
+                "  {label}: best = {} (FoM {:.2})",
+                table.best().name,
+                table.best().fom
+            );
         }
         println!();
     }

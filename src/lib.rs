@@ -2,9 +2,9 @@
 //! reproduction of Scheffler & Tröster, *Assessing the Cost
 //! Effectiveness of Integrated Passives* (DATE 2000).
 //!
-//! See the individual crates for full documentation: [`units`], [`moe`],
-//! [`passives`], [`rf`], [`layout`], [`core`], [`gps`] — and README.md /
-//! DESIGN.md / EXPERIMENTS.md at the workspace root.
+//! See the individual crates for full documentation: [`units`], [`sim`],
+//! [`moe`], [`passives`], [`rf`], [`layout`], [`core`], [`gps`] — and
+//! README.md / DESIGN.md at the workspace root.
 //!
 //! # Examples
 //!
@@ -23,4 +23,5 @@ pub use ipass_layout as layout;
 pub use ipass_moe as moe;
 pub use ipass_passives as passives;
 pub use ipass_rf as rf;
+pub use ipass_sim as sim;
 pub use ipass_units as units;

@@ -105,7 +105,8 @@ fn eq1_accounting_identity() {
         let flow = gps_flow(i);
         for report in [
             flow.analyze().unwrap(),
-            flow.simulate(&SimOptions::new(50_000).with_seed(8)).unwrap(),
+            flow.simulate(&SimOptions::new(50_000).with_seed(8))
+                .unwrap(),
         ] {
             let lhs = report.direct_cost_per_shipped() + report.yield_loss_per_shipped();
             let rhs = report.total_spend() / report.shipped();

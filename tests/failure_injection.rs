@@ -10,8 +10,9 @@ use integrated_passives::passives::{
     MimCapacitor, SpiralInductor, SynthesisError, ThinFilmProcess, ThinFilmResistor,
 };
 use integrated_passives::rf::FilterSpec;
-use integrated_passives::units::{Area, Capacitance, Frequency, Inductance, Money, Probability,
-    Resistance};
+use integrated_passives::units::{
+    Area, Capacitance, Frequency, Inductance, Money, Probability, Resistance,
+};
 
 #[test]
 fn dead_process_line_reports_nothing_shipped() {
@@ -96,9 +97,11 @@ fn die_without_flip_chip_variant_blocks_fc_buildups() {
     let wb_only = BomItem::die("old ASIC")
         .with_packaged(Realization::new(Area::from_mm2(100.0), Money::new(5.0)))
         .with_wire_bond(Realization::new(Area::from_mm2(25.0), Money::new(4.0)).with_bonds(40));
-    assert!(BuildUp::mcm_wire_bond(integrated_passives::core::PassivePolicy::AllSmd)
-        .plan(std::slice::from_ref(&wb_only), SelectionObjective::MinArea)
-        .is_ok());
+    assert!(
+        BuildUp::mcm_wire_bond(integrated_passives::core::PassivePolicy::AllSmd)
+            .plan(std::slice::from_ref(&wb_only), SelectionObjective::MinArea)
+            .is_ok()
+    );
     assert!(matches!(
         BuildUp::mcm_flip_chip(integrated_passives::core::PassivePolicy::AllSmd)
             .plan(&[wb_only], SelectionObjective::MinArea),

@@ -94,7 +94,11 @@ fn fig6_figure_of_merit_and_decision() {
     let foms: Vec<f64> = fig.table.rows().iter().map(|r| r.fom).collect();
     for (i, (m, p)) in foms.iter().zip(paper::FIG6_FOM.iter()).enumerate() {
         let tol = if i == 3 { 0.3 } else { 0.15 };
-        assert!((m - p).abs() < tol, "solution {}: FoM {m:.2} vs paper {p}", i + 1);
+        assert!(
+            (m - p).abs() < tol,
+            "solution {}: FoM {m:.2} vs paper {p}",
+            i + 1
+        );
     }
     // The paper's decision: "an adaptation of solution 4 has been chosen".
     assert!(fig.table.best().name.contains("IP&SMD"));

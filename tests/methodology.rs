@@ -48,7 +48,11 @@ fn paper_winner_is_robust_in_the_larger_space() {
         .map(|b| assess(b, SelectionObjective::MinArea))
         .collect();
     let table = DecisionTable::rank(&candidates, "PCB/SMD", FomWeights::unweighted()).unwrap();
-    assert!(table.best().name.contains("FC/IP&SMD"), "best: {}", table.best().name);
+    assert!(
+        table.best().name.contains("FC/IP&SMD"),
+        "best: {}",
+        table.best().name
+    );
 }
 
 #[test]
@@ -72,7 +76,11 @@ fn objectives_disagree_on_the_precision_inductors() {
         )
         .unwrap();
     assert_eq!(by_area.smd_placements(), 12);
-    assert_eq!(by_cost.smd_placements(), 8, "cost objective keeps only the decaps SMD");
+    assert_eq!(
+        by_cost.smd_placements(),
+        8,
+        "cost objective keeps only the decaps SMD"
+    );
 }
 
 #[test]
