@@ -23,6 +23,7 @@ fn solution2_flow() -> Flow {
 fn bench_mc_scaling(c: &mut Criterion) {
     let flow = solution2_flow();
     let mut group = c.benchmark_group("mc_units");
+    group.threads(1);
     for units in [1_000u64, 10_000, 100_000] {
         group.throughput(Throughput::Elements(units));
         group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
@@ -37,7 +38,9 @@ fn bench_mc_threads(c: &mut Criterion) {
     // this whole sweep; only the wall clock changes.
     let flow = solution2_flow();
     let mut group = c.benchmark_group("mc_threads_100k");
+    group.throughput(Throughput::Elements(100_000));
     for threads in [1usize, 2, 4, 8] {
+        group.threads(threads);
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,

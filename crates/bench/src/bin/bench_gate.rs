@@ -1,0 +1,114 @@
+//! Bench regression gate: compare one benchmark case of a fresh
+//! `BENCH_JSON` run against the committed baseline and fail (exit 1)
+//! when ns/element regressed beyond a ratio.
+//!
+//! The bound is deliberately loose — it exists to catch architectural
+//! regressions (e.g. accidentally reintroducing the per-unit line
+//! interpreter, a ~3.6x slowdown), not scheduler noise on shared CI
+//! hosts.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> <case-id> <max-ratio>
+//! bench_gate BENCH_moe.json target/bench_smoke.json mc_units/100000 3.0
+//! ```
+
+use std::process::ExitCode;
+
+/// Extract a numeric field from the single-line JSON object holding
+/// `"id": "<id>"` (the shim's `BENCH_JSON` format is one entry per
+/// line).
+fn lookup(json: &str, id: &str, field: &str) -> Option<f64> {
+    let entry = json
+        .lines()
+        .find(|line| line.contains(&format!("\"id\": \"{id}\"")))?;
+    let tail = entry.split(&format!("\"{field}\": ")).nth(1)?;
+    tail.split([',', '}']).next()?.trim().parse::<f64>().ok()
+}
+
+/// Mean ns/element for a case: the recorded `ns_per_elem` when present,
+/// otherwise derived from `mean_ns` and `elements` (older baselines),
+/// otherwise plain `mean_ns` (cases without throughput).
+fn ns_per_element(json: &str, id: &str) -> Option<f64> {
+    if let Some(npe) = lookup(json, id, "ns_per_elem") {
+        return Some(npe);
+    }
+    let mean = lookup(json, id, "mean_ns")?;
+    match lookup(json, id, "elements") {
+        Some(elements) if elements > 0.0 => Some(mean / elements),
+        _ => Some(mean),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path, id, max_ratio] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> <case-id> <max-ratio>");
+        return ExitCode::FAILURE;
+    };
+    let Ok(max_ratio) = max_ratio.parse::<f64>() else {
+        eprintln!("bench_gate: max-ratio {max_ratio:?} is not a number");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(base) = ns_per_element(&baseline, id) else {
+        eprintln!("bench_gate: case {id:?} not found in {baseline_path}");
+        return ExitCode::FAILURE;
+    };
+    let Some(now) = ns_per_element(&current, id) else {
+        eprintln!("bench_gate: case {id:?} not found in {current_path}");
+        return ExitCode::FAILURE;
+    };
+    let ratio = now / base;
+    println!(
+        "bench_gate {id}: baseline {base:.2} ns/elem, current {now:.2} ns/elem, \
+         ratio {ratio:.2} (limit {max_ratio:.2})"
+    );
+    if ratio > max_ratio {
+        eprintln!("bench_gate: REGRESSION — {id} slowed down {ratio:.2}x (limit {max_ratio:.2}x)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"id": "mc_units/100000", "mean_ns": 2800000.0, "min_ns": 2600000.0, "max_ns": 3100000.0, "samples": 20, "iters_per_sample": 5, "elements": 100000, "ns_per_elem": 28.00, "threads": 1, "git_rev": "abc1234"},
+  {"id": "legacy/no_npe", "mean_ns": 500.0, "min_ns": 400.0, "max_ns": 600.0, "samples": 20, "iters_per_sample": 5, "elements": null}
+]"#;
+
+    #[test]
+    fn reads_recorded_ns_per_elem() {
+        assert_eq!(ns_per_element(SAMPLE, "mc_units/100000"), Some(28.0));
+    }
+
+    #[test]
+    fn falls_back_to_mean_without_elements() {
+        assert_eq!(ns_per_element(SAMPLE, "legacy/no_npe"), Some(500.0));
+    }
+
+    #[test]
+    fn derives_from_mean_and_elements() {
+        let old = r#"[
+  {"id": "mc_units/100000", "mean_ns": 9995084.2, "min_ns": 9632445.5, "max_ns": 11672631.8, "samples": 20, "iters_per_sample": 4, "elements": 100000}
+]"#;
+        let npe = ns_per_element(old, "mc_units/100000").unwrap();
+        assert!((npe - 99.950842).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_case_is_none() {
+        assert_eq!(ns_per_element(SAMPLE, "absent/case"), None);
+    }
+}

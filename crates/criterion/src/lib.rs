@@ -33,6 +33,10 @@ pub struct BenchResult {
     pub iters_per_sample: u64,
     /// Declared throughput elements per iteration, if any.
     pub elements: Option<u64>,
+    /// Worker threads the benchmark case used, when declared via
+    /// [`BenchmarkGroup::threads`] (baselines self-describe their
+    /// scaling trajectory).
+    pub threads: Option<usize>,
 }
 
 impl BenchResult {
@@ -40,14 +44,27 @@ impl BenchResult {
     pub fn elements_per_sec(&self) -> Option<f64> {
         self.elements.map(|e| e as f64 / (self.mean_ns * 1e-9))
     }
+
+    /// Mean nanoseconds per element, when a throughput was declared.
+    pub fn ns_per_element(&self) -> Option<f64> {
+        self.elements
+            .filter(|&e| e > 0)
+            .map(|e| self.mean_ns / e as f64)
+    }
 }
 
 /// The benchmark driver (a small timing harness).
+///
+/// When the `BENCH_FILTER` environment variable is set, only
+/// benchmarks whose id contains the filter substring are run — that is
+/// how CI smoke steps run a single case without paying for the whole
+/// suite.
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    filter: Option<String>,
     results: Vec<BenchResult>,
 }
 
@@ -57,6 +74,7 @@ impl Default for Criterion {
             sample_size: 20,
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(1),
+            filter: std::env::var("BENCH_FILTER").ok().filter(|f| !f.is_empty()),
             results: Vec::new(),
         }
     }
@@ -86,7 +104,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.run_one(id.to_string(), None, |b| f(b));
+        self.run_one(id.to_string(), None, None, |b| f(b));
         self
     }
 
@@ -96,6 +114,7 @@ impl Criterion {
             criterion: self,
             name: name.to_string(),
             throughput: None,
+            threads: None,
         }
     }
 
@@ -104,10 +123,15 @@ impl Criterion {
         &self.results
     }
 
-    fn run_one<F>(&mut self, id: String, elements: Option<u64>, mut f: F)
+    fn run_one<F>(&mut self, id: String, elements: Option<u64>, threads: Option<usize>, mut f: F)
     where
         F: FnMut(&mut Bencher),
     {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
         // Warm-up + per-iteration estimate.
         let mut bench = Bencher {
             iters: 1,
@@ -143,6 +167,7 @@ impl Criterion {
             samples: samples_ns.len(),
             iters_per_sample: iters,
             elements,
+            threads,
         };
         let throughput = result
             .elements_per_sec()
@@ -162,6 +187,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     throughput: Option<u64>,
+    threads: Option<usize>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -170,6 +196,14 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(match t {
             Throughput::Elements(n) | Throughput::Bytes(n) => n,
         });
+        self
+    }
+
+    /// Declare the worker-thread count the next cases run on
+    /// (recorded in the result and used for the scaling report —
+    /// an extension over the real criterion API).
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -185,7 +219,9 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.0);
         let elements = self.throughput;
-        self.criterion.run_one(full, elements, |b| f(b, input));
+        let threads = self.threads;
+        self.criterion
+            .run_one(full, elements, threads, |b| f(b, input));
         self
     }
 
@@ -196,7 +232,8 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id);
         let elements = self.throughput;
-        self.criterion.run_one(full, elements, |b| f(b));
+        let threads = self.threads;
+        self.criterion.run_one(full, elements, threads, |b| f(b));
         self
     }
 
@@ -247,17 +284,87 @@ pub enum Throughput {
     Bytes(u64),
 }
 
-/// Write recorded results as JSON to the `BENCH_JSON` path, if set.
+/// The current git revision (short hash, `-dirty` suffixed when the
+/// tree has uncommitted changes), or `"unknown"` outside a checkout —
+/// committed baselines self-describe which code produced them.
+pub fn git_revision() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+    };
+    let Some(rev) = run(&["rev-parse", "--short", "HEAD"]).filter(|r| !r.is_empty()) else {
+        return "unknown".to_string();
+    };
+    match run(&["status", "--porcelain"]) {
+        Some(status) if !status.is_empty() => format!("{rev}-dirty"),
+        _ => rev,
+    }
+}
+
+/// Print speedup-vs-1-thread for every group with thread-annotated
+/// cases, so scaling regressions are visible straight from the bench
+/// log. Called by [`finalize`].
+pub fn report_thread_scaling(results: &[BenchResult]) {
+    let mut groups: Vec<&str> = Vec::new();
+    for r in results.iter().filter(|r| r.threads.is_some()) {
+        if let Some((group, _)) = r.id.rsplit_once('/') {
+            if !groups.contains(&group) {
+                groups.push(group);
+            }
+        }
+    }
+    for group in groups {
+        let cases: Vec<&BenchResult> = results
+            .iter()
+            .filter(|r| {
+                r.threads.is_some()
+                    && r.id.starts_with(group)
+                    && r.id[group.len()..].starts_with('/')
+            })
+            .collect();
+        // Only a *sweep* over thread counts is a scaling story; a group
+        // whose cases all ran on the same thread count varies something
+        // else (unit count, rework depth, …).
+        if !cases.iter().any(|r| r.threads != cases[0].threads) {
+            continue;
+        }
+        let Some(base) = cases.iter().find(|r| r.threads == Some(1)) else {
+            continue;
+        };
+        let line = cases
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}t {:.2}x",
+                    r.threads.unwrap_or(0),
+                    base.mean_ns / r.mean_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("speedup vs 1 thread [{group}]: {line}");
+    }
+}
+
+/// Write recorded results as JSON to the `BENCH_JSON` path, if set,
+/// and print the thread-scaling report.
 /// Called by [`criterion_main!`]; harmless to call directly.
 pub fn finalize(results: &[BenchResult]) {
+    report_thread_scaling(results);
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
     };
+    let git_rev = git_revision();
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
-             \"samples\": {}, \"iters_per_sample\": {}, \"elements\": {}}}{}\n",
+             \"samples\": {}, \"iters_per_sample\": {}, \"elements\": {}, \"ns_per_elem\": {}, \
+             \"threads\": {}, \"git_rev\": \"{git_rev}\"}}{}\n",
             r.id.replace('"', "'"),
             r.mean_ns,
             r.min_ns,
@@ -265,6 +372,9 @@ pub fn finalize(results: &[BenchResult]) {
             r.samples,
             r.iters_per_sample,
             r.elements.map_or("null".to_string(), |e| e.to_string()),
+            r.ns_per_element()
+                .map_or("null".to_string(), |n| format!("{n:.2}")),
+            r.threads.map_or("null".to_string(), |t| t.to_string()),
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -334,5 +444,47 @@ mod tests {
         assert!(c.results()[0].mean_ns > 0.0);
         assert!(c.results()[1].elements_per_sec().unwrap() > 0.0);
         assert!(c.results()[0].min_ns <= c.results()[0].mean_ns);
+        assert!(c.results()[1].ns_per_element().unwrap() > 0.0);
+        assert_eq!(c.results()[0].ns_per_element(), None);
+    }
+
+    #[test]
+    fn threads_are_recorded_per_case() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("scaling");
+        for t in [1usize, 2] {
+            group.threads(t);
+            group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &n| {
+                b.iter(|| (0..n as u64).sum::<u64>())
+            });
+        }
+        group.finish();
+        assert_eq!(c.results()[0].threads, Some(1));
+        assert_eq!(c.results()[1].threads, Some(2));
+        // The scaling report covers exactly this shape; it must not
+        // panic and needs a 1-thread base to report against.
+        report_thread_scaling(c.results());
+    }
+
+    #[test]
+    fn filter_skips_non_matching_cases() {
+        let mut c = Criterion {
+            filter: Some("grouped".to_string()),
+            ..Criterion::default()
+        }
+        .sample_size(2)
+        .warm_up_time(Duration::from_millis(2))
+        .measurement_time(Duration::from_millis(10));
+        spin(&mut c);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "grouped/4");
+    }
+
+    #[test]
+    fn git_revision_is_nonempty() {
+        assert!(!git_revision().is_empty());
     }
 }

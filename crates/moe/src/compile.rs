@@ -1,0 +1,737 @@
+//! The compiled routing program: a validated [`Line`] lowered once per
+//! simulation into a flat, cache-friendly op sequence the Monte Carlo
+//! kernel executes in a tight loop.
+//!
+//! The object-graph interpreter (kept in [`crate::mc`] as the
+//! bit-exactness oracle) re-derives every invariant quantity — step
+//! costs via [`StepCost::total`](crate::StepCost::total), yield
+//! probabilities via [`YieldModel::value`](crate::YieldModel::value),
+//! `p^q` for multi-part attaches — on **every** routed unit, which puts
+//! `powf`/`powi` and nested enum matching on the hot path of each of
+//! the 100 000+ units of a run. Compilation hoists all of that out:
+//! every op carries its precomputed floats, and nested sub-lines are
+//! flattened into the same op vector as contiguous regions addressed by
+//! `(entry, len)` ranges.
+//!
+//! # The draw-order contract
+//!
+//! Compilation must not change *which* random draws a unit consumes or
+//! *in which order* — otherwise seeded results would diverge from the
+//! interpreter and from every committed golden value. Three rules keep
+//! the kernel bit-identical:
+//!
+//! 1. Ops are emitted in exactly the interpreter's visit order
+//!    (carrier, then stages in line order, attach inputs in declaration
+//!    order, sub-line units depth-first).
+//! 2. Conditional draws keep their guards: a yield draw is skipped for
+//!    an already-defective unit, a coverage draw happens only for a
+//!    defective unit — precisely the short-circuit structure of the
+//!    interpreter.
+//! 3. An op may be elided only when it is a *provable* no-op under
+//!    those rules: `p ≥ 1` Bernoulli draws consume no randomness (see
+//!    [`SimRng::bernoulli`]) and a zero cost adds nothing, so a step
+//!    with zero cost and certain yield can vanish without shifting any
+//!    stream.
+//!
+//! All precomputed floats are produced by the *same* expressions the
+//! interpreter evaluates per unit (`q * cost.total().units()`,
+//! `p.powf(q)`, …), so every booked amount is bit-identical too.
+
+use crate::cost::CostCategory;
+use crate::error::FlowError;
+use crate::labels::{self, InputLabels, LineLabels, StageLabels};
+use crate::line::Line;
+use crate::part::AttachInput;
+use crate::stage::{FailAction, Stage};
+use ipass_sim::SimRng;
+
+pub(crate) const NCAT: usize = CostCategory::COUNT;
+
+const TEST_CAT: usize = 5; // CostCategory::Test.index()
+const OTHER_CAT: usize = 6; // CostCategory::Other.index()
+
+/// One instruction of the routing program. All monetary amounts are
+/// plain `f64`s and all hot-path probabilities are integer draw
+/// thresholds (see [`SimRng::threshold`]), precomputed at compile time.
+///
+/// Degenerate yields specialize at compile time instead of branching
+/// per draw: a certain step compiles to [`Op::Cost`] (no draw — exactly
+/// what [`SimRng::bernoulli`] consumes for `p ≥ 1`) and an
+/// always-failing step to [`Op::Condemn`] (`p ≤ 0` consumes no draw
+/// either). [`Op::Step`] therefore only ever carries a probability
+/// strictly inside `(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Op {
+    /// Book `cost` under `cat`; certain yield — no draw, no defect.
+    Cost { cost: f64, cat: CostCategory },
+    /// Book `cost` under `cat`; zero yield — no draw, the unit is
+    /// deterministically defective (attributed to `label` unless it
+    /// already was).
+    Condemn {
+        cost: f64,
+        cat: CostCategory,
+        label: u32,
+    },
+    /// Book `cost` under category `cat`, then — unless the unit is
+    /// already defective — draw against `threshold`; a failed draw
+    /// marks the unit defective and attributes it to `label`. Covers
+    /// the carrier start, process stages, the attach operation itself
+    /// and multi-part attach inputs (where `cost = q·part_cost` and
+    /// `p = p_part^q` are folded in).
+    Step {
+        cost: f64,
+        cat: CostCategory,
+        threshold: u64,
+        label: u32,
+    },
+    /// Consume `qty` passing units of the nested line compiled at
+    /// `ops[entry..entry + len]`; each attempt that fails inside the
+    /// sub-line scraps there and is retried against the budget.
+    SubLine {
+        qty: u32,
+        entry: u32,
+        len: u32,
+        /// Index into [`RoutingProgram::line_names`] for starvation
+        /// errors.
+        name: u32,
+    },
+    /// Test stage scrapping detected failures.
+    TestScrap { cost: f64, coverage: f64 },
+    /// Test stage routing detected failures through a bounded rework
+    /// loop (rework cost books under `Other`, the re-test under `Test`).
+    TestRework {
+        cost: f64,
+        coverage: f64,
+        rework_cost: f64,
+        success: f64,
+        max_attempts: u32,
+    },
+}
+
+/// Per-unit routing state accumulated by the kernel (the compiled
+/// equivalent of the interpreter's `Unit`).
+#[derive(Debug, Clone)]
+pub(crate) struct UnitState {
+    pub(crate) cost: f64,
+    pub(crate) by_cat: [f64; NCAT],
+    pub(crate) defective: bool,
+}
+
+impl UnitState {
+    #[inline]
+    pub(crate) fn new() -> UnitState {
+        UnitState {
+            cost: 0.0,
+            by_cat: [0.0; NCAT],
+            defective: false,
+        }
+    }
+}
+
+/// What happened to one routed unit. The unit's cost state lives in the
+/// caller-provided [`UnitState`]; scrapped units are already booked
+/// into the totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Routed {
+    Shipped,
+    Scrapped,
+}
+
+/// Accumulator shared by the kernel and the interpreter oracle.
+#[derive(Debug, Clone)]
+pub(crate) struct Totals {
+    pub(crate) attempted: u64,
+    pub(crate) shipped: f64,
+    pub(crate) good_shipped: f64,
+    pub(crate) embodied: f64,
+    pub(crate) embodied_by_cat: [f64; NCAT],
+    pub(crate) scrap_spend: f64,
+    pub(crate) scrap_by_cat: [f64; NCAT],
+    pub(crate) scrapped: f64,
+    pub(crate) defects: Vec<f64>,
+    pub(crate) rework_attempts: u64,
+    pub(crate) sub_units_built: u64,
+}
+
+impl Totals {
+    pub(crate) fn new(n_labels: usize) -> Totals {
+        Totals {
+            attempted: 0,
+            shipped: 0.0,
+            good_shipped: 0.0,
+            embodied: 0.0,
+            embodied_by_cat: [0.0; NCAT],
+            scrap_spend: 0.0,
+            scrap_by_cat: [0.0; NCAT],
+            scrapped: 0.0,
+            defects: vec![0.0; n_labels],
+            rework_attempts: 0,
+            sub_units_built: 0,
+        }
+    }
+
+    /// Book a scrapped unit's sunk cost.
+    pub(crate) fn scrap(&mut self, cost: f64, by_cat: &[f64; NCAT]) {
+        self.scrapped += 1.0;
+        self.scrap_spend += cost;
+        for (a, b) in self.scrap_by_cat.iter_mut().zip(by_cat.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Book a shipped unit's embodied cost.
+    pub(crate) fn ship(&mut self, cost: f64, by_cat: &[f64; NCAT], defective: bool) {
+        self.shipped += 1.0;
+        if !defective {
+            self.good_shipped += 1.0;
+        }
+        self.embodied += cost;
+        for (a, b) in self.embodied_by_cat.iter_mut().zip(by_cat.iter()) {
+            *a += *b;
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &Totals) {
+        self.attempted += other.attempted;
+        self.shipped += other.shipped;
+        self.good_shipped += other.good_shipped;
+        self.embodied += other.embodied;
+        self.scrap_spend += other.scrap_spend;
+        self.scrapped += other.scrapped;
+        self.rework_attempts += other.rework_attempts;
+        self.sub_units_built += other.sub_units_built;
+        for (a, b) in self
+            .embodied_by_cat
+            .iter_mut()
+            .zip(other.embodied_by_cat.iter())
+        {
+            *a += *b;
+        }
+        for (a, b) in self.scrap_by_cat.iter_mut().zip(other.scrap_by_cat.iter()) {
+            *a += *b;
+        }
+        for (a, b) in self.defects.iter_mut().zip(other.defects.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// A [`Line`] compiled into a flat routing program.
+///
+/// Compile once per simulation (or cache on the [`Flow`](crate::Flow))
+/// and route as many units as you like; the program is immutable and
+/// `Sync`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RoutingProgram {
+    ops: Vec<Op>,
+    /// The top line's contiguous region.
+    entry: u32,
+    len: u32,
+    /// Defect-source labels, in [`labels::index_line`] order — shared
+    /// with the analytic engine's pareto.
+    names: Vec<String>,
+    /// Nested line names, for starvation errors.
+    line_names: Vec<String>,
+    /// The top line's name (reports, `NothingShipped`).
+    line_name: String,
+    /// No [`Op::SubLine`] anywhere: the kernel may take the
+    /// recursion-free fast path.
+    flat: bool,
+}
+
+impl RoutingProgram {
+    /// Compile a **validated** line (call [`Line::validate`] first; the
+    /// compiler trusts the structural invariants it establishes).
+    pub(crate) fn compile(line: &Line) -> RoutingProgram {
+        let mut names = Vec::new();
+        let line_labels = labels::index_line(line, "", &mut names);
+        let mut ops = Vec::new();
+        let mut line_names = Vec::new();
+        let (entry, len) = compile_line(line, &line_labels, &mut ops, &mut line_names);
+        let flat = !ops.iter().any(|op| matches!(op, Op::SubLine { .. }));
+        RoutingProgram {
+            ops,
+            entry,
+            len,
+            names,
+            line_names,
+            line_name: line.name().to_owned(),
+            flat,
+        }
+    }
+
+    /// Defect-source labels, aligned with `Totals::defects`.
+    pub(crate) fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The top line's name.
+    pub(crate) fn line_name(&self) -> &str {
+        &self.line_name
+    }
+
+    /// Number of ops (model-size reporting and tests).
+    #[cfg(test)]
+    pub(crate) fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Route one unit through the program into the caller-provided
+    /// `unit` state (reset here). [`Routed::Scrapped`] means the unit
+    /// was already booked into `totals`.
+    ///
+    /// Programs without nested lines (the common case) dispatch to the
+    /// `FLAT = true` instantiation of the op loop, which contains no
+    /// recursion and therefore inlines fully into the chunk loop with
+    /// register-resident unit state.
+    #[inline]
+    pub(crate) fn run_unit(
+        &self,
+        rng: &mut SimRng,
+        totals: &mut Totals,
+        unit: &mut UnitState,
+        retry_budget: u32,
+    ) -> Result<Routed, FlowError> {
+        if self.flat {
+            self.run_line::<true>(self.entry, self.len, rng, totals, unit, retry_budget)
+        } else {
+            self.run_line::<false>(self.entry, self.len, rng, totals, unit, retry_budget)
+        }
+    }
+
+    /// Execute one region of the program. `FLAT` promises the region
+    /// (transitively) contains no [`Op::SubLine`]; that instantiation
+    /// is recursion-free and inlinable.
+    #[inline]
+    fn run_line<const FLAT: bool>(
+        &self,
+        entry: u32,
+        len: u32,
+        rng: &mut SimRng,
+        totals: &mut Totals,
+        unit: &mut UnitState,
+        retry_budget: u32,
+    ) -> Result<Routed, FlowError> {
+        // Hot accumulators live in locals (registers, once inlined);
+        // the caller's `unit` is only written on the shipped path.
+        let mut cost = 0.0f64;
+        let mut by_cat = [0.0f64; NCAT];
+        let mut defective = false;
+        let ops = &self.ops[entry as usize..(entry + len) as usize];
+        for op in ops {
+            match *op {
+                Op::Cost { cost: c, cat } => {
+                    cost += c;
+                    by_cat[cat.index()] += c;
+                }
+                Op::Condemn {
+                    cost: c,
+                    cat,
+                    label,
+                } => {
+                    cost += c;
+                    by_cat[cat.index()] += c;
+                    if !defective {
+                        defective = true;
+                        totals.defects[label as usize] += 1.0;
+                    }
+                }
+                Op::Step {
+                    cost: c,
+                    cat,
+                    threshold,
+                    label,
+                } => {
+                    cost += c;
+                    by_cat[cat.index()] += c;
+                    // The draw is consumed only for a non-defective
+                    // unit (short-circuit), mirroring the interpreter.
+                    if !defective && rng.next_u53() >= threshold {
+                        defective = true;
+                        totals.defects[label as usize] += 1.0;
+                    }
+                }
+                Op::SubLine {
+                    qty,
+                    entry,
+                    len,
+                    name,
+                } => {
+                    if FLAT {
+                        unreachable!("flat program contains a sub-line op");
+                    }
+                    let mut sub = UnitState::new();
+                    for _ in 0..qty {
+                        self.passing_sub_unit(
+                            entry,
+                            len,
+                            name,
+                            rng,
+                            totals,
+                            &mut sub,
+                            retry_budget,
+                        )?;
+                        cost += sub.cost;
+                        for (a, b) in by_cat.iter_mut().zip(sub.by_cat.iter()) {
+                            *a += *b;
+                        }
+                        if sub.defective {
+                            // The escape was already attributed inside
+                            // the sub-line's own labels.
+                            defective = true;
+                        }
+                    }
+                }
+                Op::TestScrap { cost: c, coverage } => {
+                    cost += c;
+                    by_cat[TEST_CAT] += c;
+                    if defective && rng.bernoulli(coverage) {
+                        totals.scrap(cost, &by_cat);
+                        return Ok(Routed::Scrapped);
+                    }
+                }
+                Op::TestRework {
+                    cost: c,
+                    coverage,
+                    rework_cost,
+                    success,
+                    max_attempts,
+                } => {
+                    cost += c;
+                    by_cat[TEST_CAT] += c;
+                    if defective && rng.bernoulli(coverage) {
+                        let mut recovered = false;
+                        for _ in 0..max_attempts {
+                            totals.rework_attempts += 1;
+                            cost += rework_cost;
+                            by_cat[OTHER_CAT] += rework_cost;
+                            cost += c;
+                            by_cat[TEST_CAT] += c;
+                            if rng.bernoulli(success) {
+                                defective = false;
+                                recovered = true;
+                                break;
+                            }
+                            if !rng.bernoulli(coverage) {
+                                // Escaped on re-test: continues defective.
+                                recovered = true;
+                                break;
+                            }
+                        }
+                        if !recovered {
+                            totals.scrap(cost, &by_cat);
+                            return Ok(Routed::Scrapped);
+                        }
+                    }
+                }
+            }
+        }
+        unit.cost = cost;
+        unit.by_cat = by_cat;
+        unit.defective = defective;
+        Ok(Routed::Shipped)
+    }
+
+    /// Keep producing sub-units until one passes the nested line; the
+    /// passing unit's state is left in `sub`.
+    #[allow(clippy::too_many_arguments)] // mirrors run_line's hot signature
+    fn passing_sub_unit(
+        &self,
+        entry: u32,
+        len: u32,
+        name: u32,
+        rng: &mut SimRng,
+        totals: &mut Totals,
+        sub: &mut UnitState,
+        retry_budget: u32,
+    ) -> Result<(), FlowError> {
+        for _ in 0..retry_budget {
+            totals.sub_units_built += 1;
+            if self.run_line::<false>(entry, len, rng, totals, sub, retry_budget)?
+                == Routed::Shipped
+            {
+                return Ok(());
+            }
+        }
+        Err(FlowError::SubassemblyStarved {
+            line: self.line_names[name as usize].clone(),
+            attempts: retry_budget,
+        })
+    }
+}
+
+/// Emit one line's region (post-order: nested lines compile first so
+/// every region is contiguous) and return its `(entry, len)`.
+fn compile_line(
+    line: &Line,
+    line_labels: &LineLabels,
+    ops: &mut Vec<Op>,
+    line_names: &mut Vec<String>,
+) -> (u32, u32) {
+    // Pass 1: compile nested lines into their own regions.
+    let mut sub_regions: Vec<Vec<Option<(u32, u32, u32)>>> =
+        Vec::with_capacity(line.stages().len());
+    for (stage, stage_labels) in line.stages().iter().zip(line_labels.stages.iter()) {
+        let mut row = Vec::new();
+        if let (Stage::Attach(a), StageLabels::Attach { inputs, .. }) = (stage, stage_labels) {
+            for ((input, _), input_labels) in a.inputs().iter().zip(inputs.iter()) {
+                row.push(match (input, input_labels) {
+                    (AttachInput::Line(sub), InputLabels::Line(sub_labels)) => {
+                        let name = line_names.len() as u32;
+                        line_names.push(sub.name().to_owned());
+                        let (entry, len) = compile_line(sub, sub_labels, ops, line_names);
+                        Some((entry, len, name))
+                    }
+                    _ => None,
+                });
+            }
+        }
+        sub_regions.push(row);
+    }
+
+    // Pass 2: emit this line's own contiguous region.
+    let entry = ops.len() as u32;
+    let carrier = line.carrier();
+    push_step(
+        ops,
+        carrier.cost().total().units(),
+        carrier.category(),
+        carrier.incoming_yield().value().value(),
+        line_labels.carrier,
+    );
+    for (si, (stage, stage_labels)) in line
+        .stages()
+        .iter()
+        .zip(line_labels.stages.iter())
+        .enumerate()
+    {
+        match (stage, stage_labels) {
+            (Stage::Process(p), StageLabels::Process(label)) => push_step(
+                ops,
+                p.cost().total().units(),
+                p.category(),
+                p.process_yield().value().value(),
+                *label,
+            ),
+            (Stage::Attach(a), StageLabels::Attach { op, inputs }) => {
+                push_step(
+                    ops,
+                    a.cost().total().units(),
+                    a.category(),
+                    a.attach_yield().value().value(),
+                    *op,
+                );
+                for (ii, ((input, qty), input_labels)) in
+                    a.inputs().iter().zip(inputs.iter()).enumerate()
+                {
+                    match (input, input_labels) {
+                        (AttachInput::Part(part), InputLabels::Part(label)) => {
+                            // The same per-unit expressions the
+                            // interpreter evaluates, hoisted to compile
+                            // time — bit-identical by construction.
+                            let q = *qty as f64;
+                            push_step(
+                                ops,
+                                q * part.cost().total().units(),
+                                part.category(),
+                                part.incoming_yield().value().value().powf(q),
+                                *label,
+                            );
+                        }
+                        (AttachInput::Line(_), InputLabels::Line(_)) => {
+                            let (entry, len, name) =
+                                sub_regions[si][ii].expect("sub-line compiled in pass 1");
+                            ops.push(Op::SubLine {
+                                qty: *qty,
+                                entry,
+                                len,
+                                name,
+                            });
+                        }
+                        _ => unreachable!("label map mismatch"),
+                    }
+                }
+            }
+            (Stage::Test(t), StageLabels::Test) => {
+                let cost = t.cost().total().units();
+                let coverage = t.coverage().value();
+                ops.push(match t.fail_action() {
+                    FailAction::Scrap => Op::TestScrap { cost, coverage },
+                    FailAction::Rework(rework) => Op::TestRework {
+                        cost,
+                        coverage,
+                        rework_cost: rework.cost.total().units(),
+                        success: rework.success.value(),
+                        max_attempts: rework.max_attempts,
+                    },
+                });
+            }
+            _ => unreachable!("label map mismatch"),
+        }
+    }
+    (entry, ops.len() as u32 - entry)
+}
+
+/// Emit the op for one cost-and-yield step, specializing degenerate
+/// probabilities at compile time. [`SimRng::bernoulli`] consumes **no**
+/// draw for `p ≤ 0` or `p ≥ 1`, so the specialized ops (which never
+/// draw) keep every random stream aligned with the interpreter; a step
+/// that neither costs nor can fail is elided entirely.
+fn push_step(ops: &mut Vec<Op>, cost: f64, cat: CostCategory, p_good: f64, label: usize) {
+    let label = label as u32;
+    if p_good >= 1.0 {
+        if cost != 0.0 {
+            ops.push(Op::Cost { cost, cat });
+        }
+    } else if p_good <= 0.0 {
+        ops.push(Op::Condemn { cost, cat, label });
+    } else {
+        ops.push(Op::Step {
+            cost,
+            cat,
+            threshold: SimRng::threshold(p_good),
+            label,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StepCost;
+    use crate::part::Part;
+    use crate::stage::{Attach, Process, Test};
+    use crate::yield_model::YieldModel;
+    use ipass_units::{Money, Probability};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn category_index_constants_match() {
+        assert_eq!(TEST_CAT, CostCategory::Test.index());
+        assert_eq!(OTHER_CAT, CostCategory::Other.index());
+    }
+
+    #[test]
+    fn compiles_flat_line_with_precomputed_invariants() {
+        let line = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(2.0))),
+        )
+        .process(
+            Process::new("p")
+                .with_cost(StepCost::fixed(Money::new(1.0)))
+                .with_yield(YieldModel::flat(p(0.9))),
+        )
+        .attach(
+            Attach::new("a").input(
+                Part::new("die", CostCategory::Chip)
+                    .with_cost(StepCost::fixed(Money::new(3.0)))
+                    .with_incoming_yield(YieldModel::flat(p(0.95))),
+                4,
+            ),
+        )
+        .test(Test::new("t").with_coverage(p(0.99)))
+        .build()
+        .unwrap();
+        let program = RoutingProgram::compile(&line);
+        // carrier, process, attach part (the attach op itself is free
+        // and certain, hence elided), test.
+        assert_eq!(program.op_count(), 4);
+        assert_eq!(program.line_name(), "l");
+        match program.ops[2] {
+            Op::Step {
+                cost,
+                cat,
+                threshold,
+                label: _,
+            } => {
+                assert_eq!(cost, 12.0); // 4 × 3.0 precomputed
+                assert_eq!(cat, CostCategory::Chip);
+                // p^q precomputed, then lowered to a draw threshold.
+                assert_eq!(threshold, SimRng::threshold(0.95f64.powf(4.0)));
+            }
+            other => panic!("expected part step, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_yields_specialize() {
+        let line = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(1.0))),
+        )
+        .process(Process::new("certain").with_cost(StepCost::fixed(Money::new(2.0))))
+        .process(Process::new("doomed").with_yield(YieldModel::flat(Probability::clamped(0.0))))
+        .test(Test::new("t"))
+        .build()
+        .unwrap();
+        let program = RoutingProgram::compile(&line);
+        assert!(matches!(program.ops[0], Op::Cost { .. })); // carrier: certain incoming
+        assert!(matches!(program.ops[1], Op::Cost { cost, .. } if cost == 2.0));
+        assert!(matches!(program.ops[2], Op::Condemn { .. }));
+    }
+
+    #[test]
+    fn noop_steps_are_elided_and_do_not_shift_streams() {
+        // A certain, free process must compile away entirely.
+        let with_noop = Line::builder("l", Part::new("c", CostCategory::Substrate))
+            .process(Process::new("free"))
+            .process(
+                Process::new("real")
+                    .with_cost(StepCost::fixed(Money::new(1.0)))
+                    .with_yield(YieldModel::flat(p(0.9))),
+            )
+            .build()
+            .unwrap();
+        let without = Line::builder("l", Part::new("c", CostCategory::Substrate))
+            .process(
+                Process::new("real")
+                    .with_cost(StepCost::fixed(Money::new(1.0)))
+                    .with_yield(YieldModel::flat(p(0.9))),
+            )
+            .build()
+            .unwrap();
+        let a = RoutingProgram::compile(&with_noop);
+        let b = RoutingProgram::compile(&without);
+        assert_eq!(a.op_count(), b.op_count());
+    }
+
+    #[test]
+    fn nested_regions_are_contiguous_and_resolvable() {
+        let sub = Line::builder("sub", Part::new("blank", CostCategory::Substrate))
+            .process(Process::new("fab").with_yield(YieldModel::flat(p(0.6))))
+            .test(Test::new("probe"))
+            .build()
+            .unwrap();
+        let line = Line::builder("main", Part::new("pcb", CostCategory::Substrate))
+            .attach(Attach::new("join").input(sub, 2))
+            .test(Test::new("ft"))
+            .build()
+            .unwrap();
+        let program = RoutingProgram::compile(&line);
+        let sub_ops: Vec<&Op> = program
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::SubLine { .. }))
+            .collect();
+        assert_eq!(sub_ops.len(), 1);
+        let Op::SubLine {
+            qty,
+            entry,
+            len,
+            name,
+        } = *sub_ops[0]
+        else {
+            unreachable!()
+        };
+        assert_eq!(qty, 2);
+        assert_eq!(program.line_names[name as usize], "sub");
+        // The sub region precedes the top region (post-order layout) and
+        // stays in bounds.
+        assert!((entry + len) as usize <= program.ops.len());
+        assert!(entry < program.entry);
+    }
+}

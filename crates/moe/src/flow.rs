@@ -1,11 +1,13 @@
 //! The top-level production flow: a line plus run-level economics.
 
 use crate::analytic;
+use crate::compile::RoutingProgram;
 use crate::error::FlowError;
 use crate::line::Line;
 use crate::mc::{self, SimOptions, SimSummary};
 use crate::report::CostReport;
 use ipass_units::Money;
+use std::sync::{Arc, OnceLock};
 
 /// A production flow ready for evaluation: the [`Line`] plus NRE and the
 /// production volume over which NRE is amortized.
@@ -28,11 +30,22 @@ use ipass_units::Money;
 /// assert!((report.final_cost_per_shipped().units() - 3.5).abs() < 1e-9);
 /// # Ok::<(), ipass_moe::FlowError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Flow {
     line: Line,
     nre: Money,
     volume: u64,
+    /// The line compiled into a flat routing program, built lazily on
+    /// the first simulation and reused by every later `simulate*` call
+    /// (clones share the compiled program through the `Arc`). Purely
+    /// derived state: never part of equality.
+    compiled: OnceLock<Arc<RoutingProgram>>,
+}
+
+impl PartialEq for Flow {
+    fn eq(&self, other: &Flow) -> bool {
+        self.line == other.line && self.nre == other.nre && self.volume == other.volume
+    }
 }
 
 impl Flow {
@@ -42,7 +55,20 @@ impl Flow {
             line,
             nre: Money::ZERO,
             volume: 1,
+            compiled: OnceLock::new(),
         }
+    }
+
+    /// The line compiled into its routing program, validating and
+    /// compiling on first use.
+    fn program(&self) -> Result<&Arc<RoutingProgram>, FlowError> {
+        if let Some(program) = self.compiled.get() {
+            return Ok(program);
+        }
+        self.line.validate()?;
+        Ok(self
+            .compiled
+            .get_or_init(|| Arc::new(RoutingProgram::compile(&self.line))))
     }
 
     /// Set the non-recurring engineering cost for the production run
@@ -105,7 +131,7 @@ impl Flow {
     ///
     /// See [`Flow::simulate`].
     pub fn simulate_summary(&self, options: &SimOptions) -> Result<SimSummary, FlowError> {
-        mc::simulate_line(&self.line, self.nre, self.volume, options)
+        mc::simulate_program(self.program()?, self.nre, self.volume, options, None)
     }
 
     /// Like [`Flow::simulate_summary`], but stop as soon as the
@@ -122,7 +148,7 @@ impl Flow {
         options: &SimOptions,
         stop: ipass_sim::StopRule,
     ) -> Result<SimSummary, FlowError> {
-        mc::simulate_line_adaptive(&self.line, self.nre, self.volume, options, stop)
+        mc::simulate_program(self.program()?, self.nre, self.volume, options, Some(stop))
     }
 }
 

@@ -65,6 +65,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analytic;
+mod compile;
 mod cost;
 mod error;
 mod flow;
@@ -83,6 +84,8 @@ pub use error::FlowError;
 pub use flow::Flow;
 pub use ipass_sim::{Executor, StopRule};
 pub use line::{Line, LineBuilder};
+#[doc(hidden)]
+pub use mc::simulate_line_reference;
 pub use mc::{SimOptions, SimSummary, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
 pub use part::{AttachInput, Part};
 pub use report::{CostBreakdownRow, CostReport};

@@ -7,7 +7,16 @@
 //! chunk accumulators that merge in fixed order, so a seeded run
 //! produces **bit-identical** results for any [`SimOptions::threads`]
 //! value — threads are a pure performance knob, not a semantic one.
+//!
+//! Since PR 2 the hot path no longer interprets the nested [`Line`]
+//! object graph per unit: the line is compiled once into a flat
+//! [`RoutingProgram`](crate::compile::RoutingProgram) (see
+//! [`crate::compile`]) and the sampler is a tight loop over precomputed
+//! ops. The original interpreter is kept below, exposed through
+//! [`simulate_line_reference`], as the bit-exactness oracle the
+//! property tests pin the kernel against.
 
+use crate::compile::{Routed, RoutingProgram, Totals, UnitState, NCAT};
 use crate::cost::{CostCategory, CostVector};
 use crate::error::FlowError;
 use crate::labels::{self, InputLabels, LineLabels, StageLabels};
@@ -16,8 +25,6 @@ use crate::part::AttachInput;
 use crate::stage::{FailAction, Stage};
 use ipass_sim::{BinomialTally, Executor, RunOptions, Sampler, SimRng, StopRule};
 use ipass_units::Money;
-
-const NCAT: usize = CostCategory::COUNT;
 
 /// Default retry budget when a nested line must deliver one passing
 /// unit (see [`SimOptions::subassembly_retry_budget`]).
@@ -102,87 +109,174 @@ pub struct SimSummary {
     pub stopped_early: bool,
 }
 
-#[derive(Debug, Clone)]
-struct Totals {
-    attempted: u64,
-    shipped: f64,
-    good_shipped: f64,
-    embodied: f64,
-    embodied_by_cat: [f64; NCAT],
-    scrap_spend: f64,
-    scrap_by_cat: [f64; NCAT],
-    scrapped: f64,
-    defects: Vec<f64>,
-    rework_attempts: u64,
-    sub_units_built: u64,
+/// Shipped-fraction confidence half width used by both samplers'
+/// early-stopping hooks.
+///
+/// Wilson, not Wald: the Wald width is 0 while every unit so far
+/// shipped (or scrapped), which would vacuously satisfy any stop rule
+/// on a high-yield line.
+fn shipped_half_width(acc: &Totals, z: f64) -> f64 {
+    BinomialTally::from_f64_counts(acc.attempted as f64, acc.shipped).wilson_half_width(z)
 }
 
-impl Totals {
-    fn new(n_labels: usize) -> Totals {
-        Totals {
-            attempted: 0,
-            shipped: 0.0,
-            good_shipped: 0.0,
-            embodied: 0.0,
-            embodied_by_cat: [0.0; NCAT],
-            scrap_spend: 0.0,
-            scrap_by_cat: [0.0; NCAT],
-            scrapped: 0.0,
-            defects: vec![0.0; n_labels],
-            rework_attempts: 0,
-            sub_units_built: 0,
-        }
+/// The compiled production line as an [`ipass_sim`] sampler: one sample
+/// routes one carrier unit through the flat routing program.
+struct KernelSampler<'a> {
+    program: &'a RoutingProgram,
+    retry_budget: u32,
+}
+
+impl Sampler for KernelSampler<'_> {
+    type Acc = Totals;
+    type Error = FlowError;
+
+    fn make_acc(&self) -> Totals {
+        Totals::new(self.program.names().len())
     }
 
-    fn scrap(&mut self, unit: &Unit) {
-        self.scrapped += 1.0;
-        self.scrap_spend += unit.cost;
-        for (a, b) in self.scrap_by_cat.iter_mut().zip(unit.by_cat.iter()) {
-            *a += *b;
-        }
-    }
-
-    fn merge(&mut self, other: &Totals) {
-        self.attempted += other.attempted;
-        self.shipped += other.shipped;
-        self.good_shipped += other.good_shipped;
-        self.embodied += other.embodied;
-        self.scrap_spend += other.scrap_spend;
-        self.scrapped += other.scrapped;
-        self.rework_attempts += other.rework_attempts;
-        self.sub_units_built += other.sub_units_built;
-        for (a, b) in self
-            .embodied_by_cat
-            .iter_mut()
-            .zip(other.embodied_by_cat.iter())
+    fn sample(&self, _unit: u64, rng: &mut SimRng, totals: &mut Totals) -> Result<(), FlowError> {
+        totals.attempted += 1;
+        let mut unit = UnitState::new();
+        if self
+            .program
+            .run_unit(rng, totals, &mut unit, self.retry_budget)?
+            == Routed::Shipped
         {
-            *a += *b;
+            totals.ship(unit.cost, &unit.by_cat, unit.defective);
         }
-        for (a, b) in self.scrap_by_cat.iter_mut().zip(other.scrap_by_cat.iter()) {
-            *a += *b;
-        }
-        for (a, b) in self.defects.iter_mut().zip(other.defects.iter()) {
-            *a += *b;
-        }
+        Ok(())
+    }
+
+    fn merge(&self, into: &mut Totals, from: Totals) {
+        into.merge(&from);
+    }
+
+    fn ci_half_width(&self, acc: &Totals, z: f64) -> Option<f64> {
+        Some(shipped_half_width(acc, z))
     }
 }
 
-#[derive(Debug, Clone)]
-struct Unit {
-    cost: f64,
-    by_cat: [f64; NCAT],
-    defective: bool,
+/// Run the Monte Carlo simulation for a validated line (test-only
+/// convenience: production callers go through the [`Flow`]'s cached
+/// program and [`simulate_program`]).
+///
+/// [`Flow`]: crate::Flow
+#[cfg(test)]
+pub(crate) fn simulate_line(
+    line: &Line,
+    nre: Money,
+    volume: u64,
+    options: &SimOptions,
+) -> Result<SimSummary, FlowError> {
+    line.validate()?;
+    let program = RoutingProgram::compile(line);
+    simulate_program(&program, nre, volume, options, None)
 }
 
-impl Unit {
-    fn add_cost(&mut self, amount: f64, category: CostCategory) {
-        self.cost += amount;
-        self.by_cat[category.index()] += amount;
-    }
+/// Like [`simulate_line`], stopping early once the shipped-fraction
+/// confidence interval is narrower than the rule's target.
+#[cfg(test)]
+pub(crate) fn simulate_line_adaptive(
+    line: &Line,
+    nre: Money,
+    volume: u64,
+    options: &SimOptions,
+    stop: StopRule,
+) -> Result<SimSummary, FlowError> {
+    line.validate()?;
+    let program = RoutingProgram::compile(line);
+    simulate_program(&program, nre, volume, options, Some(stop))
 }
+
+/// Run a pre-compiled routing program (the cached-[`Flow`] hot path).
+///
+/// [`Flow`]: crate::Flow
+pub(crate) fn simulate_program(
+    program: &RoutingProgram,
+    nre: Money,
+    volume: u64,
+    options: &SimOptions,
+    stop: Option<StopRule>,
+) -> Result<SimSummary, FlowError> {
+    if options.units == 0 {
+        return Err(FlowError::NoUnits);
+    }
+    let sampler = KernelSampler {
+        program,
+        // Clamped at use: the field is public, so the builder's minimum
+        // can be bypassed with struct-update syntax.
+        retry_budget: options.subassembly_retry_budget.max(1),
+    };
+    let outcome = Executor::new(options.threads).run_with(
+        &sampler,
+        options.units,
+        options.seed,
+        &RunOptions { stop },
+    )?;
+    summarize(
+        program.line_name(),
+        program.names(),
+        outcome.acc,
+        nre,
+        volume,
+        outcome.stopped_early,
+    )
+}
+
+/// Assemble the [`SimSummary`] from a merged accumulator (shared by the
+/// kernel and the interpreter oracle, so their outputs are built
+/// identically).
+fn summarize(
+    line_name: &str,
+    names: &[String],
+    totals: Totals,
+    nre: Money,
+    volume: u64,
+    stopped_early: bool,
+) -> Result<SimSummary, FlowError> {
+    let started = totals.attempted as f64;
+    if totals.shipped <= 0.0 {
+        return Err(FlowError::NothingShipped {
+            flow: line_name.to_owned(),
+        });
+    }
+    let mut by_category = CostVector::new();
+    for cat in CostCategory::ALL {
+        let i = cat.index();
+        by_category.book(
+            cat,
+            Money::new(totals.embodied_by_cat[i] + totals.scrap_by_cat[i]),
+        );
+    }
+    let report = crate::report::CostReport::from_parts(
+        line_name.to_owned(),
+        started,
+        totals.shipped,
+        totals.good_shipped,
+        Money::new(totals.embodied + totals.scrap_spend),
+        Money::new(totals.embodied),
+        by_category,
+        nre,
+        volume,
+        labels::pareto(names, &totals.defects, started),
+    );
+    Ok(SimSummary {
+        report,
+        scrapped: totals.scrapped,
+        rework_attempts: totals.rework_attempts,
+        sub_units_built: totals.sub_units_built,
+        stopped_early,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The interpreter oracle: the original (PR 1) object-graph engine, kept
+// verbatim so property tests can pin the compiled kernel's results —
+// every draw, every floating-point sum — against it.
+// ---------------------------------------------------------------------
 
 /// The production line as an [`ipass_sim`] sampler: one sample routes
-/// one carrier unit through the (possibly nested) line.
+/// one carrier unit through the (possibly nested) line object graph.
 struct LineSampler<'a> {
     line: &'a Line,
     labels: &'a LineLabels,
@@ -201,14 +295,7 @@ impl Sampler for LineSampler<'_> {
     fn sample(&self, _unit: u64, rng: &mut SimRng, totals: &mut Totals) -> Result<(), FlowError> {
         totals.attempted += 1;
         if let Some(unit) = produce_unit(self.line, self.labels, rng, totals, self.retry_budget)? {
-            totals.shipped += 1.0;
-            if !unit.defective {
-                totals.good_shipped += 1.0;
-            }
-            totals.embodied += unit.cost;
-            for (a, b) in totals.embodied_by_cat.iter_mut().zip(unit.by_cat.iter()) {
-                *a += *b;
-            }
+            totals.ship(unit.cost, &unit.by_cat, unit.defective);
         }
         Ok(())
     }
@@ -218,36 +305,24 @@ impl Sampler for LineSampler<'_> {
     }
 
     fn ci_half_width(&self, acc: &Totals, z: f64) -> Option<f64> {
-        // Wilson, not Wald: the Wald width is 0 while every unit so far
-        // shipped (or scrapped), which would vacuously satisfy any stop
-        // rule on a high-yield line.
-        Some(BinomialTally::from_counts(acc.attempted, acc.shipped as u64).wilson_half_width(z))
+        Some(shipped_half_width(acc, z))
     }
 }
 
-/// Run the Monte Carlo simulation for a validated line.
-pub(crate) fn simulate_line(
-    line: &Line,
-    nre: Money,
-    volume: u64,
-    options: &SimOptions,
-) -> Result<SimSummary, FlowError> {
-    simulate_line_with(line, nre, volume, options, None)
-}
-
-/// Like [`simulate_line`], stopping early once the shipped-fraction
-/// confidence interval is narrower than the rule's target.
-pub(crate) fn simulate_line_adaptive(
-    line: &Line,
-    nre: Money,
-    volume: u64,
-    options: &SimOptions,
-    stop: StopRule,
-) -> Result<SimSummary, FlowError> {
-    simulate_line_with(line, nre, volume, options, Some(stop))
-}
-
-fn simulate_line_with(
+/// Reference implementation: simulate by interpreting the line object
+/// graph per unit (the pre-compilation engine).
+///
+/// Kept as the bit-exactness oracle for the compiled kernel; see
+/// `crates/moe/tests/kernel_oracle.rs`. Slower than [`Flow::simulate`]
+/// — do not use it for production runs.
+///
+/// [`Flow::simulate`]: crate::Flow::simulate
+///
+/// # Errors
+///
+/// Same contract as [`Flow::simulate`](crate::Flow::simulate).
+#[doc(hidden)]
+pub fn simulate_line_reference(
     line: &Line,
     nre: Money,
     volume: u64,
@@ -264,8 +339,6 @@ fn simulate_line_with(
         line,
         labels: &line_labels,
         n_labels: names.len(),
-        // Clamped at use: the field is public, so the builder's minimum
-        // can be bypassed with struct-update syntax.
         retry_budget: options.subassembly_retry_budget.max(1),
     };
     let outcome = Executor::new(options.threads).run_with(
@@ -274,41 +347,28 @@ fn simulate_line_with(
         options.seed,
         &RunOptions { stop },
     )?;
-    let totals = outcome.acc;
-
-    let started = totals.attempted as f64;
-    if totals.shipped <= 0.0 {
-        return Err(FlowError::NothingShipped {
-            flow: line.name().to_owned(),
-        });
-    }
-    let mut by_category = CostVector::new();
-    for cat in CostCategory::ALL {
-        let i = cat.index();
-        by_category.book(
-            cat,
-            Money::new(totals.embodied_by_cat[i] + totals.scrap_by_cat[i]),
-        );
-    }
-    let report = crate::report::CostReport::from_parts(
-        line.name().to_owned(),
-        started,
-        totals.shipped,
-        totals.good_shipped,
-        Money::new(totals.embodied + totals.scrap_spend),
-        Money::new(totals.embodied),
-        by_category,
+    summarize(
+        line.name(),
+        &names,
+        outcome.acc,
         nre,
         volume,
-        labels::pareto(&names, &totals.defects, started),
-    );
-    Ok(SimSummary {
-        report,
-        scrapped: totals.scrapped,
-        rework_attempts: totals.rework_attempts,
-        sub_units_built: totals.sub_units_built,
-        stopped_early: outcome.stopped_early,
-    })
+        outcome.stopped_early,
+    )
+}
+
+#[derive(Debug, Clone)]
+struct Unit {
+    cost: f64,
+    by_cat: [f64; NCAT],
+    defective: bool,
+}
+
+impl Unit {
+    fn add_cost(&mut self, amount: f64, category: CostCategory) {
+        self.cost += amount;
+        self.by_cat[category.index()] += amount;
+    }
 }
 
 /// Route one unit through `line`. `Ok(None)` means the unit was scrapped
@@ -385,7 +445,7 @@ fn produce_unit(
                     // Caught.
                     match t.fail_action() {
                         FailAction::Scrap => {
-                            totals.scrap(&unit);
+                            totals.scrap(unit.cost, &unit.by_cat);
                             return Ok(None);
                         }
                         FailAction::Rework(rework) => {
@@ -406,7 +466,7 @@ fn produce_unit(
                                 }
                             }
                             if !recovered {
-                                totals.scrap(&unit);
+                                totals.scrap(unit.cost, &unit.by_cat);
                                 return Ok(None);
                             }
                         }
@@ -525,6 +585,15 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.report.shipped(), b.report.shipped());
+    }
+
+    #[test]
+    fn kernel_matches_interpreter_on_simple_line() {
+        let line = simple_line();
+        let opts = SimOptions::new(50_000).with_seed(17);
+        let kernel = simulate_line(&line, Money::new(10.0), 100, &opts).unwrap();
+        let oracle = simulate_line_reference(&line, Money::new(10.0), 100, &opts, None).unwrap();
+        assert_eq!(kernel, oracle);
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! The compiled routing kernel against the interpreter oracle: on
+//! randomly generated production lines — including nested subassembly
+//! lines, rework loops and early stopping — the kernel must reproduce
+//! the PR-1 interpreter **bit for bit**, for every thread count.
+//!
+//! This is the determinism half of the engine story (the statistical
+//! half lives in `engine_agreement.rs`): compilation may precompute and
+//! flatten, but it must not change which random draws a unit consumes,
+//! their order, or any floating-point accumulation order.
+
+use ipass_moe::{
+    simulate_line_reference, Attach, CostCategory, FailAction, Flow, Line, Part, Process, Rework,
+    SimOptions, StepCost, StopRule, Test, YieldModel,
+};
+use ipass_units::{Money, Probability};
+use proptest::prelude::*;
+
+fn p(v: f64) -> Probability {
+    Probability::clamped(v)
+}
+
+#[derive(Debug, Clone)]
+enum StageSpec {
+    Process {
+        cost: f64,
+        yield_: f64,
+    },
+    Attach {
+        part_cost: f64,
+        part_yield: f64,
+        qty: u32,
+    },
+    /// An attach consuming a nested line's output: sub-carrier cost, a
+    /// fab yield, whether the sub-line ends in a probe test, and the
+    /// consumed quantity.
+    SubLine {
+        sub_cost: f64,
+        sub_yield: f64,
+        tested: bool,
+        qty: u32,
+    },
+    Test {
+        cost: f64,
+        coverage: f64,
+        rework: Option<(f64, f64, u32)>,
+    },
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageSpec> {
+    prop_oneof![
+        (0.0f64..5.0, 0.8f64..1.0).prop_map(|(cost, yield_)| StageSpec::Process { cost, yield_ }),
+        (0.0f64..20.0, 0.85f64..1.0, 1u32..4).prop_map(|(part_cost, part_yield, qty)| {
+            StageSpec::Attach {
+                part_cost,
+                part_yield,
+                qty,
+            }
+        }),
+        (0.5f64..8.0, 0.7f64..1.0, proptest::bool::ANY, 1u32..3).prop_map(
+            |(sub_cost, sub_yield, tested, qty)| StageSpec::SubLine {
+                sub_cost,
+                sub_yield,
+                tested,
+                qty,
+            }
+        ),
+        (
+            0.0f64..3.0,
+            0.7f64..1.0,
+            proptest::option::of((0.0f64..2.0, 0.2f64..0.9, 1u32..3))
+        )
+            .prop_map(|(cost, coverage, rework)| StageSpec::Test {
+                cost,
+                coverage,
+                rework
+            }),
+    ]
+}
+
+fn build_flow(carrier_cost: f64, carrier_yield: f64, stages: &[StageSpec]) -> Flow {
+    let mut builder = Line::builder(
+        "random",
+        Part::new("carrier", CostCategory::Substrate)
+            .with_cost(StepCost::fixed(Money::new(carrier_cost)))
+            .with_incoming_yield(YieldModel::flat(p(carrier_yield))),
+    );
+    for (i, spec) in stages.iter().enumerate() {
+        builder = match spec {
+            StageSpec::Process { cost, yield_ } => builder.process(
+                Process::new(format!("proc{i}"))
+                    .with_cost(StepCost::fixed(Money::new(*cost)))
+                    .with_yield(YieldModel::flat(p(*yield_))),
+            ),
+            StageSpec::Attach {
+                part_cost,
+                part_yield,
+                qty,
+            } => builder.attach(
+                Attach::new(format!("attach{i}"))
+                    .input(
+                        Part::new(format!("part{i}"), CostCategory::Chip)
+                            .with_cost(StepCost::fixed(Money::new(*part_cost)))
+                            .with_incoming_yield(YieldModel::flat(p(*part_yield))),
+                        *qty,
+                    )
+                    .with_cost(StepCost::per_item(Money::new(0.1), *qty)),
+            ),
+            StageSpec::SubLine {
+                sub_cost,
+                sub_yield,
+                tested,
+                qty,
+            } => {
+                let mut sub = Line::builder(
+                    format!("sub{i}"),
+                    Part::new(format!("blank{i}"), CostCategory::Substrate)
+                        .with_cost(StepCost::fixed(Money::new(*sub_cost))),
+                )
+                .process(
+                    Process::new(format!("fab{i}")).with_yield(YieldModel::flat(p(*sub_yield))),
+                );
+                if *tested {
+                    sub = sub.test(Test::new(format!("probe{i}")).with_coverage(p(0.95)));
+                }
+                builder.attach(
+                    Attach::new(format!("join{i}"))
+                        .input(sub.build().expect("sub-line is non-empty"), *qty)
+                        .with_yield(YieldModel::flat(p(0.99))),
+                )
+            }
+            StageSpec::Test {
+                cost,
+                coverage,
+                rework,
+            } => {
+                let action = match rework {
+                    Some((rc, rs, attempts)) => FailAction::Rework(Rework::new(
+                        StepCost::fixed(Money::new(*rc)),
+                        p(*rs),
+                        *attempts,
+                    )),
+                    None => FailAction::Scrap,
+                };
+                builder.test(
+                    Test::new(format!("test{i}"))
+                        .with_cost(StepCost::fixed(Money::new(*cost)))
+                        .with_coverage(p(*coverage))
+                        .on_fail(action),
+                )
+            }
+        };
+    }
+    Flow::new(builder.build().expect("non-empty line"))
+        .with_nre(Money::new(500.0))
+        .with_volume(10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn kernel_is_bit_identical_to_interpreter(
+        carrier_cost in 1.0f64..20.0,
+        carrier_yield in 0.85f64..1.0,
+        stages in proptest::collection::vec(stage_strategy(), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let flow = build_flow(carrier_cost, carrier_yield, &stages);
+        let opts = SimOptions::new(20_000).with_seed(seed);
+        let kernel = flow.simulate_summary(&opts).expect("kernel runs");
+        let oracle = simulate_line_reference(flow.line(), flow.nre(), flow.volume(), &opts, None)
+            .expect("oracle runs");
+        // Full structural equality: every count, every floating-point
+        // sum, the defect pareto, the rework and sub-unit tallies.
+        prop_assert_eq!(kernel, oracle);
+    }
+
+    #[test]
+    fn kernel_is_bit_identical_across_thread_counts(
+        carrier_cost in 1.0f64..20.0,
+        carrier_yield in 0.85f64..1.0,
+        stages in proptest::collection::vec(stage_strategy(), 1..5),
+        seed in 0u64..1_000,
+    ) {
+        let flow = build_flow(carrier_cost, carrier_yield, &stages);
+        let single = flow
+            .simulate_summary(&SimOptions::new(20_000).with_seed(seed).with_threads(1))
+            .expect("kernel runs");
+        for threads in [2, 4, 8] {
+            let multi = flow
+                .simulate_summary(&SimOptions::new(20_000).with_seed(seed).with_threads(threads))
+                .expect("kernel runs");
+            prop_assert_eq!(&single, &multi, "threads = {}", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn adaptive_kernel_matches_adaptive_interpreter(
+        carrier_cost in 1.0f64..20.0,
+        stages in proptest::collection::vec(stage_strategy(), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        // Early stopping folds at deterministic chunk boundaries, so
+        // the stopping point — and everything after it — must agree
+        // between the engines too.
+        let flow = build_flow(carrier_cost, 0.95, &stages);
+        let stop = StopRule::half_width_95(0.02);
+        let opts = SimOptions::new(500_000).with_seed(seed);
+        let kernel = flow.simulate_adaptive(&opts, stop).expect("kernel runs");
+        let oracle =
+            simulate_line_reference(flow.line(), flow.nre(), flow.volume(), &opts, Some(stop))
+                .expect("oracle runs");
+        prop_assert_eq!(kernel, oracle);
+    }
+}
+
+/// Golden pin for the nested-subassembly flow (carrier + 2-deep attach
+/// with retries, rework loop behind the final test): the exact seeded
+/// values the PR-1 interpreter produced. If this test fails, the
+/// engines did not merely drift — seeded reproducibility across
+/// releases is broken.
+fn nested_flow() -> Flow {
+    let sub = Line::builder(
+        "subassembly",
+        Part::new("blank", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(4.0))),
+    )
+    .process(
+        Process::new("fab")
+            .with_cost(StepCost::fixed(Money::new(1.5)))
+            .with_yield(YieldModel::percent(82.0)),
+    )
+    .test(
+        Test::new("probe")
+            .with_cost(StepCost::fixed(Money::new(0.2)))
+            .with_coverage(p(0.97)),
+    )
+    .build()
+    .unwrap();
+    let line = Line::builder(
+        "main",
+        Part::new("pcb", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(2.0))),
+    )
+    .attach(
+        Attach::new("join")
+            .input(sub, 2)
+            .input(
+                Part::new("die", CostCategory::Chip)
+                    .with_cost(StepCost::fixed(Money::new(7.0)))
+                    .with_incoming_yield(YieldModel::flat(p(0.95))),
+                3,
+            )
+            .with_cost(StepCost::per_item(Money::new(0.05), 5))
+            .with_yield(YieldModel::percent(98.5)),
+    )
+    .test(
+        Test::new("ft")
+            .with_cost(StepCost::fixed(Money::new(1.0)))
+            .with_coverage(p(0.96))
+            .on_fail(FailAction::Rework(Rework::new(
+                StepCost::fixed(Money::new(0.8)),
+                p(0.55),
+                2,
+            ))),
+    )
+    .build()
+    .unwrap();
+    Flow::new(line)
+        .with_nre(Money::new(10_000.0))
+        .with_volume(50_000)
+}
+
+#[test]
+fn golden_nested_flow_seed7() {
+    let flow = nested_flow();
+    for threads in [1usize, 2, 4, 8] {
+        let s = flow
+            .simulate_summary(&SimOptions::new(60_000).with_seed(7).with_threads(threads))
+            .unwrap();
+        let r = &s.report;
+        assert_eq!(r.started(), 60_000.0, "threads {threads}");
+        assert_eq!(r.shipped(), 58_243.0);
+        assert_eq!(r.good_shipped(), 57_600.0);
+        assert_eq!(r.total_spend().units(), 2_307_458.400_000_031_6);
+        assert_eq!(r.shipped_embodied().units(), 2_094_856.150_000_032_7);
+        assert_eq!(r.by_category()[CostCategory::Chip].units(), 1_260_000.0);
+        assert_eq!(r.by_category()[CostCategory::Substrate].units(), 700_800.0);
+        assert_eq!(r.by_category()[CostCategory::Assembly].units(), 232_800.0);
+        assert_eq!(
+            r.by_category()[CostCategory::Test].units(),
+            102_828.000_000_000_83
+        );
+        assert_eq!(
+            r.by_category()[CostCategory::Other].units(),
+            11_030.399_999_999_989
+        );
+        assert_eq!(s.scrapped, 26_957.0);
+        assert_eq!(s.rework_attempts, 13_788);
+        assert_eq!(s.sub_units_built, 145_200);
+        assert!(!s.stopped_early);
+        let pareto = r.defect_pareto();
+        assert_eq!(pareto[0].0, "subassembly/fab");
+        assert_eq!(pareto[0].1, 0.433_45);
+        assert_eq!(pareto[1].0, "join/die (incoming)");
+        assert_eq!(pareto[1].1, 0.138_733_333_333_333_32);
+        assert_eq!(pareto[2].0, "join");
+        assert_eq!(pareto[2].1, 0.014_966_666_666_666_666);
+    }
+}
+
+#[test]
+fn golden_nested_flow_adaptive_seed9() {
+    let flow = nested_flow();
+    for threads in [1usize, 4] {
+        let s = flow
+            .simulate_adaptive(
+                &SimOptions::new(1_000_000)
+                    .with_seed(9)
+                    .with_threads(threads),
+                StopRule::half_width_95(0.004),
+            )
+            .unwrap();
+        let r = &s.report;
+        assert!(s.stopped_early, "threads {threads}");
+        assert_eq!(r.started(), 15_625.0);
+        assert_eq!(r.shipped(), 15_177.0);
+        assert_eq!(r.good_shipped(), 15_013.0);
+        assert_eq!(r.total_spend().units(), 601_873.450_000_135_1);
+        assert_eq!(r.shipped_embodied().units(), 545_905.650_000_141_4);
+        assert_eq!(s.scrapped, 7_182.0);
+        assert_eq!(s.rework_attempts, 3_588);
+        assert_eq!(s.sub_units_built, 37_984);
+    }
+}

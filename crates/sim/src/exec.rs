@@ -2,12 +2,15 @@
 //!
 //! Units are partitioned into fixed-size chunks (a pure function of the
 //! unit count, never of the thread count). A fixed pool of scoped
-//! workers steals chunks from a shared cursor; each chunk accumulates
-//! into its own accumulator, and completed chunks are folded into a
-//! running *prefix* strictly in chunk order. Because every unit draws
-//! from its own counter-based [`SimRng`] stream and the floating-point
-//! merge order is fixed, the result is bit-identical for any thread
-//! count — threads are purely a performance knob.
+//! workers steals chunks from a shared cursor and accumulates each
+//! chunk into its own local accumulator — workers never share mutable
+//! fold state and never block on one another. Completed chunks are
+//! published as `(index, accumulator)` completion records over a
+//! channel, and the *calling* thread folds them into a running prefix
+//! strictly in chunk order. Because every unit draws from its own
+//! counter-based [`SimRng`] stream and the floating-point merge order
+//! is fixed, the result is bit-identical for any thread count — threads
+//! are purely a performance knob.
 //!
 //! Optional sequential early stopping evaluates a confidence-interval
 //! rule at every prefix extension (again in chunk order), so the
@@ -15,7 +18,7 @@
 
 use crate::rng::SimRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// A Monte Carlo experiment that accumulates directly into a mergeable
 /// accumulator (the zero-allocation form used by hot engines).
@@ -262,6 +265,11 @@ impl Executor {
     /// lowest failing index may be skipped, but everything before it is
     /// always evaluated (items are claimed in index order).
     ///
+    /// Workers publish `(index, result)` records over a channel and the
+    /// calling thread writes each into its own slot, so a large batch
+    /// (a scenario grid, a sweep) never serializes on a shared slot
+    /// lock.
+    ///
     /// # Errors
     ///
     /// Returns the first error in item order.
@@ -272,12 +280,6 @@ impl Executor {
         E: Send,
         F: Fn(usize, &T) -> Result<O, E> + Sync,
     {
-        let mut slots: Vec<Option<Result<O, E>>> = Vec::with_capacity(items.len());
-        slots.resize_with(items.len(), || None);
-        let slots = Mutex::new(slots);
-        let cursor = AtomicU64::new(0);
-        // Lowest failing index seen so far; items above it are skipped.
-        let min_error = AtomicU64::new(u64::MAX);
         let workers = self.threads.min(items.len().max(1));
         if workers <= 1 {
             let mut out = Vec::with_capacity(items.len());
@@ -286,9 +288,17 @@ impl Executor {
             }
             return Ok(out);
         }
-        std::thread::scope(|scope| {
+        let cursor = AtomicU64::new(0);
+        // Lowest failing index seen so far; items above it are skipped.
+        let min_error = AtomicU64::new(u64::MAX);
+        let (tx, rx) = mpsc::channel::<(usize, Result<O, E>)>();
+        let slots = std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let min_error = &min_error;
+                let f = &f;
+                scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() as u64 {
                         break;
@@ -301,11 +311,19 @@ impl Executor {
                     if result.is_err() {
                         min_error.fetch_min(i as u64, Ordering::Release);
                     }
-                    slots.lock().expect("map worker poisoned the slot lock")[i] = Some(result);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
                 });
             }
+            drop(tx);
+            let mut slots: Vec<Option<Result<O, E>>> = Vec::with_capacity(items.len());
+            slots.resize_with(items.len(), || None);
+            while let Ok((i, result)) = rx.recv() {
+                slots[i] = Some(result);
+            }
+            slots
         });
-        let slots = slots.into_inner().expect("map slot lock poisoned");
         let mut out = Vec::with_capacity(items.len());
         for slot in slots {
             // A `None` slot was skipped, which only happens behind a
@@ -397,20 +415,12 @@ fn run_serial<S: Sampler>(
     })
 }
 
-/// Shared fold state: completed chunk results waiting to join the
-/// in-order prefix.
-struct FoldState<S: Sampler> {
-    pending: Vec<Option<Result<S::Acc, S::Error>>>,
-    prefix: S::Acc,
-    /// Next chunk index the prefix is waiting for.
-    next: u64,
-    /// Units covered by the prefix.
-    units_merged: u64,
-    /// Chunk count at which the stop rule fired (prefix is final there).
-    stopped_at: Option<u64>,
-    error: Option<S::Error>,
-}
-
+/// The parallel run: workers accumulate chunks locally and publish
+/// `(chunk index, accumulator)` completion records over a channel; the
+/// calling thread folds records into the prefix strictly in chunk
+/// order. No shared fold state, no lock a worker could serialize on —
+/// the only synchronization is the lock-free channel send per
+/// completed chunk.
 fn run_parallel<S: Sampler>(
     sampler: &S,
     units: u64,
@@ -422,22 +432,14 @@ fn run_parallel<S: Sampler>(
 ) -> Result<RunOutcome<S::Acc>, S::Error> {
     let cursor = AtomicU64::new(0);
     let done = AtomicBool::new(false);
-    let state: Mutex<FoldState<S>> = Mutex::new(FoldState {
-        pending: {
-            let mut v = Vec::with_capacity(n_chunks as usize);
-            v.resize_with(n_chunks as usize, || None);
-            v
-        },
-        prefix: sampler.make_acc(),
-        next: 0,
-        units_merged: 0,
-        stopped_at: None,
-        error: None,
-    });
+    let (tx, rx) = mpsc::channel::<(u64, Result<S::Acc, S::Error>)>();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let done = &done;
+            scope.spawn(move || loop {
                 if done.load(Ordering::Acquire) {
                     break;
                 }
@@ -447,49 +449,71 @@ fn run_parallel<S: Sampler>(
                 }
                 let lo = c * chunk;
                 let hi = (lo + chunk).min(units);
-                let result = run_chunk(sampler, seed, lo, hi);
-                let mut st = state.lock().expect("executor fold lock poisoned");
-                st.pending[c as usize] = Some(result);
-                // Extend the in-order prefix as far as contiguous results
-                // allow; all determinism lives in this fold.
-                while st.stopped_at.is_none() && st.error.is_none() {
-                    let next = st.next as usize;
-                    let Some(slot) = st.pending.get_mut(next).and_then(Option::take) else {
-                        break;
-                    };
-                    match slot {
-                        Ok(part) => {
-                            sampler.merge(&mut st.prefix, part);
-                            st.next += 1;
-                            st.units_merged = (st.next * chunk).min(units);
-                            if let Some(rule) = &options.stop {
-                                if stop_rule_met(sampler, &st.prefix, st.units_merged, rule) {
-                                    st.stopped_at = Some(st.next);
-                                    done.store(true, Ordering::Release);
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            st.error = Some(e);
-                            done.store(true, Ordering::Release);
-                        }
-                    }
-                }
-                if st.next >= n_chunks {
-                    done.store(true, Ordering::Release);
+                // All fold work stays worker-local; only the completion
+                // record crosses threads.
+                let record = run_chunk(sampler, seed, lo, hi);
+                if tx.send((c, record)).is_err() {
+                    break;
                 }
             });
         }
-    });
+        // Senders live only in the workers: the fold loop below ends
+        // exactly when every worker has exited.
+        drop(tx);
 
-    let st = state.into_inner().expect("executor fold lock poisoned");
-    if let Some(e) = st.error {
-        return Err(e);
-    }
-    Ok(RunOutcome {
-        acc: st.prefix,
-        units_run: st.units_merged,
-        stopped_early: st.stopped_at.is_some(),
+        // The in-order fold, on the calling thread. All determinism
+        // lives here: records may arrive in any order, but they join
+        // the prefix strictly by chunk index.
+        let mut pending: Vec<Option<Result<S::Acc, S::Error>>> = Vec::new();
+        pending.resize_with(n_chunks as usize, || None);
+        let mut prefix = sampler.make_acc();
+        let mut next: u64 = 0;
+        let mut units_merged: u64 = 0;
+        let mut stopped = false;
+        let mut error: Option<S::Error> = None;
+        while let Ok((c, record)) = rx.recv() {
+            if stopped || error.is_some() {
+                // The run is already decided; drain so workers finishing
+                // in-flight chunks never block (record is discarded).
+                continue;
+            }
+            pending[c as usize] = Some(record);
+            while let Some(slot) = pending.get_mut(next as usize).and_then(Option::take) {
+                match slot {
+                    Ok(part) => {
+                        sampler.merge(&mut prefix, part);
+                        next += 1;
+                        units_merged = (next * chunk).min(units);
+                        if let Some(rule) = &options.stop {
+                            if stop_rule_met(sampler, &prefix, units_merged, rule) {
+                                stopped = true;
+                                done.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // First error in chunk order — identical to the
+                        // serial run, because the prefix only advances
+                        // through contiguous successes.
+                        error = Some(e);
+                        done.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+            }
+            if next >= n_chunks {
+                done.store(true, Ordering::Release);
+            }
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(RunOutcome {
+            acc: prefix,
+            units_run: units_merged,
+            stopped_early: stopped,
+        })
     })
 }
 

@@ -81,6 +81,36 @@ impl SimRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// The raw 53-bit draw underlying [`SimRng::next_f64`], for callers
+    /// that compare against a precomputed [`SimRng::threshold`].
+    ///
+    /// Consumes exactly one draw, like `next_f64`.
+    #[inline]
+    pub fn next_u53(&mut self) -> u64 {
+        self.next_u64() >> 11
+    }
+
+    /// Precompute the integer threshold equivalent to a Bernoulli
+    /// probability: for `p` strictly inside `(0, 1)`,
+    /// `rng.next_u53() < SimRng::threshold(p)` decides **exactly** like
+    /// `rng.next_f64() < p` (hence like [`SimRng::bernoulli`]), while
+    /// replacing the int→float conversion and float compare of every
+    /// draw with one integer compare.
+    ///
+    /// Exactness: `next_f64` is `x · 2⁻⁵³` for the integer draw
+    /// `x < 2⁵³`, and both `x · 2⁻⁵³` and `p · 2⁵³` are exact in `f64`
+    /// (scaling by a power of two only shifts the exponent), so
+    /// `x · 2⁻⁵³ < p  ⇔  x < p · 2⁵³  ⇔  x < ⌈p · 2⁵³⌉`.
+    ///
+    /// Degenerate probabilities (`p ≤ 0`, `p ≥ 1`) must be handled
+    /// structurally by the caller — [`SimRng::bernoulli`] consumes no
+    /// draw for them, which a threshold compare cannot reproduce.
+    #[inline]
+    pub fn threshold(p: f64) -> u64 {
+        debug_assert!(p > 0.0 && p < 1.0, "degenerate probability {p}");
+        (p * (1u64 << 53) as f64).ceil() as u64
+    }
+
     /// A Bernoulli trial with success probability `p`.
     ///
     /// Degenerate probabilities (`p ≤ 0`, `p ≥ 1`) short-circuit without
@@ -176,6 +206,30 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.bernoulli(0.3)).count();
         let frac = hits as f64 / 100_000.0;
         assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn threshold_compare_is_exactly_bernoulli() {
+        // The integer-threshold decision must agree with the float
+        // compare on every draw, including probabilities right at the
+        // representation edges.
+        let ps = [
+            0.5,
+            0.3,
+            0.999,
+            1e-12,
+            1.0 - 1e-12,
+            0.9999f64.powi(112),
+            f64::MIN_POSITIVE,
+        ];
+        for &p in &ps {
+            let t = SimRng::threshold(p);
+            let mut a = SimRng::from_seed(77);
+            let mut b = SimRng::from_seed(77);
+            for _ in 0..10_000 {
+                assert_eq!(a.next_u53() < t, b.next_f64() < p, "p = {p}");
+            }
+        }
     }
 
     #[test]

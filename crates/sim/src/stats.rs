@@ -145,6 +145,29 @@ impl BinomialTally {
         BinomialTally { trials, successes }
     }
 
+    /// A tally from floating-point counts (as accumulated by engines
+    /// that count in `f64`).
+    ///
+    /// Counts are rounded to the nearest integer **explicitly** — an
+    /// `as u64` cast would silently truncate (and map negative values
+    /// to 0), hiding accumulator corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either count is negative, not finite, or when
+    /// (rounded) `successes > trials`.
+    pub fn from_f64_counts(trials: f64, successes: f64) -> BinomialTally {
+        assert!(
+            trials.is_finite() && trials >= 0.0,
+            "trial count must be a non-negative finite number, got {trials}"
+        );
+        assert!(
+            successes.is_finite() && successes >= 0.0,
+            "success count must be a non-negative finite number, got {successes}"
+        );
+        BinomialTally::from_counts(trials.round() as u64, successes.round() as u64)
+    }
+
     /// Record one trial.
     #[inline]
     pub fn push(&mut self, success: bool) {

@@ -1,0 +1,100 @@
+//! Golden seeded Monte Carlo values for the paper's solution-2 flow.
+//!
+//! These are the exact `CostReport` figures the PR-1 interpreter
+//! produced (captured before the kernel compilation landed). The
+//! compiled routing kernel must keep reproducing them bit for bit, for
+//! every thread count — seeded results are part of the public contract,
+//! not an implementation detail.
+
+use ipass_core::{BuildUp, SelectionObjective};
+use ipass_gps::{bom::gps_bom, table2::cost_inputs};
+use ipass_moe::{simulate_line_reference, CostCategory, Flow, SimOptions};
+
+fn solution2_flow() -> Flow {
+    let buildup = BuildUp::paper_solutions()[1];
+    let plan = buildup
+        .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+        .unwrap();
+    plan.production_flow(plan.area().substrate_area, &cost_inputs(&buildup))
+        .unwrap()
+}
+
+#[test]
+fn golden_seed3_100k_all_thread_counts() {
+    let flow = solution2_flow();
+    for threads in [1usize, 2, 4, 8] {
+        let s = flow
+            .simulate_summary(&SimOptions::new(100_000).with_seed(3).with_threads(threads))
+            .unwrap();
+        let r = &s.report;
+        assert_eq!(r.started(), 100_000.0, "threads {threads}");
+        assert_eq!(r.shipped(), 88_271.0);
+        assert_eq!(r.good_shipped(), 88_144.0);
+        assert_eq!(r.total_spend().units(), 23_972_919.433_580_898);
+        assert_eq!(r.shipped_embodied().units(), 21_161_135.713_216_24);
+        assert_eq!(r.by_category()[CostCategory::Chip].units(), 19_500_000.0);
+        assert_eq!(
+            r.by_category()[CostCategory::Substrate].units(),
+            1_538_919.433_580_448_9
+        );
+        assert_eq!(
+            r.by_category()[CostCategory::PassiveParts].units(),
+            860_000.000_000_019_2
+        );
+        assert_eq!(
+            r.by_category()[CostCategory::Assembly].units(),
+            343_999.999_999_998_95
+        );
+        assert_eq!(
+            r.by_category()[CostCategory::Packaging].units(),
+            729_999.999_999_997_1
+        );
+        assert_eq!(r.by_category()[CostCategory::Test].units(), 1_000_000.0);
+        assert_eq!(r.by_category()[CostCategory::Other].units(), 0.0);
+        assert_eq!(s.scrapped, 11_729.0);
+        assert_eq!(s.rework_attempts, 0);
+        assert_eq!(s.sub_units_built, 0);
+        let pareto = r.defect_pareto();
+        assert_eq!(pareto[0].0, "chip assembly/RF chip (incoming)");
+        assert_eq!(pareto[0].1, 0.048_64);
+        assert_eq!(pareto[1].0, "packaging / mount on laminate");
+        assert_eq!(pareto[1].1, 0.029_29);
+        assert_eq!(pareto[2].0, "chip assembly");
+        assert_eq!(pareto[2].1, 0.020_83);
+        assert_eq!(pareto[3].0, "MCM-D(Si) substrate (incoming)");
+        assert_eq!(pareto[3].1, 0.009_89);
+    }
+}
+
+#[test]
+fn golden_seed42_50k() {
+    let s = solution2_flow()
+        .simulate_summary(&SimOptions::new(50_000).with_seed(42))
+        .unwrap();
+    let r = &s.report;
+    assert_eq!(r.started(), 50_000.0);
+    assert_eq!(r.shipped(), 44_290.0);
+    assert_eq!(r.good_shipped(), 44_233.0);
+    assert_eq!(r.total_spend().units(), 11_986_459.716_790_242);
+    assert_eq!(r.shipped_embodied().units(), 10_617_606.017_132_798);
+    assert_eq!(
+        r.by_category()[CostCategory::Substrate].units(),
+        769_459.716_790_242_1
+    );
+    assert_eq!(s.scrapped, 5_710.0);
+}
+
+#[test]
+fn kernel_matches_interpreter_on_solution2() {
+    // The runtime oracle check on the real paper flow (the property
+    // tests cover random lines): kernel and interpreter agree on every
+    // field, not just the golden subset.
+    let flow = solution2_flow();
+    for seed in [3u64, 42, 1234] {
+        let opts = SimOptions::new(30_000).with_seed(seed);
+        let kernel = flow.simulate_summary(&opts).unwrap();
+        let oracle =
+            simulate_line_reference(flow.line(), flow.nre(), flow.volume(), &opts, None).unwrap();
+        assert_eq!(kernel, oracle, "seed {seed}");
+    }
+}
