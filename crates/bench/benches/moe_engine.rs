@@ -64,6 +64,57 @@ fn bench_analytic(c: &mut Criterion) {
     });
 }
 
+/// The patched-program sweep against the rebuild-per-point baseline:
+/// a 64-point substrate-cost sweep of the real solution-2 flow. The
+/// rebuild path constructs and compiles a fresh production flow per
+/// point; the patched path compiles once and overwrites the carrier
+/// cost slot per point. Same curve (asserted in `analytic_ir.rs` and
+/// the sweep unit tests), very different work per point.
+fn bench_sweep_analytic(c: &mut Criterion) {
+    const POINTS: u64 = 64;
+    let buildup = BuildUp::paper_solutions()[1];
+    let plan = buildup
+        .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+        .unwrap();
+    let area = plan.area().substrate_area;
+    let base_card = cost_inputs(&buildup);
+    let flow = solution2_flow();
+    let carrier = flow.line().carrier().name().to_owned();
+    let base_carrier_cost = flow.line().carrier().cost().total();
+    let xs: Vec<f64> = (0..POINTS)
+        .map(|i| 0.5 + i as f64 / POINTS as f64)
+        .collect();
+
+    // Serial executor on both sides: the comparison is work per point,
+    // not parallel speedup.
+    let serial = ipass_moe::Executor::serial();
+    let mut group = c.benchmark_group("sweep_analytic");
+    group.throughput(Throughput::Elements(POINTS));
+    group.bench_function("rebuild", |b| {
+        b.iter(|| {
+            let points = ipass_moe::sweep_with(&serial, xs.iter().copied(), |x| {
+                let mut card = base_card.clone();
+                card.substrate_cost_per_cm2 = card.substrate_cost_per_cm2 * x;
+                plan.production_flow(area, &card)
+            })
+            .unwrap();
+            black_box(points)
+        })
+    });
+    group.bench_function("patched", |b| {
+        b.iter(|| {
+            let points =
+                ipass_moe::sweep_patched_with(&serial, &flow, xs.iter().copied(), |x, patch| {
+                    patch.set_cost(&carrier, base_carrier_cost * x)?;
+                    Ok(())
+                })
+                .unwrap();
+            black_box(points)
+        })
+    });
+    group.finish();
+}
+
 fn rework_flow(max_attempts: u32) -> Flow {
     let line = Line::builder(
         "rework-bench",
@@ -135,6 +186,7 @@ criterion_group!(
     bench_mc_scaling,
     bench_mc_threads,
     bench_analytic,
+    bench_sweep_analytic,
     bench_rework
 );
 

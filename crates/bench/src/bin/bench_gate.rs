@@ -14,15 +14,42 @@
 
 use std::process::ExitCode;
 
-/// Extract a numeric field from the single-line JSON object holding
-/// `"id": "<id>"` (the shim's `BENCH_JSON` format is one entry per
-/// line).
+/// The flat JSON objects of the baseline file, in order. The shim's
+/// `BENCH_JSON` format is an array of non-nested objects, so splitting
+/// on braces is exact; pretty-printing (one field per line) only moves
+/// whitespace, which the field scanner tolerates.
+fn objects(json: &str) -> impl Iterator<Item = &str> {
+    json.split('{')
+        .skip(1)
+        .map(|chunk| chunk.split('}').next().unwrap_or(chunk))
+}
+
+/// The raw value token of `"field"` inside one flattened object,
+/// tolerating any whitespace (spaces, tabs, newlines) around the colon
+/// and the value — a reformatted baseline must not break the lookup.
+fn field_value<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\"");
+    let mut rest = obj;
+    loop {
+        let at = rest.find(&needle)?;
+        let after = &rest[at + needle.len()..];
+        if let Some(value) = after.trim_start().strip_prefix(':') {
+            let value = value.trim_start();
+            let end = value.find([',', '\n']).unwrap_or(value.len());
+            return Some(value[..end].trim());
+        }
+        // Matched a string *value* that happens to spell the field
+        // name; keep scanning for the real key.
+        rest = after;
+    }
+}
+
+/// Extract a numeric field from the JSON object whose `"id"` equals
+/// `id`.
 fn lookup(json: &str, id: &str, field: &str) -> Option<f64> {
-    let entry = json
-        .lines()
-        .find(|line| line.contains(&format!("\"id\": \"{id}\"")))?;
-    let tail = entry.split(&format!("\"{field}\": ")).nth(1)?;
-    tail.split([',', '}']).next()?.trim().parse::<f64>().ok()
+    objects(json)
+        .find(|obj| field_value(obj, "id").map(|v| v.trim_matches('"') == id) == Some(true))
+        .and_then(|obj| field_value(obj, field)?.parse::<f64>().ok())
 }
 
 /// Mean ns/element for a case: the recorded `ns_per_elem` when present,
@@ -110,5 +137,44 @@ mod tests {
     #[test]
     fn missing_case_is_none() {
         assert_eq!(ns_per_element(SAMPLE, "absent/case"), None);
+    }
+
+    #[test]
+    fn lookup_tolerates_reformatted_whitespace() {
+        // Compact, spaced and pretty-printed forms of the same entry
+        // must all resolve — the old lookup required exactly
+        // `"field": ` with a single space.
+        let compact = r#"[{"id":"a/1","mean_ns":100.0,"elements":10,"ns_per_elem":10.0}]"#;
+        assert_eq!(lookup(compact, "a/1", "ns_per_elem"), Some(10.0));
+        let spaced = r#"[{"id"  :  "a/1" , "mean_ns" : 100.0 , "ns_per_elem" : 10.0}]"#;
+        assert_eq!(lookup(spaced, "a/1", "ns_per_elem"), Some(10.0));
+        let pretty = "[\n  {\n    \"id\": \"a/1\",\n    \"mean_ns\": 100.0,\n    \"elements\": 10,\n    \"ns_per_elem\": 10.0\n  },\n  {\n    \"id\": \"b/2\",\n    \"mean_ns\": 7.0\n  }\n]\n";
+        assert_eq!(lookup(pretty, "a/1", "ns_per_elem"), Some(10.0));
+        assert_eq!(lookup(pretty, "b/2", "mean_ns"), Some(7.0));
+        assert_eq!(ns_per_element(pretty, "a/1"), Some(10.0));
+    }
+
+    #[test]
+    fn lookup_distinguishes_similar_field_names() {
+        // "min_ns"/"max_ns" share a suffix with "mean_ns"; the quoted
+        // needle must not cross-match, and a value spelling a field
+        // name must not shadow the real key.
+        let entry = r#"[{"id": "weird", "git_rev": "mean_ns", "min_ns": 1.0, "mean_ns": 5.0, "max_ns": 9.0}]"#;
+        assert_eq!(lookup(entry, "weird", "mean_ns"), Some(5.0));
+        assert_eq!(lookup(entry, "weird", "min_ns"), Some(1.0));
+        assert_eq!(lookup(entry, "weird", "absent"), None);
+    }
+
+    #[test]
+    fn ns_per_element_fallback_order_is_npe_then_derived_then_mean() {
+        // Recorded ns_per_elem wins even when mean/elements disagree.
+        let both = r#"[{"id": "x", "mean_ns": 1000.0, "elements": 10, "ns_per_elem": 3.0}]"#;
+        assert_eq!(ns_per_element(both, "x"), Some(3.0));
+        // Zero elements cannot divide; fall through to mean_ns.
+        let zero = r#"[{"id": "x", "mean_ns": 1000.0, "elements": 0}]"#;
+        assert_eq!(ns_per_element(zero, "x"), Some(1000.0));
+        // No mean at all: the case is unusable.
+        let bare = r#"[{"id": "x", "elements": 10}]"#;
+        assert_eq!(ns_per_element(bare, "x"), None);
     }
 }

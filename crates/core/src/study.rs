@@ -10,7 +10,7 @@ use crate::flowbuild::CostInputs;
 use crate::fom::{CandidateScore, DecisionError, DecisionTable, FomWeights};
 use crate::plan::{AreaBreakdown, BuildUpPlan, PlanError, SelectionObjective};
 use crate::technology::BuildUp;
-use ipass_moe::{CostReport, FlowError};
+use ipass_moe::{CompiledFlow, CostReport, FlowError, PatchDirective};
 use ipass_sim::Executor;
 use std::error::Error;
 use std::fmt;
@@ -200,16 +200,24 @@ impl TradeStudy {
 
     /// Run the study under several scenarios at once.
     ///
-    /// The full candidate × objective grid is fanned out through the
-    /// executor, and expensive per-candidate sub-results (the selected
-    /// plan with its packed areas, and the analytic flow report) are
-    /// memoized: scenarios that share a selection objective share the
-    /// plan and cost evaluation and only re-rank the decision.
+    /// Memoization happens on two levels, both fanned out through the
+    /// executor:
+    ///
+    /// 1. **Plan + compile** per (candidate, objective): scenarios that
+    ///    share a selection objective share the selected plan, its
+    ///    packed areas and the *compiled* production program.
+    /// 2. **Cost** per (candidate, objective, patch): a scenario's
+    ///    [`cost patch`](StudyScenario::patch) is applied to the cached
+    ///    compiled program — a copy of the flat op vector with a few
+    ///    slots overwritten, never a rebuilt flow — and scenarios with
+    ///    equal patches share the resulting report and only re-rank the
+    ///    decision.
     ///
     /// # Errors
     ///
     /// Returns [`StudyError`] when no candidates are registered, or any
-    /// candidate fails to plan or evaluate under any scenario.
+    /// candidate fails to plan or evaluate under any scenario (including
+    /// a patch naming a slot the compiled flow does not expose).
     pub fn run_scenarios(
         &self,
         scenarios: &[StudyScenario],
@@ -217,36 +225,83 @@ impl TradeStudy {
         if self.candidates.is_empty() {
             return Err(StudyError::NoCandidates);
         }
-        // Scenario objectives collapse into equivalence classes: that
-        // deduplication *is* the memoization — each (candidate,
-        // objective) cell is planned and costed exactly once however
-        // many scenarios share it.
-        let mut classes: Vec<SelectionObjective> = Vec::new();
+        // Scenario configurations collapse into equivalence classes:
+        // that deduplication *is* the memoization — each (candidate,
+        // objective) cell is planned and compiled exactly once, each
+        // (candidate, objective, patch) cell costed exactly once,
+        // however many scenarios share them.
+        let mut objectives: Vec<SelectionObjective> = Vec::new();
+        let mut cost_classes: Vec<(usize, Option<&[PatchDirective]>)> = Vec::new();
         let scenario_class: Vec<usize> = scenarios
             .iter()
             .map(|s| {
                 let objective = s.objective.unwrap_or(self.objective);
-                match classes.iter().position(|c| *c == objective) {
+                let o = match objectives.iter().position(|c| *c == objective) {
                     Some(i) => i,
                     None => {
-                        classes.push(objective);
-                        classes.len() - 1
+                        objectives.push(objective);
+                        objectives.len() - 1
+                    }
+                };
+                let patch = s.patch.as_deref();
+                match cost_classes
+                    .iter()
+                    .position(|&(co, cp)| co == o && cp == patch)
+                {
+                    Some(i) => i,
+                    None => {
+                        cost_classes.push((o, patch));
+                        cost_classes.len() - 1
                     }
                 }
             })
             .collect();
-        let grid: Vec<(usize, usize)> = (0..self.candidates.len())
-            .flat_map(|c| (0..classes.len()).map(move |o| (c, o)))
+
+        // Level 1: plan, size and compile each candidate once per
+        // objective class.
+        let base_grid: Vec<(usize, usize)> = (0..self.candidates.len())
+            .flat_map(|c| (0..objectives.len()).map(move |o| (c, o)))
             .collect();
-        let cells = self
-            .executor
-            .try_map(&grid, |_, &(c, o)| self.evaluate_candidate(c, classes[o]))?;
+        let bases = self.executor.try_map(&base_grid, |_, &(c, o)| {
+            self.plan_candidate(c, objectives[o])
+        })?;
+
+        // Level 2: one analytic evaluation per candidate × cost class,
+        // patching the cached program instead of rebuilding anything.
+        let cost_grid: Vec<(usize, usize)> = (0..self.candidates.len())
+            .flat_map(|c| (0..cost_classes.len()).map(move |k| (c, k)))
+            .collect();
+        let costs = self.executor.try_map(&cost_grid, |_, &(c, k)| {
+            let (o, patch) = cost_classes[k];
+            let compiled = &bases[c * objectives.len() + o].compiled;
+            let report = match patch {
+                None => compiled.analyze()?,
+                Some(directives) => {
+                    let mut point = compiled.patch();
+                    for directive in directives {
+                        point.apply(directive)?;
+                    }
+                    point.analyze()?
+                }
+            };
+            Ok::<CostReport, StudyError>(report)
+        })?;
+
         scenarios
             .iter()
             .zip(scenario_class.iter())
             .map(|(scenario, &class)| {
+                let (obj_class, _) = cost_classes[class];
                 let rows: Vec<StudyRow> = (0..self.candidates.len())
-                    .map(|c| cells[c * classes.len() + class].clone())
+                    .map(|c| {
+                        let base = &bases[c * objectives.len() + obj_class];
+                        StudyRow {
+                            plan: base.plan.clone(),
+                            area: base.area,
+                            cost: costs[c * cost_classes.len() + class].clone(),
+                            performance: base.performance,
+                        }
+                    })
                     .collect();
                 let scores: Vec<CandidateScore> = rows
                     .iter()
@@ -276,28 +331,41 @@ impl TradeStudy {
             .collect()
     }
 
-    fn evaluate_candidate(
+    fn plan_candidate(
         &self,
         index: usize,
         objective: SelectionObjective,
-    ) -> Result<StudyRow, StudyError> {
+    ) -> Result<PlannedCell, StudyError> {
         let candidate = &self.candidates[index];
         let plan = candidate.buildup.plan(&self.bom, objective)?;
         let area = plan.area();
-        let cost = plan
+        let compiled = plan
             .production_flow(area.substrate_area, &candidate.inputs)?
-            .analyze()?;
-        Ok(StudyRow {
+            .compiled()?;
+        Ok(PlannedCell {
             plan,
             area,
-            cost,
+            compiled,
             performance: candidate.performance,
         })
     }
 }
 
+/// The objective-dependent half of one candidate's assessment, shared
+/// by every scenario with that objective: the plan, its areas and the
+/// compiled production program cost patches apply to.
+#[derive(Debug, Clone)]
+struct PlannedCell {
+    plan: BuildUpPlan,
+    area: AreaBreakdown,
+    compiled: CompiledFlow,
+    performance: f64,
+}
+
 /// One scenario of a [`TradeStudy::run_scenarios`] batch: overrides for
-/// the study's selection objective and/or figure-of-merit weights.
+/// the study's selection objective, figure-of-merit weights, and/or the
+/// cost model itself (as patches on each candidate's compiled
+/// production program).
 #[derive(Debug, Clone, Default)]
 pub struct StudyScenario {
     /// Scenario label, appended to the report name (empty = baseline).
@@ -306,6 +374,12 @@ pub struct StudyScenario {
     pub objective: Option<SelectionObjective>,
     /// Weight override (`None` uses the study's weights).
     pub weights: Option<FomWeights>,
+    /// Cost-model patch applied to every candidate's compiled flow
+    /// (`None` evaluates the unpatched program). Directives name slots
+    /// by their stage/part path — e.g. `"functional test"` or
+    /// `"chip assembly/ASIC"`; scenarios with equal patches share the
+    /// memoized cost evaluation.
+    pub patch: Option<Vec<PatchDirective>>,
 }
 
 impl StudyScenario {
@@ -331,6 +405,14 @@ impl StudyScenario {
     /// Override the figure-of-merit weights.
     pub fn with_weights(mut self, weights: FomWeights) -> StudyScenario {
         self.weights = Some(weights);
+        self
+    }
+
+    /// Patch the cost model: the directives are applied to every
+    /// candidate's compiled production program before the analytic
+    /// evaluation.
+    pub fn with_patch(mut self, patch: Vec<PatchDirective>) -> StudyScenario {
+        self.patch = Some(patch);
         self
     }
 }
@@ -518,6 +600,65 @@ mod tests {
     #[test]
     fn empty_scenario_list_is_empty() {
         assert!(study().run_scenarios(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn patched_scenarios_change_cost_without_replanning() {
+        let quadruple_test = || {
+            vec![PatchDirective::ScaleCost {
+                slot: "functional test".into(),
+                factor: 4.0,
+            }]
+        };
+        let batch = study()
+            .run_scenarios(&[
+                StudyScenario::baseline(),
+                StudyScenario::named("pricey test").with_patch(quadruple_test()),
+                StudyScenario::named("same patch again").with_patch(quadruple_test()),
+            ])
+            .unwrap();
+        // The plan/area half is shared with the baseline; only the cost
+        // moves.
+        for (a, b) in batch[0].rows().iter().zip(batch[1].rows().iter()) {
+            assert_eq!(a.area.module_area, b.area.module_area);
+            assert!(b.cost.final_cost_per_shipped() > a.cost.final_cost_per_shipped());
+        }
+        // Equal patches collapse into one memoized cost evaluation.
+        for (b, c) in batch[1].rows().iter().zip(batch[2].rows().iter()) {
+            assert_eq!(b.cost, c.cost);
+        }
+        // The patched cell equals rebuilding the flow with the scaled
+        // card — the patch is a shortcut, not an approximation.
+        let mut scaled_card = card(true);
+        scaled_card.final_test_cost = Money::new(8.0);
+        let plan = BuildUp::pcb_reference()
+            .plan(&bom(), SelectionObjective::MinArea)
+            .unwrap();
+        let rebuilt = plan
+            .production_flow(plan.area().substrate_area, &scaled_card)
+            .unwrap()
+            .analyze()
+            .unwrap();
+        assert_eq!(
+            batch[1].rows()[0].cost.final_cost_per_shipped(),
+            rebuilt.final_cost_per_shipped()
+        );
+    }
+
+    #[test]
+    fn patch_naming_an_unknown_slot_fails_the_study() {
+        let err = study()
+            .run_scenarios(&[StudyScenario::named("broken").with_patch(vec![
+                PatchDirective::ScaleCost {
+                    slot: "ghost stage".into(),
+                    factor: 2.0,
+                },
+            ])])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StudyError::Flow(FlowError::UnknownPatchSlot { .. })
+        ));
     }
 
     #[test]

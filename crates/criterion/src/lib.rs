@@ -305,10 +305,28 @@ pub fn git_revision() -> String {
     }
 }
 
+/// Worker threads the host actually offers (1 when undetectable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Print speedup-vs-1-thread for every group with thread-annotated
 /// cases, so scaling regressions are visible straight from the bench
 /// log. Called by [`finalize`].
+///
+/// A sweep that requests more threads than the host has cores is an
+/// oversubscription measurement, not a scaling story — on a 1-core CI
+/// runner an 8-thread case measuring 2.9 ms against a 2.6 ms 1-thread
+/// base would read as a regression. Such groups are annotated and
+/// their ratios skipped.
 pub fn report_thread_scaling(results: &[BenchResult]) {
+    report_thread_scaling_on(results, available_cores());
+}
+
+/// [`report_thread_scaling`] with an explicit core count (testable).
+pub fn report_thread_scaling_on(results: &[BenchResult], cores: usize) {
     let mut groups: Vec<&str> = Vec::new();
     for r in results.iter().filter(|r| r.threads.is_some()) {
         if let Some((group, _)) = r.id.rsplit_once('/') {
@@ -335,7 +353,30 @@ pub fn report_thread_scaling(results: &[BenchResult]) {
         let Some(base) = cases.iter().find(|r| r.threads == Some(1)) else {
             continue;
         };
-        let line = cases
+        // Only cases that fit the host's cores are a scaling signal;
+        // oversubscribed cases are annotated per case, not printed as
+        // ratios — and a host with fewer cores than every swept count
+        // (1-core CI) gets the annotation alone.
+        let (valid, over): (Vec<&&BenchResult>, Vec<&&BenchResult>) =
+            cases.iter().partition(|r| r.threads.unwrap_or(1) <= cores);
+        let note = if over.is_empty() {
+            String::new()
+        } else {
+            let omitted = over
+                .iter()
+                .map(|r| format!("{}t", r.threads.unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("/");
+            format!(
+                " ({omitted} omitted — only {cores} core(s) available; \
+                 oversubscribed timings are not a scaling signal)"
+            )
+        };
+        if valid.len() < 2 {
+            println!("speedup vs 1 thread [{group}]: skipped{note}");
+            continue;
+        }
+        let line = valid
             .iter()
             .map(|r| {
                 format!(
@@ -346,7 +387,7 @@ pub fn report_thread_scaling(results: &[BenchResult]) {
             })
             .collect::<Vec<_>>()
             .join(", ");
-        println!("speedup vs 1 thread [{group}]: {line}");
+        println!("speedup vs 1 thread [{group}]: {line}{note}");
     }
 }
 
@@ -359,12 +400,13 @@ pub fn finalize(results: &[BenchResult]) {
         return;
     };
     let git_rev = git_revision();
+    let nproc = available_cores();
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
              \"samples\": {}, \"iters_per_sample\": {}, \"elements\": {}, \"ns_per_elem\": {}, \
-             \"threads\": {}, \"git_rev\": \"{git_rev}\"}}{}\n",
+             \"threads\": {}, \"nproc\": {nproc}, \"git_rev\": \"{git_rev}\"}}{}\n",
             r.id.replace('"', "'"),
             r.mean_ns,
             r.min_ns,
@@ -465,8 +507,18 @@ mod tests {
         assert_eq!(c.results()[0].threads, Some(1));
         assert_eq!(c.results()[1].threads, Some(2));
         // The scaling report covers exactly this shape; it must not
-        // panic and needs a 1-thread base to report against.
+        // panic and needs a 1-thread base to report against. On a
+        // 1-core host the 2-thread case oversubscribes and the ratio
+        // line is replaced by the skip annotation; with enough cores
+        // the ratios print — neither branch may panic.
+        report_thread_scaling_on(c.results(), 1);
+        report_thread_scaling_on(c.results(), 8);
         report_thread_scaling(c.results());
+    }
+
+    #[test]
+    fn available_cores_is_at_least_one() {
+        assert!(available_cores() >= 1);
     }
 
     #[test]

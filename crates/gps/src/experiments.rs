@@ -582,20 +582,123 @@ pub fn fig6() -> Result<Fig6, ExperimentError> {
 /// that results were compared "for different cost and yield
 /// implications" becomes a chart.
 ///
+/// The production line is planned and compiled **once**; every variant
+/// is a [`ipass_moe::FlowPatch`] overwriting the relevant parameter
+/// slots of the shared compiled program — no per-variant flow rebuild
+/// (the pre-patching implementation built `1 + 2·6` full flows). When a
+/// perturbed parameter was compiled away (a degenerate card — e.g. a
+/// certain substrate yield leaves no yield slot to patch), the
+/// experiment falls back to that rebuild-per-variant path, so the
+/// domain of valid cards is unchanged.
+///
 /// # Errors
 ///
 /// Returns [`ExperimentError`] if planning or evaluation fails.
 pub fn sensitivity(solution_index: usize) -> Result<ipass_moe::Tornado, ExperimentError> {
-    use ipass_moe::TornadoInput;
-    use ipass_units::{Money, Probability};
-
     let buildup = BuildUp::paper_solutions()[solution_index];
     let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
     let area = plan.area().substrate_area;
     let base_card = cost_inputs(&buildup);
-    let flow_for = |card: &ipass_core::CostInputs| plan.production_flow(area, card);
+    match sensitivity_patched(&plan, area, &base_card) {
+        Err(FlowError::UnknownPatchSlot { .. }) => sensitivity_rebuild(&plan, area, &base_card),
+        other => Ok(other?),
+    }
+}
 
-    let baseline = flow_for(&base_card)?;
+/// The fast path: one compiled program, every variant a patch.
+fn sensitivity_patched(
+    plan: &BuildUpPlan,
+    area: ipass_units::Area,
+    base_card: &ipass_core::CostInputs,
+) -> Result<ipass_moe::Tornado, FlowError> {
+    use ipass_moe::{FlowPatch, StepCost, TornadoPatch};
+    use ipass_units::Probability;
+
+    let flow = plan.production_flow(area, base_card)?;
+    let compiled = flow.compiled()?;
+    let carrier = flow.line().carrier().name().to_owned();
+
+    let scale_chips = |factor: f64| -> Result<FlowPatch, FlowError> {
+        let mut patch = compiled.patch();
+        for chip in &base_card.chips {
+            patch.scale_cost(&format!("chip assembly/{}", chip.name), factor)?;
+        }
+        Ok(patch)
+    };
+    let scale_slot = |slot: &str, factor: f64| -> Result<FlowPatch, FlowError> {
+        let mut patch = compiled.patch();
+        patch.scale_cost(slot, factor)?;
+        Ok(patch)
+    };
+    let shift_substrate_yield = |delta: f64| -> Result<FlowPatch, FlowError> {
+        let mut patch = compiled.patch();
+        let y = Probability::clamped(base_card.substrate_yield.value() + delta);
+        patch.set_yield(&carrier, y)?;
+        if base_card.substrate_fab_yield_per_cm2.is_some() {
+            // Known-good-substrate markup: the purchase cost pays for
+            // the fab's own scrap, so a yield shift moves the carrier
+            // cost too — the same expression `production_flow` uses.
+            let rate = base_card.substrate_cost_per_cm2 / y.powf(area.cm2()).value();
+            patch.set_cost(&carrier, StepCost::per_area(rate, area).total())?;
+        }
+        Ok(patch)
+    };
+    let set_coverage = |cov: f64| -> Result<FlowPatch, FlowError> {
+        let mut patch = compiled.patch();
+        patch.set_coverage("functional test", Probability::clamped(cov))?;
+        Ok(patch)
+    };
+
+    let mut inputs = vec![
+        TornadoPatch {
+            name: "chip cost ±10 %",
+            low: scale_chips(0.9)?,
+            high: scale_chips(1.1)?,
+        },
+        TornadoPatch {
+            name: "substrate cost/cm² ±20 %",
+            low: scale_slot(&carrier, 0.8)?,
+            high: scale_slot(&carrier, 1.2)?,
+        },
+        TornadoPatch {
+            name: "substrate yield ∓5 pts",
+            low: shift_substrate_yield(0.05)?,
+            high: shift_substrate_yield(-0.05)?,
+        },
+        TornadoPatch {
+            name: "fault coverage 99.9 → 95 %",
+            low: set_coverage(0.999)?,
+            high: set_coverage(0.95)?,
+        },
+        TornadoPatch {
+            name: "test cost ±50 %",
+            low: scale_slot("functional test", 0.5)?,
+            high: scale_slot("functional test", 1.5)?,
+        },
+    ];
+    if base_card.packaging.is_some() {
+        inputs.push(TornadoPatch {
+            name: "packaging cost ±30 %",
+            low: scale_slot("packaging / mount on laminate", 0.7)?,
+            high: scale_slot("packaging / mount on laminate", 1.3)?,
+        });
+    }
+    ipass_moe::Tornado::evaluate_patches(&compiled, inputs)
+}
+
+/// The rebuild fallback (the pre-patching implementation, kept for
+/// degenerate cards whose perturbed parameters compiled away): every
+/// variant is a freshly built flow from a modified cost card.
+fn sensitivity_rebuild(
+    plan: &BuildUpPlan,
+    area: ipass_units::Area,
+    base_card: &ipass_core::CostInputs,
+) -> Result<ipass_moe::Tornado, ExperimentError> {
+    use ipass_moe::TornadoInput;
+    use ipass_units::{Money, Probability};
+
+    let flow_for = |card: &ipass_core::CostInputs| plan.production_flow(area, card);
+    let baseline = flow_for(base_card)?;
 
     let scale_chips = |factor: f64| {
         let mut card = base_card.clone();
@@ -654,14 +757,14 @@ pub fn sensitivity(solution_index: usize) -> Result<ipass_moe::Tornado, Experime
             high: flow_for(&set_coverage(0.95))?,
         },
         TornadoInput {
-            name: "packaging cost ±30 %",
-            low: flow_for(&scale_packaging(0.7))?,
-            high: flow_for(&scale_packaging(1.3))?,
-        },
-        TornadoInput {
             name: "test cost ±50 %",
             low: flow_for(&scale_test(0.5))?,
             high: flow_for(&scale_test(1.5))?,
+        },
+        TornadoInput {
+            name: "packaging cost ±30 %",
+            low: flow_for(&scale_packaging(0.7))?,
+            high: flow_for(&scale_packaging(1.3))?,
         },
     ];
     Ok(ipass_moe::Tornado::evaluate(&baseline, inputs)?)
@@ -874,6 +977,29 @@ mod tests {
         assert_eq!(tornado.rows()[0].name, "chip cost ±10 %");
         assert!(tornado.baseline_cost() > 200.0);
         assert!(tornado.render().contains("█"));
+    }
+
+    #[test]
+    fn sensitivity_fallback_agrees_with_patched_fast_path() {
+        // The rebuild fallback (taken for degenerate cards) and the
+        // patched fast path must describe the same tornado on a
+        // regular card.
+        let buildup = BuildUp::paper_solutions()[3];
+        let plan = buildup
+            .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+            .unwrap();
+        let area = plan.area().substrate_area;
+        let card = cost_inputs(&buildup);
+        let patched = sensitivity_patched(&plan, area, &card).unwrap();
+        let rebuilt = sensitivity_rebuild(&plan, area, &card).unwrap();
+        assert_eq!(patched.baseline_cost(), rebuilt.baseline_cost());
+        assert_eq!(patched.rows().len(), rebuilt.rows().len());
+        for (a, b) in patched.rows().iter().zip(rebuilt.rows().iter()) {
+            assert_eq!(a.name, b.name);
+            let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
+            assert!(close(a.low_cost, b.low_cost), "{}: low", a.name);
+            assert!(close(a.high_cost, b.high_cost), "{}: high", a.name);
+        }
     }
 
     #[test]

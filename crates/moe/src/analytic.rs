@@ -1,11 +1,33 @@
 //! Closed-form expected-value engine.
 //!
 //! The population of in-flight units is propagated as a small set of
-//! *cohorts* — groups of units with identical accumulated cost. Process
-//! and attach stages transform cohorts in place; test stages split them
+//! *cohorts* — groups of units with identical accumulated cost. Cost
+//! and step ops transform cohorts in place; test ops split them
 //! (pass / scrap / rework loop). The result is exact, including bounded
 //! rework loops and nested subassembly lines.
+//!
+//! Since PR 3 the production path no longer interprets the nested
+//! [`Line`] object graph per evaluation: [`analyze_program`] walks the
+//! same flat [`RoutingProgram`] op vector the Monte Carlo kernel
+//! executes, reusing every precomputed cost, yield and `p^q` fold (see
+//! [`crate::compile`]). Cohort semantics per op:
+//!
+//! * [`Op::Cost`] — add cost to every cohort; no mass moves.
+//! * [`Op::Condemn`] — add cost, move each cohort's entire good mass to
+//!   defective, attribute it to the op's label.
+//! * [`Op::Step`] — add cost, move `good · (1 − p_good)` to defective.
+//! * [`Op::SubLine`] — evaluate the nested region to a per-started-unit
+//!   outcome, fold `qty` consumed units' cost/yield into each cohort and
+//!   scale the nested scrap/defect accounting by the implied sub-starts.
+//! * [`Op::TestScrap`] / [`Op::TestRework`] — split each cohort into
+//!   pass / caught; scrap the caught mass or push it through the
+//!   bounded rework loop.
+//!
+//! The original `Line`-walking engine is kept below (exposed through
+//! [`analyze_line_reference`]) as the oracle the property tests pin the
+//! IR walker against, exactly like the Monte Carlo interpreter oracle.
 
+use crate::compile::{Op, RoutingProgram};
 use crate::cost::{CostCategory, CostVector};
 use crate::error::FlowError;
 use crate::labels::{self, InputLabels, LineLabels, StageLabels};
@@ -96,20 +118,20 @@ struct LineOutcome {
     by_cat: [f64; NCAT],
 }
 
-/// Evaluate `line` analytically; returns the report ingredients
-/// normalized to one started unit.
-pub(crate) fn analyze_line(
-    line: &Line,
+/// Assemble the [`CostReport`](crate::report::CostReport) from a
+/// per-started-unit outcome (shared by the IR walker and the
+/// `Line`-walking oracle, so their outputs are built identically).
+fn report_from(
+    line_name: &str,
+    names: &[String],
+    outcome: &LineOutcome,
+    acc: &Acc,
     nre: Money,
     volume: u64,
 ) -> Result<crate::report::CostReport, FlowError> {
-    line.validate()?;
-    let mut names = Vec::new();
-    let line_labels = labels::index_line(line, "", &mut names);
-    let (outcome, acc) = eval_line(line, &line_labels, names.len());
     if outcome.shipped <= 1e-12 {
         return Err(FlowError::NothingShipped {
-            flow: line.name().to_owned(),
+            flow: line_name.to_owned(),
         });
     }
     let mut by_category = CostVector::new();
@@ -118,7 +140,7 @@ pub(crate) fn analyze_line(
         by_category.book(cat, Money::new(outcome.by_cat[i] + acc.scrap_by_cat[i]));
     }
     Ok(crate::report::CostReport::from_parts(
-        line.name().to_owned(),
+        line_name.to_owned(),
         1.0,
         outcome.shipped,
         outcome.good,
@@ -127,8 +149,277 @@ pub(crate) fn analyze_line(
         by_category,
         nre,
         volume,
-        labels::pareto(&names, &acc.defects, 1.0),
+        labels::pareto(names, &acc.defects, 1.0),
     ))
+}
+
+/// Evaluate a compiled program analytically (the production path behind
+/// [`Flow::analyze`](crate::Flow::analyze)).
+pub(crate) fn analyze_program(
+    program: &RoutingProgram,
+    nre: Money,
+    volume: u64,
+) -> Result<crate::report::CostReport, FlowError> {
+    let (entry, len) = program.top_region();
+    analyze_ops(
+        program.ops(),
+        entry,
+        len,
+        program.names(),
+        program.line_name(),
+        nre,
+        volume,
+    )
+}
+
+/// Evaluate one op vector analytically — the entry point shared by
+/// [`analyze_program`] and patched programs (which substitute their own
+/// op vector for the base program's).
+pub(crate) fn analyze_ops(
+    ops: &[Op],
+    entry: u32,
+    len: u32,
+    names: &[String],
+    line_name: &str,
+    nre: Money,
+    volume: u64,
+) -> Result<crate::report::CostReport, FlowError> {
+    let (outcome, acc) = eval_region(ops, entry, len, names.len());
+    report_from(line_name, names, &outcome, &acc, nre, volume)
+}
+
+/// Propagate one unit of cohort mass through a region of the op vector;
+/// returns the outcome normalized to one started unit. The math is the
+/// oracle's [`eval_line`] expressed over precomputed ops.
+fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcome, Acc) {
+    let mut acc = Acc::new(n_labels);
+    let mut cohorts = vec![Cohort {
+        good: 1.0,
+        def: 0.0,
+        cost: 0.0,
+        by_cat: [0.0; NCAT],
+    }];
+    for op in &ops[entry as usize..(entry + len) as usize] {
+        match *op {
+            Op::Cost { cost, cat } => {
+                for cohort in cohorts.iter_mut() {
+                    cohort.add_cost(cost, cat);
+                }
+            }
+            Op::Condemn { cost, cat, label } => {
+                for cohort in cohorts.iter_mut() {
+                    cohort.add_cost(cost, cat);
+                    let newly = cohort.good;
+                    cohort.good -= newly;
+                    cohort.def += newly;
+                    acc.defects[label as usize] += newly;
+                }
+            }
+            Op::Step {
+                cost,
+                cat,
+                threshold: _,
+                p_good,
+                label,
+            } => {
+                for cohort in cohorts.iter_mut() {
+                    cohort.add_cost(cost, cat);
+                    let newly = cohort.good * (1.0 - p_good);
+                    cohort.good -= newly;
+                    cohort.def += newly;
+                    acc.defects[label as usize] += newly;
+                }
+            }
+            Op::SubLine {
+                qty,
+                entry,
+                len,
+                name: _,
+            } => {
+                let (sub_out, sub_acc) = eval_region(ops, entry, len, n_labels);
+                if sub_out.shipped <= 1e-12 {
+                    // The subassembly ships nothing: every consumer is
+                    // starved. Model as all-defective free input; the
+                    // flow-level NothingShipped check reports the
+                    // problem if it matters.
+                    for cohort in cohorts.iter_mut() {
+                        cohort.def += cohort.good;
+                        cohort.good = 0.0;
+                    }
+                    continue;
+                }
+                let q = qty as f64;
+                let unit_cost = sub_out.embodied / sub_out.shipped;
+                let mut unit_cats = [0.0; NCAT];
+                for (u, s) in unit_cats.iter_mut().zip(sub_out.by_cat.iter()) {
+                    *u = s / sub_out.shipped;
+                }
+                for u in unit_cats.iter_mut() {
+                    *u *= q;
+                }
+                let p_good = (sub_out.good / sub_out.shipped).powf(q);
+                let alive: f64 = cohorts.iter().map(Cohort::mass).sum();
+                // Sub-units consumed per started outer unit, and
+                // sub-starts needed to produce them.
+                let consumed = alive * q;
+                let sub_starts = consumed / sub_out.shipped;
+                acc.merge_scaled(&sub_acc, sub_starts);
+                for cohort in cohorts.iter_mut() {
+                    cohort.add_costs(q * unit_cost, &unit_cats);
+                    let newly = cohort.good * (1.0 - p_good);
+                    cohort.good -= newly;
+                    cohort.def += newly;
+                    // Escapes of the sub-line are already counted in
+                    // its own defect labels (scaled above), so no extra
+                    // label here.
+                }
+            }
+            Op::TestScrap { cost, coverage } => {
+                test_stage(&mut cohorts, &mut acc, cost, coverage, None);
+            }
+            Op::TestRework {
+                cost,
+                coverage,
+                rework_cost,
+                success,
+                max_attempts,
+            } => {
+                test_stage(
+                    &mut cohorts,
+                    &mut acc,
+                    cost,
+                    coverage,
+                    Some((rework_cost, success, max_attempts)),
+                );
+            }
+        }
+    }
+
+    let mut outcome = LineOutcome {
+        shipped: 0.0,
+        good: 0.0,
+        embodied: 0.0,
+        by_cat: [0.0; NCAT],
+    };
+    for cohort in &cohorts {
+        outcome.shipped += cohort.mass();
+        outcome.good += cohort.good;
+        outcome.embodied += cohort.mass() * cohort.cost;
+        for (o, c) in outcome.by_cat.iter_mut().zip(cohort.by_cat.iter()) {
+            *o += cohort.mass() * c;
+        }
+    }
+    (outcome, acc)
+}
+
+/// Split every cohort at a test op: pass/escape mass continues, caught
+/// mass scraps or loops through bounded rework — the oracle's test
+/// branch, parameterized by the op's precomputed floats.
+fn test_stage(
+    cohorts: &mut Vec<Cohort>,
+    acc: &mut Acc,
+    t_cost: f64,
+    cov: f64,
+    rework: Option<(f64, f64, u32)>,
+) {
+    let mut next = Vec::with_capacity(cohorts.len() + 2);
+    for mut cohort in cohorts.drain(..) {
+        cohort.add_cost(t_cost, CostCategory::Test);
+        let caught = cohort.def * cov;
+        let escape = cohort.def - caught;
+        let pass = Cohort {
+            good: cohort.good,
+            def: escape,
+            cost: cohort.cost,
+            by_cat: cohort.by_cat,
+        };
+        if pass.mass() > 0.0 {
+            next.push(pass);
+        }
+        if caught <= 0.0 {
+            continue;
+        }
+        match rework {
+            None => {
+                let scrapped = Cohort {
+                    good: 0.0,
+                    def: caught,
+                    cost: cohort.cost,
+                    by_cat: cohort.by_cat,
+                };
+                acc.scrap(caught, &scrapped);
+            }
+            Some((r_cost, rho, max_attempts)) => {
+                let mut current = caught;
+                let mut unit = Cohort {
+                    good: 0.0,
+                    def: current,
+                    cost: cohort.cost,
+                    by_cat: cohort.by_cat,
+                };
+                for _ in 0..max_attempts {
+                    if current <= 0.0 {
+                        break;
+                    }
+                    unit.add_cost(r_cost, CostCategory::Other);
+                    unit.add_cost(t_cost, CostCategory::Test);
+                    let fixed = current * rho;
+                    let unfixed = current - fixed;
+                    let escaped = unfixed * (1.0 - cov);
+                    let recaught = unfixed - escaped;
+                    if fixed + escaped > 0.0 {
+                        next.push(Cohort {
+                            good: fixed,
+                            def: escaped,
+                            cost: unit.cost,
+                            by_cat: unit.by_cat,
+                        });
+                    }
+                    current = recaught;
+                }
+                if current > 0.0 {
+                    let scrapped = Cohort {
+                        good: 0.0,
+                        def: current,
+                        cost: unit.cost,
+                        by_cat: unit.by_cat,
+                    };
+                    acc.scrap(current, &scrapped);
+                }
+            }
+        }
+    }
+    *cohorts = next;
+}
+
+// ---------------------------------------------------------------------
+// The object-graph oracle: the original (pre-IR) analytic engine, kept
+// verbatim so property tests can pin the IR walker's results against
+// it.
+// ---------------------------------------------------------------------
+
+/// Reference implementation: evaluate `line` analytically by walking
+/// the nested object graph (the pre-compilation engine).
+///
+/// Kept as the oracle for [`analyze_program`]; see
+/// `crates/moe/tests/analytic_ir.rs`. Production callers go through
+/// [`Flow::analyze`](crate::Flow::analyze), which evaluates the cached
+/// compiled program instead.
+///
+/// # Errors
+///
+/// Same contract as [`Flow::analyze`](crate::Flow::analyze).
+#[doc(hidden)]
+pub fn analyze_line_reference(
+    line: &Line,
+    nre: Money,
+    volume: u64,
+) -> Result<crate::report::CostReport, FlowError> {
+    line.validate()?;
+    let mut names = Vec::new();
+    let line_labels = labels::index_line(line, "", &mut names);
+    let (outcome, acc) = eval_line(line, &line_labels, names.len());
+    report_from(line.name(), &names, &outcome, &acc, nre, volume)
 }
 
 fn eval_line(line: &Line, line_labels: &LineLabels, n_labels: usize) -> (LineOutcome, Acc) {
@@ -341,6 +632,49 @@ mod tests {
 
     fn money(v: f64) -> Money {
         Money::new(v)
+    }
+
+    /// Evaluate through the production IR path *and* the object-graph
+    /// oracle, assert they agree to 1e-12, and return the IR report —
+    /// every unit test below therefore exercises both engines.
+    fn analyze_line(
+        line: &Line,
+        nre: Money,
+        volume: u64,
+    ) -> Result<crate::report::CostReport, FlowError> {
+        let oracle = analyze_line_reference(line, nre, volume);
+        let ir = line
+            .validate()
+            .and_then(|()| analyze_program(&RoutingProgram::compile(line), nre, volume));
+        match (&oracle, &ir) {
+            (Ok(a), Ok(b)) => {
+                let close = |x: f64, y: f64, what: &str| {
+                    assert!(
+                        (x - y).abs() <= 1e-12 * x.abs().max(y.abs()).max(1.0),
+                        "{what}: oracle {x} vs IR {y}"
+                    );
+                };
+                close(a.shipped_fraction(), b.shipped_fraction(), "shipped");
+                close(a.good_shipped(), b.good_shipped(), "good");
+                close(a.total_spend().units(), b.total_spend().units(), "spend");
+                close(
+                    a.shipped_embodied().units(),
+                    b.shipped_embodied().units(),
+                    "embodied",
+                );
+                for cat in CostCategory::ALL {
+                    close(
+                        a.by_category()[cat].units(),
+                        b.by_category()[cat].units(),
+                        cat.label(),
+                    );
+                }
+                assert_eq!(a.defect_pareto().len(), b.defect_pareto().len());
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("engines disagree on failure: oracle {a:?} vs IR {b:?}"),
+        }
+        ir
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::line::Line;
 use crate::part::AttachInput;
 use crate::stage::{FailAction, Stage};
 use ipass_sim::SimRng;
+use std::fmt;
 
 pub(crate) const NCAT: usize = CostCategory::COUNT;
 
@@ -77,11 +78,15 @@ pub(crate) enum Op {
     /// marks the unit defective and attributes it to `label`. Covers
     /// the carrier start, process stages, the attach operation itself
     /// and multi-part attach inputs (where `cost = q·part_cost` and
-    /// `p = p_part^q` are folded in).
+    /// `p = p_part^q` are folded in). `p_good` is the raw probability
+    /// the threshold was derived from; the Monte Carlo kernel never
+    /// reads it, but the analytic cohort walker propagates expected
+    /// mass with it.
     Step {
         cost: f64,
         cat: CostCategory,
         threshold: u64,
+        p_good: f64,
         label: u32,
     },
     /// Consume `qty` passing units of the nested line compiled at
@@ -106,6 +111,49 @@ pub(crate) enum Op {
         success: f64,
         max_attempts: u32,
     },
+}
+
+/// What a [`PatchSlot`] lets you overwrite on a compiled program.
+///
+/// Slots are registered during compilation for every op that still
+/// carries the corresponding parameter — a step compiled away as a
+/// provable no-op, or whose uncertainty was specialized out
+/// ([`Op::Cost`]/[`Op::Condemn`]), exposes no yield slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// The cost an op books (per input unit for part inputs; the folded
+    /// op cost is `quantity × unit cost`).
+    Cost,
+    /// The success probability of a step (per input unit for part
+    /// inputs; the folded probability is `p^quantity`).
+    Yield,
+    /// The fault coverage of a test stage.
+    Coverage,
+}
+
+impl fmt::Display for SlotKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SlotKind::Cost => "cost",
+            SlotKind::Yield => "yield",
+            SlotKind::Coverage => "coverage",
+        })
+    }
+}
+
+/// One patchable parameter of a compiled program: `(name, kind)` →
+/// op index. Names follow the defect-label path convention
+/// (`"wire bonding"`, `"chip assembly/RF chip"`, `"subassembly/fab"`),
+/// without the ` (incoming)` decoration.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PatchSlot {
+    pub(crate) name: String,
+    pub(crate) kind: SlotKind,
+    /// Index into `RoutingProgram::ops`.
+    pub(crate) op: u32,
+    /// Input quantity folded into the op (1 for everything but
+    /// multi-part attach inputs).
+    pub(crate) qty: u32,
 }
 
 /// Per-unit routing state accumulated by the kernel (the compiled
@@ -237,6 +285,8 @@ pub(crate) struct RoutingProgram {
     /// No [`Op::SubLine`] anywhere: the kernel may take the
     /// recursion-free fast path.
     flat: bool,
+    /// Patchable parameters, in emission order (see [`PatchSlot`]).
+    slots: Vec<PatchSlot>,
 }
 
 impl RoutingProgram {
@@ -247,7 +297,15 @@ impl RoutingProgram {
         let line_labels = labels::index_line(line, "", &mut names);
         let mut ops = Vec::new();
         let mut line_names = Vec::new();
-        let (entry, len) = compile_line(line, &line_labels, &mut ops, &mut line_names);
+        let mut slots = Vec::new();
+        let (entry, len) = compile_line(
+            line,
+            &line_labels,
+            "",
+            &mut ops,
+            &mut line_names,
+            &mut slots,
+        );
         let flat = !ops.iter().any(|op| matches!(op, Op::SubLine { .. }));
         RoutingProgram {
             ops,
@@ -257,6 +315,7 @@ impl RoutingProgram {
             line_names,
             line_name: line.name().to_owned(),
             flat,
+            slots,
         }
     }
 
@@ -268,6 +327,28 @@ impl RoutingProgram {
     /// The top line's name.
     pub(crate) fn line_name(&self) -> &str {
         &self.line_name
+    }
+
+    /// The flat op vector (the analytic walker and patcher read it).
+    pub(crate) fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The top region's `(entry, len)`.
+    pub(crate) fn top_region(&self) -> (u32, u32) {
+        (self.entry, self.len)
+    }
+
+    /// Patchable parameters, in emission order.
+    pub(crate) fn slots(&self) -> &[PatchSlot] {
+        &self.slots
+    }
+
+    /// Find a slot by `(name, kind)` (first match; the patcher's
+    /// resolver additionally rejects ambiguous names).
+    #[cfg(test)]
+    pub(crate) fn slot(&self, name: &str, kind: SlotKind) -> Option<&PatchSlot> {
+        self.slots.iter().find(|s| s.kind == kind && s.name == name)
     }
 
     /// Number of ops (model-size reporting and tests).
@@ -340,6 +421,7 @@ impl RoutingProgram {
                     cost: c,
                     cat,
                     threshold,
+                    p_good: _,
                     label,
                 } => {
                     cost += c;
@@ -461,12 +543,16 @@ impl RoutingProgram {
 }
 
 /// Emit one line's region (post-order: nested lines compile first so
-/// every region is contiguous) and return its `(entry, len)`.
+/// every region is contiguous) and return its `(entry, len)`. `prefix`
+/// scopes patch-slot names the way [`labels::index_line`] scopes defect
+/// labels.
 fn compile_line(
     line: &Line,
     line_labels: &LineLabels,
+    prefix: &str,
     ops: &mut Vec<Op>,
     line_names: &mut Vec<String>,
+    slots: &mut Vec<PatchSlot>,
 ) -> (u32, u32) {
     // Pass 1: compile nested lines into their own regions.
     let mut sub_regions: Vec<Vec<Option<(u32, u32, u32)>>> =
@@ -479,7 +565,9 @@ fn compile_line(
                     (AttachInput::Line(sub), InputLabels::Line(sub_labels)) => {
                         let name = line_names.len() as u32;
                         line_names.push(sub.name().to_owned());
-                        let (entry, len) = compile_line(sub, sub_labels, ops, line_names);
+                        let sub_prefix = format!("{prefix}{}/", sub.name());
+                        let (entry, len) =
+                            compile_line(sub, sub_labels, &sub_prefix, ops, line_names, slots);
                         Some((entry, len, name))
                     }
                     _ => None,
@@ -494,6 +582,9 @@ fn compile_line(
     let carrier = line.carrier();
     push_step(
         ops,
+        slots,
+        &format!("{prefix}{}", carrier.name()),
+        1,
         carrier.cost().total().units(),
         carrier.category(),
         carrier.incoming_yield().value().value(),
@@ -508,6 +599,9 @@ fn compile_line(
         match (stage, stage_labels) {
             (Stage::Process(p), StageLabels::Process(label)) => push_step(
                 ops,
+                slots,
+                &format!("{prefix}{}", p.name()),
+                1,
                 p.cost().total().units(),
                 p.category(),
                 p.process_yield().value().value(),
@@ -516,6 +610,9 @@ fn compile_line(
             (Stage::Attach(a), StageLabels::Attach { op, inputs }) => {
                 push_step(
                     ops,
+                    slots,
+                    &format!("{prefix}{}", a.name()),
+                    1,
                     a.cost().total().units(),
                     a.category(),
                     a.attach_yield().value().value(),
@@ -532,6 +629,9 @@ fn compile_line(
                             let q = *qty as f64;
                             push_step(
                                 ops,
+                                slots,
+                                &format!("{prefix}{}/{}", a.name(), part.name()),
+                                *qty,
                                 q * part.cost().total().units(),
                                 part.category(),
                                 part.incoming_yield().value().value().powf(q),
@@ -555,6 +655,20 @@ fn compile_line(
             (Stage::Test(t), StageLabels::Test) => {
                 let cost = t.cost().total().units();
                 let coverage = t.coverage().value();
+                let op = ops.len() as u32;
+                let name = format!("{prefix}{}", t.name());
+                slots.push(PatchSlot {
+                    name: name.clone(),
+                    kind: SlotKind::Cost,
+                    op,
+                    qty: 1,
+                });
+                slots.push(PatchSlot {
+                    name,
+                    kind: SlotKind::Coverage,
+                    op,
+                    qty: 1,
+                });
                 ops.push(match t.fail_action() {
                     FailAction::Scrap => Op::TestScrap { cost, coverage },
                     FailAction::Rework(rework) => Op::TestRework {
@@ -577,19 +691,47 @@ fn compile_line(
 /// draw for `p ≤ 0` or `p ≥ 1`, so the specialized ops (which never
 /// draw) keep every random stream aligned with the interpreter; a step
 /// that neither costs nor can fail is elided entirely.
-fn push_step(ops: &mut Vec<Op>, cost: f64, cat: CostCategory, p_good: f64, label: usize) {
+///
+/// Every emitted op registers a [`SlotKind::Cost`] slot; only a
+/// genuine [`Op::Step`] registers a [`SlotKind::Yield`] slot (the
+/// specialized forms carry no live probability to overwrite).
+#[allow(clippy::too_many_arguments)] // one flat parameter record per step
+fn push_step(
+    ops: &mut Vec<Op>,
+    slots: &mut Vec<PatchSlot>,
+    name: &str,
+    qty: u32,
+    cost: f64,
+    cat: CostCategory,
+    p_good: f64,
+    label: usize,
+) {
     let label = label as u32;
+    let op = ops.len() as u32;
+    let mut slot = |kind| {
+        slots.push(PatchSlot {
+            name: name.to_owned(),
+            kind,
+            op,
+            qty,
+        })
+    };
     if p_good >= 1.0 {
         if cost != 0.0 {
+            slot(SlotKind::Cost);
             ops.push(Op::Cost { cost, cat });
         }
     } else if p_good <= 0.0 {
+        slot(SlotKind::Cost);
         ops.push(Op::Condemn { cost, cat, label });
     } else {
+        slot(SlotKind::Cost);
+        slot(SlotKind::Yield);
         ops.push(Op::Step {
             cost,
             cat,
             threshold: SimRng::threshold(p_good),
+            p_good,
             label,
         });
     }
@@ -646,15 +788,25 @@ mod tests {
                 cost,
                 cat,
                 threshold,
+                p_good,
                 label: _,
             } => {
                 assert_eq!(cost, 12.0); // 4 × 3.0 precomputed
                 assert_eq!(cat, CostCategory::Chip);
                 // p^q precomputed, then lowered to a draw threshold.
+                assert_eq!(p_good, 0.95f64.powf(4.0));
                 assert_eq!(threshold, SimRng::threshold(0.95f64.powf(4.0)));
             }
             other => panic!("expected part step, got {other:?}"),
         }
+        // Patch slots name every live parameter: the part input exposes
+        // cost + yield, the free-and-certain attach op exposes nothing.
+        let slot = program.slot("a/die", SlotKind::Yield).unwrap();
+        assert_eq!(slot.op, 2);
+        assert_eq!(slot.qty, 4);
+        assert!(program.slot("a", SlotKind::Cost).is_none());
+        assert!(program.slot("t", SlotKind::Coverage).is_some());
+        assert!(program.slot("t", SlotKind::Cost).is_some());
     }
 
     #[test]
@@ -733,5 +885,9 @@ mod tests {
         // stays in bounds.
         assert!((entry + len) as usize <= program.ops.len());
         assert!(entry < program.entry);
+        // Nested slots carry the sub-line path prefix and point into
+        // the sub region.
+        let fab = program.slot("sub/fab", SlotKind::Yield).unwrap();
+        assert!(fab.op >= entry && fab.op < entry + len);
     }
 }

@@ -38,6 +38,26 @@ pub enum FlowError {
     },
     /// A Monte Carlo run was requested with zero units.
     NoUnits,
+    /// A Monte Carlo run was configured with a zero subassembly retry
+    /// budget — every nested-line consumption would starve immediately,
+    /// so the configuration is rejected up front instead of silently
+    /// bumped.
+    ZeroRetryBudget,
+    /// A patch named a slot the compiled program does not expose (no
+    /// such stage/part, or the parameter was compiled away — e.g. the
+    /// yield of a step that was certain at compile time).
+    UnknownPatchSlot {
+        /// The requested `name (kind)` pair.
+        slot: String,
+    },
+    /// A patch named a slot that matches more than one op (duplicate
+    /// stage/part names are legal in a line); patching the first match
+    /// silently would diverge from rebuilding the line, so the
+    /// ambiguity is an error.
+    AmbiguousPatchSlot {
+        /// The requested `name (kind)` pair.
+        slot: String,
+    },
     /// A nested line never produced a passing unit within the retry
     /// budget of the Monte Carlo engine.
     SubassemblyStarved {
@@ -70,6 +90,20 @@ impl fmt::Display for FlowError {
                 write!(f, "flow {flow:?} ships no units; cost per unit undefined")
             }
             FlowError::NoUnits => write!(f, "monte carlo run requested with zero units"),
+            FlowError::ZeroRetryBudget => write!(
+                f,
+                "subassembly retry budget is zero; every nested line would starve"
+            ),
+            FlowError::UnknownPatchSlot { slot } => {
+                write!(f, "compiled program has no patchable slot {slot:?}")
+            }
+            FlowError::AmbiguousPatchSlot { slot } => {
+                write!(
+                    f,
+                    "patch slot {slot:?} matches more than one stage/part; \
+                     rename the duplicates to patch them"
+                )
+            }
             FlowError::SubassemblyStarved { line, attempts } => {
                 write!(
                     f,

@@ -106,12 +106,34 @@ impl Flow {
 
     /// Evaluate the flow with the closed-form expected-value engine.
     ///
+    /// Runs on the same compiled [`RoutingProgram`] as the Monte Carlo
+    /// kernel (cached on the flow), so repeated analytic evaluations
+    /// pay compilation once.
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError`] if the line is structurally invalid or ships
     /// nothing.
     pub fn analyze(&self) -> Result<CostReport, FlowError> {
-        analytic::analyze_line(&self.line, self.nre, self.volume)
+        analytic::analyze_program(self.program()?, self.nre, self.volume)
+    }
+
+    /// The flow's cached compiled program as a [`CompiledFlow`] handle —
+    /// the entry point for patched scenario sweeps (see
+    /// [`CompiledFlow::patch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] if the line is structurally invalid.
+    ///
+    /// [`CompiledFlow`]: crate::CompiledFlow
+    /// [`CompiledFlow::patch`]: crate::CompiledFlow::patch
+    pub fn compiled(&self) -> Result<crate::patch::CompiledFlow, FlowError> {
+        Ok(crate::patch::CompiledFlow::new(
+            self.program()?.clone(),
+            self.nre,
+            self.volume,
+        ))
     }
 
     /// Evaluate the flow by seeded Monte Carlo simulation.

@@ -73,12 +73,16 @@ mod labels;
 mod line;
 mod mc;
 mod part;
+mod patch;
 mod report;
 mod sensitivity;
 mod stage;
 mod sweep;
 mod yield_model;
 
+#[doc(hidden)]
+pub use analytic::analyze_line_reference;
+pub use compile::SlotKind;
 pub use cost::{CostCategory, CostVector, StepCost};
 pub use error::FlowError;
 pub use flow::Flow;
@@ -88,8 +92,9 @@ pub use line::{Line, LineBuilder};
 pub use mc::simulate_line_reference;
 pub use mc::{SimOptions, SimSummary, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
 pub use part::{AttachInput, Part};
+pub use patch::{CompiledFlow, FlowPatch, PatchDirective};
 pub use report::{CostBreakdownRow, CostReport};
-pub use sensitivity::{Tornado, TornadoInput, TornadoRow};
+pub use sensitivity::{Tornado, TornadoInput, TornadoPatch, TornadoRow};
 pub use stage::{Attach, FailAction, Process, Rework, Stage, Test};
-pub use sweep::{find_crossover, sweep, sweep_with, SweepPoint};
+pub use sweep::{find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_with, SweepPoint};
 pub use yield_model::{DefectModel, YieldModel};

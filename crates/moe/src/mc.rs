@@ -78,9 +78,13 @@ impl SimOptions {
         self
     }
 
-    /// Set the subassembly retry budget (minimum 1).
+    /// Set the subassembly retry budget.
+    ///
+    /// A budget of zero is rejected with
+    /// [`FlowError::ZeroRetryBudget`] when the simulation runs — it is
+    /// never silently bumped.
     pub fn with_retry_budget(mut self, budget: u32) -> SimOptions {
-        self.subassembly_retry_budget = budget.max(1);
+        self.subassembly_retry_budget = budget;
         self
     }
 }
@@ -188,6 +192,20 @@ pub(crate) fn simulate_line_adaptive(
     simulate_program(&program, nre, volume, options, Some(stop))
 }
 
+/// Reject option combinations with no sound interpretation. Checked at
+/// the run entry points (not only in the builder): the fields are
+/// public, so builder validation alone could be bypassed with
+/// struct-update syntax.
+fn validate_options(options: &SimOptions) -> Result<(), FlowError> {
+    if options.units == 0 {
+        return Err(FlowError::NoUnits);
+    }
+    if options.subassembly_retry_budget == 0 {
+        return Err(FlowError::ZeroRetryBudget);
+    }
+    Ok(())
+}
+
 /// Run a pre-compiled routing program (the cached-[`Flow`] hot path).
 ///
 /// [`Flow`]: crate::Flow
@@ -198,14 +216,10 @@ pub(crate) fn simulate_program(
     options: &SimOptions,
     stop: Option<StopRule>,
 ) -> Result<SimSummary, FlowError> {
-    if options.units == 0 {
-        return Err(FlowError::NoUnits);
-    }
+    validate_options(options)?;
     let sampler = KernelSampler {
         program,
-        // Clamped at use: the field is public, so the builder's minimum
-        // can be bypassed with struct-update syntax.
-        retry_budget: options.subassembly_retry_budget.max(1),
+        retry_budget: options.subassembly_retry_budget,
     };
     let outcome = Executor::new(options.threads).run_with(
         &sampler,
@@ -330,16 +344,14 @@ pub fn simulate_line_reference(
     stop: Option<StopRule>,
 ) -> Result<SimSummary, FlowError> {
     line.validate()?;
-    if options.units == 0 {
-        return Err(FlowError::NoUnits);
-    }
+    validate_options(options)?;
     let mut names = Vec::new();
     let line_labels = labels::index_line(line, "", &mut names);
     let sampler = LineSampler {
         line,
         labels: &line_labels,
         n_labels: names.len(),
-        retry_budget: options.subassembly_retry_budget.max(1),
+        retry_budget: options.subassembly_retry_budget,
     };
     let outcome = Executor::new(options.threads).run_with(
         &sampler,
@@ -599,7 +611,7 @@ mod tests {
     #[test]
     fn mc_matches_analytic_on_simple_line() {
         let line = simple_line();
-        let analytic = crate::analytic::analyze_line(&line, Money::ZERO, 1).unwrap();
+        let analytic = crate::analytic::analyze_line_reference(&line, Money::ZERO, 1).unwrap();
         let mc = simulate_line(
             &line,
             Money::ZERO,
@@ -627,7 +639,7 @@ mod tests {
             .attach(Attach::new("join").input(sub, 2))
             .build()
             .unwrap();
-        let analytic = crate::analytic::analyze_line(&line, Money::ZERO, 1).unwrap();
+        let analytic = crate::analytic::analyze_line_reference(&line, Money::ZERO, 1).unwrap();
         let sim = simulate_line(
             &line,
             Money::ZERO,
@@ -684,6 +696,157 @@ mod tests {
         }
         let roomy = SimOptions::new(10_000).with_seed(1);
         assert!(simulate_line(&line, Money::ZERO, 1, &roomy).is_ok());
+    }
+
+    #[test]
+    fn zero_retry_budget_is_a_hard_error() {
+        // Both engines reject a configured 0 instead of silently
+        // bumping it to 1, even for flows without subassemblies.
+        let opts = SimOptions::new(100).with_retry_budget(0);
+        assert_eq!(
+            simulate_line(&simple_line(), Money::ZERO, 1, &opts).unwrap_err(),
+            FlowError::ZeroRetryBudget
+        );
+        assert_eq!(
+            simulate_line_reference(&simple_line(), Money::ZERO, 1, &opts, None).unwrap_err(),
+            FlowError::ZeroRetryBudget
+        );
+        // Struct-update bypass of the builder is caught too.
+        let bypassed = SimOptions {
+            subassembly_retry_budget: 0,
+            ..SimOptions::new(100)
+        };
+        assert_eq!(
+            simulate_line(&simple_line(), Money::ZERO, 1, &bypassed).unwrap_err(),
+            FlowError::ZeroRetryBudget
+        );
+    }
+
+    fn starving_line(sub_yield: f64) -> Line {
+        let sub = Line::builder("feeder", Part::new("blank", CostCategory::Substrate))
+            .process(Process::new("fab").with_yield(YieldModel::flat(p(sub_yield))))
+            .test(Test::new("probe"))
+            .build()
+            .unwrap();
+        Line::builder("main", Part::new("pcb", CostCategory::Substrate))
+            .attach(Attach::new("join").input(sub, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exhausted_budget_reports_line_and_attempts() {
+        // The compiled kernel's starvation error carries the nested
+        // line's name and the exact exhausted budget, and matches the
+        // interpreter oracle's error bit for bit.
+        let line = starving_line(0.5);
+        let opts = SimOptions::new(5_000).with_seed(2).with_retry_budget(3);
+        let kernel = simulate_line(&line, Money::ZERO, 1, &opts).unwrap_err();
+        let oracle = simulate_line_reference(&line, Money::ZERO, 1, &opts, None).unwrap_err();
+        assert_eq!(kernel, oracle);
+        match kernel {
+            FlowError::SubassemblyStarved { line, attempts } => {
+                assert_eq!(line, "feeder");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected starvation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starvation_error_is_thread_deterministic() {
+        // Which unit starves first is part of the deterministic
+        // contract: the same error surfaces for every thread count.
+        let line = starving_line(0.0);
+        let opts = SimOptions::new(1_000).with_seed(5).with_retry_budget(4);
+        let single = simulate_line(&line, Money::ZERO, 1, &opts).unwrap_err();
+        for threads in [2, 4, 8] {
+            let multi =
+                simulate_line(&line, Money::ZERO, 1, &opts.with_threads(threads)).unwrap_err();
+            assert_eq!(single, multi, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn budget_of_one_is_honored_not_bumped() {
+        // A budget of exactly 1 means "no retries": the first failed
+        // sub-unit starves the consumer.
+        let line = starving_line(0.5);
+        let opts = SimOptions::new(1_000).with_seed(1).with_retry_budget(1);
+        match simulate_line(&line, Money::ZERO, 1, &opts) {
+            Err(FlowError::SubassemblyStarved { attempts, .. }) => assert_eq!(attempts, 1),
+            other => panic!("expected starvation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_stages_consume_no_draws_in_the_compiled_kernel() {
+        // The draw-stream contract, pinned on the kernel itself: a
+        // certain (p ≥ 1) costly stage and a free certain stage compile
+        // to draw-free ops, so inserting them must not shift any later
+        // draw — shipped counts and the defect pareto stay identical.
+        let with_degenerates = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(2.0))),
+        )
+        .process(Process::new("certain").with_cost(StepCost::fixed(Money::new(1.0))))
+        .process(Process::new("free"))
+        .process(
+            Process::new("real")
+                .with_cost(StepCost::fixed(Money::new(1.0)))
+                .with_yield(YieldModel::flat(p(0.9))),
+        )
+        .test(Test::new("t").with_coverage(p(0.97)))
+        .build()
+        .unwrap();
+        let without = Line::builder(
+            "l",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(2.0))),
+        )
+        .process(
+            Process::new("real")
+                .with_cost(StepCost::fixed(Money::new(1.0)))
+                .with_yield(YieldModel::flat(p(0.9))),
+        )
+        .test(Test::new("t").with_coverage(p(0.97)))
+        .build()
+        .unwrap();
+        let opts = SimOptions::new(30_000).with_seed(13);
+        let a = simulate_line(&with_degenerates, Money::ZERO, 1, &opts).unwrap();
+        let b = simulate_line(&without, Money::ZERO, 1, &opts).unwrap();
+        assert_eq!(a.report.shipped(), b.report.shipped());
+        assert_eq!(a.report.good_shipped(), b.report.good_shipped());
+        assert_eq!(a.scrapped, b.scrapped);
+        assert_eq!(a.report.defect_pareto(), b.report.defect_pareto());
+        // The certain stage's cost is booked deterministically on every
+        // started unit.
+        assert_eq!(
+            a.report.total_spend().units(),
+            b.report.total_spend().units() + 30_000.0
+        );
+    }
+
+    #[test]
+    fn condemn_op_consumes_no_draw_and_matches_oracle() {
+        // A zero-yield stage compiles to Op::Condemn (no draw); the
+        // coverage draw of the test is then taken for every unit. The
+        // kernel must agree with the interpreter oracle bit for bit on
+        // this degenerate path too.
+        let line = Line::builder(
+            "doomed",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(1.0))),
+        )
+        .process(Process::new("kill").with_yield(YieldModel::flat(p(0.0))))
+        .test(Test::new("leaky").with_coverage(p(0.5)))
+        .build()
+        .unwrap();
+        let opts = SimOptions::new(20_000).with_seed(3);
+        let kernel = simulate_line(&line, Money::ZERO, 1, &opts).unwrap();
+        let oracle = simulate_line_reference(&line, Money::ZERO, 1, &opts, None).unwrap();
+        assert_eq!(kernel, oracle);
+        // Every shipped unit is a coverage escape of the condemned mass.
+        assert_eq!(kernel.report.good_shipped(), 0.0);
+        assert!((kernel.report.shipped_fraction() - 0.5).abs() < 0.01);
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Parameter patching on compiled routing programs.
+//!
+//! Scenario grids (sweeps, tornado charts, trade-study scenario
+//! batches) evaluate the *same* production line hundreds of times with
+//! a handful of numbers changed per point. Rebuilding the [`Line`]
+//! object graph per point pays validation, label indexing and
+//! compilation every time just to move one float. A compiled
+//! [`RoutingProgram`] instead exposes a small set of *patch slots* —
+//! step costs, yield probabilities, test coverages, each named by its
+//! defect-label path — and a [`FlowPatch`] overwrites them directly in
+//! a copy of the flat op vector: one `memcpy` plus a few field writes
+//! per scenario point, then a cohort walk.
+//!
+//! Patched programs are evaluated **analytically only**. The Monte
+//! Carlo kernel's draw-stream contract is defined by compiling a
+//! [`Line`] (degenerate probabilities specialize into draw-free ops at
+//! compile time); overwriting a probability after the fact could
+//! change which ops *should* draw and silently break seeded
+//! reproducibility. To Monte-Carlo a modified model, rebuild the line.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipass_moe::{CostCategory, Flow, Line, Part, Process, StepCost, YieldModel};
+//! use ipass_units::{Money, Probability};
+//!
+//! let line = Line::builder("demo", Part::new("pcb", CostCategory::Substrate)
+//!         .with_cost(StepCost::fixed(Money::new(2.0))))
+//!     .process(Process::new("assemble")
+//!         .with_cost(StepCost::fixed(Money::new(1.0)))
+//!         .with_yield(YieldModel::percent(95.0)))
+//!     .build()?;
+//! let flow = Flow::new(line);
+//! let compiled = flow.compiled()?;
+//! let mut patch = compiled.patch();
+//! patch.set_cost("pcb", Money::new(3.0))?;
+//! patch.set_yield("assemble", Probability::new(0.90).unwrap())?;
+//! let report = patch.analyze()?;
+//! assert!(report.final_cost_per_shipped() > flow.analyze()?.final_cost_per_shipped());
+//! # Ok::<(), ipass_moe::FlowError>(())
+//! ```
+//!
+//! [`Line`]: crate::Line
+
+use crate::analytic;
+use crate::compile::{Op, RoutingProgram, SlotKind};
+use crate::error::FlowError;
+use crate::mc::{self, SimOptions, SimSummary};
+use crate::report::CostReport;
+use ipass_sim::SimRng;
+use ipass_units::{Money, Probability};
+use std::sync::Arc;
+
+/// A [`Flow`](crate::Flow)'s compiled routing program plus its run
+/// economics: the shareable, immutable base that [`FlowPatch`]es and
+/// cached evaluations hang off. Obtained from
+/// [`Flow::compiled`](crate::Flow::compiled); clones share the program.
+#[derive(Debug, Clone)]
+pub struct CompiledFlow {
+    program: Arc<RoutingProgram>,
+    nre: Money,
+    volume: u64,
+}
+
+impl CompiledFlow {
+    pub(crate) fn new(program: Arc<RoutingProgram>, nre: Money, volume: u64) -> CompiledFlow {
+        CompiledFlow {
+            program,
+            nre,
+            volume,
+        }
+    }
+
+    /// The flow's name (the top line's name).
+    pub fn name(&self) -> &str {
+        self.program.line_name()
+    }
+
+    /// The patchable parameters: `(slot name, kind)` pairs, in program
+    /// order. Slot names follow the defect-label path convention
+    /// (`"wire bonding"`, `"chip assembly/RF chip"`,
+    /// `"subassembly/fab"`).
+    pub fn slots(&self) -> impl Iterator<Item = (&str, SlotKind)> + '_ {
+        self.program
+            .slots()
+            .iter()
+            .map(|s| (s.name.as_str(), s.kind))
+    }
+
+    /// Evaluate the unpatched program with the analytic engine
+    /// (identical to [`Flow::analyze`](crate::Flow::analyze)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NothingShipped`] when the flow ships
+    /// nothing.
+    pub fn analyze(&self) -> Result<CostReport, FlowError> {
+        analytic::analyze_program(&self.program, self.nre, self.volume)
+    }
+
+    /// Evaluate the unpatched program by seeded Monte Carlo (identical
+    /// to [`Flow::simulate`](crate::Flow::simulate)).
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::simulate`](crate::Flow::simulate).
+    pub fn simulate(&self, options: &SimOptions) -> Result<CostReport, FlowError> {
+        self.simulate_summary(options).map(|s| s.report)
+    }
+
+    /// Like [`CompiledFlow::simulate`] but returns the extra Monte
+    /// Carlo statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::simulate`](crate::Flow::simulate).
+    pub fn simulate_summary(&self, options: &SimOptions) -> Result<SimSummary, FlowError> {
+        mc::simulate_program(&self.program, self.nre, self.volume, options, None)
+    }
+
+    /// Start a patch: a private copy of the op vector with every slot
+    /// still at its compiled value. Creating one per scenario point is
+    /// the intended pattern — it is a single `Vec` clone.
+    pub fn patch(&self) -> FlowPatch {
+        FlowPatch {
+            program: Arc::clone(&self.program),
+            ops: self.program.ops().to_vec(),
+            nre: self.nre,
+            volume: self.volume,
+        }
+    }
+}
+
+/// A declarative patch step — the serializable/comparable form of the
+/// [`FlowPatch`] setters, so scenario definitions can carry patches as
+/// plain data (and deduplicate equal ones).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatchDirective {
+    /// Set a [`SlotKind::Cost`] slot to a per-input-unit cost.
+    SetCost {
+        /// Slot name.
+        slot: String,
+        /// New cost per input unit (the op books `quantity ×` this).
+        unit_cost: Money,
+    },
+    /// Multiply a [`SlotKind::Cost`] slot's current cost by a factor.
+    ScaleCost {
+        /// Slot name.
+        slot: String,
+        /// Multiplier applied to the op's current cost.
+        factor: f64,
+    },
+    /// Set a [`SlotKind::Yield`] slot to a per-input-unit probability.
+    SetYield {
+        /// Slot name.
+        slot: String,
+        /// New per-input-unit success probability (the op folds in
+        /// `p^quantity`).
+        p: Probability,
+    },
+    /// Set a [`SlotKind::Coverage`] slot (test fault coverage).
+    SetCoverage {
+        /// Slot name.
+        slot: String,
+        /// New fault coverage.
+        p: Probability,
+    },
+}
+
+/// A mutable copy of a compiled program's op vector with named
+/// parameter slots overwritten — see the [module docs](self) for the
+/// sweep pattern and the analytic-only caveat.
+#[derive(Debug, Clone)]
+pub struct FlowPatch {
+    /// The base program: slot table, label names, region layout.
+    program: Arc<RoutingProgram>,
+    /// The private op copy the setters write into.
+    ops: Vec<Op>,
+    nre: Money,
+    volume: u64,
+}
+
+impl FlowPatch {
+    /// The cost field of the op a [`SlotKind::Cost`] slot points at.
+    fn cost_of(&mut self, op: u32) -> &mut f64 {
+        match &mut self.ops[op as usize] {
+            Op::Cost { cost, .. }
+            | Op::Condemn { cost, .. }
+            | Op::Step { cost, .. }
+            | Op::TestScrap { cost, .. }
+            | Op::TestRework { cost, .. } => cost,
+            Op::SubLine { .. } => unreachable!("cost slot registered on a sub-line op"),
+        }
+    }
+
+    /// Resolve `(name, kind)` to its unique op. Zero matches and
+    /// multiple matches (duplicate stage/part names are legal in a
+    /// line) are both errors — silently patching the first duplicate
+    /// would diverge from rebuilding the line.
+    fn resolve(&self, name: &str, kind: SlotKind) -> Result<(u32, u32), FlowError> {
+        let mut matches = self
+            .program
+            .slots()
+            .iter()
+            .filter(|s| s.kind == kind && s.name == name);
+        let first = matches.next().ok_or_else(|| FlowError::UnknownPatchSlot {
+            slot: format!("{name} ({kind})"),
+        })?;
+        if matches.next().is_some() {
+            return Err(FlowError::AmbiguousPatchSlot {
+                slot: format!("{name} ({kind})"),
+            });
+        }
+        Ok((first.op, first.qty))
+    }
+
+    /// Set a cost slot to `unit_cost` per input unit (the op books
+    /// `quantity × unit_cost`; quantity is 1 for everything but
+    /// multi-part attach inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] when the program has no
+    /// cost slot of that name (e.g. the step compiled away as a free,
+    /// certain no-op).
+    pub fn set_cost(&mut self, slot: &str, unit_cost: Money) -> Result<&mut FlowPatch, FlowError> {
+        let (op, qty) = self.resolve(slot, SlotKind::Cost)?;
+        let folded = qty as f64 * unit_cost.units();
+        *self.cost_of(op) = folded;
+        Ok(self)
+    }
+
+    /// Multiply a cost slot's current value by `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] when the program has no
+    /// cost slot of that name.
+    pub fn scale_cost(&mut self, slot: &str, factor: f64) -> Result<&mut FlowPatch, FlowError> {
+        let (op, _) = self.resolve(slot, SlotKind::Cost)?;
+        *self.cost_of(op) *= factor;
+        Ok(self)
+    }
+
+    /// Set a yield slot to `p` per input unit (the op folds in
+    /// `p^quantity`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] when the program has no
+    /// yield slot of that name — in particular when the step's compiled
+    /// yield was degenerate (certain or zero), which specialized the op
+    /// into a draw-free form with no live probability to overwrite.
+    pub fn set_yield(&mut self, slot: &str, p: Probability) -> Result<&mut FlowPatch, FlowError> {
+        let (op, qty) = self.resolve(slot, SlotKind::Yield)?;
+        let folded = if qty > 1 {
+            p.value().powf(qty as f64)
+        } else {
+            p.value()
+        };
+        let Op::Step {
+            p_good, threshold, ..
+        } = &mut self.ops[op as usize]
+        else {
+            unreachable!("yield slot registered on a non-step op");
+        };
+        *p_good = folded;
+        // Kept structurally valid for the analytic walker; patched
+        // programs are never handed to the Monte Carlo kernel (see the
+        // module docs), so a degenerate patched probability needs no
+        // op-kind re-specialization.
+        *threshold = if folded > 0.0 && folded < 1.0 {
+            SimRng::threshold(folded)
+        } else if folded >= 1.0 {
+            u64::MAX
+        } else {
+            0
+        };
+        Ok(self)
+    }
+
+    /// Set a test stage's fault coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] when the program has no
+    /// test stage of that name.
+    pub fn set_coverage(
+        &mut self,
+        slot: &str,
+        p: Probability,
+    ) -> Result<&mut FlowPatch, FlowError> {
+        let (op, _) = self.resolve(slot, SlotKind::Coverage)?;
+        match &mut self.ops[op as usize] {
+            Op::TestScrap { coverage, .. } | Op::TestRework { coverage, .. } => {
+                *coverage = p.value();
+            }
+            _ => unreachable!("coverage slot registered on a non-test op"),
+        }
+        Ok(self)
+    }
+
+    /// Apply one declarative [`PatchDirective`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] when the directive names
+    /// a slot the program does not expose.
+    pub fn apply(&mut self, directive: &PatchDirective) -> Result<&mut FlowPatch, FlowError> {
+        match directive {
+            PatchDirective::SetCost { slot, unit_cost } => self.set_cost(slot, *unit_cost),
+            PatchDirective::ScaleCost { slot, factor } => self.scale_cost(slot, *factor),
+            PatchDirective::SetYield { slot, p } => self.set_yield(slot, *p),
+            PatchDirective::SetCoverage { slot, p } => self.set_coverage(slot, *p),
+        }
+    }
+
+    /// Override the NRE charged to this evaluation.
+    pub fn set_nre(&mut self, nre: Money) -> &mut FlowPatch {
+        self.nre = nre;
+        self
+    }
+
+    /// Override the amortization volume (minimum 1).
+    pub fn set_volume(&mut self, volume: u64) -> &mut FlowPatch {
+        self.volume = volume.max(1);
+        self
+    }
+
+    /// Restore every slot to its compiled value (reuse one allocation
+    /// across scenario points).
+    pub fn reset(&mut self) -> &mut FlowPatch {
+        self.ops.clear();
+        self.ops.extend_from_slice(self.program.ops());
+        self
+    }
+
+    /// Evaluate the patched program with the analytic cohort engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NothingShipped`] when the patched flow
+    /// ships nothing.
+    pub fn analyze(&self) -> Result<CostReport, FlowError> {
+        let (entry, len) = self.program.top_region();
+        analytic::analyze_ops(
+            &self.ops,
+            entry,
+            len,
+            self.program.names(),
+            self.program.line_name(),
+            self.nre,
+            self.volume,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostCategory, StepCost};
+    use crate::line::Line;
+    use crate::part::Part;
+    use crate::stage::{Attach, Process, Test};
+    use crate::yield_model::YieldModel;
+    use crate::Flow;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn flow(part_cost: f64, process_yield: f64) -> Flow {
+        let line = Line::builder(
+            "t",
+            Part::new("c", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(Money::new(part_cost))),
+        )
+        .process(Process::new("p").with_yield(YieldModel::flat(p(process_yield))))
+        .attach(
+            Attach::new("a").input(
+                Part::new("die", CostCategory::Chip)
+                    .with_cost(StepCost::fixed(Money::new(5.0)))
+                    .with_incoming_yield(YieldModel::flat(p(0.95))),
+                2,
+            ),
+        )
+        .test(Test::new("ft").with_coverage(p(0.99)))
+        .build()
+        .unwrap();
+        Flow::new(line)
+    }
+
+    #[test]
+    fn patched_program_matches_rebuilt_line() {
+        // Patching (carrier cost, process yield, part cost, coverage)
+        // must equal rebuilding the line with those values.
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let mut patch = base.patch();
+        patch
+            .set_cost("c", Money::new(12.0))
+            .unwrap()
+            .set_yield("p", p(0.8))
+            .unwrap()
+            .set_cost("a/die", Money::new(6.0))
+            .unwrap()
+            .set_yield("a/die", p(0.9))
+            .unwrap()
+            .set_coverage("ft", p(0.95))
+            .unwrap();
+        let patched = patch.analyze().unwrap();
+
+        let rebuilt_line = Line::builder(
+            "t",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(12.0))),
+        )
+        .process(Process::new("p").with_yield(YieldModel::flat(p(0.8))))
+        .attach(
+            Attach::new("a").input(
+                Part::new("die", CostCategory::Chip)
+                    .with_cost(StepCost::fixed(Money::new(6.0)))
+                    .with_incoming_yield(YieldModel::flat(p(0.9))),
+                2,
+            ),
+        )
+        .test(Test::new("ft").with_coverage(p(0.95)))
+        .build()
+        .unwrap();
+        let rebuilt = Flow::new(rebuilt_line).analyze().unwrap();
+        assert_eq!(patched.shipped_fraction(), rebuilt.shipped_fraction());
+        assert_eq!(patched.total_spend(), rebuilt.total_spend());
+        assert_eq!(
+            patched.final_cost_per_shipped(),
+            rebuilt.final_cost_per_shipped()
+        );
+    }
+
+    #[test]
+    fn reset_restores_the_compiled_values() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let unpatched = base.analyze().unwrap();
+        let mut patch = base.patch();
+        patch.scale_cost("c", 3.0).unwrap();
+        assert_ne!(
+            patch.analyze().unwrap().total_spend(),
+            unpatched.total_spend()
+        );
+        patch.reset();
+        assert_eq!(patch.analyze().unwrap(), unpatched);
+    }
+
+    #[test]
+    fn unknown_slot_is_reported() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let mut patch = base.patch();
+        let err = patch.set_cost("ghost", Money::new(1.0)).unwrap_err();
+        assert!(matches!(err, FlowError::UnknownPatchSlot { .. }));
+        assert!(err.to_string().contains("ghost"));
+        // The attach op is free and certain — compiled away, hence no
+        // yield slot to patch.
+        let err = patch.set_yield("a", p(0.5)).unwrap_err();
+        assert!(matches!(err, FlowError::UnknownPatchSlot { .. }));
+    }
+
+    #[test]
+    fn duplicate_stage_names_are_ambiguous_not_shadowed() {
+        // Line validation allows two stages with the same name; a
+        // patch naming them must error instead of silently updating
+        // only the first.
+        let line = Line::builder(
+            "dup",
+            Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(1.0))),
+        )
+        .process(
+            Process::new("anneal")
+                .with_cost(StepCost::fixed(Money::new(2.0)))
+                .with_yield(YieldModel::flat(p(0.9))),
+        )
+        .process(
+            Process::new("anneal")
+                .with_cost(StepCost::fixed(Money::new(3.0)))
+                .with_yield(YieldModel::flat(p(0.95))),
+        )
+        .build()
+        .unwrap();
+        let base = Flow::new(line).compiled().unwrap();
+        let mut patch = base.patch();
+        let err = patch.set_cost("anneal", Money::new(9.0)).unwrap_err();
+        assert!(matches!(err, FlowError::AmbiguousPatchSlot { .. }));
+        assert!(err.to_string().contains("anneal"));
+        // The unique carrier slot still resolves.
+        assert!(patch.set_cost("c", Money::new(2.0)).is_ok());
+    }
+
+    #[test]
+    fn directives_match_setters() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let mut by_setter = base.patch();
+        by_setter.scale_cost("a/die", 1.5).unwrap();
+        let mut by_directive = base.patch();
+        by_directive
+            .apply(&PatchDirective::ScaleCost {
+                slot: "a/die".into(),
+                factor: 1.5,
+            })
+            .unwrap();
+        assert_eq!(
+            by_setter.analyze().unwrap(),
+            by_directive.analyze().unwrap()
+        );
+    }
+
+    #[test]
+    fn slots_enumerate_the_patchable_surface() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let slots: Vec<(String, SlotKind)> = base.slots().map(|(n, k)| (n.to_owned(), k)).collect();
+        assert!(slots.contains(&("c".into(), SlotKind::Cost)));
+        assert!(slots.contains(&("p".into(), SlotKind::Yield)));
+        assert!(slots.contains(&("a/die".into(), SlotKind::Cost)));
+        assert!(slots.contains(&("ft".into(), SlotKind::Coverage)));
+    }
+
+    #[test]
+    fn degenerate_patched_yield_is_analytically_sound() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let mut patch = base.patch();
+        patch.set_yield("p", Probability::ONE).unwrap();
+        let certain = patch.analyze().unwrap();
+        assert!(certain.shipped_fraction() > base.analyze().unwrap().shipped_fraction());
+        patch.reset();
+        patch.set_yield("p", Probability::ZERO).unwrap();
+        // Everything defective and the test catches 99 %: almost
+        // nothing ships, but the walker stays well-defined.
+        let doomed = patch.analyze().unwrap();
+        assert!(doomed.shipped_fraction() < 0.05);
+    }
+
+    #[test]
+    fn compiled_flow_engines_match_flow_engines() {
+        let f = flow(10.0, 0.9);
+        let compiled = f.compiled().unwrap();
+        assert_eq!(compiled.name(), "t");
+        assert_eq!(compiled.analyze().unwrap(), f.analyze().unwrap());
+        let opts = SimOptions::new(5_000).with_seed(11);
+        assert_eq!(
+            compiled.simulate(&opts).unwrap(),
+            f.simulate(&opts).unwrap()
+        );
+    }
+}

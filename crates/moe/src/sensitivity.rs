@@ -7,6 +7,7 @@
 
 use crate::error::FlowError;
 use crate::flow::Flow;
+use crate::patch::{CompiledFlow, FlowPatch};
 use ipass_sim::Executor;
 use std::fmt;
 
@@ -19,6 +20,20 @@ pub struct TornadoInput<'a> {
     pub low: Flow,
     /// The flow with the parameter at its high value.
     pub high: Flow,
+}
+
+/// One input parameter as a pair of patches on a shared compiled
+/// program — the fast form of [`TornadoInput`]: the production line is
+/// compiled once and each variant overwrites a few parameter slots (see
+/// [`crate::patch`]) instead of rebuilding a whole flow.
+#[derive(Debug)]
+pub struct TornadoPatch<'a> {
+    /// Parameter label.
+    pub name: &'a str,
+    /// The patch with the parameter at its low value.
+    pub low: FlowPatch,
+    /// The patch with the parameter at its high value.
+    pub high: FlowPatch,
 }
 
 /// One bar of the tornado chart.
@@ -78,12 +93,64 @@ impl Tornado {
         let costs = executor.try_map(&flows, |_, flow| {
             flow.analyze().map(|r| r.final_cost_per_shipped().units())
         })?;
+        let names = inputs.iter().map(|i| i.name);
+        Ok(Tornado::from_costs(&costs, names))
+    }
+
+    /// Evaluate a tornado over patches of one shared compiled program:
+    /// the baseline is the unpatched program, each row a low/high
+    /// [`FlowPatch`] pair. Where [`Tornado::evaluate`] builds and
+    /// compiles `1 + 2·n` flows, this compiles nothing — each variant
+    /// is a patched copy of the base op vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the baseline or any patched variant ships nothing.
+    pub fn evaluate_patches(
+        baseline: &CompiledFlow,
+        inputs: Vec<TornadoPatch<'_>>,
+    ) -> Result<Tornado, FlowError> {
+        Tornado::evaluate_patches_with(&Executor::available(), baseline, inputs)
+    }
+
+    /// [`Tornado::evaluate_patches`] on an explicit executor; the
+    /// baseline and every low/high variant are analyzed in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the baseline or any patched variant ships nothing.
+    pub fn evaluate_patches_with(
+        executor: &Executor,
+        baseline: &CompiledFlow,
+        inputs: Vec<TornadoPatch<'_>>,
+    ) -> Result<Tornado, FlowError> {
+        // One flat batch: the unpatched baseline first, then each
+        // input's low/high patch.
+        let mut variants: Vec<Option<&FlowPatch>> = Vec::with_capacity(1 + 2 * inputs.len());
+        variants.push(None);
+        for input in &inputs {
+            variants.push(Some(&input.low));
+            variants.push(Some(&input.high));
+        }
+        let costs = executor.try_map(&variants, |_, variant| {
+            match variant {
+                None => baseline.analyze(),
+                Some(patch) => patch.analyze(),
+            }
+            .map(|r| r.final_cost_per_shipped().units())
+        })?;
+        let names = inputs.iter().map(|i| i.name);
+        Ok(Tornado::from_costs(&costs, names))
+    }
+
+    /// Assemble the chart from the flat `[baseline, low₀, high₀, …]`
+    /// cost batch both evaluation strategies produce.
+    fn from_costs<'a>(costs: &[f64], names: impl Iterator<Item = &'a str>) -> Tornado {
         let baseline_cost = costs[0];
-        let mut rows: Vec<TornadoRow> = inputs
-            .iter()
+        let mut rows: Vec<TornadoRow> = names
             .enumerate()
-            .map(|(i, input)| TornadoRow {
-                name: input.name.to_owned(),
+            .map(|(i, name)| TornadoRow {
+                name: name.to_owned(),
                 low_cost: costs[1 + 2 * i],
                 high_cost: costs[2 + 2 * i],
             })
@@ -93,10 +160,10 @@ impl Tornado {
                 .partial_cmp(&a.swing())
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        Ok(Tornado {
+        Tornado {
             baseline_cost,
             rows,
-        })
+        }
     }
 
     /// The baseline final cost per shipped unit.
@@ -182,6 +249,55 @@ mod tests {
         assert_eq!(tornado.rows()[0].name, "part cost ±10%");
         assert!(tornado.rows()[0].swing() > tornado.rows()[1].swing());
         assert!((tornado.baseline_cost() - 10.0 / 0.9009).abs() < 0.11);
+    }
+
+    #[test]
+    fn patched_tornado_matches_rebuilt_tornado() {
+        let rebuilt = Tornado::evaluate(
+            &flow(10.0, 0.9),
+            vec![
+                TornadoInput {
+                    name: "part cost ±10%",
+                    low: flow(9.0, 0.9),
+                    high: flow(11.0, 0.9),
+                },
+                TornadoInput {
+                    name: "process yield ±5pts",
+                    low: flow(10.0, 0.85),
+                    high: flow(10.0, 0.95),
+                },
+            ],
+        )
+        .unwrap();
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let variant = |cost: Option<f64>, y: Option<f64>| {
+            let mut p_ = base.patch();
+            if let Some(c) = cost {
+                p_.set_cost("c", Money::new(c)).unwrap();
+            }
+            if let Some(y) = y {
+                p_.set_yield("p", Probability::new(y).unwrap()).unwrap();
+            }
+            p_
+        };
+        let patched = Tornado::evaluate_patches(
+            &base,
+            vec![
+                TornadoPatch {
+                    name: "part cost ±10%",
+                    low: variant(Some(9.0), None),
+                    high: variant(Some(11.0), None),
+                },
+                TornadoPatch {
+                    name: "process yield ±5pts",
+                    low: variant(None, Some(0.85)),
+                    high: variant(None, Some(0.95)),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(rebuilt.baseline_cost(), patched.baseline_cost());
+        assert_eq!(rebuilt.rows(), patched.rows());
     }
 
     #[test]

@@ -1,7 +1,18 @@
 //! Parameter sweeps and crossover search over flow families.
+//!
+//! Two evaluation strategies are provided:
+//!
+//! * [`sweep`] rebuilds the [`Flow`](crate::Flow) per point — fully
+//!   general (any structural change per point), but every point pays
+//!   line construction, validation and compilation.
+//! * [`sweep_patched`] compiles the flow **once** and overwrites named
+//!   parameter slots per point (see [`crate::patch`]) — the fast path
+//!   for the common numeric sweeps (a cost, a yield, a coverage), and
+//!   the `sweep_analytic` benchmark's reason to exist.
 
 use crate::error::FlowError;
 use crate::flow::Flow;
+use crate::patch::FlowPatch;
 use crate::report::CostReport;
 use ipass_sim::Executor;
 
@@ -74,6 +85,75 @@ where
     executor.try_map(&xs, |_, &x| {
         let flow = build(x)?;
         let report = flow.analyze()?;
+        Ok(SweepPoint { x, report })
+    })
+}
+
+/// Evaluate a parameter sweep by patching `flow`'s cached compiled
+/// program per point instead of rebuilding a flow per point.
+///
+/// The patcher receives each `x` and a fresh [`FlowPatch`] of the
+/// compiled base program; apply the point's parameter values
+/// ([`FlowPatch::set_cost`], [`FlowPatch::set_yield`], …) and the point
+/// is evaluated analytically.
+///
+/// # Errors
+///
+/// Fails on the first point (in `xs` order) whose patch names an
+/// unknown slot or whose patched flow ships nothing, and up front when
+/// the flow itself is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_moe::{sweep_patched, CostCategory, Flow, Line, Part, Process, StepCost};
+/// use ipass_units::Money;
+///
+/// let line = Line::builder("family", Part::new("c", CostCategory::Substrate)
+///         .with_cost(StepCost::fixed(Money::new(1.0))))
+///     .process(Process::new("p"))
+///     .build()?;
+/// let flow = Flow::new(line);
+/// let points = sweep_patched(&flow, [1.0, 2.0, 4.0], |x, patch| {
+///     patch.set_cost("c", Money::new(x))?;
+///     Ok(())
+/// })?;
+/// assert_eq!(points.len(), 3);
+/// assert!(points[2].final_cost() > points[0].final_cost());
+/// # Ok::<(), ipass_moe::FlowError>(())
+/// ```
+pub fn sweep_patched<I, F>(flow: &Flow, xs: I, patch: F) -> Result<Vec<SweepPoint>, FlowError>
+where
+    I: IntoIterator<Item = f64>,
+    F: Fn(f64, &mut FlowPatch) -> Result<(), FlowError> + Sync,
+{
+    sweep_patched_with(&Executor::available(), flow, xs, patch)
+}
+
+/// [`sweep_patched`] on an explicit executor. Points are evaluated in
+/// parallel (each point patches its own copy of the op vector); the
+/// result, including which error is reported, is identical to the
+/// serial evaluation.
+///
+/// # Errors
+///
+/// See [`sweep_patched`].
+pub fn sweep_patched_with<I, F>(
+    executor: &Executor,
+    flow: &Flow,
+    xs: I,
+    patch: F,
+) -> Result<Vec<SweepPoint>, FlowError>
+where
+    I: IntoIterator<Item = f64>,
+    F: Fn(f64, &mut FlowPatch) -> Result<(), FlowError> + Sync,
+{
+    let compiled = flow.compiled()?;
+    let xs: Vec<f64> = xs.into_iter().collect();
+    executor.try_map(&xs, |_, &x| {
+        let mut point = compiled.patch();
+        patch(x, &mut point)?;
+        let report = point.analyze()?;
         Ok(SweepPoint { x, report })
     })
 }
@@ -157,6 +237,37 @@ mod tests {
         for w in points.windows(2) {
             assert!(w[1].final_cost() >= w[0].final_cost());
         }
+    }
+
+    #[test]
+    fn patched_sweep_matches_rebuild_sweep() {
+        // The fast path and the rebuild path are the same curve. The
+        // base point must carry a non-zero cost: a free, certain
+        // carrier would compile away and leave nothing to patch.
+        let base = linear_flow(1.0).unwrap();
+        let xs: Vec<f64> = (1..9).map(|i| i as f64).collect();
+        let rebuilt = sweep(xs.clone(), linear_flow).unwrap();
+        let patched = sweep_patched(&base, xs, |x, patch| {
+            patch.set_cost("c", Money::new(x))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rebuilt.len(), patched.len());
+        for (a, b) in rebuilt.iter().zip(patched.iter()) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.final_cost(), b.final_cost());
+        }
+    }
+
+    #[test]
+    fn patched_sweep_propagates_slot_errors() {
+        let base = linear_flow(1.0).unwrap();
+        let err = sweep_patched(&base, [1.0], |x, patch| {
+            patch.set_cost("ghost", Money::new(x))?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, FlowError::UnknownPatchSlot { .. }));
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! The IR cohort walker against the `Line`-walking analytic oracle: on
+//! randomly generated production lines — including nested subassembly
+//! lines and rework loops — `Flow::analyze` (which evaluates the
+//! compiled `RoutingProgram`) must reproduce the original object-graph
+//! engine to 1e-12 relative, on every report field.
+//!
+//! This is the analytic half of the compiled-engine story (the Monte
+//! Carlo half lives in `kernel_oracle.rs`): lowering cohort propagation
+//! onto precomputed ops may reorder nothing and re-derive nothing — the
+//! op fields are the *same* floats the oracle computes per walk, so the
+//! two engines may diverge only through the benign `1 − (1 − y)`
+//! round-trip the generic step op applies to the carrier's entry mass.
+
+use ipass_moe::{
+    analyze_line_reference, Attach, CostCategory, CostReport, FailAction, Flow, Line, Part,
+    Process, Rework, SimOptions, StepCost, Test, YieldModel,
+};
+use ipass_units::{Money, Probability};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+fn p(v: f64) -> Probability {
+    Probability::clamped(v)
+}
+
+#[derive(Debug, Clone)]
+enum StageSpec {
+    Process {
+        cost: f64,
+        yield_: f64,
+    },
+    Attach {
+        part_cost: f64,
+        part_yield: f64,
+        qty: u32,
+    },
+    /// An attach consuming a nested line's output.
+    SubLine {
+        sub_cost: f64,
+        sub_yield: f64,
+        tested: bool,
+        qty: u32,
+    },
+    Test {
+        cost: f64,
+        coverage: f64,
+        rework: Option<(f64, f64, u32)>,
+    },
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageSpec> {
+    prop_oneof![
+        // Yields range down to 0.1: the analytic engines must agree in
+        // the low-yield regime the MC property tests avoid (no draw
+        // streams to starve here).
+        (0.0f64..5.0, 0.1f64..=1.0).prop_map(|(cost, yield_)| StageSpec::Process { cost, yield_ }),
+        (0.0f64..20.0, 0.5f64..=1.0, 1u32..4).prop_map(|(part_cost, part_yield, qty)| {
+            StageSpec::Attach {
+                part_cost,
+                part_yield,
+                qty,
+            }
+        }),
+        (0.5f64..8.0, 0.4f64..1.0, proptest::bool::ANY, 1u32..3).prop_map(
+            |(sub_cost, sub_yield, tested, qty)| StageSpec::SubLine {
+                sub_cost,
+                sub_yield,
+                tested,
+                qty,
+            }
+        ),
+        (
+            0.0f64..3.0,
+            0.0f64..=1.0,
+            proptest::option::of((0.0f64..2.0, 0.0f64..=1.0, 1u32..4))
+        )
+            .prop_map(|(cost, coverage, rework)| StageSpec::Test {
+                cost,
+                coverage,
+                rework
+            }),
+    ]
+}
+
+fn build_flow(carrier_cost: f64, carrier_yield: f64, stages: &[StageSpec]) -> Flow {
+    let mut builder = Line::builder(
+        "random",
+        Part::new("carrier", CostCategory::Substrate)
+            .with_cost(StepCost::fixed(Money::new(carrier_cost)))
+            .with_incoming_yield(YieldModel::flat(p(carrier_yield))),
+    );
+    for (i, spec) in stages.iter().enumerate() {
+        builder = match spec {
+            StageSpec::Process { cost, yield_ } => builder.process(
+                Process::new(format!("proc{i}"))
+                    .with_cost(StepCost::fixed(Money::new(*cost)))
+                    .with_yield(YieldModel::flat(p(*yield_))),
+            ),
+            StageSpec::Attach {
+                part_cost,
+                part_yield,
+                qty,
+            } => builder.attach(
+                Attach::new(format!("attach{i}"))
+                    .input(
+                        Part::new(format!("part{i}"), CostCategory::Chip)
+                            .with_cost(StepCost::fixed(Money::new(*part_cost)))
+                            .with_incoming_yield(YieldModel::flat(p(*part_yield))),
+                        *qty,
+                    )
+                    .with_cost(StepCost::per_item(Money::new(0.1), *qty)),
+            ),
+            StageSpec::SubLine {
+                sub_cost,
+                sub_yield,
+                tested,
+                qty,
+            } => {
+                let mut sub = Line::builder(
+                    format!("sub{i}"),
+                    Part::new(format!("blank{i}"), CostCategory::Substrate)
+                        .with_cost(StepCost::fixed(Money::new(*sub_cost))),
+                )
+                .process(
+                    Process::new(format!("fab{i}")).with_yield(YieldModel::flat(p(*sub_yield))),
+                );
+                if *tested {
+                    sub = sub.test(Test::new(format!("probe{i}")).with_coverage(p(0.95)));
+                }
+                builder.attach(
+                    Attach::new(format!("join{i}"))
+                        .input(sub.build().expect("sub-line is non-empty"), *qty)
+                        .with_yield(YieldModel::flat(p(0.99))),
+                )
+            }
+            StageSpec::Test {
+                cost,
+                coverage,
+                rework,
+            } => {
+                let action = match rework {
+                    Some((rc, rs, attempts)) => FailAction::Rework(Rework::new(
+                        StepCost::fixed(Money::new(*rc)),
+                        p(*rs),
+                        *attempts,
+                    )),
+                    None => FailAction::Scrap,
+                };
+                builder.test(
+                    Test::new(format!("test{i}"))
+                        .with_cost(StepCost::fixed(Money::new(*cost)))
+                        .with_coverage(p(*coverage))
+                        .on_fail(action),
+                )
+            }
+        };
+    }
+    Flow::new(builder.build().expect("non-empty line"))
+        .with_nre(Money::new(500.0))
+        .with_volume(10_000)
+}
+
+/// `|a − b| ≤ 1e-12 · max(1, |a|, |b|)` on every scalar of the report.
+fn assert_reports_match(ir: &CostReport, oracle: &CostReport) -> Result<(), TestCaseError> {
+    let close = |a: f64, b: f64, what: &str| -> Result<(), TestCaseError> {
+        prop_assert!(
+            (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0),
+            "{what}: IR {a} vs oracle {b}"
+        );
+        Ok(())
+    };
+    close(ir.started(), oracle.started(), "started")?;
+    close(ir.shipped(), oracle.shipped(), "shipped")?;
+    close(ir.good_shipped(), oracle.good_shipped(), "good_shipped")?;
+    close(
+        ir.total_spend().units(),
+        oracle.total_spend().units(),
+        "total_spend",
+    )?;
+    close(
+        ir.shipped_embodied().units(),
+        oracle.shipped_embodied().units(),
+        "shipped_embodied",
+    )?;
+    close(
+        ir.final_cost_per_shipped().units(),
+        oracle.final_cost_per_shipped().units(),
+        "final_cost_per_shipped",
+    )?;
+    for cat in CostCategory::ALL {
+        close(
+            ir.by_category()[cat].units(),
+            oracle.by_category()[cat].units(),
+            cat.label(),
+        )?;
+    }
+    let ir_pareto = ir.defect_pareto();
+    let oracle_pareto = oracle.defect_pareto();
+    prop_assert_eq!(ir_pareto.len(), oracle_pareto.len());
+    for ((na, va), (nb, vb)) in ir_pareto.iter().zip(oracle_pareto.iter()) {
+        prop_assert_eq!(na, nb);
+        close(*va, *vb, na)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn ir_walker_matches_line_oracle(
+        carrier_cost in 1.0f64..20.0,
+        carrier_yield in 0.0f64..=1.0,
+        stages in proptest::collection::vec(stage_strategy(), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        // `seed` only perturbs the generated structure mix.
+        let _ = seed;
+        let flow = build_flow(carrier_cost, carrier_yield, &stages);
+        let ir = flow.analyze();
+        let oracle = analyze_line_reference(flow.line(), flow.nre(), flow.volume());
+        match (ir, oracle) {
+            (Ok(ir), Ok(oracle)) => assert_reports_match(&ir, &oracle)?,
+            // Degenerate inputs may legitimately ship nothing — then
+            // both engines must say so.
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "engines disagree on failure: IR {:?} vs oracle {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn patched_point_matches_rebuilt_line(
+        carrier_cost in 1.0f64..20.0,
+        scale in 0.25f64..4.0,
+        yield_ in 0.3f64..=0.999,
+    ) {
+        // One representative structured case: patching (carrier cost,
+        // process yield) must equal rebuilding the line with those
+        // values — the contract the patched sweeps rely on.
+        let build = |cost: f64| {
+            Flow::new(
+                Line::builder(
+                    "family",
+                    Part::new("carrier", CostCategory::Substrate)
+                        .with_cost(StepCost::fixed(Money::new(cost))),
+                )
+                .process(Process::new("work").with_yield(YieldModel::flat(p(0.9))))
+                .test(Test::new("probe").with_coverage(p(0.97)))
+                .build()
+                .expect("non-empty line"),
+            )
+        };
+        let base = build(carrier_cost);
+        let compiled = base.compiled().expect("valid line");
+        let mut patch = compiled.patch();
+        patch
+            .set_cost("carrier", Money::new(carrier_cost * scale))
+            .expect("carrier slot exists")
+            .set_yield("work", Probability::new(yield_).unwrap())
+            .expect("yield slot exists");
+        let patched = patch.analyze().expect("patched flow ships");
+
+        let rebuilt_flow = Flow::new(
+            Line::builder(
+                "family",
+                Part::new("carrier", CostCategory::Substrate)
+                    .with_cost(StepCost::fixed(Money::new(carrier_cost * scale))),
+            )
+            .process(Process::new("work").with_yield(YieldModel::flat(p(yield_))))
+            .test(Test::new("probe").with_coverage(p(0.97)))
+            .build()
+            .expect("non-empty line"),
+        );
+        let rebuilt = rebuilt_flow.analyze().expect("rebuilt flow ships");
+        assert_reports_match(&patched, &rebuilt)?;
+    }
+}
+
+/// MC-vs-analytic agreement must survive the IR lowering end to end:
+/// the two compiled engines read the *same* program.
+#[test]
+fn both_compiled_engines_share_one_program_truth() {
+    let flow = build_flow(
+        5.0,
+        0.95,
+        &[
+            StageSpec::Attach {
+                part_cost: 8.0,
+                part_yield: 0.93,
+                qty: 2,
+            },
+            StageSpec::Test {
+                cost: 1.0,
+                coverage: 0.98,
+                rework: Some((0.5, 0.6, 2)),
+            },
+        ],
+    );
+    let analytic = flow.analyze().unwrap();
+    let mc = flow
+        .simulate(&SimOptions::new(200_000).with_seed(21))
+        .unwrap();
+    assert!((analytic.shipped_fraction() - mc.shipped_fraction()).abs() < 0.005);
+    let rel = mc.final_cost_per_shipped().units() / analytic.final_cost_per_shipped().units();
+    assert!((rel - 1.0).abs() < 0.01, "relative error {rel}");
+}

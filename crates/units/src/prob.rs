@@ -95,8 +95,16 @@ impl Probability {
 
     /// `pⁿ`: the yield of `n` independent repetitions (per-bond, per-SMD
     /// placements). `powi(0)` is [`Probability::ONE`].
+    ///
+    /// Exponents beyond `i32::MAX` (which `f64::powi` cannot represent)
+    /// fall back to `powf` — without this, `n as i32` would wrap to a
+    /// *negative* exponent and silently clamp `pⁿ` to 1 instead of
+    /// letting it tend to 0.
     pub fn powi(self, n: u32) -> Probability {
-        Probability::clamped(self.0.powi(n as i32))
+        match i32::try_from(n) {
+            Ok(n) => Probability::clamped(self.0.powi(n)),
+            Err(_) => Probability::clamped(self.0.powf(f64::from(n))),
+        }
     }
 
     /// `p^x` for a real exponent `x ≥ 0` — used by per-area yield models
@@ -208,6 +216,22 @@ mod tests {
     #[test]
     fn powi_zero_is_one() {
         assert!(Probability::new(0.5).unwrap().powi(0).is_certain());
+    }
+
+    #[test]
+    fn powi_beyond_i32_max_tends_to_zero_not_one() {
+        // Regression: `n as i32` used to wrap huge exponents negative,
+        // so p^n clamped to 1.0 instead of underflowing toward 0.
+        let p = Probability::new(0.5).unwrap();
+        assert_eq!(p.powi(u32::MAX).value(), 0.0);
+        assert_eq!(p.powi(i32::MAX as u32 + 1).value(), 0.0);
+        // A certain yield stays certain for any repetition count.
+        assert!(Probability::ONE.powi(u32::MAX).is_certain());
+        // Just inside the i32 range still goes through exact powi.
+        let tiny = Probability::new(0.999_999_999)
+            .unwrap()
+            .powi(i32::MAX as u32);
+        assert!((0.0..1.0).contains(&tiny.value()));
     }
 
     #[test]

@@ -8,7 +8,10 @@
 
 use ipass_core::{BuildUp, SelectionObjective};
 use ipass_gps::{bom::gps_bom, table2::cost_inputs};
-use ipass_moe::{simulate_line_reference, CostCategory, Flow, SimOptions};
+use ipass_moe::{
+    analyze_line_reference, simulate_line_reference, sweep_patched, sweep_with, CostCategory,
+    Executor, Flow, SimOptions,
+};
 
 fn solution2_flow() -> Flow {
     let buildup = BuildUp::paper_solutions()[1];
@@ -82,6 +85,88 @@ fn golden_seed42_50k() {
         769_459.716_790_242_1
     );
     assert_eq!(s.scrapped, 5_710.0);
+}
+
+#[test]
+fn analytic_ir_matches_line_oracle_on_solution2() {
+    // The analytic golden: Flow::analyze now walks the compiled
+    // routing program; on the real paper flow it must agree with the
+    // retained Line-walking oracle to 1e-12 relative on every field.
+    let flow = solution2_flow();
+    let ir = flow.analyze().unwrap();
+    let oracle = analyze_line_reference(flow.line(), flow.nre(), flow.volume()).unwrap();
+    let close = |a: f64, b: f64, what: &str| {
+        assert!(
+            (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0),
+            "{what}: IR {a} vs oracle {b}"
+        );
+    };
+    close(ir.shipped_fraction(), oracle.shipped_fraction(), "shipped");
+    close(ir.escape_rate(), oracle.escape_rate(), "escapes");
+    close(
+        ir.total_spend().units(),
+        oracle.total_spend().units(),
+        "total spend",
+    );
+    close(
+        ir.final_cost_per_shipped().units(),
+        oracle.final_cost_per_shipped().units(),
+        "final cost",
+    );
+    for cat in CostCategory::ALL {
+        close(
+            ir.by_category()[cat].units(),
+            oracle.by_category()[cat].units(),
+            cat.label(),
+        );
+    }
+    let (ip, op) = (ir.defect_pareto(), oracle.defect_pareto());
+    assert_eq!(ip.len(), op.len());
+    for ((na, va), (nb, vb)) in ip.iter().zip(op.iter()) {
+        assert_eq!(na, nb);
+        close(*va, *vb, na);
+    }
+}
+
+#[test]
+fn patched_sweep_matches_rebuilt_sweep_on_solution2() {
+    // The patched-program sweep (compile once, overwrite the carrier
+    // cost slot per point) must trace the same curve as rebuilding the
+    // production flow per point — the contract behind the
+    // `sweep_analytic` benchmark.
+    let buildup = BuildUp::paper_solutions()[1];
+    let plan = buildup
+        .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+        .unwrap();
+    let area = plan.area().substrate_area;
+    let base_card = cost_inputs(&buildup);
+    let flow = solution2_flow();
+    let carrier = flow.line().carrier().name().to_owned();
+    let base_cost = flow.line().carrier().cost().total();
+    let xs: Vec<f64> = (0..16).map(|i| 0.5 + i as f64 / 16.0).collect();
+
+    let serial = Executor::serial();
+    let rebuilt = sweep_with(&serial, xs.iter().copied(), |x| {
+        let mut card = base_card.clone();
+        card.substrate_cost_per_cm2 = card.substrate_cost_per_cm2 * x;
+        plan.production_flow(area, &card)
+    })
+    .unwrap();
+    let patched = sweep_patched(&flow, xs.iter().copied(), |x, patch| {
+        patch.set_cost(&carrier, base_cost * x)?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(rebuilt.len(), patched.len());
+    for (a, b) in rebuilt.iter().zip(patched.iter()) {
+        assert_eq!(a.x, b.x);
+        let (ca, cb) = (a.final_cost(), b.final_cost());
+        assert!(
+            (ca - cb).abs() <= 1e-12 * ca.abs().max(1.0),
+            "x = {}: rebuilt {ca} vs patched {cb}",
+            a.x
+        );
+    }
 }
 
 #[test]
