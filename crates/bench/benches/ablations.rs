@@ -127,7 +127,7 @@ fn ablation_nre_volume(c: &mut Criterion) {
         curve1.push((volume as f64, r1.final_cost_per_shipped().units() * 1.053));
         curve4.push((volume as f64, r4.final_cost_per_shipped().units()));
     }
-    if let Some(x) = find_crossover(&curve4, &curve1) {
+    if let Ok(Some(x)) = find_crossover(&curve4, &curve1) {
         println!("  sol4 returns to its published +5.3 % penalty at ≈ {x:.0} units");
     }
     c.bench_function("ablation_nre_volume", |b| {
@@ -184,7 +184,7 @@ fn ablation_resistor_crossover(c: &mut Criterion) {
     let grid: Vec<f64> = (1..=30).map(f64::from).collect();
     let pcb_curve: Vec<(f64, f64)> = grid.iter().map(|&n| (n, cost(&pcb, n as u32))).collect();
     let mcm_curve: Vec<(f64, f64)> = grid.iter().map(|&n| (n, cost(&mcm, n as u32))).collect();
-    match find_crossover(&mcm_curve, &pcb_curve) {
+    match find_crossover(&mcm_curve, &pcb_curve).expect("finite cost curves") {
         Some(x) => println!("  integrated becomes cheaper above ≈ {x:.1} resistors"),
         None => println!(
             "  no crossover below 30 resistors with GPS-grade substrate pricing \

@@ -115,6 +115,104 @@ fn bench_sweep_analytic(c: &mut Criterion) {
     group.finish();
 }
 
+/// The design-space explorer against the naive rebuild-per-point loop:
+/// a 1 024-point (32 × 32) substrate-cost × test-coverage grid of the
+/// real solution-2 flow, reduced to its Pareto frontier over
+/// *(final cost ↓, escape rate ↓)*.
+///
+/// * `rebuild` — the pre-subsystem shape: build and compile a fresh
+///   production flow per grid point, then extract the frontier.
+/// * `screen` — `ipass-explore`: compile once, patch the op vector per
+///   point, chunked map-reduce straight to the frontier.
+/// * `refine` — `screen` plus Monte Carlo confirmation of the
+///   frontier-adjacent band (the adaptive analytic→MC pipeline).
+fn bench_explore_frontier(c: &mut Criterion) {
+    use ipass_explore::{
+        DesignPoint, FlowAxis, FlowExplorer, Levels, Metric, Objective, RefineOptions, SamplerSpec,
+    };
+
+    const SIDE: usize = 32;
+    let buildup = BuildUp::paper_solutions()[1];
+    let plan = buildup
+        .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+        .unwrap();
+    let area = plan.area().substrate_area;
+    let base_card = cost_inputs(&buildup);
+    let flow = solution2_flow();
+    let carrier = flow.line().carrier().name().to_owned();
+
+    let scales = Levels::linspace(0.5, 1.5, SIDE);
+    let coverages = Levels::linspace(0.9, 0.999, SIDE);
+    let explorer = FlowExplorer::new(flow.compiled().unwrap())
+        .axis(FlowAxis::cost_scale(&carrier, scales.clone()))
+        .axis(FlowAxis::coverage("functional test", coverages.clone()))
+        .objective(Objective::minimize(Metric::FinalCostPerShipped))
+        .objective(Objective::minimize(Metric::EscapeRate))
+        // Serial on both sides: the comparison is work per point.
+        .with_executor(ipass_moe::Executor::serial());
+
+    let mut group = c.benchmark_group("explore_frontier");
+    group.throughput(Throughput::Elements((SIDE * SIDE) as u64));
+    group.bench_function("rebuild", |b| {
+        b.iter(|| {
+            // The naive loop: one full flow build + compile + analyze
+            // per point, frontier extracted afterwards.
+            let mut points = Vec::with_capacity(SIDE * SIDE);
+            for i in 0..SIDE {
+                for j in 0..SIDE {
+                    let mut card = base_card.clone();
+                    card.substrate_cost_per_cm2 = card.substrate_cost_per_cm2 * scales.level(i);
+                    card.fault_coverage = Probability::clamped(coverages.level(j));
+                    let report = plan
+                        .production_flow(area, &card)
+                        .unwrap()
+                        .analyze()
+                        .unwrap();
+                    points.push(DesignPoint {
+                        index: i * SIDE + j,
+                        coords: vec![scales.level(i), coverages.level(j)],
+                        objectives: vec![
+                            report.final_cost_per_shipped().units(),
+                            report.escape_rate(),
+                        ],
+                    });
+                }
+            }
+            black_box(ipass_explore::ParetoFrontier::extract(
+                vec![
+                    ipass_explore::Sense::Minimize,
+                    ipass_explore::Sense::Minimize,
+                ],
+                points,
+            ))
+        })
+    });
+    group.bench_function("screen", |b| {
+        b.iter(|| black_box(explorer.screen_frontier(&SamplerSpec::Grid).unwrap()))
+    });
+    let refine_options = RefineOptions {
+        margin: 0.05,
+        mc_units: 2_000,
+        seed: 7,
+        stop: None,
+    };
+    group.bench_function("refine", |b| {
+        b.iter(|| {
+            black_box(
+                explorer
+                    .refine(&SamplerSpec::Grid, &refine_options, |coords| {
+                        let mut card = base_card.clone();
+                        card.substrate_cost_per_cm2 = card.substrate_cost_per_cm2 * coords[0];
+                        card.fault_coverage = Probability::clamped(coords[1]);
+                        plan.production_flow(area, &card)
+                    })
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn rework_flow(max_attempts: u32) -> Flow {
     let line = Line::builder(
         "rework-bench",
@@ -187,6 +285,7 @@ criterion_group!(
     bench_mc_threads,
     bench_analytic,
     bench_sweep_analytic,
+    bench_explore_frontier,
     bench_rework
 );
 

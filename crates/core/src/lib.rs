@@ -59,5 +59,8 @@ pub use bom::{BomItem, ItemRole, Realization};
 pub use flowbuild::{ChipCost, CostInputs, YieldBasis};
 pub use fom::{CandidateScore, DecisionError, DecisionRow, DecisionTable, FomWeights};
 pub use plan::{AreaBreakdown, BuildUpPlan, Choice, PlanError, Selection, SelectionObjective};
-pub use study::{StudyCandidate, StudyError, StudyReport, StudyRow, StudyScenario, TradeStudy};
+pub use study::{
+    CandidateExploration, StudyCandidate, StudyError, StudyExploration, StudyReport, StudyRow,
+    StudyScenario, TradeStudy,
+};
 pub use technology::{BuildUp, DieAttach, PassivePolicy, SubstrateTech};

@@ -10,8 +10,13 @@ use crate::flowbuild::CostInputs;
 use crate::fom::{CandidateScore, DecisionError, DecisionTable, FomWeights};
 use crate::plan::{AreaBreakdown, BuildUpPlan, PlanError, SelectionObjective};
 use crate::technology::BuildUp;
+use ipass_explore::{
+    Exploration, ExploreError, FlowAxis, FlowExplorer, FrontierDiff, Metric, Objective, SamplerSpec,
+};
 use ipass_moe::{CompiledFlow, CostReport, FlowError, PatchDirective};
 use ipass_sim::Executor;
+use ipass_units::Money;
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 
@@ -50,6 +55,8 @@ pub enum StudyError {
     Flow(FlowError),
     /// Ranking failed.
     Decision(DecisionError),
+    /// A design-space exploration failed.
+    Explore(ExploreError),
 }
 
 impl fmt::Display for StudyError {
@@ -59,6 +66,7 @@ impl fmt::Display for StudyError {
             StudyError::Plan(e) => write!(f, "planning failed: {e}"),
             StudyError::Flow(e) => write!(f, "cost evaluation failed: {e}"),
             StudyError::Decision(e) => write!(f, "ranking failed: {e}"),
+            StudyError::Explore(e) => write!(f, "exploration failed: {e}"),
         }
     }
 }
@@ -80,6 +88,12 @@ impl From<FlowError> for StudyError {
 impl From<DecisionError> for StudyError {
     fn from(e: DecisionError) -> StudyError {
         StudyError::Decision(e)
+    }
+}
+
+impl From<ExploreError> for StudyError {
+    fn from(e: ExploreError) -> StudyError {
+        StudyError::Explore(e)
     }
 }
 
@@ -271,21 +285,18 @@ impl TradeStudy {
         let cost_grid: Vec<(usize, usize)> = (0..self.candidates.len())
             .flat_map(|c| (0..cost_classes.len()).map(move |k| (c, k)))
             .collect();
-        let costs = self.executor.try_map(&cost_grid, |_, &(c, k)| {
-            let (o, patch) = cost_classes[k];
-            let compiled = &bases[c * objectives.len() + o].compiled;
-            let report = match patch {
-                None => compiled.analyze()?,
-                Some(directives) => {
-                    let mut point = compiled.patch();
+        let costs: Vec<CostReport> =
+            ipass_moe::analyze_patched_batch(&self.executor, &cost_grid, |_, &(c, k)| {
+                let (o, patch) = cost_classes[k];
+                let compiled = &bases[c * objectives.len() + o].compiled;
+                let mut point = compiled.patch();
+                if let Some(directives) = patch {
                     for directive in directives {
                         point.apply(directive)?;
                     }
-                    point.analyze()?
                 }
-            };
-            Ok::<CostReport, StudyError>(report)
-        })?;
+                Ok(Cow::Owned(point))
+            })?;
 
         scenarios
             .iter()
@@ -329,6 +340,96 @@ impl TradeStudy {
                 })
             })
             .collect()
+    }
+
+    /// Run a design-space exploration over every candidate: the same
+    /// axes (say, amortization volume × test coverage) are swept over
+    /// each candidate's compiled production program through
+    /// `ipass-explore`, and the study is decided on the *frontier-best*
+    /// cost of each candidate rather than a single point estimate.
+    ///
+    /// Each candidate is planned and compiled once (the study's
+    /// selection objective applies); the explorer then screens every
+    /// sampled point analytically — a patched op-vector copy per point,
+    /// never a rebuilt flow — and extracts a Pareto frontier over
+    /// *(final cost per shipped unit ↓, shipped fraction ↑)*. The
+    /// returned [`StudyExploration`] carries, per candidate, the full
+    /// screen, the frontier, and the frontier diff against the
+    /// reference candidate, plus a [`DecisionTable`] ranked at each
+    /// candidate's cheapest frontier point.
+    ///
+    /// The axes name patch slots by their stage/part path; they must
+    /// resolve in **every** candidate's compiled flow (stages shared by
+    /// construction — `"functional test"`, volume — are safe choices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError`] when no candidates are registered, a
+    /// candidate fails to plan, an axis names a slot some candidate
+    /// does not expose, or ranking fails.
+    pub fn run_exploration(
+        &self,
+        axes: &[FlowAxis],
+        sampler: &SamplerSpec,
+    ) -> Result<StudyExploration, StudyError> {
+        if self.candidates.is_empty() {
+            return Err(StudyError::NoCandidates);
+        }
+        let cells: Vec<usize> = (0..self.candidates.len()).collect();
+        let bases = self
+            .executor
+            .try_map(&cells, |_, &c| self.plan_candidate(c, self.objective))?;
+        let explorations: Vec<Exploration> = bases
+            .iter()
+            .map(|cell| {
+                let mut explorer = FlowExplorer::new(cell.compiled.clone())
+                    .objective(Objective::minimize(Metric::FinalCostPerShipped))
+                    .objective(Objective::maximize(Metric::ShippedFraction))
+                    .with_executor(self.executor);
+                for axis in axes {
+                    explorer = explorer.axis(axis.clone());
+                }
+                Ok::<Exploration, StudyError>(explorer.explore(sampler)?)
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Only the reference's frontier is needed for the diffs — keep
+        // a copy of that and *move* each (potentially huge) screen into
+        // its CandidateExploration.
+        let reference_frontier = explorations[0].frontier.clone();
+        let mut candidates = Vec::with_capacity(bases.len());
+        let mut scores = Vec::with_capacity(bases.len());
+        for (i, (cell, exploration)) in bases.iter().zip(explorations).enumerate() {
+            let best = exploration
+                .frontier
+                .best_by(0)
+                .expect("explorations have at least one point");
+            let best_cost = Money::new(best.objectives[0]);
+            scores.push(CandidateScore::new(
+                cell.plan.buildup().to_string(),
+                cell.performance,
+                cell.area.module_area,
+                best_cost,
+            ));
+            let vs_reference = if i == 0 {
+                None
+            } else {
+                Some(exploration.frontier.diff(&reference_frontier)?)
+            };
+            candidates.push(CandidateExploration {
+                name: cell.plan.buildup().to_string(),
+                exploration,
+                best_cost,
+                vs_reference,
+            });
+        }
+        let reference = scores[0].name.clone();
+        let decision = DecisionTable::rank(&scores, &reference, self.weights)?;
+        Ok(StudyExploration {
+            name: self.name.clone(),
+            candidates,
+            decision,
+        })
     }
 
     fn plan_candidate(
@@ -480,6 +581,76 @@ impl StudyReport {
 }
 
 impl fmt::Display for StudyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One candidate's slice of a [`TradeStudy::run_exploration`].
+#[derive(Debug, Clone)]
+pub struct CandidateExploration {
+    /// The candidate (build-up) name.
+    pub name: String,
+    /// The full analytic screen and its Pareto frontier over
+    /// *(final cost ↓, shipped fraction ↑)*.
+    pub exploration: Exploration,
+    /// The cheapest frontier cost — what the decision table ranks on.
+    pub best_cost: Money,
+    /// Frontier diff against the reference candidate (`None` for the
+    /// reference itself): which of this candidate's trade-off points
+    /// the reference beats outright, and vice versa.
+    pub vs_reference: Option<FrontierDiff>,
+}
+
+/// The outcome of [`TradeStudy::run_exploration`]: per-candidate
+/// frontiers plus the decision table ranked at each candidate's
+/// frontier-best cost.
+#[derive(Debug, Clone)]
+pub struct StudyExploration {
+    name: String,
+    /// Per-candidate explorations, in registration order (the first is
+    /// the reference).
+    pub candidates: Vec<CandidateExploration>,
+    /// The ranking at frontier-best costs.
+    pub decision: DecisionTable,
+}
+
+impl StudyExploration {
+    /// Study name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Render the exploration: per-candidate frontier summaries plus
+    /// the decision table.
+    pub fn render(&self) -> String {
+        let mut out = format!("trade-study exploration: {}\n", self.name);
+        for c in &self.candidates {
+            out.push_str(&format!(
+                "  {:<26} frontier {:>3} / {:>5} points, best cost {:>9.2}",
+                c.name,
+                c.exploration.frontier.members().len(),
+                c.exploration.points.len(),
+                c.best_cost.units(),
+            ));
+            if let Some(diff) = &c.vs_reference {
+                out.push_str(&format!(
+                    "  (vs reference: {}/{} survive, reference {}/{})",
+                    diff.left_surviving.len(),
+                    diff.left_total,
+                    diff.right_surviving.len(),
+                    diff.right_total,
+                ));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        out.push_str(&self.decision.render());
+        out
+    }
+}
+
+impl fmt::Display for StudyExploration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }
@@ -659,6 +830,66 @@ mod tests {
             err,
             StudyError::Flow(FlowError::UnknownPatchSlot { .. })
         ));
+    }
+
+    #[test]
+    fn exploration_ranks_on_frontier_best_cost() {
+        use ipass_explore::Levels;
+
+        let axes = vec![
+            FlowAxis::volume(Levels::linspace(1_000.0, 100_000.0, 6)),
+            FlowAxis::coverage("functional test", Levels::linspace(0.9, 0.999, 6)),
+        ];
+        let result = study().run_exploration(&axes, &SamplerSpec::Grid).unwrap();
+        assert_eq!(result.candidates.len(), 2);
+        assert_eq!(result.decision.rows().len(), 2);
+        for c in &result.candidates {
+            assert_eq!(c.exploration.points.len(), 36);
+            assert!(!c.exploration.frontier.members().is_empty());
+            // Frontier-best really is the minimum cost over the screen.
+            let min = c
+                .exploration
+                .points
+                .iter()
+                .map(|p| p.objectives[0])
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(c.best_cost.units(), min);
+        }
+        // The reference carries no self-diff; the challenger does.
+        assert!(result.candidates[0].vs_reference.is_none());
+        assert!(result.candidates[1].vs_reference.is_some());
+        let text = result.render();
+        assert!(text.contains("frontier") && text.contains("FoM"));
+        // Thread count never changes the outcome.
+        let serial = study()
+            .with_executor(Executor::serial())
+            .run_exploration(&axes, &SamplerSpec::Grid)
+            .unwrap();
+        for (a, b) in result.candidates.iter().zip(serial.candidates.iter()) {
+            assert_eq!(a.exploration.points, b.exploration.points);
+            assert_eq!(a.best_cost, b.best_cost);
+        }
+    }
+
+    #[test]
+    fn exploration_rejects_unknown_slots_and_empty_studies() {
+        use ipass_explore::Levels;
+
+        let axes = vec![FlowAxis::cost_scale(
+            "ghost stage",
+            Levels::linspace(0.5, 1.5, 3),
+        )];
+        let err = study()
+            .run_exploration(&axes, &SamplerSpec::Grid)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StudyError::Explore(ExploreError::Flow(FlowError::UnknownPatchSlot { .. }))
+        ));
+        let err = TradeStudy::new("empty", bom())
+            .run_exploration(&axes, &SamplerSpec::Grid)
+            .unwrap_err();
+        assert!(matches!(err, StudyError::NoCandidates));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Errors reported when defining or running an exploration.
+
+use ipass_moe::FlowError;
+use std::error::Error;
+use std::fmt;
+
+/// Error defining or running a design-space exploration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// The exploration defines no axes — there is no space to sample.
+    NoAxes,
+    /// The exploration defines no objectives — no dominance order
+    /// exists, so "frontier" is meaningless.
+    NoObjectives,
+    /// An axis has no levels.
+    EmptyAxis {
+        /// Name of the offending axis.
+        axis: String,
+    },
+    /// An axis range is unusable: non-finite bounds or `lo > hi`.
+    InvalidAxisRange {
+        /// Name of the offending axis.
+        axis: String,
+        /// Lower bound as given.
+        lo: f64,
+        /// Upper bound as given.
+        hi: f64,
+    },
+    /// A probability-valued axis (yield, coverage) reaches outside
+    /// `[0, 1]`.
+    ProbabilityAxisOutOfRange {
+        /// Name of the offending axis.
+        axis: String,
+        /// Lower bound as given.
+        lo: f64,
+        /// Upper bound as given.
+        hi: f64,
+    },
+    /// A sampler was asked for zero points.
+    NoPoints,
+    /// The full grid over the axes exceeds the supported point count.
+    GridTooLarge {
+        /// The number of grid points the axes imply.
+        points: u128,
+        /// The supported maximum.
+        limit: u64,
+    },
+    /// An evaluation returned a different number of objective values
+    /// than the exploration defines.
+    ObjectiveCountMismatch {
+        /// Point index whose evaluation misbehaved.
+        point: usize,
+        /// Objectives the exploration defines.
+        expected: usize,
+        /// Values the evaluation returned.
+        got: usize,
+    },
+    /// An evaluation produced a NaN objective — NaN has no place in a
+    /// dominance order, so the point is rejected instead of silently
+    /// winning or losing every comparison.
+    NanObjective {
+        /// Point index whose evaluation misbehaved.
+        point: usize,
+        /// Name of the offending objective.
+        objective: String,
+    },
+    /// Two frontiers with different objective senses were diffed.
+    SenseMismatch,
+    /// Evaluating a point failed inside the production-flow layer.
+    Flow(FlowError),
+    /// Evaluating a point failed inside a domain layer (filter design,
+    /// component synthesis, …).
+    Eval {
+        /// Point index whose evaluation failed.
+        point: usize,
+        /// The domain error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::NoAxes => write!(f, "exploration has no axes"),
+            ExploreError::NoObjectives => write!(f, "exploration has no objectives"),
+            ExploreError::EmptyAxis { axis } => write!(f, "axis {axis:?} has no levels"),
+            ExploreError::InvalidAxisRange { axis, lo, hi } => {
+                write!(f, "axis {axis:?} has an invalid range [{lo}, {hi}]")
+            }
+            ExploreError::ProbabilityAxisOutOfRange { axis, lo, hi } => write!(
+                f,
+                "probability axis {axis:?} range [{lo}, {hi}] leaves [0, 1]"
+            ),
+            ExploreError::NoPoints => write!(f, "sampler was asked for zero points"),
+            ExploreError::GridTooLarge { points, limit } => {
+                write!(f, "full grid has {points} points (limit {limit})")
+            }
+            ExploreError::ObjectiveCountMismatch {
+                point,
+                expected,
+                got,
+            } => write!(
+                f,
+                "point {point} evaluated to {got} objective values, expected {expected}"
+            ),
+            ExploreError::NanObjective { point, objective } => {
+                write!(f, "point {point} produced NaN for objective {objective:?}")
+            }
+            ExploreError::SenseMismatch => {
+                write!(
+                    f,
+                    "frontiers with different objective senses cannot be diffed"
+                )
+            }
+            ExploreError::Flow(e) => write!(f, "flow evaluation failed: {e}"),
+            ExploreError::Eval { point, message } => {
+                write!(f, "evaluating point {point} failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+impl From<FlowError> for ExploreError {
+    fn from(e: FlowError) -> ExploreError {
+        ExploreError::Flow(e)
+    }
+}

@@ -1,0 +1,887 @@
+//! The production-flow binding: explore a [`CompiledFlow`] by patching.
+//!
+//! A [`FlowAxis`] binds a generic [`Axis`] to a patch slot of the
+//! compiled program (or to the amortization volume, or to a custom
+//! patch procedure); a [`Metric`] reads one objective value off a
+//! [`CostReport`]. The explorer then drives the pipeline the paper's
+//! scenario questions ask for:
+//!
+//! 1. **sample** the axes (grid / random / Latin hypercube),
+//! 2. **screen** every point analytically — a [`FlowPatch`] per point,
+//!    ~hundreds of nanoseconds each, via the same shared
+//!    [`analyze_patched_batch`] fan-out the sweeps and tornado charts
+//!    use,
+//! 3. **extract** the Pareto frontier over the objectives,
+//! 4. optionally **refine**: promote only frontier-adjacent points to
+//!    seeded Monte Carlo confirmation (with CI-based early stopping),
+//!    rebuilding the line per promoted point — patched programs are
+//!    analytic-only by contract.
+
+use crate::engine::{checked_objectives, Exploration};
+use crate::error::ExploreError;
+use crate::pareto::{dominates, DesignPoint, ParetoFrontier, Sense};
+use crate::sample::SamplerSpec;
+use crate::space::{Axis, Levels};
+use ipass_moe::{
+    analyze_patched_batch, CompiledFlow, CostReport, Flow, FlowError, FlowPatch, PatchDirective,
+    SimOptions, StopRule,
+};
+use ipass_sim::{Executor, SimRng};
+use ipass_units::{Money, Probability};
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A caller-supplied patch procedure (the [`FlowTarget::Custom`]
+/// payload): writes one axis value into a [`FlowPatch`], possibly
+/// across several coupled slots.
+pub type CustomPatch = Arc<dyn Fn(f64, &mut FlowPatch) -> Result<(), FlowError> + Send + Sync>;
+
+/// What a [`FlowAxis`] value is written into.
+#[derive(Clone)]
+pub enum FlowTarget {
+    /// A cost slot, set to the axis value per input unit
+    /// ([`FlowPatch::set_cost`]).
+    UnitCost {
+        /// Patch-slot name.
+        slot: String,
+    },
+    /// A cost slot, scaled by the axis value
+    /// ([`FlowPatch::scale_cost`]).
+    CostScale {
+        /// Patch-slot name.
+        slot: String,
+    },
+    /// A yield slot, set to the axis value
+    /// ([`FlowPatch::set_yield`]).
+    Yield {
+        /// Patch-slot name.
+        slot: String,
+    },
+    /// A test-coverage slot, set to the axis value
+    /// ([`FlowPatch::set_coverage`]).
+    Coverage {
+        /// Patch-slot name.
+        slot: String,
+    },
+    /// The amortization volume ([`FlowPatch::set_volume`]), rounded to
+    /// the nearest unit (minimum 1).
+    Volume,
+    /// A caller-supplied patch procedure, for axis values that move
+    /// several coupled slots at once (e.g. a substrate yield whose
+    /// known-good markup moves the carrier cost too).
+    Custom(CustomPatch),
+}
+
+impl fmt::Debug for FlowTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowTarget::UnitCost { slot } => write!(f, "UnitCost({slot:?})"),
+            FlowTarget::CostScale { slot } => write!(f, "CostScale({slot:?})"),
+            FlowTarget::Yield { slot } => write!(f, "Yield({slot:?})"),
+            FlowTarget::Coverage { slot } => write!(f, "Coverage({slot:?})"),
+            FlowTarget::Volume => write!(f, "Volume"),
+            FlowTarget::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// One axis of a production-flow design space: a generic [`Axis`] plus
+/// where its value lands in the compiled program.
+#[derive(Debug, Clone)]
+pub struct FlowAxis {
+    /// The generic axis (name + levels).
+    pub axis: Axis,
+    /// Where the value is written.
+    pub target: FlowTarget,
+}
+
+impl FlowAxis {
+    fn new(name: impl Into<String>, levels: Levels, target: FlowTarget) -> FlowAxis {
+        FlowAxis {
+            axis: Axis::new(name, levels),
+            target,
+        }
+    }
+
+    /// A per-input-unit cost axis on `slot`.
+    pub fn unit_cost(slot: impl Into<String>, levels: Levels) -> FlowAxis {
+        let slot = slot.into();
+        FlowAxis::new(
+            format!("{slot} cost"),
+            levels,
+            FlowTarget::UnitCost { slot },
+        )
+    }
+
+    /// A cost-scale axis on `slot` (axis value multiplies the compiled
+    /// cost).
+    pub fn cost_scale(slot: impl Into<String>, levels: Levels) -> FlowAxis {
+        let slot = slot.into();
+        FlowAxis::new(
+            format!("{slot} cost ×"),
+            levels,
+            FlowTarget::CostScale { slot },
+        )
+    }
+
+    /// A yield axis on `slot` (axis value is the per-input-unit success
+    /// probability; levels must stay inside `[0, 1]`).
+    pub fn step_yield(slot: impl Into<String>, levels: Levels) -> FlowAxis {
+        let slot = slot.into();
+        FlowAxis::new(format!("{slot} yield"), levels, FlowTarget::Yield { slot })
+    }
+
+    /// A fault-coverage axis on test stage `slot` (levels must stay
+    /// inside `[0, 1]`).
+    pub fn coverage(slot: impl Into<String>, levels: Levels) -> FlowAxis {
+        let slot = slot.into();
+        FlowAxis::new(
+            format!("{slot} coverage"),
+            levels,
+            FlowTarget::Coverage { slot },
+        )
+    }
+
+    /// An amortization-volume axis.
+    pub fn volume(levels: Levels) -> FlowAxis {
+        FlowAxis::new("volume", levels, FlowTarget::Volume)
+    }
+
+    /// A custom axis applying `apply(value, patch)` per point.
+    pub fn custom(
+        name: impl Into<String>,
+        levels: Levels,
+        apply: impl Fn(f64, &mut FlowPatch) -> Result<(), FlowError> + Send + Sync + 'static,
+    ) -> FlowAxis {
+        FlowAxis::new(name, levels, FlowTarget::Custom(Arc::new(apply)))
+    }
+
+    /// Rename the axis (the constructors derive a name from the slot).
+    pub fn named(mut self, name: impl Into<String>) -> FlowAxis {
+        self.axis.name = name.into();
+        self
+    }
+
+    /// The declarative [`PatchDirective`] for value `x`, when the target
+    /// has one (volume and custom axes patch beyond the directive
+    /// vocabulary and return `None`).
+    pub fn directive(&self, x: f64) -> Option<PatchDirective> {
+        match &self.target {
+            FlowTarget::UnitCost { slot } => Some(PatchDirective::SetCost {
+                slot: slot.clone(),
+                unit_cost: Money::new(x),
+            }),
+            FlowTarget::CostScale { slot } => Some(PatchDirective::ScaleCost {
+                slot: slot.clone(),
+                factor: x,
+            }),
+            FlowTarget::Yield { slot } => Some(PatchDirective::SetYield {
+                slot: slot.clone(),
+                p: Probability::clamped(x),
+            }),
+            FlowTarget::Coverage { slot } => Some(PatchDirective::SetCoverage {
+                slot: slot.clone(),
+                p: Probability::clamped(x),
+            }),
+            FlowTarget::Volume | FlowTarget::Custom(_) => None,
+        }
+    }
+
+    /// Write value `x` into `patch`.
+    fn apply(&self, x: f64, patch: &mut FlowPatch) -> Result<(), FlowError> {
+        match &self.target {
+            FlowTarget::UnitCost { slot } => {
+                patch.set_cost(slot, Money::new(x))?;
+            }
+            FlowTarget::CostScale { slot } => {
+                patch.scale_cost(slot, x)?;
+            }
+            FlowTarget::Yield { slot } => {
+                patch.set_yield(slot, Probability::clamped(x))?;
+            }
+            FlowTarget::Coverage { slot } => {
+                patch.set_coverage(slot, Probability::clamped(x))?;
+            }
+            FlowTarget::Volume => {
+                patch.set_volume(x.round().max(1.0) as u64);
+            }
+            FlowTarget::Custom(apply) => apply(x, patch)?,
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), ExploreError> {
+        self.axis.levels.validate(&self.axis.name)?;
+        if matches!(
+            self.target,
+            FlowTarget::Yield { .. } | FlowTarget::Coverage { .. }
+        ) {
+            let (lo, hi) = self.axis.levels.bounds();
+            if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) {
+                return Err(ExploreError::ProbabilityAxisOutOfRange {
+                    axis: self.axis.name.clone(),
+                    lo,
+                    hi,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A scalar read off a [`CostReport`] — the objective vocabulary of the
+/// flow explorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// The paper's Eq. 1: final cost per shipped unit.
+    FinalCostPerShipped,
+    /// Direct (embodied) cost per shipped unit.
+    DirectCostPerShipped,
+    /// Yield-loss share per shipped unit.
+    YieldLossPerShipped,
+    /// Total spend over the whole run.
+    TotalSpend,
+    /// Fraction of started units that ship.
+    ShippedFraction,
+    /// Fraction of shipped units that are latent escapes.
+    EscapeRate,
+}
+
+impl Metric {
+    /// Read the metric off a report.
+    pub fn of(self, report: &CostReport) -> f64 {
+        match self {
+            Metric::FinalCostPerShipped => report.final_cost_per_shipped().units(),
+            Metric::DirectCostPerShipped => report.direct_cost_per_shipped().units(),
+            Metric::YieldLossPerShipped => report.yield_loss_per_shipped().units(),
+            Metric::TotalSpend => report.total_spend().units(),
+            Metric::ShippedFraction => report.shipped_fraction(),
+            Metric::EscapeRate => report.escape_rate(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::FinalCostPerShipped => "final cost/shipped",
+            Metric::DirectCostPerShipped => "direct cost/shipped",
+            Metric::YieldLossPerShipped => "yield loss/shipped",
+            Metric::TotalSpend => "total spend",
+            Metric::ShippedFraction => "shipped fraction",
+            Metric::EscapeRate => "escape rate",
+        }
+    }
+}
+
+/// One objective of a flow exploration: a metric and the direction in
+/// which it improves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Display label.
+    pub label: String,
+    /// The metric read off each point's report.
+    pub metric: Metric,
+    /// Which direction improves.
+    pub sense: Sense,
+}
+
+impl Objective {
+    /// Minimize `metric`.
+    pub fn minimize(metric: Metric) -> Objective {
+        Objective {
+            label: metric.name().into(),
+            metric,
+            sense: Sense::Minimize,
+        }
+    }
+
+    /// Maximize `metric`.
+    pub fn maximize(metric: Metric) -> Objective {
+        Objective {
+            label: metric.name().into(),
+            metric,
+            sense: Sense::Maximize,
+        }
+    }
+}
+
+/// Options for [`FlowExplorer::refine`].
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// Promotion margin on min-max-normalized objectives: a point is
+    /// *pruned* when some dominating point beats it by at least this
+    /// fraction of the observed range in **every** (non-constant)
+    /// objective — ε-dominance, so the Monte Carlo budget goes only to
+    /// the ε-non-dominated band around the frontier and no pruned
+    /// point can re-enter it under estimator noise below the margin.
+    /// 0 promotes exactly the frontier; larger values widen the band.
+    pub margin: f64,
+    /// Monte Carlo unit budget per promoted point.
+    pub mc_units: u64,
+    /// Base seed; promoted point `i` simulates under a seed derived
+    /// from `(seed, i)`, so confirmations are reproducible and
+    /// independent of which other points were promoted.
+    pub seed: u64,
+    /// Optional CI-based early stopping (see
+    /// [`Flow::simulate_adaptive`]).
+    pub stop: Option<StopRule>,
+}
+
+impl Default for RefineOptions {
+    fn default() -> RefineOptions {
+        RefineOptions {
+            margin: 0.05,
+            mc_units: 20_000,
+            seed: 0x1DEA_5EED,
+            stop: None,
+        }
+    }
+}
+
+/// One promoted point's Monte Carlo confirmation.
+#[derive(Debug, Clone)]
+pub struct Confirmation {
+    /// The confirmed point's sampler index.
+    pub index: usize,
+    /// Objective values measured by the Monte Carlo engine (aligned
+    /// with the exploration's objectives).
+    pub objectives: Vec<f64>,
+    /// Units actually routed (less than the budget under early
+    /// stopping).
+    pub units_run: f64,
+    /// Whether the early-stopping rule fired.
+    pub stopped_early: bool,
+}
+
+/// The outcome of [`FlowExplorer::refine`].
+#[derive(Debug, Clone)]
+pub struct Refined {
+    /// The full analytic screen (every sampled point).
+    pub screen: Exploration,
+    /// Indices of the points promoted to Monte Carlo, ascending.
+    pub promoted: Vec<usize>,
+    /// Per-promoted-point Monte Carlo confirmations, aligned with
+    /// `promoted`.
+    pub confirmations: Vec<Confirmation>,
+}
+
+impl Refined {
+    /// The analytic Pareto frontier (exact — the analytic engine is
+    /// closed-form, so this *is* the full-grid frontier).
+    pub fn frontier(&self) -> &ParetoFrontier {
+        &self.screen.frontier
+    }
+
+    /// The frontier re-extracted from the Monte Carlo measurements of
+    /// the promoted points — what a pure-sampling study would have
+    /// reported, useful to judge how far MC noise moves the picture.
+    pub fn confirmed_frontier(&self) -> ParetoFrontier {
+        ParetoFrontier::extract(
+            self.screen.senses.clone(),
+            self.confirmations.iter().map(|c| DesignPoint {
+                index: c.index,
+                coords: self.screen.points[c.index].coords.clone(),
+                objectives: c.objectives.clone(),
+            }),
+        )
+    }
+
+    /// Fraction of screened points that paid for a Monte Carlo run.
+    pub fn promoted_fraction(&self) -> f64 {
+        self.promoted.len() as f64 / self.screen.points.len().max(1) as f64
+    }
+
+    /// Render the refinement summary.
+    pub fn render(&self) -> String {
+        let mut out = self.screen.render();
+        out.push_str(&format!(
+            "refined: {} of {} points promoted to MC ({:.1} %), {} stopped early\n",
+            self.promoted.len(),
+            self.screen.points.len(),
+            100.0 * self.promoted_fraction(),
+            self.confirmations
+                .iter()
+                .filter(|c| c.stopped_early)
+                .count(),
+        ));
+        out
+    }
+}
+
+/// The production-flow design-space explorer (see the [module
+/// docs](self) for the pipeline).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_explore::{FlowAxis, FlowExplorer, Levels, Metric, Objective, SamplerSpec};
+/// use ipass_moe::{CostCategory, Flow, Line, Part, Process, StepCost, Test, YieldModel};
+/// use ipass_units::{Money, Probability};
+///
+/// let line = Line::builder("demo", Part::new("board", CostCategory::Substrate)
+///         .with_cost(StepCost::fixed(Money::new(2.0))))
+///     .process(Process::new("assemble")
+///         .with_cost(StepCost::fixed(Money::new(1.0)))
+///         .with_yield(YieldModel::percent(95.0)))
+///     .test(Test::new("test")
+///         .with_cost(StepCost::fixed(Money::new(0.5)))
+///         .with_coverage(Probability::new(0.95)?))
+///     .build()?;
+/// let exploration = FlowExplorer::new(Flow::new(line).compiled()?)
+///     .axis(FlowAxis::cost_scale("board", Levels::linspace(0.5, 1.5, 8)))
+///     .axis(FlowAxis::coverage("test", Levels::linspace(0.9, 0.999, 8)))
+///     .objective(Objective::minimize(Metric::FinalCostPerShipped))
+///     .objective(Objective::minimize(Metric::EscapeRate))
+///     .explore(&SamplerSpec::Grid)?;
+/// assert_eq!(exploration.points.len(), 64);
+/// assert!(!exploration.frontier.members().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowExplorer {
+    compiled: CompiledFlow,
+    axes: Vec<FlowAxis>,
+    objectives: Vec<Objective>,
+    executor: Executor,
+}
+
+impl FlowExplorer {
+    /// An explorer over a compiled flow, with no axes or objectives yet
+    /// and an executor sized to the machine.
+    pub fn new(compiled: CompiledFlow) -> FlowExplorer {
+        FlowExplorer {
+            compiled,
+            axes: Vec::new(),
+            objectives: Vec::new(),
+            executor: Executor::available(),
+        }
+    }
+
+    /// Add an axis.
+    pub fn axis(mut self, axis: FlowAxis) -> FlowExplorer {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Add an objective.
+    pub fn objective(mut self, objective: Objective) -> FlowExplorer {
+        self.objectives.push(objective);
+        self
+    }
+
+    /// Change the executor (results never depend on the choice).
+    pub fn with_executor(mut self, executor: Executor) -> FlowExplorer {
+        self.executor = executor;
+        self
+    }
+
+    /// The compiled flow under exploration.
+    pub fn compiled(&self) -> &CompiledFlow {
+        &self.compiled
+    }
+
+    fn validate(&self) -> Result<(), ExploreError> {
+        if self.axes.is_empty() {
+            return Err(ExploreError::NoAxes);
+        }
+        if self.objectives.is_empty() {
+            return Err(ExploreError::NoObjectives);
+        }
+        for axis in &self.axes {
+            axis.validate()?;
+        }
+        Ok(())
+    }
+
+    fn generic_axes(&self) -> Vec<Axis> {
+        self.axes.iter().map(|a| a.axis.clone()).collect()
+    }
+
+    fn senses(&self) -> Vec<Sense> {
+        self.objectives.iter().map(|o| o.sense).collect()
+    }
+
+    fn objective_names(&self) -> Vec<String> {
+        self.objectives.iter().map(|o| o.label.clone()).collect()
+    }
+
+    /// Patch one point's coordinates into a fresh copy of the compiled
+    /// program.
+    fn patch_point(&self, coords: &[f64]) -> Result<FlowPatch, FlowError> {
+        let mut patch = self.compiled.patch();
+        for (axis, &x) in self.axes.iter().zip(coords) {
+            axis.apply(x, &mut patch)?;
+        }
+        Ok(patch)
+    }
+
+    fn measure(&self, report: &CostReport) -> Vec<f64> {
+        self.objectives
+            .iter()
+            .map(|o| o.metric.of(report))
+            .collect()
+    }
+
+    /// Sample and analytically evaluate every point, returning the full
+    /// screen with its Pareto frontier.
+    ///
+    /// The evaluation fans out through the same
+    /// [`analyze_patched_batch`] helper the sweeps and tornado charts
+    /// use: one op-vector copy plus a cohort walk per point, never a
+    /// rebuilt flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError`] when the space or objectives are
+    /// degenerate or any point fails to evaluate (first failure in
+    /// point order).
+    pub fn explore(&self, sampler: &SamplerSpec) -> Result<Exploration, ExploreError> {
+        self.validate()?;
+        let names = self.objective_names();
+        let senses = self.senses();
+        let pts = sampler.points(&self.generic_axes())?;
+        let coords: Vec<Vec<f64>> = (0..pts.len()).map(|i| pts.coords(i)).collect();
+        let reports = analyze_patched_batch(&self.executor, &coords, |_, point| {
+            Ok(Cow::Owned(self.patch_point(point)?))
+        })?;
+        let points = coords
+            .into_iter()
+            .zip(&reports)
+            .enumerate()
+            .map(|(i, (coords, report))| {
+                Ok(DesignPoint {
+                    index: i,
+                    coords,
+                    objectives: checked_objectives(i, self.measure(report), &names)?,
+                })
+            })
+            .collect::<Result<Vec<_>, ExploreError>>()?;
+        let frontier = ParetoFrontier::extract(senses.clone(), points.iter().cloned());
+        Ok(Exploration {
+            axes: self.axes.iter().map(|a| a.axis.name.clone()).collect(),
+            objectives: names,
+            senses,
+            points,
+            frontier,
+        })
+    }
+
+    /// Reduce straight to the Pareto frontier without retaining the
+    /// screened points — `O(frontier)` memory via the executor's
+    /// chunked map-reduce, for grids too large to keep.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowExplorer::explore`].
+    pub fn screen_frontier(&self, sampler: &SamplerSpec) -> Result<ParetoFrontier, ExploreError> {
+        self.validate()?;
+        let names = self.objective_names();
+        let senses = self.senses();
+        let pts = sampler.points(&self.generic_axes())?;
+        self.executor.try_map_reduce(
+            pts.len() as u64,
+            || ParetoFrontier::new(senses.clone()),
+            |unit, acc| {
+                let i = unit as usize;
+                let coords = pts.coords(i);
+                let report = self.patch_point(&coords)?.analyze()?;
+                acc.insert(DesignPoint {
+                    index: i,
+                    coords,
+                    objectives: checked_objectives(i, self.measure(&report), &names)?,
+                });
+                Ok(())
+            },
+            |into, from| into.merge(from),
+        )
+    }
+
+    /// Adaptive refinement: screen every point analytically, prune
+    /// everything a clear margin inside the dominated region, and
+    /// promote only the frontier-adjacent remainder to seeded Monte
+    /// Carlo confirmation.
+    ///
+    /// `build` rebuilds the production flow for a promoted point's
+    /// coordinates — the Monte Carlo engine's draw-stream contract is
+    /// defined by compiling a line, so modified models are re-compiled,
+    /// never patched (see `ipass_moe::patch`). Each promoted point
+    /// simulates under its own derived seed; results are bit-identical
+    /// for any executor thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError`] when the screen fails, `build` fails,
+    /// or a promoted point's simulation fails (first failure in point
+    /// order).
+    pub fn refine<B>(
+        &self,
+        sampler: &SamplerSpec,
+        options: &RefineOptions,
+        build: B,
+    ) -> Result<Refined, ExploreError>
+    where
+        B: Fn(&[f64]) -> Result<Flow, FlowError> + Sync,
+    {
+        let screen = self.explore(sampler)?;
+        let promoted = promote(&screen, options.margin);
+        let names = self.objective_names();
+        let confirmations = self.executor.try_map(&promoted, |_, &i| {
+            let point = &screen.points[i];
+            let flow = build(&point.coords)?;
+            let seed = SimRng::stream(options.seed, i as u64).next_u64();
+            let sim = SimOptions::new(options.mc_units).with_seed(seed);
+            let summary = match options.stop {
+                Some(rule) => flow.simulate_adaptive(&sim, rule),
+                None => flow.simulate_summary(&sim),
+            }?;
+            Ok::<Confirmation, ExploreError>(Confirmation {
+                index: i,
+                objectives: checked_objectives(i, self.measure(&summary.report), &names)?,
+                units_run: summary.report.started(),
+                stopped_early: summary.stopped_early,
+            })
+        })?;
+        Ok(Refined {
+            screen,
+            promoted,
+            confirmations,
+        })
+    }
+}
+
+/// The ε-non-dominated promotion set: a point is pruned when some
+/// *dominating* point beats it by at least `margin` of the observed
+/// (min-max) range in **every** non-constant objective — standard
+/// ε-dominance, so a pruned point cannot re-enter the frontier under
+/// estimator noise smaller than the margin in any single objective.
+/// Frontier members are never dominated, so the promotion set is
+/// always a frontier superset, and `margin = 0` promotes exactly the
+/// frontier.
+fn promote(screen: &Exploration, margin: f64) -> Vec<usize> {
+    let k = screen.senses.len();
+    let n = screen.points.len();
+    // Min-max normalization, flipped so every objective minimizes;
+    // (near-)constant objectives carry no distance information and are
+    // excluded from the margin test.
+    let mut lo = vec![f64::INFINITY; k];
+    let mut hi = vec![f64::NEG_INFINITY; k];
+    for p in &screen.points {
+        for (j, &v) in p.objectives.iter().enumerate() {
+            lo[j] = lo[j].min(v);
+            hi[j] = hi[j].max(v);
+        }
+    }
+    let range: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| h - l).collect();
+    let live: Vec<bool> = range
+        .iter()
+        .zip(&lo)
+        .map(|(r, l)| *r > 1e-12 * l.abs().max(1.0))
+        .collect();
+    let norm = |p: &DesignPoint, j: usize| {
+        let u = (p.objectives[j] - lo[j]) / range[j];
+        match screen.senses[j] {
+            Sense::Minimize => u,
+            Sense::Maximize => 1.0 - u,
+        }
+    };
+    (0..n)
+        .filter(|&i| {
+            let p = &screen.points[i];
+            !screen.points.iter().any(|q| {
+                q.index != p.index
+                    && dominates(&q.objectives, &p.objectives, &screen.senses)
+                    && (0..k).all(|j| !live[j] || norm(p, j) - norm(q, j) >= margin)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipass_moe::{CostCategory, Line, Part, Process, StepCost, Test, YieldModel};
+
+    fn flow(board_cost: f64, coverage: f64) -> Flow {
+        let line = Line::builder(
+            "t",
+            Part::new("board", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(Money::new(board_cost))),
+        )
+        .process(
+            Process::new("assemble")
+                .with_cost(StepCost::fixed(Money::new(1.0)))
+                .with_yield(YieldModel::percent(92.0)),
+        )
+        .test(
+            Test::new("test")
+                .with_cost(StepCost::fixed(Money::new(0.5)))
+                .with_coverage(Probability::clamped(coverage)),
+        )
+        .build()
+        .unwrap();
+        Flow::new(line)
+    }
+
+    fn explorer() -> FlowExplorer {
+        FlowExplorer::new(flow(2.0, 0.95).compiled().unwrap())
+            .axis(FlowAxis::cost_scale("board", Levels::linspace(0.5, 1.5, 8)))
+            .axis(FlowAxis::coverage("test", Levels::linspace(0.9, 0.999, 8)))
+            .objective(Objective::minimize(Metric::FinalCostPerShipped))
+            .objective(Objective::minimize(Metric::EscapeRate))
+            .with_executor(Executor::new(2))
+    }
+
+    #[test]
+    fn screen_matches_patched_evaluation() {
+        let exploration = explorer().explore(&SamplerSpec::Grid).unwrap();
+        assert_eq!(exploration.points.len(), 64);
+        // Spot-check one point against a hand-patched evaluation.
+        let p = &exploration.points[13];
+        let compiled = flow(2.0, 0.95).compiled().unwrap();
+        let mut patch = compiled.patch();
+        patch.scale_cost("board", p.coords[0]).unwrap();
+        patch
+            .set_coverage("test", Probability::clamped(p.coords[1]))
+            .unwrap();
+        let report = patch.analyze().unwrap();
+        assert_eq!(p.objectives[0], report.final_cost_per_shipped().units());
+        assert_eq!(p.objectives[1], report.escape_rate());
+    }
+
+    #[test]
+    fn frontier_trades_cost_against_escapes() {
+        let exploration = explorer().explore(&SamplerSpec::Grid).unwrap();
+        let frontier = &exploration.frontier;
+        // All frontier members sit at the cheapest board (scale 0.5):
+        // board cost hurts cost and never helps escapes.
+        for m in frontier.members() {
+            assert_eq!(m.coords[0], 0.5);
+        }
+        // Coverage trades: the frontier spans multiple coverage levels.
+        let coverages: std::collections::BTreeSet<u64> = frontier
+            .members()
+            .iter()
+            .map(|m| (m.coords[1] * 1e6) as u64)
+            .collect();
+        assert!(coverages.len() >= 4, "{coverages:?}");
+        // And equals the O(frontier)-memory reduction.
+        assert_eq!(
+            frontier,
+            &explorer().screen_frontier(&SamplerSpec::Grid).unwrap()
+        );
+    }
+
+    #[test]
+    fn directives_mirror_the_setters() {
+        let axis = FlowAxis::cost_scale("board", Levels::linspace(0.5, 1.5, 3));
+        assert_eq!(
+            axis.directive(1.25),
+            Some(PatchDirective::ScaleCost {
+                slot: "board".into(),
+                factor: 1.25
+            })
+        );
+        assert_eq!(
+            FlowAxis::volume(Levels::linspace(1.0, 9.0, 3)).directive(4.0),
+            None
+        );
+    }
+
+    #[test]
+    fn volume_and_custom_axes_patch_run_economics() {
+        let flow = flow(2.0, 0.95)
+            .with_nre(Money::new(1_000.0))
+            .with_volume(10);
+        let explorer = FlowExplorer::new(flow.compiled().unwrap())
+            .axis(FlowAxis::volume(Levels::explicit([10.0, 10_000.0])))
+            .axis(FlowAxis::custom(
+                "board premium",
+                Levels::explicit([1.0, 3.0]),
+                |x, patch| {
+                    patch.scale_cost("board", x)?;
+                    Ok(())
+                },
+            ))
+            .objective(Objective::minimize(Metric::FinalCostPerShipped))
+            .with_executor(Executor::serial());
+        let exploration = explorer.explore(&SamplerSpec::Grid).unwrap();
+        // Higher volume amortizes NRE away; premium raises cost.
+        let cost = |i: usize| exploration.points[i].objectives[0];
+        assert!(cost(2) < cost(0), "volume should amortize NRE");
+        assert!(cost(1) > cost(0), "premium should raise cost");
+    }
+
+    #[test]
+    fn misconfigured_explorers_are_rejected() {
+        let compiled = flow(2.0, 0.95).compiled().unwrap();
+        let bare = FlowExplorer::new(compiled.clone());
+        assert!(matches!(
+            bare.explore(&SamplerSpec::Grid),
+            Err(ExploreError::NoAxes)
+        ));
+        let no_objectives = FlowExplorer::new(compiled.clone())
+            .axis(FlowAxis::volume(Levels::linspace(1.0, 2.0, 2)));
+        assert!(matches!(
+            no_objectives.explore(&SamplerSpec::Grid),
+            Err(ExploreError::NoObjectives)
+        ));
+        let bad_probability = FlowExplorer::new(compiled.clone())
+            .axis(FlowAxis::coverage("test", Levels::linspace(0.5, 1.5, 4)))
+            .objective(Objective::minimize(Metric::FinalCostPerShipped));
+        assert!(matches!(
+            bad_probability.explore(&SamplerSpec::Grid),
+            Err(ExploreError::ProbabilityAxisOutOfRange { .. })
+        ));
+        let ghost_slot = FlowExplorer::new(compiled)
+            .axis(FlowAxis::cost_scale("ghost", Levels::linspace(0.5, 1.5, 4)))
+            .objective(Objective::minimize(Metric::FinalCostPerShipped));
+        assert!(matches!(
+            ghost_slot.explore(&SamplerSpec::Grid),
+            Err(ExploreError::Flow(FlowError::UnknownPatchSlot { .. }))
+        ));
+    }
+
+    #[test]
+    fn refine_promotes_a_thin_band_and_confirms_it() {
+        let options = RefineOptions {
+            margin: 0.05,
+            mc_units: 4_000,
+            seed: 11,
+            stop: None,
+        };
+        let refined = explorer()
+            .refine(&SamplerSpec::Grid, &options, |coords| {
+                // Rebuild the line with the point's parameters — scale
+                // the board cost, set the coverage.
+                Ok(flow(2.0 * coords[0], coords[1]))
+            })
+            .unwrap();
+        // The band is thin but covers the frontier.
+        assert!(
+            refined.promoted_fraction() <= 0.30,
+            "{}",
+            refined.promoted_fraction()
+        );
+        let frontier_indices = refined.frontier().indices();
+        assert!(frontier_indices
+            .iter()
+            .all(|i| refined.promoted.contains(i)));
+        assert_eq!(refined.confirmations.len(), refined.promoted.len());
+        // MC confirms the analytic screen within Monte Carlo noise.
+        for c in &refined.confirmations {
+            let analytic = &refined.screen.points[c.index].objectives;
+            let rel = (c.objectives[0] - analytic[0]).abs() / analytic[0];
+            assert!(
+                rel < 0.05,
+                "point {}: MC {} vs analytic {}",
+                c.index,
+                c.objectives[0],
+                analytic[0]
+            );
+        }
+        assert!(refined.render().contains("promoted to MC"));
+        // The MC-measured frontier exists and stays near the band.
+        assert!(!refined.confirmed_frontier().members().is_empty());
+    }
+}

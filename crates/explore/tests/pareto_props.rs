@@ -1,0 +1,131 @@
+//! Property tests for the Pareto machinery: dominance order axioms,
+//! frontier minimality, and insertion-order invariance.
+
+use ipass_explore::{dominates, DesignPoint, ParetoFrontier, Sense};
+use proptest::prelude::*;
+
+/// A small objective vector with values coarse enough that exact ties
+/// actually occur (ties are where naive frontier code goes wrong).
+fn objective_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..8).prop_map(|v| v as f64), 3..4)
+}
+
+fn senses() -> [Sense; 3] {
+    [Sense::Minimize, Sense::Maximize, Sense::Minimize]
+}
+
+fn points(objectives: Vec<Vec<f64>>) -> Vec<DesignPoint> {
+    objectives
+        .into_iter()
+        .enumerate()
+        .map(|(index, objectives)| DesignPoint {
+            index,
+            coords: vec![index as f64],
+            objectives,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominance_is_antisymmetric_and_irreflexive(
+        a in objective_vec(),
+        b in objective_vec(),
+    ) {
+        let s = senses();
+        prop_assert!(!dominates(&a, &a, &s), "a point must never dominate itself");
+        if dominates(&a, &b, &s) {
+            prop_assert!(!dominates(&b, &a, &s), "dominance must be antisymmetric");
+        }
+    }
+
+    #[test]
+    fn dominance_is_transitive(
+        a in objective_vec(),
+        b in objective_vec(),
+        c in objective_vec(),
+    ) {
+        let s = senses();
+        if dominates(&a, &b, &s) && dominates(&b, &c, &s) {
+            prop_assert!(dominates(&a, &c, &s), "dominance must be transitive");
+        }
+    }
+
+    #[test]
+    fn frontier_is_minimal_and_complete(
+        objectives in proptest::collection::vec(objective_vec(), 1..40),
+    ) {
+        let all = points(objectives);
+        let frontier = ParetoFrontier::extract(senses().to_vec(), all.clone());
+        let s = senses();
+        // Minimality: no input point dominates any member.
+        for m in frontier.members() {
+            for p in &all {
+                prop_assert!(
+                    !dominates(&p.objectives, &m.objectives, &s),
+                    "member {} is dominated by input {}", m.index, p.index
+                );
+            }
+        }
+        // No member dominates another member (pairwise incomparable).
+        for m in frontier.members() {
+            for o in frontier.members() {
+                prop_assert!(!dominates(&m.objectives, &o.objectives, &s));
+            }
+        }
+        // Completeness: every non-member is dominated by some member.
+        let member_ids: Vec<usize> = frontier.indices();
+        for p in &all {
+            if !member_ids.contains(&p.index) {
+                prop_assert!(
+                    frontier
+                        .members()
+                        .iter()
+                        .any(|m| dominates(&m.objectives, &p.objectives, &s)),
+                    "non-member {} is dominated by nobody", p.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_insertion_order_invariant(
+        objectives in proptest::collection::vec(objective_vec(), 1..40),
+        rotation in 0usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let all = points(objectives);
+        let baseline = ParetoFrontier::extract(senses().to_vec(), all.clone());
+
+        // A rotation and a deterministic shuffle must both land on the
+        // identical frontier (members are index-sorted, so whole-struct
+        // equality is the set equality).
+        let mut rotated = all.clone();
+        rotated.rotate_left(rotation % all.len());
+        prop_assert_eq!(
+            &ParetoFrontier::extract(senses().to_vec(), rotated),
+            &baseline
+        );
+
+        let mut shuffled = all.clone();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for k in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(k, (state % (k as u64 + 1)) as usize);
+        }
+        prop_assert_eq!(
+            &ParetoFrontier::extract(senses().to_vec(), shuffled),
+            &baseline
+        );
+
+        // Chunked merge (the executor's fold shape) agrees too.
+        let cut = all.len() / 2;
+        let mut left = ParetoFrontier::extract(senses().to_vec(), all[..cut].to_vec());
+        left.merge(ParetoFrontier::extract(senses().to_vec(), all[cut..].to_vec()));
+        prop_assert_eq!(&left, &baseline);
+    }
+}

@@ -12,6 +12,7 @@ use ipass_core::{
     AreaBreakdown, BuildUp, BuildUpPlan, CandidateScore, DecisionError, DecisionTable, FomWeights,
     PlanError, SelectionObjective,
 };
+use ipass_explore::ExploreError;
 use ipass_moe::{CostCategory, CostReport, FlowError, SimOptions, SimSummary};
 use ipass_passives::{
     smd_area_series, MimCapacitor, SpiralInductor, SynthesisError, ThinFilmProcess,
@@ -33,6 +34,8 @@ pub enum ExperimentError {
     Decision(DecisionError),
     /// Component synthesis failed.
     Synthesis(SynthesisError),
+    /// Design-space exploration failed.
+    Explore(ExploreError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -42,6 +45,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Flow(e) => write!(f, "cost evaluation failed: {e}"),
             ExperimentError::Decision(e) => write!(f, "decision failed: {e}"),
             ExperimentError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            ExperimentError::Explore(e) => write!(f, "exploration failed: {e}"),
         }
     }
 }
@@ -69,6 +73,12 @@ impl From<DecisionError> for ExperimentError {
 impl From<SynthesisError> for ExperimentError {
     fn from(e: SynthesisError) -> Self {
         ExperimentError::Synthesis(e)
+    }
+}
+
+impl From<ExploreError> for ExperimentError {
+    fn from(e: ExploreError) -> Self {
+        ExperimentError::Explore(e)
     }
 }
 
@@ -771,6 +781,124 @@ fn sensitivity_rebuild(
 }
 
 // ---------------------------------------------------------------------
+// Design space — volume × substrate yield, beyond the paper's points.
+// ---------------------------------------------------------------------
+
+/// A solution's production-economics design space: amortization volume
+/// × substrate yield, screened analytically and refined by Monte Carlo
+/// (see [`ipass_explore::FlowExplorer::refine`]).
+///
+/// The paper evaluates each build-up at one volume and one yield card;
+/// this experiment asks the family question instead — *at which volumes
+/// and substrate yields does the solution's cost story hold?* — and
+/// returns the Pareto frontier over *(final cost ↓, shipped fraction ↑)*
+/// with only the frontier-adjacent band paying for MC confirmation.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    /// The paper's name for the explored solution.
+    pub label: &'static str,
+    /// NRE charged to the run (the 30 000-unit IP mask-set ablation's
+    /// figure), amortized along the volume axis.
+    pub nre: ipass_units::Money,
+    /// The refined exploration.
+    pub refined: ipass_explore::Refined,
+}
+
+impl DesignSpace {
+    /// Render the frontier and refinement summary.
+    pub fn render(&self) -> String {
+        format!(
+            "design space — {} (volume × substrate yield, NRE {:.0})\n{}",
+            self.label,
+            self.nre.units(),
+            self.refined.render()
+        )
+    }
+}
+
+/// Explore `solution_index`'s volume × substrate-yield design space on
+/// a `grid × grid` screen.
+///
+/// The production line is planned and compiled **once**; every screen
+/// point is a [`ipass_explore::FlowAxis`] patch of the shared compiled
+/// program (the substrate-yield axis is a *custom* axis: under a
+/// known-good-substrate card the purchase cost pays for the fab's own
+/// scrap, so a yield shift moves the carrier cost too — the same
+/// expression `production_flow` uses). Promoted points are rebuilt and
+/// Monte-Carlo-confirmed with CI-based early stopping.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning, evaluation or simulation
+/// fails.
+pub fn design_space(solution_index: usize, grid: usize) -> Result<DesignSpace, ExperimentError> {
+    use ipass_explore::{
+        FlowAxis, FlowExplorer, Levels, Metric, Objective, RefineOptions, SamplerSpec,
+    };
+    use ipass_moe::{StepCost, StopRule};
+    use ipass_units::{Money, Probability};
+
+    let buildup = BuildUp::paper_solutions()[solution_index];
+    let plan = buildup.plan(&gps_bom(&buildup), SelectionObjective::MinArea)?;
+    let area = plan.area().substrate_area;
+    let card = cost_inputs(&buildup);
+    let nre = Money::new(30_000.0);
+
+    let flow = plan.production_flow(area, &card)?.with_nre(nre);
+    let carrier = flow.line().carrier().name().to_owned();
+    let compiled = flow.compiled()?;
+
+    let y0 = card.substrate_yield.value();
+    let yields = Levels::linspace((y0 - 0.08).max(0.5), (y0 + 0.05).min(0.999), grid);
+    let substrate_yield_axis = {
+        let carrier = carrier.clone();
+        let card = card.clone();
+        FlowAxis::custom("substrate yield", yields, move |y, patch| {
+            let y = Probability::clamped(y);
+            patch.set_yield(&carrier, y)?;
+            if card.substrate_fab_yield_per_cm2.is_some() {
+                let rate = card.substrate_cost_per_cm2 / y.powf(area.cm2()).value();
+                patch.set_cost(&carrier, StepCost::per_area(rate, area).total())?;
+            }
+            Ok(())
+        })
+    };
+
+    let refined = FlowExplorer::new(compiled)
+        .axis(FlowAxis::volume(Levels::linspace(1_000.0, 100_000.0, grid)))
+        .axis(substrate_yield_axis)
+        .objective(Objective::minimize(Metric::FinalCostPerShipped))
+        .objective(Objective::maximize(Metric::ShippedFraction))
+        .refine(
+            &SamplerSpec::Grid,
+            &RefineOptions {
+                margin: 0.05,
+                mc_units: 60_000,
+                seed: 2_000,
+                stop: Some(StopRule::half_width_95(0.005)),
+            },
+            |coords| {
+                // Rebuild for MC: the same card surgery, through the
+                // flow builder instead of the patch table.
+                let mut point_card = card.clone();
+                let y = Probability::clamped(coords[1]);
+                point_card.substrate_yield = y;
+                point_card.substrate_fab_yield_per_cm2 =
+                    point_card.substrate_fab_yield_per_cm2.map(|_| y);
+                Ok(plan
+                    .production_flow(area, &point_card)?
+                    .with_nre(nre)
+                    .with_volume(coords[0].round() as u64))
+            },
+        )?;
+    Ok(DesignSpace {
+        label: paper::SOLUTION_NAMES[solution_index],
+        nre,
+        refined,
+    })
+}
+
+// ---------------------------------------------------------------------
 // §4.4 — the final design check.
 // ---------------------------------------------------------------------
 
@@ -1000,6 +1128,47 @@ mod tests {
             assert!(close(a.low_cost, b.low_cost), "{}: low", a.name);
             assert!(close(a.high_cost, b.high_cost), "{}: high", a.name);
         }
+    }
+
+    #[test]
+    fn design_space_refines_volume_yield_grid() {
+        let space = design_space(1, 12).unwrap();
+        let refined = &space.refined;
+        assert_eq!(refined.screen.points.len(), 144);
+        assert!(!refined.frontier().members().is_empty());
+        // The analytic screen prunes the dominated interior: only the
+        // frontier-adjacent band pays for Monte Carlo.
+        assert!(
+            refined.promoted_fraction() <= 0.30,
+            "promoted {:.1} %",
+            100.0 * refined.promoted_fraction()
+        );
+        // Economics sanity on the screen: at fixed substrate yield,
+        // larger volume amortizes the mask-set NRE away.
+        let p0 = &refined.screen.points[0]; // volume 1 000, lowest yield
+        let p_last_vol = &refined.screen.points[132]; // volume 100 000, lowest yield
+        assert_eq!(p0.coords[1], p_last_vol.coords[1]);
+        assert!(p_last_vol.objectives[0] < p0.objectives[0]);
+        // The KGS card makes higher substrate yield strictly better
+        // (cheaper carrier *and* more shipped), so the frontier
+        // discovers the push-both-axes corner.
+        for m in refined.frontier().members() {
+            assert_eq!(m.coords[0], 100_000.0, "frontier off the max volume");
+        }
+        // MC confirms the analytic screen closely (the patch's coupled
+        // carrier-cost/yield surgery equals the rebuilt card's).
+        for c in &refined.confirmations {
+            let analytic = &refined.screen.points[c.index].objectives;
+            let rel = (c.objectives[0] - analytic[0]).abs() / analytic[0];
+            assert!(
+                rel < 0.03,
+                "point {}: MC {} vs analytic {}",
+                c.index,
+                c.objectives[0],
+                analytic[0]
+            );
+        }
+        assert!(space.render().contains("design space"));
     }
 
     #[test]

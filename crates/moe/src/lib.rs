@@ -92,9 +92,12 @@ pub use line::{Line, LineBuilder};
 pub use mc::simulate_line_reference;
 pub use mc::{SimOptions, SimSummary, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
 pub use part::{AttachInput, Part};
-pub use patch::{CompiledFlow, FlowPatch, PatchDirective};
+pub use patch::{analyze_patched_batch, CompiledFlow, FlowPatch, PatchDirective};
 pub use report::{CostBreakdownRow, CostReport};
 pub use sensitivity::{Tornado, TornadoInput, TornadoPatch, TornadoRow};
 pub use stage::{Attach, FailAction, Process, Rework, Stage, Test};
-pub use sweep::{find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_with, SweepPoint};
+pub use sweep::{
+    find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_with, CrossoverError,
+    SweepPoint,
+};
 pub use yield_model::{DefectModel, YieldModel};

@@ -125,20 +125,25 @@ impl Tornado {
         inputs: Vec<TornadoPatch<'_>>,
     ) -> Result<Tornado, FlowError> {
         // One flat batch: the unpatched baseline first, then each
-        // input's low/high patch.
+        // input's low/high patch. An unpatched `FlowPatch` analyzes
+        // identically to `CompiledFlow::analyze`, so the baseline rides
+        // the same shared fan-out as the variants.
         let mut variants: Vec<Option<&FlowPatch>> = Vec::with_capacity(1 + 2 * inputs.len());
         variants.push(None);
         for input in &inputs {
             variants.push(Some(&input.low));
             variants.push(Some(&input.high));
         }
-        let costs = executor.try_map(&variants, |_, variant| {
-            match variant {
-                None => baseline.analyze(),
-                Some(patch) => patch.analyze(),
-            }
-            .map(|r| r.final_cost_per_shipped().units())
+        let reports = crate::patch::analyze_patched_batch(executor, &variants, |_, variant| {
+            Ok(match variant {
+                None => std::borrow::Cow::Owned(baseline.patch()),
+                Some(patch) => std::borrow::Cow::Borrowed(*patch),
+            })
         })?;
+        let costs: Vec<f64> = reports
+            .iter()
+            .map(|r| r.final_cost_per_shipped().units())
+            .collect();
         let names = inputs.iter().map(|i| i.name);
         Ok(Tornado::from_costs(&costs, names))
     }

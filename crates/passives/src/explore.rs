@@ -1,0 +1,124 @@
+//! Design-space exploration of integrated-component synthesis.
+//!
+//! Table 1 quotes one spiral inductor (40 nH ≈ 1 mm²); this module
+//! sweeps the synthesizable inductance range through `ipass-explore`
+//! and extracts the *(area ↓, Q ↑)* Pareto frontier — the physical
+//! trade every integrated inductor buys into: more inductance means
+//! more turns, more metal, more area, and (past the sweet spot) more
+//! series resistance eating the quality factor.
+
+use crate::inductor::SpiralInductor;
+use crate::materials::ThinFilmProcess;
+use ipass_explore::{explore_fn, Axis, Exploration, ExploreError, Levels, SamplerSpec, Sense};
+use ipass_sim::Executor;
+use ipass_units::{Frequency, Inductance};
+
+/// Explore spiral-inductor synthesis over an inductance range: each
+/// point synthesizes the target value in `process` and scores
+/// *(silicon area ↓, Q at `f` ↑)*; the frontier is the area/quality
+/// curve of the process at that frequency.
+///
+/// Evaluations fan out on `executor`; results are identical for any
+/// thread count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] when the axis is degenerate or a target
+/// value cannot be synthesized in the process
+/// ([`ExploreError::Eval`], first failing point in index order).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_explore::Levels;
+/// use ipass_passives::{spiral_frontier, ThinFilmProcess};
+/// use ipass_sim::Executor;
+/// use ipass_units::Frequency;
+///
+/// let exploration = spiral_frontier(
+///     &Executor::serial(),
+///     &ThinFilmProcess::summit_mcm_d(),
+///     Levels::linspace(5.0, 60.0, 24),
+///     Frequency::from_giga(1.575),
+/// )?;
+/// // Area grows with inductance, so no single design dominates: the
+/// // frontier keeps several (area, Q) trades.
+/// assert!(exploration.frontier.members().len() > 1);
+/// # Ok::<(), ipass_explore::ExploreError>(())
+/// ```
+pub fn spiral_frontier(
+    executor: &Executor,
+    process: &ThinFilmProcess,
+    inductance_nh: Levels,
+    f: Frequency,
+) -> Result<Exploration, ExploreError> {
+    let axes = [Axis::new("inductance [nH]", inductance_nh)];
+    let objectives = [
+        ("area [mm²]".to_string(), Sense::Minimize),
+        (format!("Q @ {:.3} GHz", f.hertz() / 1e9), Sense::Maximize),
+    ];
+    explore_fn(executor, &axes, &SamplerSpec::Grid, &objectives, |i, c| {
+        let spiral =
+            SpiralInductor::synthesize(Inductance::from_nano(c[0]), process).map_err(|e| {
+                ExploreError::Eval {
+                    point: i,
+                    message: e.to_string(),
+                }
+            })?;
+        Ok(vec![spiral.area().mm2(), spiral.q_factor(f)])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explore(executor: &Executor) -> Exploration {
+        spiral_frontier(
+            executor,
+            &ThinFilmProcess::summit_mcm_d(),
+            Levels::linspace(5.0, 60.0, 24),
+            Frequency::from_giga(1.575),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frontier_trades_area_against_quality() {
+        let exploration = explore(&Executor::new(2));
+        assert_eq!(exploration.points.len(), 24);
+        // Area grows with inductance across the sweep (discrete turn
+        // counts allow local plateaus, so only the trend is asserted).
+        let first = exploration.points.first().unwrap().objectives[0];
+        let last = exploration.points.last().unwrap().objectives[0];
+        assert!(last > 2.0 * first, "area {first} → {last}");
+        // The smallest design is always on the frontier; so is any
+        // higher-Q larger design.
+        let frontier = &exploration.frontier;
+        assert!(frontier.indices().contains(&0));
+        assert!(frontier.members().len() > 1);
+        // Every non-member is beaten on both axes by some member —
+        // spot-check via the completeness of the extraction.
+        assert!(frontier.members().len() <= exploration.points.len());
+    }
+
+    #[test]
+    fn results_do_not_depend_on_threads() {
+        let a = explore(&Executor::serial());
+        let b = explore(&Executor::new(8));
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.frontier, b.frontier);
+    }
+
+    #[test]
+    fn unsynthesizable_targets_fail_with_point_context() {
+        let err = spiral_frontier(
+            &Executor::serial(),
+            &ThinFilmProcess::summit_mcm_d(),
+            Levels::linspace(1e6, 2e6, 3),
+            Frequency::from_giga(1.575),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::Eval { point: 0, .. }), "{err}");
+    }
+}

@@ -48,6 +48,7 @@ mod capacitor;
 mod catalog;
 mod error;
 pub mod eseries;
+mod explore;
 mod inductor;
 mod interdigital;
 mod materials;
@@ -58,6 +59,7 @@ mod tolerance;
 pub use capacitor::MimCapacitor;
 pub use catalog::{propose, PassiveSpec, PassiveValue, Proposal, Technology};
 pub use error::SynthesisError;
+pub use explore::spiral_frontier;
 pub use inductor::SpiralInductor;
 pub use interdigital::InterdigitalCapacitor;
 pub use materials::{DielectricFilm, ResistiveFilm, ThinFilmProcess};

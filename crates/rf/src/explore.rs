@@ -1,0 +1,145 @@
+//! Design-space exploration of filter element quality.
+//!
+//! The paper's §4.1 performance scores hinge on the element Q the
+//! chosen technology affords (integrated spirals: Q ≈ 14 at IF; SMDs:
+//! Q ≈ 45). This module asks the family question through
+//! `ipass-explore`: across the whole (Q_L, Q_C) plane, which quality
+//! budgets are worth paying for? The Pareto frontier over
+//! *(performance ↑, Q_L ↓, Q_C ↓)* is exactly the set of element
+//! technologies that buy performance with the least quality — the
+//! curve a technology roadmap should sit on.
+
+use crate::design::{bandpass, Approximation, ElementLosses};
+use crate::spec::FilterSpec;
+use ipass_explore::{explore_fn, Axis, Exploration, ExploreError, Levels, SamplerSpec, Sense};
+use ipass_sim::Executor;
+use ipass_units::Frequency;
+
+/// Explore a bandpass design family over element quality factors:
+/// a full grid over `q_inductor` × `q_capacitor`, evaluated against
+/// `spec`, with the Pareto frontier over *(performance score ↑,
+/// Q_L ↓, Q_C ↓)*.
+///
+/// Evaluations fan out on `executor`; results are identical for any
+/// thread count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] when an axis is degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_rf::{q_tradeoff_frontier, Approximation, FilterSpec};
+/// use ipass_explore::Levels;
+/// use ipass_sim::Executor;
+/// use ipass_units::Frequency;
+///
+/// // The GPS IF filter: 175 MHz, ≤ 3 dB passband loss.
+/// let spec = FilterSpec::new("IF filter", Frequency::from_mega(175.0), 3.0);
+/// let exploration = q_tradeoff_frontier(
+///     &Executor::serial(),
+///     &spec,
+///     2,
+///     Approximation::Chebyshev { ripple_db: 0.5 },
+///     Frequency::from_mega(20.0),
+///     Levels::linspace(5.0, 60.0, 12),
+///     Levels::linspace(40.0, 220.0, 10),
+/// )?;
+/// assert_eq!(exploration.points.len(), 120);
+/// // Some cheap corner of the plane already meets the spec in full.
+/// assert!(exploration
+///     .frontier
+///     .members()
+///     .iter()
+///     .any(|m| m.objectives[0] == 1.0));
+/// # Ok::<(), ipass_explore::ExploreError>(())
+/// ```
+pub fn q_tradeoff_frontier(
+    executor: &Executor,
+    spec: &FilterSpec,
+    order: usize,
+    approximation: Approximation,
+    bandwidth: Frequency,
+    q_inductor: Levels,
+    q_capacitor: Levels,
+) -> Result<Exploration, ExploreError> {
+    let axes = [
+        Axis::new("inductor Q", q_inductor),
+        Axis::new("capacitor Q", q_capacitor),
+    ];
+    let objectives = [
+        ("performance score".to_string(), Sense::Maximize),
+        ("inductor Q (technology cost)".to_string(), Sense::Minimize),
+        ("capacitor Q (technology cost)".to_string(), Sense::Minimize),
+    ];
+    explore_fn(executor, &axes, &SamplerSpec::Grid, &objectives, |_, c| {
+        let design = bandpass(
+            order,
+            approximation,
+            spec.passband_center(),
+            bandwidth,
+            50.0,
+            ElementLosses::q(c[0], c[1]),
+        );
+        let score = spec.evaluate(design.ladder()).performance_score();
+        Ok(vec![score, c[0], c[1]])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn if_spec() -> FilterSpec {
+        FilterSpec::new("IF filter", Frequency::from_mega(175.0), 3.0)
+    }
+
+    fn explore(executor: &Executor) -> Exploration {
+        q_tradeoff_frontier(
+            executor,
+            &if_spec(),
+            2,
+            Approximation::Chebyshev { ripple_db: 0.5 },
+            Frequency::from_mega(20.0),
+            Levels::linspace(5.0, 60.0, 12),
+            Levels::linspace(40.0, 220.0, 10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frontier_prices_performance_in_element_quality() {
+        let exploration = explore(&Executor::new(4));
+        // The paper's anchor points: integrated-grade elements miss the
+        // spec, SMD-grade elements meet it.
+        let score_at = |ql: f64, qc: f64| {
+            exploration
+                .points
+                .iter()
+                .find(|p| (p.coords[0] - ql).abs() < 2.6 && (p.coords[1] - qc).abs() < 11.0)
+                .expect("grid covers the anchor")
+                .objectives[0]
+        };
+        assert!(score_at(14.0, 95.0) < 0.7);
+        assert_eq!(score_at(45.0, 200.0), 1.0);
+        // The frontier spans the trade: a full-score member (quality
+        // bought performance) and the rock-bottom quality corner (the
+        // cheapest technology, whatever it scores).
+        let members = exploration.frontier.members();
+        assert!(members.iter().any(|m| m.objectives[0] == 1.0));
+        assert!(members
+            .iter()
+            .any(|m| m.coords[0] == 5.0 && m.coords[1] == 40.0));
+        // Dominated interior exists: the full grid is NOT all frontier.
+        assert!(members.len() < exploration.points.len());
+    }
+
+    #[test]
+    fn results_do_not_depend_on_threads() {
+        let a = explore(&Executor::serial());
+        let b = explore(&Executor::new(8));
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.frontier, b.frontier);
+    }
+}

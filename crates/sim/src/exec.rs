@@ -259,6 +259,96 @@ impl Executor {
         self.run(&Collect(experiment), units, seed)
     }
 
+    /// Chunked map-reduce over unit indices `0..units` — the fan-out
+    /// shape samplers and design-space screens use when they only need
+    /// a *reduced* result (a frontier, a tally, an extreme) and the
+    /// per-unit outputs would not fit or are not wanted.
+    ///
+    /// Units are split into the same fixed-size chunks as
+    /// [`Executor::run`] (a pure function of `units`, never of the
+    /// thread count); each chunk folds into its own accumulator via
+    /// `step`, and chunk accumulators merge **in chunk order** on the
+    /// calling thread via `merge` — so the result is bit-identical for
+    /// any thread count whenever `merge` is associative over ordered
+    /// concatenation (which in-order merging guarantees for every
+    /// accumulator in this crate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first `step` error in unit order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ipass_sim::Executor;
+    ///
+    /// // Sum of squares, reduced without materializing 1M outputs.
+    /// let sum = |threads: usize| {
+    ///     Executor::new(threads)
+    ///         .try_map_reduce(
+    ///             1_000_000,
+    ///             || 0u64,
+    ///             |unit, acc| {
+    ///                 *acc += unit * unit;
+    ///                 Ok::<(), std::convert::Infallible>(())
+    ///             },
+    ///             |into, from| *into += from,
+    ///         )
+    ///         .unwrap()
+    /// };
+    /// assert_eq!(sum(1), sum(8)); // bit-identical regardless of threads
+    /// ```
+    pub fn try_map_reduce<A, E, FInit, FStep, FMerge>(
+        &self,
+        units: u64,
+        init: FInit,
+        step: FStep,
+        merge: FMerge,
+    ) -> Result<A, E>
+    where
+        A: Send,
+        E: Send,
+        FInit: Fn() -> A + Sync,
+        FStep: Fn(u64, &mut A) -> Result<(), E> + Sync,
+        FMerge: Fn(&mut A, A) + Sync,
+    {
+        /// Adapter presenting the three closures as a [`Sampler`] so the
+        /// map-reduce inherits the executor's chunk geometry, in-order
+        /// fold and first-error-in-unit-order semantics (the per-unit
+        /// RNG stream the machinery creates is simply unused).
+        struct Fold<FInit, FStep, FMerge> {
+            init: FInit,
+            step: FStep,
+            merge: FMerge,
+        }
+
+        impl<A, E, FInit, FStep, FMerge> Sampler for Fold<FInit, FStep, FMerge>
+        where
+            A: Send,
+            E: Send,
+            FInit: Fn() -> A + Sync,
+            FStep: Fn(u64, &mut A) -> Result<(), E> + Sync,
+            FMerge: Fn(&mut A, A) + Sync,
+        {
+            type Acc = A;
+            type Error = E;
+
+            fn make_acc(&self) -> A {
+                (self.init)()
+            }
+
+            fn sample(&self, unit: u64, _rng: &mut SimRng, acc: &mut A) -> Result<(), E> {
+                (self.step)(unit, acc)
+            }
+
+            fn merge(&self, into: &mut A, from: A) {
+                (self.merge)(into, from)
+            }
+        }
+
+        self.run(&Fold { init, step, merge }, units, 0)
+    }
+
     /// Evaluate `f` over every item of a batch in parallel, preserving
     /// order. On failure the error of the smallest index is returned —
     /// deterministically, matching a serial evaluation: items after the
@@ -664,6 +754,59 @@ mod tests {
         let outs = Executor::new(4).collect(&Ident, 10_000, 0).unwrap();
         assert_eq!(outs.len(), 10_000);
         assert!(outs.iter().enumerate().all(|(i, &u)| i as u64 == u));
+    }
+
+    #[test]
+    fn map_reduce_is_thread_invariant_and_in_order() {
+        // Non-commutative fold: the accumulator records unit order, so
+        // any deviation from in-chunk-order merging would change it.
+        let trace = |threads: usize| {
+            Executor::new(threads)
+                .try_map_reduce(
+                    10_000,
+                    Vec::new,
+                    |unit, acc: &mut Vec<u64>| {
+                        acc.push(unit);
+                        Ok::<(), std::convert::Infallible>(())
+                    },
+                    |into, mut from| into.append(&mut from),
+                )
+                .unwrap()
+        };
+        let serial = trace(1);
+        assert_eq!(serial.len(), 10_000);
+        assert!(serial.iter().enumerate().all(|(i, &u)| i as u64 == u));
+        for threads in [2, 4, 8] {
+            assert_eq!(trace(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_reports_first_error_in_unit_order() {
+        for threads in [1, 4] {
+            let err = Executor::new(threads)
+                .try_map_reduce(
+                    100_000,
+                    || (),
+                    |unit, _| if unit >= 4_321 { Err(unit) } else { Ok(()) },
+                    |_, _| {},
+                )
+                .unwrap_err();
+            assert_eq!(err, 4_321, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_zero_units_is_init() {
+        let acc = Executor::new(4)
+            .try_map_reduce(
+                0,
+                || 7u64,
+                |_, _| Ok::<(), std::convert::Infallible>(()),
+                |into, from| *into += from,
+            )
+            .unwrap();
+        assert_eq!(acc, 7);
     }
 
     #[test]

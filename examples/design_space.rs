@@ -1,0 +1,44 @@
+//! Design-space exploration of the paper's production economics.
+//!
+//! The paper costs each solution at one volume and one substrate-yield
+//! card. This example asks the family question instead: across the
+//! whole volume × substrate-yield plane, what is each solution's
+//! cost/shipped-fraction Pareto frontier — and does solution 4 beat
+//! solution 2 everywhere, or only somewhere?
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use integrated_passives::gps::experiments::design_space;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Solution 2 (MCM-D/WB/SMD): 16 × 16 analytic screen, Monte Carlo
+    // confirmation only for the frontier-adjacent band.
+    let sol2 = design_space(1, 16)?;
+    println!("{}", sol2.render());
+
+    // Solution 4 (MCM-D/FC/IP&SMD): the paper's winner.
+    let sol4 = design_space(3, 16)?;
+    println!("{}", sol4.render());
+
+    // Frontier diff: which of solution 2's trade-off points does
+    // solution 4 dominate outright, and vice versa?
+    let diff = sol4.refined.frontier().diff(sol2.refined.frontier())?;
+    println!(
+        "frontier diff — solution 4 vs solution 2:\n  \
+         sol4: {}/{} members survive sol2's frontier\n  \
+         sol2: {}/{} members survive sol4's frontier\n  \
+         verdict: {}",
+        diff.left_surviving.len(),
+        diff.left_total,
+        diff.right_surviving.len(),
+        diff.right_total,
+        if diff.left_strictly_better() {
+            "solution 4 dominates across the whole explored family"
+        } else if diff.right_strictly_better() {
+            "solution 2 dominates across the whole explored family"
+        } else {
+            "the candidates split the family — the choice depends on the scenario"
+        }
+    );
+    Ok(())
+}

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    match find_crossover(&mcm_curve, &pcb_curve) {
+    match find_crossover(&mcm_curve, &pcb_curve)? {
         Some(x) => println!(
             "\ncrossover at ≈ {x:.1} resistors — compare the literature's \"more than 10\" [2].\n\
              (The exact point depends on the substrate premium; sweep it in bench `ablations`.)"

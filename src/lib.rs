@@ -3,8 +3,8 @@
 //! Effectiveness of Integrated Passives* (DATE 2000).
 //!
 //! See the individual crates for full documentation: [`units`], [`sim`],
-//! [`moe`], [`passives`], [`rf`], [`layout`], [`core`], [`gps`] — and
-//! README.md / DESIGN.md at the workspace root.
+//! [`moe`], [`explore`], [`passives`], [`rf`], [`layout`], [`core`],
+//! [`gps`] — and README.md / DESIGN.md at the workspace root.
 //!
 //! # Examples
 //!
@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub use ipass_core as core;
+pub use ipass_explore as explore;
 pub use ipass_gps as gps;
 pub use ipass_layout as layout;
 pub use ipass_moe as moe;
