@@ -7,49 +7,25 @@
 //! interpreter, a ~3.6x slowdown), not scheduler noise on shared CI
 //! hosts.
 //!
+//! JSON scanning is `ipass_report::json` — the shared string- and
+//! nesting-aware object scanner (this binary used to carry its own
+//! brace-splitting copy).
+//!
 //! ```text
 //! bench_gate <baseline.json> <current.json> <case-id> <max-ratio>
 //! bench_gate BENCH_moe.json target/bench_smoke.json mc_units/100000 3.0
 //! ```
 
+use ipass_report::json::{number_field, objects, string_field};
 use std::process::ExitCode;
-
-/// The flat JSON objects of the baseline file, in order. The shim's
-/// `BENCH_JSON` format is an array of non-nested objects, so splitting
-/// on braces is exact; pretty-printing (one field per line) only moves
-/// whitespace, which the field scanner tolerates.
-fn objects(json: &str) -> impl Iterator<Item = &str> {
-    json.split('{')
-        .skip(1)
-        .map(|chunk| chunk.split('}').next().unwrap_or(chunk))
-}
-
-/// The raw value token of `"field"` inside one flattened object,
-/// tolerating any whitespace (spaces, tabs, newlines) around the colon
-/// and the value — a reformatted baseline must not break the lookup.
-fn field_value<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
-    let needle = format!("\"{field}\"");
-    let mut rest = obj;
-    loop {
-        let at = rest.find(&needle)?;
-        let after = &rest[at + needle.len()..];
-        if let Some(value) = after.trim_start().strip_prefix(':') {
-            let value = value.trim_start();
-            let end = value.find([',', '\n']).unwrap_or(value.len());
-            return Some(value[..end].trim());
-        }
-        // Matched a string *value* that happens to spell the field
-        // name; keep scanning for the real key.
-        rest = after;
-    }
-}
 
 /// Extract a numeric field from the JSON object whose `"id"` equals
 /// `id`.
 fn lookup(json: &str, id: &str, field: &str) -> Option<f64> {
     objects(json)
-        .find(|obj| field_value(obj, "id").map(|v| v.trim_matches('"') == id) == Some(true))
-        .and_then(|obj| field_value(obj, field)?.parse::<f64>().ok())
+        .into_iter()
+        .find(|obj| string_field(obj, "id") == Some(id))
+        .and_then(|obj| number_field(obj, field))
 }
 
 /// Mean ns/element for a case: the recorded `ns_per_elem` when present,
@@ -141,9 +117,6 @@ mod tests {
 
     #[test]
     fn lookup_tolerates_reformatted_whitespace() {
-        // Compact, spaced and pretty-printed forms of the same entry
-        // must all resolve — the old lookup required exactly
-        // `"field": ` with a single space.
         let compact = r#"[{"id":"a/1","mean_ns":100.0,"elements":10,"ns_per_elem":10.0}]"#;
         assert_eq!(lookup(compact, "a/1", "ns_per_elem"), Some(10.0));
         let spaced = r#"[{"id"  :  "a/1" , "mean_ns" : 100.0 , "ns_per_elem" : 10.0}]"#;
@@ -156,9 +129,10 @@ mod tests {
 
     #[test]
     fn lookup_distinguishes_similar_field_names() {
-        // "min_ns"/"max_ns" share a suffix with "mean_ns"; the quoted
-        // needle must not cross-match, and a value spelling a field
-        // name must not shadow the real key.
+        // "min_ns"/"max_ns" share a suffix with "mean_ns"; a value
+        // spelling a field name must not shadow the real key. The
+        // shared scanner also survives escaped quotes and nested
+        // objects (pinned in `ipass_report::json`'s own tests).
         let entry = r#"[{"id": "weird", "git_rev": "mean_ns", "min_ns": 1.0, "mean_ns": 5.0, "max_ns": 9.0}]"#;
         assert_eq!(lookup(entry, "weird", "mean_ns"), Some(5.0));
         assert_eq!(lookup(entry, "weird", "min_ns"), Some(1.0));
@@ -167,14 +141,20 @@ mod tests {
 
     #[test]
     fn ns_per_element_fallback_order_is_npe_then_derived_then_mean() {
-        // Recorded ns_per_elem wins even when mean/elements disagree.
         let both = r#"[{"id": "x", "mean_ns": 1000.0, "elements": 10, "ns_per_elem": 3.0}]"#;
         assert_eq!(ns_per_element(both, "x"), Some(3.0));
-        // Zero elements cannot divide; fall through to mean_ns.
         let zero = r#"[{"id": "x", "mean_ns": 1000.0, "elements": 0}]"#;
         assert_eq!(ns_per_element(zero, "x"), Some(1000.0));
-        // No mean at all: the case is unusable.
         let bare = r#"[{"id": "x", "elements": 10}]"#;
         assert_eq!(ns_per_element(bare, "x"), None);
+    }
+
+    #[test]
+    fn lookup_survives_escapes_and_nesting() {
+        // The cases the old brace-splitting scanner got wrong.
+        let tricky = r#"[
+  {"id": "a/1", "note": "brace \" } in a string", "meta": {"mean_ns": 1.0}, "mean_ns": 42.0}
+]"#;
+        assert_eq!(lookup(tricky, "a/1", "mean_ns"), Some(42.0));
     }
 }

@@ -216,25 +216,42 @@ impl DecisionTable {
             .expect("table is never empty")
     }
 
-    /// Render the Fig. 6 style table.
+    /// The decision as a typed artifact table: one row per candidate
+    /// with the normalized factors and the figure of merit, the winner
+    /// marked `◀ best`.
+    pub fn artifact(&self) -> ipass_report::Table {
+        self.artifact_titled(format!("decision table (reference: {})", self.reference))
+    }
+
+    /// [`DecisionTable::artifact`] with an explicit title.
+    pub fn artifact_titled(&self, title: impl Into<String>) -> ipass_report::Table {
+        use ipass_report::Cell;
+        let best = self.best().name.clone();
+        self.rows.iter().fold(
+            ipass_report::Table::new(title)
+                .text_column("implementation")
+                .numeric_column("perf.", 2)
+                .numeric_column("size ×", 2)
+                .numeric_column("cost ×", 3)
+                .numeric_column("FoM", 2)
+                .text_column(""),
+            |t, row| {
+                t.row(vec![
+                    Cell::text(&row.name),
+                    Cell::num(row.performance),
+                    Cell::num(row.size_ratio),
+                    Cell::num(row.cost_ratio),
+                    Cell::num(row.fom),
+                    Cell::text(if row.name == best { "◀ best" } else { "" }),
+                ])
+            },
+        )
+    }
+
+    /// Render the Fig. 6 style table (the artifact pipeline's aligned
+    /// txt sink; the old ad-hoc formatter is gone).
     pub fn render(&self) -> String {
-        let mut out = String::from("implementation                 perf.   size    cost     FoM\n");
-        for row in &self.rows {
-            out.push_str(&format!(
-                "{:<30} {:>5.2}  1/{:<5.2} 1/{:<5.2} {:>6.2}{}\n",
-                row.name,
-                row.performance,
-                row.size_ratio,
-                row.cost_ratio,
-                row.fom,
-                if row.name == self.best().name {
-                    "  ◀ best"
-                } else {
-                    ""
-                }
-            ));
-        }
-        out
+        self.artifact().to_txt()
     }
 }
 

@@ -555,25 +555,37 @@ impl StudyReport {
         &self.decision
     }
 
-    /// Render the study: one line per candidate plus the decision table.
+    /// The per-candidate assessment as a typed artifact table
+    /// (selection counts, module area, cost, performance).
+    pub fn artifact_table(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        self.rows.iter().fold(
+            ipass_report::Table::new(format!("trade study: {}", self.name))
+                .text_column("candidate")
+                .integer_column("SMDs")
+                .integer_column("IPs")
+                .integer_column("dies")
+                .numeric_column("module [mm²]", 0)
+                .numeric_column("cost", 2)
+                .numeric_column("perf", 2),
+            |t, row| {
+                t.row(vec![
+                    Cell::text(row.plan.buildup().to_string()),
+                    Cell::int(row.plan.smd_placements() as i64),
+                    Cell::int(row.plan.integrated_count() as i64),
+                    Cell::int(row.plan.die_count() as i64),
+                    Cell::num(row.area.module_area.mm2()),
+                    Cell::num(row.cost.final_cost_per_shipped().units()),
+                    Cell::num(row.performance),
+                ])
+            },
+        )
+    }
+
+    /// Render the study: the candidate table plus the decision table
+    /// (both through the artifact pipeline's aligned txt sink).
     pub fn render(&self) -> String {
-        let mut out = format!("trade study: {}\n", self.name);
-        out.push_str(&format!(
-            "{:<26} {:>6} {:>5} {:>4} {:>12} {:>10} {:>6}\n",
-            "candidate", "SMDs", "IPs", "dies", "module [mm²]", "cost", "perf"
-        ));
-        for row in &self.rows {
-            out.push_str(&format!(
-                "{:<26} {:>6} {:>5} {:>4} {:>12.0} {:>10.2} {:>6.2}\n",
-                row.plan.buildup().to_string(),
-                row.plan.smd_placements(),
-                row.plan.integrated_count(),
-                row.plan.die_count(),
-                row.area.module_area.mm2(),
-                row.cost.final_cost_per_shipped().units(),
-                row.performance
-            ));
-        }
+        let mut out = self.artifact_table().to_txt();
         out.push('\n');
         out.push_str(&self.decision.render());
         out

@@ -28,6 +28,34 @@ pub struct Exploration {
 }
 
 impl Exploration {
+    /// The exploration as a typed [`FrontierPlot`] artifact: every
+    /// screened point with its frontier-membership flag, the senses
+    /// mapped onto report directions.
+    ///
+    /// [`FrontierPlot`]: ipass_report::FrontierPlot
+    pub fn frontier_plot(&self, title: impl Into<String>) -> ipass_report::FrontierPlot {
+        let mut on_frontier = vec![false; self.points.len()];
+        for index in self.frontier.indices() {
+            on_frontier[index] = true;
+        }
+        ipass_report::FrontierPlot::new(
+            title,
+            self.axes.clone(),
+            self.objectives.clone(),
+            self.senses.iter().map(|s| direction(*s)).collect(),
+            self.points
+                .iter()
+                .map(|p| ipass_report::FrontierPoint {
+                    index: p.index,
+                    coords: p.coords.clone(),
+                    objectives: p.objectives.clone(),
+                    on_frontier: on_frontier[p.index],
+                    confirmed: None,
+                })
+                .collect(),
+        )
+    }
+
     /// Render the frontier as a table (axes, then objectives).
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -48,6 +76,14 @@ impl Exploration {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Map a dominance sense onto a report direction.
+pub(crate) fn direction(sense: Sense) -> ipass_report::Direction {
+    match sense {
+        Sense::Minimize => ipass_report::Direction::LowerIsBetter,
+        Sense::Maximize => ipass_report::Direction::HigherIsBetter,
     }
 }
 

@@ -392,6 +392,27 @@ impl Refined {
         self.promoted.len() as f64 / self.screen.points.len().max(1) as f64
     }
 
+    /// The refinement as a typed [`FrontierPlot`] artifact: the full
+    /// analytic screen with frontier flags, plus the Monte Carlo
+    /// measurements attached to every promoted point.
+    ///
+    /// [`FrontierPlot`]: ipass_report::FrontierPlot
+    pub fn frontier_plot(&self, title: impl Into<String>) -> ipass_report::FrontierPlot {
+        let mut plot = self.screen.frontier_plot(title);
+        for c in &self.confirmations {
+            plot.points[c.index].confirmed = Some(c.objectives.clone());
+        }
+        plot.note(format!(
+            "{} of {} points promoted to MC confirmation ({} stopped early)",
+            self.promoted.len(),
+            self.screen.points.len(),
+            self.confirmations
+                .iter()
+                .filter(|c| c.stopped_early)
+                .count(),
+        ))
+    }
+
     /// Render the refinement summary.
     pub fn render(&self) -> String {
         let mut out = self.screen.render();
@@ -409,8 +430,8 @@ impl Refined {
     }
 }
 
-/// The production-flow design-space explorer (see the [module
-/// docs](self) for the pipeline).
+/// The production-flow design-space explorer (see the [crate
+/// docs](crate) for the pipeline).
 ///
 /// # Examples
 ///

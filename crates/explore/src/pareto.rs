@@ -196,6 +196,38 @@ pub struct FrontierDiff {
 }
 
 impl FrontierDiff {
+    /// The diff as a typed artifact table: per side, the frontier size
+    /// and how many members survive the joint comparison.
+    pub fn artifact(
+        &self,
+        title: impl Into<String>,
+        left_name: &str,
+        right_name: &str,
+    ) -> ipass_report::Table {
+        use ipass_report::Cell;
+        let side = |name: &str, total: usize, surviving: &[usize]| {
+            vec![
+                Cell::text(name),
+                Cell::int(total as i64),
+                Cell::int(surviving.len() as i64),
+                Cell::text(
+                    surviving
+                        .iter()
+                        .map(usize::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ),
+            ]
+        };
+        ipass_report::Table::new(title)
+            .text_column("frontier")
+            .integer_column("members")
+            .integer_column("surviving")
+            .text_column("surviving point indices")
+            .row(side(left_name, self.left_total, &self.left_surviving))
+            .row(side(right_name, self.right_total, &self.right_surviving))
+    }
+
     /// Whether the left frontier survives intact while dominating at
     /// least one right member — "strictly better somewhere, worse
     /// nowhere".

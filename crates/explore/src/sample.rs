@@ -123,7 +123,7 @@ enum Shape {
 }
 
 /// A resolved, index-addressable set of sample points (see the
-/// [module docs](self) for the determinism contract).
+/// [crate docs](crate) for the determinism contract).
 #[derive(Debug, Clone)]
 pub struct PointSet {
     levels: Vec<Levels>,

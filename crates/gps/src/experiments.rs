@@ -151,20 +151,32 @@ pub struct Fig1 {
 }
 
 impl Fig1 {
-    /// Render the series.
+    /// The figure as a typed [`Series`](ipass_report::Series) artifact
+    /// (case codes on x; body, footprint and overhead lines).
+    pub fn artifact(&self) -> ipass_report::Series {
+        ipass_report::Series::new(
+            "Fig. 1 — area vs SMD type [mm²]",
+            "type",
+            ipass_report::SeriesX::Labels(self.rows.iter().map(|r| r.code.to_owned()).collect()),
+        )
+        .with_precision(2)
+        .line("body", self.rows.iter().map(|r| r.body_mm2).collect())
+        .line(
+            "footprint",
+            self.rows.iter().map(|r| r.footprint_mm2).collect(),
+        )
+        .line(
+            "overhead",
+            self.rows
+                .iter()
+                .map(|r| r.footprint_mm2 - r.body_mm2)
+                .collect(),
+        )
+    }
+
+    /// Render the series (the artifact pipeline's txt sink).
     pub fn render(&self) -> String {
-        let mut out = String::from("Fig. 1 — area vs SMD type [mm²]\n");
-        out.push_str("type    body   footprint  overhead\n");
-        for r in &self.rows {
-            out.push_str(&format!(
-                "{:<6} {:>6.2} {:>10.2} {:>9.2}\n",
-                r.code,
-                r.body_mm2,
-                r.footprint_mm2,
-                r.footprint_mm2 - r.body_mm2
-            ));
-        }
-        out
+        self.artifact().to_txt()
     }
 }
 
@@ -205,20 +217,27 @@ pub struct Table1 {
 }
 
 impl Table1 {
-    /// Render the comparison.
+    /// The comparison as a typed artifact table.
+    pub fn artifact(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        self.rows.iter().fold(
+            ipass_report::Table::new("Table 1 — area-relevant data [mm²]")
+                .text_column("component")
+                .numeric_column("paper", 3)
+                .numeric_column("measured", 3),
+            |t, r| {
+                t.row(vec![
+                    Cell::text(&r.label),
+                    Cell::num(r.paper_mm2),
+                    Cell::num(r.measured_mm2),
+                ])
+            },
+        )
+    }
+
+    /// Render the comparison (the artifact pipeline's txt sink).
     pub fn render(&self) -> String {
-        let mut out = String::from("Table 1 — area-relevant data [mm²]\n");
-        out.push_str(&format!(
-            "{:<34} {:>8} {:>10}\n",
-            "component", "paper", "measured"
-        ));
-        for r in &self.rows {
-            out.push_str(&format!(
-                "{:<34} {:>8.3} {:>10.3}\n",
-                r.label, r.paper_mm2, r.measured_mm2
-            ));
-        }
-        out
+        self.artifact().to_txt()
     }
 }
 
@@ -265,6 +284,94 @@ pub fn table1() -> Result<Table1, ExperimentError> {
 }
 
 // ---------------------------------------------------------------------
+// Table 2 — the cost and yield cards of the four implementations.
+// ---------------------------------------------------------------------
+
+/// One implementation's Table 2 card, labeled with the paper's name.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The paper's name for the solution.
+    pub label: &'static str,
+    /// The cost/yield card (see [`crate::table2::cost_inputs`] for the
+    /// ambiguity-resolution notes).
+    pub card: ipass_core::CostInputs,
+}
+
+/// Table 2 reproduced: the cost and yield cards driving the MOE cost
+/// analysis, one row per paper solution.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// The four cards, in solution order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// The cards as a typed artifact table (empty cells where a card
+    /// has no such step — a PCB needs no BGA laminate).
+    pub fn artifact(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        let opt_money = |m: Option<ipass_units::Money>| match m {
+            Some(m) => Cell::num(m.units()),
+            None => Cell::Empty,
+        };
+        self.rows
+            .iter()
+            .fold(
+                ipass_report::Table::new("Table 2 — cost [cost units] and yield cards")
+                    .text_column("implementation")
+                    .numeric_column("substrate $/cm²", 2)
+                    .numeric_column("substrate yield", 4)
+                    .numeric_column("chip set", 1)
+                    .numeric_column("chip attach yield", 4)
+                    .numeric_column("SMD kit", 1)
+                    .numeric_column("packaging", 2)
+                    .numeric_column("packaging yield", 3)
+                    .numeric_column("final test", 1)
+                    .numeric_column("fault coverage", 3),
+                |t, r| {
+                    let card = &r.card;
+                    t.row(vec![
+                        Cell::text(r.label),
+                        Cell::num(card.substrate_cost_per_cm2.units()),
+                        Cell::num(card.substrate_yield.value()),
+                        Cell::num(card.chips.iter().map(|c| c.cost.units()).sum::<f64>()),
+                        Cell::num(card.chip_attach_yield.value()),
+                        opt_money(card.smd_parts_cost_override),
+                        opt_money(card.packaging.map(|(c, _)| c)),
+                        match card.packaging {
+                            Some((_, y)) => Cell::num(y.value()),
+                            None => Cell::Empty,
+                        },
+                        Cell::num(card.final_test_cost.units()),
+                        Cell::num(card.fault_coverage.value()),
+                    ])
+                },
+            )
+            .note("empty SMD kit: the kit price equals the BOM's own sum (no override)")
+            .note("empty packaging: the PCB reference ships without a BGA laminate")
+    }
+
+    /// Render the cards (the artifact pipeline's txt sink).
+    pub fn render(&self) -> String {
+        self.artifact().to_txt()
+    }
+}
+
+/// Regenerate Table 2: the cost/yield card of every paper solution.
+pub fn table2() -> Table2 {
+    Table2 {
+        rows: BuildUp::paper_solutions()
+            .iter()
+            .zip(paper::SOLUTION_NAMES.iter())
+            .map(|(buildup, label)| Table2Row {
+                label,
+                card: cost_inputs(buildup),
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Fig. 3 — area consumed by the build-ups.
 // ---------------------------------------------------------------------
 
@@ -289,20 +396,29 @@ pub struct Fig3 {
 }
 
 impl Fig3 {
-    /// Render the comparison.
+    /// The comparison as a typed artifact table.
+    pub fn artifact(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        self.rows.iter().fold(
+            ipass_report::Table::new("Fig. 3 — area consumed by the build-ups")
+                .text_column("implementation")
+                .numeric_column("module [mm²]", 1)
+                .numeric_column("measured %", 1)
+                .numeric_column("paper %", 0),
+            |t, r| {
+                t.row(vec![
+                    Cell::text(r.label),
+                    Cell::num(r.module_area_mm2),
+                    Cell::num(r.measured_percent),
+                    Cell::num(r.paper_percent),
+                ])
+            },
+        )
+    }
+
+    /// Render the comparison (the artifact pipeline's txt sink).
     pub fn render(&self) -> String {
-        let mut out = String::from("Fig. 3 — area consumed by the build-ups\n");
-        out.push_str(&format!(
-            "{:<26} {:>12} {:>10} {:>8}\n",
-            "implementation", "module [mm²]", "measured", "paper"
-        ));
-        for r in &self.rows {
-            out.push_str(&format!(
-                "{:<26} {:>12.1} {:>9.1}% {:>7.0}%\n",
-                r.label, r.module_area_mm2, r.measured_percent, r.paper_percent
-            ));
-        }
-        out
+        self.artifact().to_txt()
     }
 }
 
@@ -355,6 +471,31 @@ impl Fig4 {
     /// Modules scrapped in the run.
     pub fn scrapped(&self) -> f64 {
         self.summary.scrapped
+    }
+
+    /// The run outcome as a typed artifact table (measured vs the
+    /// paper's illustration).
+    pub fn artifact(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        ipass_report::Table::new("Fig. 4 — generic MOE model (solution 2), Monte Carlo run")
+            .text_column("quantity")
+            .numeric_column("measured", 0)
+            .numeric_column("paper", 0)
+            .row(vec![
+                Cell::text("units started"),
+                Cell::num(self.started as f64),
+                Cell::num(paper::FIG4_STARTED as f64),
+            ])
+            .row(vec![
+                Cell::text("modules shipped"),
+                Cell::num(self.shipped()),
+                Cell::num(paper::FIG4_SHIPPED as f64),
+            ])
+            .row(vec![
+                Cell::text("units scrapped"),
+                Cell::num(self.scrapped()),
+                Cell::num(paper::FIG4_SCRAPPED as f64),
+            ])
     }
 
     /// Render the model and outcome.
@@ -431,26 +572,64 @@ pub struct Fig5 {
 }
 
 impl Fig5 {
-    /// Render the stacked-bar data.
+    /// The figure as a typed artifact table (final cost, percent of
+    /// reference vs paper, the cost components).
+    pub fn artifact_table(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        self.rows.iter().fold(
+            ipass_report::Table::new("Fig. 5 — final cost (MOE), percent of PCB reference")
+                .text_column("implementation")
+                .numeric_column("final", 1)
+                .numeric_column("measured %", 1)
+                .numeric_column("paper %", 1)
+                .numeric_column("direct", 1)
+                .numeric_column("yield loss", 1)
+                .numeric_column("chip cost", 1),
+            |t, r| {
+                t.row(vec![
+                    Cell::text(r.label),
+                    Cell::num(r.final_cost),
+                    Cell::num(r.measured_percent),
+                    Cell::num(r.paper_percent),
+                    Cell::num(r.direct_cost),
+                    Cell::num(r.yield_loss),
+                    Cell::num(r.chip_cost),
+                ])
+            },
+        )
+    }
+
+    /// The figure as a typed stacked [`Breakdown`] artifact: one bar
+    /// per solution (direct cost + yield loss per shipped unit, chip
+    /// cost as the paper's callout).
+    ///
+    /// [`Breakdown`]: ipass_report::Breakdown
+    pub fn artifact_breakdown(&self) -> ipass_report::Breakdown {
+        use ipass_report::Segment;
+        self.rows
+            .iter()
+            .fold(
+                ipass_report::Breakdown::new(
+                    "Fig. 5 — final cost composition per shipped unit",
+                    "cost units",
+                ),
+                |b, r| {
+                    b.group_with_callouts(
+                        r.label,
+                        vec![
+                            Segment::new("direct cost", r.direct_cost),
+                            Segment::new("yield loss", r.yield_loss),
+                        ],
+                        vec![Segment::new("chip cost", r.chip_cost)],
+                    )
+                },
+            )
+            .note("percent of PCB reference: see the fig5 table artifact")
+    }
+
+    /// Render the stacked-bar data (the artifact pipeline's txt sink).
     pub fn render(&self) -> String {
-        let mut out = String::from("Fig. 5 — final cost (MOE), percent of PCB reference\n");
-        out.push_str(&format!(
-            "{:<26} {:>7} {:>9} {:>7} {:>9} {:>11} {:>10}\n",
-            "implementation", "final", "measured", "paper", "direct", "yield loss", "chip cost"
-        ));
-        for r in &self.rows {
-            out.push_str(&format!(
-                "{:<26} {:>7.1} {:>8.1}% {:>6.1}% {:>9.1} {:>11.1} {:>10.1}\n",
-                r.label,
-                r.final_cost,
-                r.measured_percent,
-                r.paper_percent,
-                r.direct_cost,
-                r.yield_loss,
-                r.chip_cost
-            ));
-        }
-        out
+        self.artifact_table().to_txt()
     }
 }
 
@@ -525,30 +704,38 @@ pub struct Fig6 {
 }
 
 impl Fig6 {
-    /// Render paper-vs-measured.
+    /// The decision as a typed artifact table: the computed factors and
+    /// figure of merit next to the paper's published FoM column, the
+    /// winner marked `◀ chosen`.
+    pub fn artifact(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        let best = self.table.best().name.clone();
+        self.table.rows().iter().zip(self.paper_fom.iter()).fold(
+            ipass_report::Table::new("Fig. 6 — figure of merit (perf × 1/size × 1/cost)")
+                .text_column("implementation")
+                .numeric_column("perf", 2)
+                .numeric_column("size ×", 2)
+                .numeric_column("cost ×", 3)
+                .numeric_column("FoM", 2)
+                .numeric_column("paper", 2)
+                .text_column(""),
+            |t, (row, paper_fom)| {
+                t.row(vec![
+                    Cell::text(&row.name),
+                    Cell::num(row.performance),
+                    Cell::num(row.size_ratio),
+                    Cell::num(row.cost_ratio),
+                    Cell::num(row.fom),
+                    Cell::num(*paper_fom),
+                    Cell::text(if row.name == best { "◀ chosen" } else { "" }),
+                ])
+            },
+        )
+    }
+
+    /// Render paper-vs-measured (the artifact pipeline's txt sink).
     pub fn render(&self) -> String {
-        let mut out = String::from("Fig. 6 — figure of merit (perf × 1/size × 1/cost)\n");
-        out.push_str(&format!(
-            "{:<26} {:>6} {:>8} {:>8} {:>8} {:>7}\n",
-            "implementation", "perf", "size", "cost", "FoM", "paper"
-        ));
-        for (row, paper_fom) in self.table.rows().iter().zip(self.paper_fom.iter()) {
-            out.push_str(&format!(
-                "{:<26} {:>6.2} {:>7.2}× {:>7.3}× {:>8.2} {:>7.2}{}\n",
-                row.name,
-                row.performance,
-                row.size_ratio,
-                row.cost_ratio,
-                row.fom,
-                paper_fom,
-                if row.name == self.table.best().name {
-                    "  ◀ chosen"
-                } else {
-                    ""
-                }
-            ));
-        }
-        out
+        self.artifact().to_txt()
     }
 }
 
@@ -805,14 +992,22 @@ pub struct DesignSpace {
 }
 
 impl DesignSpace {
-    /// Render the frontier and refinement summary.
-    pub fn render(&self) -> String {
-        format!(
-            "design space — {} (volume × substrate yield, NRE {:.0})\n{}",
+    /// The exploration as a typed
+    /// [`FrontierPlot`](ipass_report::FrontierPlot) artifact: every
+    /// screened point, the frontier, and the Monte Carlo confirmations
+    /// of the promoted band.
+    pub fn artifact(&self) -> ipass_report::FrontierPlot {
+        self.refined.frontier_plot(format!(
+            "design space — {} (volume × substrate yield, NRE {:.0})",
             self.label,
-            self.nre.units(),
-            self.refined.render()
-        )
+            self.nre.units()
+        ))
+    }
+
+    /// Render the frontier and refinement summary (the artifact
+    /// pipeline's txt sink).
+    pub fn render(&self) -> String {
+        self.artifact().to_txt()
     }
 }
 

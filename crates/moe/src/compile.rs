@@ -113,12 +113,12 @@ pub(crate) enum Op {
     },
 }
 
-/// What a [`PatchSlot`] lets you overwrite on a compiled program.
+/// What a patch slot lets you overwrite on a compiled program.
 ///
 /// Slots are registered during compilation for every op that still
 /// carries the corresponding parameter — a step compiled away as a
 /// provable no-op, or whose uncertainty was specialized out
-/// ([`Op::Cost`]/[`Op::Condemn`]), exposes no yield slot.
+/// (the `Cost`/`Condemn` ops), exposes no yield slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlotKind {
     /// The cost an op books (per input unit for part inputs; the folded

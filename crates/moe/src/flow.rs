@@ -106,7 +106,7 @@ impl Flow {
 
     /// Evaluate the flow with the closed-form expected-value engine.
     ///
-    /// Runs on the same compiled [`RoutingProgram`] as the Monte Carlo
+    /// Runs on the same compiled routing program as the Monte Carlo
     /// kernel (cached on the flow), so repeated analytic evaluations
     /// pay compilation once.
     ///

@@ -97,7 +97,7 @@ pub use report::{CostBreakdownRow, CostReport};
 pub use sensitivity::{Tornado, TornadoInput, TornadoPatch, TornadoRow};
 pub use stage::{Attach, FailAction, Process, Rework, Stage, Test};
 pub use sweep::{
-    find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_with, CrossoverError,
-    SweepPoint,
+    find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_series, sweep_with,
+    CrossoverError, SweepPoint,
 };
 pub use yield_model::{DefectModel, YieldModel};

@@ -200,8 +200,8 @@ pub enum PatchDirective {
 }
 
 /// A mutable copy of a compiled program's op vector with named
-/// parameter slots overwritten — see the [module docs](self) for the
-/// sweep pattern and the analytic-only caveat.
+/// parameter slots overwritten — see the crate docs for the sweep
+/// pattern and the analytic-only caveat.
 #[derive(Debug, Clone)]
 pub struct FlowPatch {
     /// The base program: slot table, label names, region layout.

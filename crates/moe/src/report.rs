@@ -235,6 +235,68 @@ impl CostReport {
         rows
     }
 
+    /// The report as a typed artifact table (summary quantities, spend
+    /// by category, the defect pareto) — the canonical machine-facing
+    /// form; [`CostReport::render`] stays as the compact human layout.
+    pub fn artifact_table(&self) -> ipass_report::Table {
+        use ipass_report::Cell;
+        let mut rows: Vec<(String, f64)> = vec![
+            ("units started".into(), self.started),
+            ("units shipped".into(), self.shipped),
+            ("shipped fraction".into(), self.shipped_fraction()),
+            ("escape rate".into(), self.escape_rate()),
+            (
+                "final cost per shipped".into(),
+                self.final_cost_per_shipped().units(),
+            ),
+            (
+                "direct cost per shipped".into(),
+                self.direct_cost_per_shipped().units(),
+            ),
+            (
+                "yield loss per shipped".into(),
+                self.yield_loss_per_shipped().units(),
+            ),
+            ("NRE per shipped".into(), self.nre_per_shipped().units()),
+        ];
+        for (cat, amount) in self.by_category.iter() {
+            if amount.units() != 0.0 {
+                rows.push((format!("spend: {}", cat.label()), amount.units()));
+            }
+        }
+        for (label, frac) in &self.defect_pareto {
+            rows.push((format!("first defect at {label}"), *frac));
+        }
+        rows.into_iter().fold(
+            ipass_report::Table::new(format!("cost report — {}", self.name))
+                .text_column("quantity")
+                .numeric_column("value", 4),
+            |t, (label, v)| t.row(vec![Cell::text(label), Cell::num(v)]),
+        )
+    }
+
+    /// The report as a Fig. 5-style stacked [`Breakdown`] bar: direct
+    /// cost, yield loss and (when configured) NRE per shipped unit,
+    /// with the chip spend as a non-additive callout.
+    ///
+    /// [`Breakdown`]: ipass_report::Breakdown
+    pub fn artifact_breakdown(&self) -> ipass_report::Breakdown {
+        use ipass_report::Segment;
+        let mut segments = vec![
+            Segment::new("direct cost", self.direct_cost_per_shipped().units()),
+            Segment::new("yield loss", self.yield_loss_per_shipped().units()),
+        ];
+        if self.nre.units() > 0.0 {
+            segments.push(Segment::new("NRE", self.nre_per_shipped().units()));
+        }
+        let callouts = vec![Segment::new(
+            "chip cost",
+            self.category_cost_per_shipped(CostCategory::Chip).units(),
+        )];
+        ipass_report::Breakdown::new(format!("cost breakdown — {}", self.name), "cost units")
+            .group_with_callouts(self.name.clone(), segments, callouts)
+    }
+
     /// Render a human-readable report table.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -24,8 +24,8 @@ pub struct TornadoInput<'a> {
 
 /// One input parameter as a pair of patches on a shared compiled
 /// program — the fast form of [`TornadoInput`]: the production line is
-/// compiled once and each variant overwrites a few parameter slots (see
-/// [`crate::patch`]) instead of rebuilding a whole flow.
+/// compiled once and each variant overwrites a few parameter slots
+/// (see [`FlowPatch`]) instead of rebuilding a whole flow.
 #[derive(Debug)]
 pub struct TornadoPatch<'a> {
     /// Parameter label.
@@ -181,21 +181,26 @@ impl Tornado {
         &self.rows
     }
 
-    /// Render the chart as text bars.
+    /// The chart as a typed range-[`Breakdown`] artifact: one bar per
+    /// parameter around the baseline cost, already sorted by swing.
+    ///
+    /// [`Breakdown`]: ipass_report::Breakdown
+    pub fn artifact(&self) -> ipass_report::Breakdown {
+        self.artifact_titled("tornado — final cost per shipped unit")
+    }
+
+    /// [`Tornado::artifact`] with an explicit title.
+    pub fn artifact_titled(&self, title: impl Into<String>) -> ipass_report::Breakdown {
+        self.rows.iter().fold(
+            ipass_report::Breakdown::new(title, "cost units").with_baseline(self.baseline_cost),
+            |b, row| b.range(row.name.clone(), row.low_cost, row.high_cost),
+        )
+    }
+
+    /// Render the chart as text bars (the artifact pipeline's aligned
+    /// txt sink; the old ad-hoc bar formatter is gone).
     pub fn render(&self) -> String {
-        let mut out = format!("tornado (baseline {:.2})\n", self.baseline_cost);
-        let max_swing = self.rows.first().map_or(1.0, TornadoRow::swing).max(1e-12);
-        for row in &self.rows {
-            let width = ((row.swing() / max_swing) * 30.0).round() as usize;
-            out.push_str(&format!(
-                "  {:<28} {:>8.2} … {:>8.2}  {}\n",
-                row.name,
-                row.low_cost,
-                row.high_cost,
-                "█".repeat(width.max(1))
-            ));
-        }
-        out
+        self.artifact().to_txt()
     }
 }
 

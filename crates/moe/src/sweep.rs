@@ -33,6 +33,31 @@ impl SweepPoint {
     }
 }
 
+/// A sweep as a typed [`Series`] artifact: the swept parameter on x,
+/// final cost per shipped unit and shipped fraction as lines.
+///
+/// [`Series`]: ipass_report::Series
+pub fn sweep_series(
+    title: impl Into<String>,
+    x_name: impl Into<String>,
+    points: &[SweepPoint],
+) -> ipass_report::Series {
+    ipass_report::Series::new(
+        title,
+        x_name,
+        ipass_report::SeriesX::Values(points.iter().map(|p| p.x).collect()),
+    )
+    .with_precision(4)
+    .line(
+        "final cost per shipped",
+        points.iter().map(SweepPoint::final_cost).collect(),
+    )
+    .line(
+        "shipped fraction",
+        points.iter().map(|p| p.report.shipped_fraction()).collect(),
+    )
+}
+
 /// Evaluate a family of flows over parameter values `xs` with the
 /// analytic engine.
 ///

@@ -1,0 +1,343 @@
+//! The artifact sum type, the output formats, and the JSON encoding.
+
+use crate::json::Json;
+use crate::value::{Breakdown, Cell, Direction, FrontierPlot, Series, SeriesX, Table};
+use std::error::Error;
+use std::fmt;
+
+/// An output format of the artifact pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Format {
+    /// Aligned plain text.
+    Txt,
+    /// Comma-separated values (full float precision).
+    Csv,
+    /// A Markdown table.
+    Md,
+    /// A JSON document (full float precision).
+    Json,
+    /// A standalone SVG figure.
+    Svg,
+}
+
+impl Format {
+    /// All formats, in the order `regen` writes them.
+    pub const ALL: [Format; 5] = [
+        Format::Txt,
+        Format::Csv,
+        Format::Md,
+        Format::Json,
+        Format::Svg,
+    ];
+
+    /// The file extension (no dot).
+    pub fn ext(self) -> &'static str {
+        match self {
+            Format::Txt => "txt",
+            Format::Csv => "csv",
+            Format::Md => "md",
+            Format::Json => "json",
+            Format::Svg => "svg",
+        }
+    }
+
+    /// Parse a format name (the CLI's `--format` values).
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "txt" => Some(Format::Txt),
+            "csv" => Some(Format::Csv),
+            "md" => Some(Format::Md),
+            "json" => Some(Format::Json),
+            "svg" => Some(Format::Svg),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.ext())
+    }
+}
+
+/// Error rendering an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReportError {
+    /// The artifact does not support the requested format (tables have
+    /// no SVG form).
+    UnsupportedFormat {
+        /// The artifact's title.
+        artifact: String,
+        /// The requested format.
+        format: Format,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::UnsupportedFormat { artifact, format } => {
+                write!(f, "artifact {artifact:?} has no {format} form")
+            }
+        }
+    }
+}
+
+impl Error for ReportError {}
+
+/// Any renderable artifact value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A titled table.
+    Table(Table),
+    /// An x axis with named lines.
+    Series(Series),
+    /// Stacked or range (tornado) bars.
+    Breakdown(Breakdown),
+    /// A screened design space with its frontier.
+    Frontier(FrontierPlot),
+}
+
+impl Artifact {
+    /// The artifact's title.
+    pub fn title(&self) -> &str {
+        match self {
+            Artifact::Table(t) => &t.title,
+            Artifact::Series(s) => &s.title,
+            Artifact::Breakdown(b) => &b.title,
+            Artifact::Frontier(f) => &f.title,
+        }
+    }
+
+    /// The formats this artifact renders to, in `regen` order.
+    pub fn formats(&self) -> Vec<Format> {
+        match self {
+            // A table has no meaningful figure form.
+            Artifact::Table(_) => vec![Format::Txt, Format::Csv, Format::Md, Format::Json],
+            _ => Format::ALL.to_vec(),
+        }
+    }
+
+    /// Render to one format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::UnsupportedFormat`] when the artifact has
+    /// no such form (see [`Artifact::formats`]).
+    pub fn render(&self, format: Format) -> Result<String, ReportError> {
+        let unsupported = || ReportError::UnsupportedFormat {
+            artifact: self.title().to_owned(),
+            format,
+        };
+        Ok(match (self, format) {
+            (Artifact::Table(t), Format::Txt) => t.to_txt(),
+            (Artifact::Table(t), Format::Csv) => t.to_csv(),
+            (Artifact::Table(t), Format::Md) => t.to_md(),
+            (Artifact::Table(_), Format::Svg) => return Err(unsupported()),
+            (Artifact::Series(s), Format::Txt) => s.to_txt(),
+            (Artifact::Series(s), Format::Csv) => s.to_csv(),
+            (Artifact::Series(s), Format::Md) => s.to_md(),
+            (Artifact::Series(s), Format::Svg) => s.to_svg(),
+            (Artifact::Breakdown(b), Format::Txt) => b.to_txt(),
+            (Artifact::Breakdown(b), Format::Csv) => b.to_csv(),
+            (Artifact::Breakdown(b), Format::Md) => b.to_md(),
+            (Artifact::Breakdown(b), Format::Svg) => b.to_svg(),
+            (Artifact::Frontier(f), Format::Txt) => f.to_txt(),
+            (Artifact::Frontier(f), Format::Csv) => f.to_csv(),
+            (Artifact::Frontier(f), Format::Md) => f.to_md(),
+            (Artifact::Frontier(f), Format::Svg) => f.to_svg(),
+            (_, Format::Json) => self.to_json().render(),
+        })
+    }
+
+    /// The artifact as a [`Json`] value tree (the `json` sink renders
+    /// this; adapters and tests can inspect it structurally).
+    pub fn to_json(&self) -> Json {
+        fn notes(notes: &[String]) -> Json {
+            Json::strs(notes.iter().cloned())
+        }
+        match self {
+            Artifact::Table(t) => Json::obj(vec![
+                ("kind", Json::str("table")),
+                ("title", Json::str(&t.title)),
+                (
+                    "columns",
+                    Json::strs(t.columns.iter().map(|c| c.name.clone())),
+                ),
+                (
+                    "rows",
+                    Json::Arr(
+                        t.rows
+                            .iter()
+                            .map(|row| Json::Arr(row.iter().map(cell_json).collect()))
+                            .collect(),
+                    ),
+                ),
+                ("notes", notes(&t.notes)),
+            ]),
+            Artifact::Series(s) => Json::obj(vec![
+                ("kind", Json::str("series")),
+                ("title", Json::str(&s.title)),
+                ("x_name", Json::str(&s.x_name)),
+                (
+                    "x",
+                    match &s.x {
+                        SeriesX::Labels(l) => Json::strs(l.iter().cloned()),
+                        SeriesX::Values(v) => Json::nums(v.iter().cloned()),
+                    },
+                ),
+                (
+                    "lines",
+                    Json::Arr(
+                        s.lines
+                            .iter()
+                            .map(|l| {
+                                Json::obj(vec![
+                                    ("name", Json::str(&l.name)),
+                                    ("values", Json::nums(l.values.iter().cloned())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("notes", notes(&s.notes)),
+            ]),
+            Artifact::Breakdown(b) => Json::obj(vec![
+                ("kind", Json::str("breakdown")),
+                ("title", Json::str(&b.title)),
+                ("unit", Json::str(&b.unit)),
+                (
+                    "baseline",
+                    match b.baseline {
+                        Some(v) => Json::Num(v),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "groups",
+                    Json::Arr(
+                        b.groups
+                            .iter()
+                            .map(|g| {
+                                Json::obj(vec![
+                                    ("label", Json::str(&g.label)),
+                                    (
+                                        "segments",
+                                        Json::Arr(g.segments.iter().map(segment_json).collect()),
+                                    ),
+                                    (
+                                        "callouts",
+                                        Json::Arr(g.callouts.iter().map(segment_json).collect()),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("notes", notes(&b.notes)),
+            ]),
+            Artifact::Frontier(f) => Json::obj(vec![
+                ("kind", Json::str("frontier")),
+                ("title", Json::str(&f.title)),
+                ("axes", Json::strs(f.axes.iter().cloned())),
+                ("objectives", Json::strs(f.objectives.iter().cloned())),
+                (
+                    "directions",
+                    Json::strs(f.directions.iter().map(|d| match d {
+                        Direction::LowerIsBetter => "lower",
+                        Direction::HigherIsBetter => "higher",
+                    })),
+                ),
+                (
+                    "points",
+                    Json::Arr(
+                        f.points
+                            .iter()
+                            .map(|p| {
+                                Json::obj(vec![
+                                    ("index", Json::Int(p.index as i64)),
+                                    ("coords", Json::nums(p.coords.iter().cloned())),
+                                    ("objectives", Json::nums(p.objectives.iter().cloned())),
+                                    ("on_frontier", Json::Bool(p.on_frontier)),
+                                    (
+                                        "confirmed",
+                                        match &p.confirmed {
+                                            Some(v) => Json::nums(v.iter().cloned()),
+                                            None => Json::Null,
+                                        },
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("notes", notes(&f.notes)),
+            ]),
+        }
+    }
+}
+
+fn cell_json(cell: &Cell) -> Json {
+    match cell {
+        Cell::Empty => Json::Null,
+        Cell::Text(s) => Json::str(s),
+        Cell::Int(v) => Json::Int(*v),
+        Cell::Num(v) => Json::Num(*v),
+    }
+}
+
+fn segment_json(s: &crate::value::Segment) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&s.label)),
+        ("value", Json::Num(s.value)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Cell;
+
+    fn table() -> Artifact {
+        Artifact::Table(
+            Table::new("t")
+                .text_column("a")
+                .numeric_column("b", 2)
+                .row(vec![Cell::text("x"), Cell::num(1.5)]),
+        )
+    }
+
+    #[test]
+    fn formats_and_rendering_agree() {
+        let t = table();
+        for format in t.formats() {
+            assert!(t.render(format).is_ok(), "{format}");
+        }
+        assert_eq!(
+            t.render(Format::Svg),
+            Err(ReportError::UnsupportedFormat {
+                artifact: "t".into(),
+                format: Format::Svg
+            })
+        );
+    }
+
+    #[test]
+    fn json_schema_is_tagged() {
+        let json = table().render(Format::Json).unwrap();
+        assert!(json.contains("\"kind\": \"table\""));
+        assert!(json.contains("\"rows\""));
+        // The scanner can read the writer's output.
+        let objs = crate::json::objects(&json);
+        assert_eq!(crate::json::string_field(objs[0], "kind"), Some("table"));
+    }
+
+    #[test]
+    fn format_parse_round_trips() {
+        for f in Format::ALL {
+            assert_eq!(Format::parse(f.ext()), Some(f));
+        }
+        assert_eq!(Format::parse("pdf"), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! The CSV sink: RFC-4180-style quoting, `\n` line endings, full
+//! float precision ([`crate::fmt_f64`]), headers always present.
+//! Titles and notes are not part of the data and are omitted.
+
+use crate::value::{Breakdown, Cell, FrontierPlot, Series, Table};
+
+/// Quote a field when it contains a comma, a quote or a newline.
+fn field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn line(out: &mut String, fields: &[String]) {
+    let rendered: Vec<String> = fields.iter().map(|f| field(f)).collect();
+    out.push_str(&rendered.join(","));
+    out.push('\n');
+}
+
+fn cell_csv(cell: &Cell) -> String {
+    match cell {
+        Cell::Empty => String::new(),
+        Cell::Text(s) => s.clone(),
+        Cell::Int(v) => v.to_string(),
+        Cell::Num(v) => crate::fmt_f64(*v),
+    }
+}
+
+pub(crate) fn table(t: &Table) -> String {
+    let mut out = String::new();
+    line(
+        &mut out,
+        &t.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+    );
+    for row in &t.rows {
+        line(&mut out, &row.iter().map(cell_csv).collect::<Vec<_>>());
+    }
+    out
+}
+
+pub(crate) fn series(s: &Series) -> String {
+    let mut out = String::new();
+    let mut headers = vec![s.x_name.clone()];
+    headers.extend(s.lines.iter().map(|l| l.name.clone()));
+    line(&mut out, &headers);
+    for i in 0..s.x.len() {
+        let mut row = vec![s.x.label(i)];
+        row.extend(s.lines.iter().map(|l| crate::fmt_f64(l.values[i])));
+        line(&mut out, &row);
+    }
+    out
+}
+
+pub(crate) fn breakdown(b: &Breakdown) -> String {
+    let mut out = String::new();
+    match b.baseline {
+        Some(baseline) => {
+            line(
+                &mut out,
+                &["parameter", "low", "high", "swing", "baseline"].map(String::from),
+            );
+            for g in &b.groups {
+                let [lo, hi] = g.segments.as_slice() else {
+                    panic!("range breakdown group {:?} must be [low, high]", g.label);
+                };
+                line(
+                    &mut out,
+                    &[
+                        g.label.clone(),
+                        crate::fmt_f64(lo.value),
+                        crate::fmt_f64(hi.value),
+                        crate::fmt_f64((hi.value - lo.value).abs()),
+                        crate::fmt_f64(baseline),
+                    ],
+                );
+            }
+        }
+        None => {
+            line(
+                &mut out,
+                &["group", "segment", "additive", "value"].map(String::from),
+            );
+            for g in &b.groups {
+                for seg in &g.segments {
+                    line(
+                        &mut out,
+                        &[
+                            g.label.clone(),
+                            seg.label.clone(),
+                            "true".to_owned(),
+                            crate::fmt_f64(seg.value),
+                        ],
+                    );
+                }
+                for c in &g.callouts {
+                    line(
+                        &mut out,
+                        &[
+                            g.label.clone(),
+                            c.label.clone(),
+                            "false".to_owned(),
+                            crate::fmt_f64(c.value),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn frontier(f: &FrontierPlot) -> String {
+    let mut out = String::new();
+    let mut headers = vec!["point".to_owned()];
+    headers.extend(f.axes.iter().cloned());
+    headers.extend(f.objectives.iter().cloned());
+    headers.push("on_frontier".to_owned());
+    headers.extend(f.objectives.iter().map(|o| format!("{o} (mc)")));
+    line(&mut out, &headers);
+    for p in &f.points {
+        let mut row = vec![p.index.to_string()];
+        row.extend(p.coords.iter().map(|v| crate::fmt_f64(*v)));
+        row.extend(p.objectives.iter().map(|v| crate::fmt_f64(*v)));
+        row.push(p.on_frontier.to_string());
+        match &p.confirmed {
+            Some(vals) => row.extend(vals.iter().map(|v| crate::fmt_f64(*v))),
+            None => row.extend(f.objectives.iter().map(|_| String::new())),
+        }
+        line(&mut out, &row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::value::{Cell, SeriesX};
+    use crate::{Breakdown, Series, Table};
+
+    #[test]
+    fn quoting_is_rfc4180ish() {
+        let t = Table::new("t")
+            .text_column("label")
+            .numeric_column("v", 2)
+            .row(vec![Cell::text("a, \"quoted\" name"), Cell::num(1.5)]);
+        assert_eq!(t.to_csv(), "label,v\n\"a, \"\"quoted\"\" name\",1.5\n");
+    }
+
+    #[test]
+    fn series_full_precision() {
+        let s = Series::new("s", "x", SeriesX::Values(vec![0.1])).line("y", vec![0.1 + 0.2]);
+        assert_eq!(s.to_csv(), "x,y\n0.1,0.30000000000000004\n");
+    }
+
+    #[test]
+    fn tornado_rows_carry_baseline() {
+        let b = Breakdown::new("t", "cu")
+            .with_baseline(10.0)
+            .range("p", 9.0, 11.5);
+        assert_eq!(
+            b.to_csv(),
+            "parameter,low,high,swing,baseline\np,9,11.5,2.5,10\n"
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! Hand-rolled JSON: a deterministic writer for the sinks and a
+//! tolerant object scanner for readers of committed baselines.
+//!
+//! The build environment has no network, hence no serde; this module
+//! is the one JSON implementation the workspace shares. The writer
+//! side is a plain value tree ([`Json`]) whose rendering preserves
+//! insertion order and formats floats shortest-round-trip
+//! ([`crate::fmt_f64`]). The reader side ([`objects`],
+//! [`field_value`]) replaces the brace-splitting scanner that used to
+//! live inside `bench_gate`: it is string- and nesting-aware, so an
+//! escaped quote or a nested object inside a value can no longer
+//! corrupt a lookup.
+
+use std::fmt;
+
+/// A JSON value tree. Object member order is the insertion order —
+/// rendering is fully deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float (non-finite values render as `null`).
+    Num(f64),
+    /// An integer (kept exact; `u64::MAX` fits).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from ordered members.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// An array of numbers.
+    pub fn nums(values: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::Num).collect())
+    }
+
+    /// An array of strings.
+    pub fn strs<S: Into<String>>(values: impl IntoIterator<Item = S>) -> Json {
+        Json::Arr(values.into_iter().map(Json::str).collect())
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => out.push_str(&crate::fmt_f64(*v)),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Escape a string for a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The reader side: tolerant object scanning.
+// ---------------------------------------------------------------------
+
+/// Advance past a string literal; `i` points at the opening quote.
+/// Returns the index just past the closing quote (or `len` when
+/// unterminated — the scanner degrades gracefully on truncated input).
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// The top-level object slices of a JSON document (brace to brace,
+/// inclusive), in document order. "Top-level" means not nested inside
+/// another *object*: the objects of a baseline array document are
+/// returned even though the array encloses them, while objects nested
+/// as member values stay inside their parent's slice. String contents
+/// — including escaped quotes and braces — are skipped, never parsed.
+pub fn objects(json: &str) -> Vec<&str> {
+    let bytes = json.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => i = skip_string(bytes, i),
+            b'{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push(&json[start..=i]);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Advance past one JSON value starting at `i` (string, object, array,
+/// or scalar token). Returns the index just past the value.
+fn skip_value(bytes: &[u8], mut i: usize) -> usize {
+    match bytes.get(i) {
+        Some(b'"') => skip_string(bytes, i),
+        Some(b'{') | Some(b'[') => {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'"' => {
+                        i = skip_string(bytes, i);
+                        continue;
+                    }
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            bytes.len()
+        }
+        _ => {
+            // Scalar token: runs to the next comma or closing bracket.
+            while i < bytes.len() && !matches!(bytes[i], b',' | b'}' | b']') {
+                i += 1;
+            }
+            i
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// The raw value token of the *top-level* member `field` inside one
+/// object slice (as produced by [`objects`]): string values keep their
+/// quotes, nested objects/arrays are returned as their full slice,
+/// scalars are trimmed. Keys inside nested objects or string values
+/// never match — only genuine members of `obj` itself. Returns `None`
+/// when the member is absent or the slice is not an object.
+pub fn field_value<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
+    let bytes = obj.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i = skip_ws(bytes, i + 1);
+    while i < bytes.len() && bytes[i] != b'}' {
+        if bytes[i] != b'"' {
+            return None; // malformed member list
+        }
+        let key_end = skip_string(bytes, i);
+        let key = &obj[i + 1..key_end - 1];
+        i = skip_ws(bytes, key_end);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let value_end = skip_value(bytes, i);
+        if key == field {
+            return Some(obj[i..value_end].trim());
+        }
+        i = skip_ws(bytes, value_end);
+        if bytes.get(i) == Some(&b',') {
+            i = skip_ws(bytes, i + 1);
+        }
+    }
+    None
+}
+
+/// [`field_value`] with string quotes stripped — the common "give me
+/// the id" accessor.
+pub fn string_field<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
+    field_value(obj, field).map(|v| v.trim_matches('"'))
+}
+
+/// [`field_value`] parsed as a number.
+pub fn number_field(obj: &str, field: &str) -> Option<f64> {
+    field_value(obj, field)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_renders_deterministically() {
+        let v = Json::obj(vec![
+            ("id", Json::str("mc_units/100000")),
+            ("ns_per_elem", Json::Num(28.5)),
+            ("elements", Json::Int(100000)),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        let expected = "{\n  \"id\": \"mc_units/100000\",\n  \"ns_per_elem\": 28.5,\n  \"elements\": 100000,\n  \"flags\": [\n    true,\n    null\n  ]\n}\n";
+        assert_eq!(v.render(), expected);
+        assert_eq!(v.render(), v.render());
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let v = Json::str("say \"hi\"\n\tok\\done\u{1}");
+        assert_eq!(v.render(), "\"say \\\"hi\\\"\\n\\tok\\\\done\\u0001\"\n");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn objects_splits_a_baseline_array() {
+        let doc = r#"[
+  {"id": "a/1", "mean_ns": 100.0},
+  {"id": "b/2", "mean_ns": 7.0}
+]"#;
+        let objs = objects(doc);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(string_field(objs[0], "id"), Some("a/1"));
+        assert_eq!(string_field(objs[1], "id"), Some("b/2"));
+    }
+
+    #[test]
+    fn objects_tolerates_braces_inside_strings() {
+        // The old brace-splitting scanner miscounted here: an escaped
+        // quote and literal braces inside a string value.
+        let doc = r#"[{"id": "w{e}ird", "note": "say \"}{\" loudly", "v": 3.0}]"#;
+        let objs = objects(doc);
+        assert_eq!(objs.len(), 1);
+        assert_eq!(string_field(objs[0], "id"), Some("w{e}ird"));
+        assert_eq!(number_field(objs[0], "v"), Some(3.0));
+    }
+
+    #[test]
+    fn nested_objects_stay_inside_their_parent() {
+        let doc = r#"[{"id": "outer", "meta": {"id": "inner", "k": 1}, "v": 2.0}]"#;
+        let objs = objects(doc);
+        assert_eq!(objs.len(), 1, "nested object must not split the parent");
+        // The nested member's keys are invisible to top-level lookup…
+        assert_eq!(number_field(objs[0], "k"), None);
+        // …the nested object itself is returned whole…
+        assert_eq!(
+            field_value(objs[0], "meta"),
+            Some(r#"{"id": "inner", "k": 1}"#)
+        );
+        // …and siblings after it still resolve.
+        assert_eq!(number_field(objs[0], "v"), Some(2.0));
+        assert_eq!(string_field(objs[0], "id"), Some("outer"));
+    }
+
+    #[test]
+    fn field_value_ignores_field_names_in_values() {
+        let obj = r#"{"git_rev": "mean_ns", "min_ns": 1.0, "mean_ns": 5.0, "max_ns": 9.0}"#;
+        assert_eq!(number_field(obj, "mean_ns"), Some(5.0));
+        assert_eq!(number_field(obj, "min_ns"), Some(1.0));
+        assert_eq!(number_field(obj, "max_ns"), Some(9.0));
+        assert_eq!(field_value(obj, "absent"), None);
+    }
+
+    #[test]
+    fn field_value_tolerates_any_whitespace() {
+        let spaced = "{\n  \"id\"  :  \"a/1\" ,\n\t\"ns_per_elem\" : 10.0\n}";
+        assert_eq!(string_field(spaced, "id"), Some("a/1"));
+        assert_eq!(number_field(spaced, "ns_per_elem"), Some(10.0));
+    }
+
+    #[test]
+    fn arrays_as_values_are_skipped_whole() {
+        let obj = r#"{"samples": [1, {"mean_ns": 99}, 3], "mean_ns": 5.0}"#;
+        assert_eq!(number_field(obj, "mean_ns"), Some(5.0));
+        assert_eq!(
+            field_value(obj, "samples"),
+            Some(r#"[1, {"mean_ns": 99}, 3]"#)
+        );
+    }
+
+    #[test]
+    fn null_and_bool_scalars_round_trip() {
+        let obj = r#"{"elements": null, "ok": true, "v": -2.5e3}"#;
+        assert_eq!(field_value(obj, "elements"), Some("null"));
+        assert_eq!(field_value(obj, "ok"), Some("true"));
+        assert_eq!(number_field(obj, "v"), Some(-2500.0));
+    }
+
+    #[test]
+    fn truncated_input_degrades_gracefully() {
+        // An unterminated string value yields the partial raw token
+        // rather than a panic or an out-of-bounds slice.
+        assert_eq!(
+            field_value(r#"{"id": "unterminated"#, "id"),
+            Some("\"unterminated")
+        );
+        assert_eq!(field_value("", "id"), None);
+        assert_eq!(field_value("not json", "id"), None);
+        assert!(objects(r#"[{"id": "no close""#).is_empty());
+    }
+
+    #[test]
+    fn scanner_reads_what_the_writer_wrote() {
+        let doc = Json::Arr(vec![Json::obj(vec![
+            ("id", Json::str("round/trip")),
+            ("note", Json::str("has \"quotes\" and {braces}")),
+            ("npe", Json::Num(28.25)),
+        ])])
+        .render();
+        let objs = objects(&doc);
+        assert_eq!(objs.len(), 1);
+        assert_eq!(string_field(objs[0], "id"), Some("round/trip"));
+        assert_eq!(number_field(objs[0], "npe"), Some(28.25));
+    }
+}

@@ -1,0 +1,108 @@
+//! `ipass-report` — the artifact pipeline: typed paper artifacts with
+//! deterministic, pluggable output sinks.
+//!
+//! The paper's deliverables are *artifacts* — the Table 2 cost cards,
+//! the Fig. 5 cost breakdowns, the Fig. 6 decision, the sensitivity
+//! tornado, the design-space frontier. Upstream crates compute them;
+//! this crate gives them one typed output layer so the CLI, the docs
+//! book, CI and downstream consumers can all regenerate and diff the
+//! same bytes:
+//!
+//! * **Values** — [`Table`] (aligned columns), [`Series`] (one x axis,
+//!   n named lines), [`Breakdown`] (stacked or low/high-range bars),
+//!   [`FrontierPlot`] (a screened design space with its non-dominated
+//!   subset). [`Artifact`] is the sum type the sinks accept.
+//! * **Sinks** — every artifact renders to aligned plain text, CSV,
+//!   Markdown and JSON; [`Series`], [`Breakdown`] and [`FrontierPlot`]
+//!   additionally render to standalone SVG. All five are pure
+//!   functions of the value: no timestamps, no locale, no iteration
+//!   over unordered containers — rendering twice yields identical
+//!   bytes, which is what the `ipass regen` drift gate in CI relies
+//!   on.
+//! * **[`json`]** — the hand-rolled JSON layer shared by the sinks and
+//!   the bench harness (the build has no network, hence no serde): a
+//!   [`json::Json`] value tree with deterministic rendering, plus the
+//!   tolerant object [scanner](json::objects) `bench_gate` uses to
+//!   read committed baselines.
+//! * **[`Sink`]** — where rendered artifacts go: a directory
+//!   ([`DirSink`]), or memory ([`MemorySink`]) for golden tests and
+//!   idempotence checks.
+//!
+//! This crate sits *below* the domain crates (it depends on nothing),
+//! so `ipass-moe`, `ipass-core`, `ipass-explore` and `ipass-gps` can
+//! each attach artifact adapters to their own result types.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipass_report::{Artifact, Cell, Format, Table};
+//!
+//! let table = Table::new("Fig. 6 — figure of merit")
+//!     .text_column("implementation")
+//!     .numeric_column("FoM", 2)
+//!     .row(vec![Cell::text("PCB/SMD"), Cell::num(1.0)])
+//!     .row(vec![Cell::text("MCM/FC/IP&SMD"), Cell::num(1.81)]);
+//! let artifact = Artifact::Table(table);
+//!
+//! let txt = artifact.render(Format::Txt)?;
+//! assert!(txt.contains("MCM/FC/IP&SMD"));
+//! let json = artifact.render(Format::Json)?;
+//! assert!(json.contains("\"kind\": \"table\""));
+//! // Determinism: rendering is a pure function of the value.
+//! assert_eq!(txt, artifact.render(Format::Txt)?);
+//! # Ok::<(), ipass_report::ReportError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod artifact;
+mod csv;
+pub mod json;
+mod md;
+mod sink;
+mod svg;
+mod txt;
+mod value;
+
+pub use artifact::{Artifact, Format, ReportError};
+pub use sink::{diff_against_dir, emit, DirSink, MemorySink, Sink};
+pub use value::{
+    Align, Breakdown, BreakdownGroup, Cell, Column, Direction, FrontierPlot, FrontierPoint,
+    Segment, Series, SeriesLine, SeriesX, Table,
+};
+
+/// Deterministic shortest-round-trip rendering of an `f64` for the
+/// machine-readable sinks (CSV, JSON, SVG path data).
+///
+/// Rust's `Display` for floats is already shortest-round-trip and
+/// platform-independent; this helper only pins the two JSON-hostile
+/// cases: non-finite values render as `null` and negative zero loses
+/// its sign (`-0.0` and `0.0` are the same measurement).
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_owned()
+    } else if v == 0.0 {
+        "0".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_f64_is_deterministic_and_json_safe() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(-0.0), "0");
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        // Shortest round-trip: the classic third.
+        assert_eq!(fmt_f64(0.1 + 0.2), "0.30000000000000004");
+    }
+}

@@ -1,0 +1,195 @@
+//! The Markdown sink: pipe tables with alignment markers, the title as
+//! a bold caption, notes as blockquotes. Display precision follows the
+//! column spec (like the txt sink); pipes in labels are escaped.
+
+use crate::value::{Align, Breakdown, FrontierPlot, Series, Table};
+
+fn esc(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+fn pipe_row(out: &mut String, cells: &[String]) {
+    out.push_str("| ");
+    out.push_str(&cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+    out.push_str(" |\n");
+}
+
+fn separator(out: &mut String, aligns: &[Align]) {
+    out.push('|');
+    for a in aligns {
+        out.push_str(match a {
+            Align::Left => " :-- |",
+            Align::Right => " --: |",
+        });
+    }
+    out.push('\n');
+}
+
+fn caption_and_notes(title: &str, body: String, notes: &[String]) -> String {
+    let mut out = format!("**{}**\n\n{body}", esc(title));
+    if !notes.is_empty() {
+        out.push('\n');
+        for n in notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+    }
+    out
+}
+
+pub(crate) fn table(t: &Table) -> String {
+    let mut body = String::new();
+    pipe_row(
+        &mut body,
+        &t.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+    );
+    separator(
+        &mut body,
+        &t.columns.iter().map(|c| c.align).collect::<Vec<_>>(),
+    );
+    for row in &t.rows {
+        pipe_row(
+            &mut body,
+            &row.iter()
+                .zip(&t.columns)
+                .map(|(cell, col)| cell.display(col.precision))
+                .collect::<Vec<_>>(),
+        );
+    }
+    caption_and_notes(&t.title, body, &t.notes)
+}
+
+pub(crate) fn series(s: &Series) -> String {
+    let mut body = String::new();
+    let mut headers = vec![s.x_name.clone()];
+    headers.extend(s.lines.iter().map(|l| l.name.clone()));
+    pipe_row(&mut body, &headers);
+    let mut aligns = vec![Align::Left];
+    aligns.extend(s.lines.iter().map(|_| Align::Right));
+    separator(&mut body, &aligns);
+    let value = |v: f64| match s.precision {
+        Some(p) => format!("{v:.p$}"),
+        None => crate::fmt_f64(v),
+    };
+    for i in 0..s.x.len() {
+        let mut row = vec![s.x.display_label(i, s.precision)];
+        row.extend(s.lines.iter().map(|l| value(l.values[i])));
+        pipe_row(&mut body, &row);
+    }
+    caption_and_notes(&s.title, body, &s.notes)
+}
+
+pub(crate) fn breakdown(b: &Breakdown) -> String {
+    let mut body = String::new();
+    match b.baseline {
+        Some(baseline) => {
+            pipe_row(
+                &mut body,
+                &["parameter", "low", "high", "swing"].map(String::from),
+            );
+            separator(
+                &mut body,
+                &[Align::Left, Align::Right, Align::Right, Align::Right],
+            );
+            for g in &b.groups {
+                let [lo, hi] = g.segments.as_slice() else {
+                    panic!("range breakdown group {:?} must be [low, high]", g.label);
+                };
+                pipe_row(
+                    &mut body,
+                    &[
+                        g.label.clone(),
+                        format!("{:.2}", lo.value),
+                        format!("{:.2}", hi.value),
+                        format!("{:.2}", (hi.value - lo.value).abs()),
+                    ],
+                );
+            }
+            body.push_str(&format!("\nbaseline: {:.2} {}\n", baseline, b.unit));
+        }
+        None => {
+            pipe_row(
+                &mut body,
+                &["group", "segment", "value", "share"].map(String::from),
+            );
+            separator(
+                &mut body,
+                &[Align::Left, Align::Left, Align::Right, Align::Right],
+            );
+            for g in &b.groups {
+                let total: f64 = g.segments.iter().map(|s| s.value).sum();
+                let denom = if total == 0.0 { 1.0 } else { total };
+                for seg in &g.segments {
+                    pipe_row(
+                        &mut body,
+                        &[
+                            g.label.clone(),
+                            seg.label.clone(),
+                            format!("{:.2}", seg.value),
+                            format!("{:.1} %", 100.0 * seg.value / denom),
+                        ],
+                    );
+                }
+                for c in &g.callouts {
+                    pipe_row(
+                        &mut body,
+                        &[
+                            g.label.clone(),
+                            format!("thereof: {}", c.label),
+                            format!("{:.2}", c.value),
+                            format!("{:.1} %", 100.0 * c.value / denom),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    caption_and_notes(&b.title, body, &b.notes)
+}
+
+pub(crate) fn frontier(f: &FrontierPlot) -> String {
+    let mut body = String::new();
+    let mut headers = vec!["point".to_owned()];
+    headers.extend(f.axes.iter().cloned());
+    headers.extend(
+        f.objectives
+            .iter()
+            .zip(&f.directions)
+            .map(|(o, d)| format!("{o} {}", d.arrow())),
+    );
+    pipe_row(&mut body, &headers);
+    let mut aligns = vec![Align::Right];
+    aligns.extend(f.axes.iter().map(|_| Align::Right));
+    aligns.extend(f.objectives.iter().map(|_| Align::Right));
+    separator(&mut body, &aligns);
+    for m in f.frontier() {
+        let mut row = vec![m.index.to_string()];
+        row.extend(m.coords.iter().map(|v| format!("{v:.4}")));
+        row.extend(m.objectives.iter().map(|v| format!("{v:.4}")));
+        pipe_row(&mut body, &row);
+    }
+    body.push_str(&format!(
+        "\nfrontier: {} of {} screened points\n",
+        f.frontier().count(),
+        f.points.len()
+    ));
+    caption_and_notes(&f.title, body, &f.notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::value::Cell;
+    use crate::Table;
+
+    #[test]
+    fn pipe_table_shape() {
+        let t = Table::new("T|itle")
+            .text_column("name")
+            .numeric_column("v", 1)
+            .row(vec![Cell::text("a|b"), Cell::num(2.0)])
+            .note("a note");
+        let md = t.to_md();
+        assert!(md.starts_with("**T\\|itle**\n\n| name | v |\n| :-- | --: |\n"));
+        assert!(md.contains("| a\\|b | 2.0 |"));
+        assert!(md.contains("> a note"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Pluggable sinks: where rendered artifacts go.
+//!
+//! A [`Sink`] receives `(name, format, content)` triples; the two
+//! implementations cover the pipeline's needs — [`DirSink`] writes
+//! `name.ext` files under a directory (the `ipass regen` path) and
+//! [`MemorySink`] collects into an ordered map (golden tests, the
+//! idempotence check).
+
+use crate::artifact::{Artifact, Format, ReportError};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A destination for rendered artifacts.
+pub trait Sink {
+    /// Accept one rendered artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the destination cannot be written.
+    fn write(&mut self, name: &str, format: Format, content: &str) -> io::Result<()>;
+}
+
+/// Render `artifact` in every format it supports into `sink`, as
+/// `regen` does.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when the sink rejects a write. Rendering
+/// itself cannot fail for supported formats.
+pub fn emit(sink: &mut dyn Sink, name: &str, artifact: &Artifact) -> io::Result<()> {
+    for format in artifact.formats() {
+        let content = artifact
+            .render(format)
+            .map_err(|e: ReportError| io::Error::other(e.to_string()))?;
+        sink.write(name, format, &content)?;
+    }
+    Ok(())
+}
+
+/// A sink writing `name.ext` files under a root directory (created on
+/// first write).
+#[derive(Debug, Clone)]
+pub struct DirSink {
+    root: PathBuf,
+    written: Vec<PathBuf>,
+}
+
+impl DirSink {
+    /// A sink rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> DirSink {
+        DirSink {
+            root: root.into(),
+            written: Vec::new(),
+        }
+    }
+
+    /// The files written so far, in write order.
+    pub fn written(&self) -> &[PathBuf] {
+        &self.written
+    }
+
+    /// The path `name`/`format` lands at.
+    pub fn path_for(&self, name: &str, format: Format) -> PathBuf {
+        self.root.join(format!("{name}.{}", format.ext()))
+    }
+}
+
+impl Sink for DirSink {
+    fn write(&mut self, name: &str, format: Format, content: &str) -> io::Result<()> {
+        std::fs::create_dir_all(&self.root)?;
+        let path = self.path_for(name, format);
+        std::fs::write(&path, content)?;
+        self.written.push(path);
+        Ok(())
+    }
+}
+
+/// A sink collecting into an ordered in-memory map keyed by
+/// `(name, format)`.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    entries: BTreeMap<(String, Format), String>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The collected entries.
+    pub fn entries(&self) -> &BTreeMap<(String, Format), String> {
+        &self.entries
+    }
+
+    /// One entry's content.
+    pub fn get(&self, name: &str, format: Format) -> Option<&str> {
+        self.entries
+            .get(&(name.to_owned(), format))
+            .map(String::as_str)
+    }
+}
+
+impl Sink for MemorySink {
+    fn write(&mut self, name: &str, format: Format, content: &str) -> io::Result<()> {
+        self.entries
+            .insert((name.to_owned(), format), content.to_owned());
+        Ok(())
+    }
+}
+
+/// Compare a directory's committed artifact files against a freshly
+/// rendered [`MemorySink`]: the drift check behind the CI gate.
+/// Returns the relative file names that differ, sorted — a file is
+/// stale when its content differs, when it is missing from disk, *or*
+/// when it sits on disk but is no longer rendered (the orphaned pages
+/// of a removed or renamed artifact).
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when an existing file or the directory
+/// cannot be read.
+pub fn diff_against_dir(rendered: &MemorySink, root: &Path) -> io::Result<Vec<String>> {
+    let mut stale = Vec::new();
+    let mut expected = std::collections::BTreeSet::new();
+    for ((name, format), content) in rendered.entries() {
+        let file = format!("{name}.{}", format.ext());
+        let path = root.join(&file);
+        let on_disk = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        if on_disk != *content {
+            stale.push(file.clone());
+        }
+        expected.insert(file);
+    }
+    match std::fs::read_dir(root) {
+        Ok(dir_entries) => {
+            for entry in dir_entries {
+                let entry = entry?;
+                if !entry.file_type()?.is_file() {
+                    continue;
+                }
+                let file = entry.file_name().to_string_lossy().into_owned();
+                if !expected.contains(&file) {
+                    stale.push(file);
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    stale.sort_unstable();
+    Ok(stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Cell, Table};
+
+    fn artifact() -> Artifact {
+        Artifact::Table(Table::new("t").text_column("a").row(vec![Cell::text("x")]))
+    }
+
+    #[test]
+    fn memory_sink_collects_all_formats() {
+        let mut sink = MemorySink::new();
+        emit(&mut sink, "demo", &artifact()).unwrap();
+        assert_eq!(sink.entries().len(), 4); // txt, csv, md, json — no svg for tables
+        assert!(sink.get("demo", Format::Txt).unwrap().contains('x'));
+        assert!(sink.get("demo", Format::Svg).is_none());
+    }
+
+    #[test]
+    fn dir_sink_writes_files() {
+        let dir = std::env::temp_dir().join("ipass_report_sink_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = DirSink::new(&dir);
+        emit(&mut sink, "demo", &artifact()).unwrap();
+        assert_eq!(sink.written().len(), 4);
+        let txt = std::fs::read_to_string(dir.join("demo.txt")).unwrap();
+        assert!(txt.contains('x'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_reports_stale_and_missing() {
+        let dir = std::env::temp_dir().join("ipass_report_diff_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut mem = MemorySink::new();
+        emit(&mut mem, "demo", &artifact()).unwrap();
+        // Nothing on disk yet: everything differs.
+        let stale = diff_against_dir(&mem, &dir).unwrap();
+        assert_eq!(stale.len(), 4);
+        // Write them out: clean.
+        let mut disk = DirSink::new(&dir);
+        emit(&mut disk, "demo", &artifact()).unwrap();
+        assert!(diff_against_dir(&mem, &dir).unwrap().is_empty());
+        // Corrupt one: exactly that file reports.
+        std::fs::write(dir.join("demo.csv"), "stale").unwrap();
+        assert_eq!(diff_against_dir(&mem, &dir).unwrap(), vec!["demo.csv"]);
+        // An orphan — on disk but no longer rendered — also reports.
+        std::fs::write(dir.join("demo.csv"), mem.get("demo", Format::Csv).unwrap()).unwrap();
+        std::fs::write(dir.join("removed_artifact.txt"), "left behind").unwrap();
+        assert_eq!(
+            diff_against_dir(&mem, &dir).unwrap(),
+            vec!["removed_artifact.txt"]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,457 @@
+//! The SVG sink: standalone, deterministic vector figures.
+//!
+//! No timestamps, no randomness, fixed canvas and palette, all
+//! coordinates formatted to two decimals — regenerating a figure from
+//! the same value yields identical bytes. The figures are deliberately
+//! plain (a title, axes, marks, a legend): they are *artifacts* for
+//! the docs book, not an interactive charting layer.
+
+use crate::value::{Breakdown, FrontierPlot, Series, SeriesX};
+
+const W: f64 = 720.0;
+const H: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+
+/// The fixed series palette.
+const PALETTE: [&str; 6] = [
+    "#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn f(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+struct Canvas {
+    body: String,
+}
+
+impl Canvas {
+    fn new(title: &str) -> Canvas {
+        let mut body = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+             viewBox=\"0 0 {W} {H}\" font-family=\"monospace\" font-size=\"12\">\n"
+        );
+        body.push_str(&format!(
+            "<rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>\n\
+             <text x=\"{}\" y=\"24\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+            f(MARGIN_L),
+            esc(title)
+        ));
+        Canvas { body }
+    }
+
+    fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        self.body.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{stroke}\" stroke-width=\"{}\"/>\n",
+            f(x1), f(y1), f(x2), f(y2), f(width)
+        ));
+    }
+
+    fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        self.body.push_str(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{fill}\"/>\n",
+            f(x),
+            f(y),
+            f(w.max(0.0)),
+            f(h.max(0.0))
+        ));
+    }
+
+    fn circle(&mut self, x: f64, y: f64, r: f64, fill: &str) {
+        self.body.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{fill}\"/>\n",
+            f(x),
+            f(y),
+            f(r)
+        ));
+    }
+
+    fn text(&mut self, x: f64, y: f64, anchor: &str, content: &str) {
+        self.body.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"{anchor}\">{}</text>\n",
+            f(x),
+            f(y),
+            esc(content)
+        ));
+    }
+
+    fn polyline(&mut self, points: &[(f64, f64)], stroke: &str) {
+        if points.len() < 2 {
+            return;
+        }
+        let path: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{},{}", f(*x), f(*y)))
+            .collect();
+        self.body.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"1.50\"/>\n",
+            path.join(" ")
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.body.push_str("</svg>\n");
+        self.body
+    }
+}
+
+/// Linear map of `v` in `[lo, hi]` onto `[a, b]` (degenerate ranges
+/// collapse to the midpoint).
+fn scale(v: f64, lo: f64, hi: f64, a: f64, b: f64) -> f64 {
+    if hi <= lo {
+        (a + b) / 2.0
+    } else {
+        a + (v - lo) / (hi - lo) * (b - a)
+    }
+}
+
+/// Pad a data range so marks sit off the frame edge.
+fn padded(lo: f64, hi: f64) -> (f64, f64) {
+    let span = if hi > lo { hi - lo } else { lo.abs().max(1.0) };
+    (lo - 0.05 * span, hi + 0.05 * span)
+}
+
+fn frame(c: &mut Canvas) {
+    c.line(
+        MARGIN_L,
+        H - MARGIN_B,
+        W - MARGIN_R,
+        H - MARGIN_B,
+        "#111827",
+        1.0,
+    );
+    c.line(MARGIN_L, MARGIN_T, MARGIN_L, H - MARGIN_B, "#111827", 1.0);
+}
+
+fn legend(c: &mut Canvas, names: &[String]) {
+    for (i, name) in names.iter().enumerate() {
+        let y = MARGIN_T + 14.0 * i as f64;
+        c.rect(
+            W - MARGIN_R + 12.0,
+            y - 8.0,
+            10.0,
+            10.0,
+            PALETTE[i % PALETTE.len()],
+        );
+        c.text(W - MARGIN_R + 28.0, y, "start", name);
+    }
+}
+
+pub(crate) fn series(s: &Series) -> String {
+    let mut c = Canvas::new(&s.title);
+    frame(&mut c);
+    let n = s.x.len();
+    let (x_lo, x_hi) = match &s.x {
+        SeriesX::Values(v) => {
+            let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            padded(lo, hi)
+        }
+        SeriesX::Labels(_) => (-0.5, n as f64 - 0.5),
+    };
+    let ys: Vec<f64> = s
+        .lines
+        .iter()
+        .flat_map(|l| l.values.iter().cloned())
+        .collect();
+    let y_lo = ys.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0);
+    let y_hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (y_lo, y_hi) = padded(y_lo, y_hi);
+
+    let px = |i: usize| -> f64 {
+        let v = match &s.x {
+            SeriesX::Values(v) => v[i],
+            SeriesX::Labels(_) => i as f64,
+        };
+        scale(v, x_lo, x_hi, MARGIN_L, W - MARGIN_R)
+    };
+    let py = |v: f64| scale(v, y_lo, y_hi, H - MARGIN_B, MARGIN_T);
+
+    // X tick labels (at most 8, evenly thinned).
+    let step = n.div_ceil(8).max(1);
+    for i in (0..n).step_by(step) {
+        c.text(
+            px(i),
+            H - MARGIN_B + 16.0,
+            "middle",
+            &s.x.display_label(i, s.precision.or(Some(3))),
+        );
+    }
+    c.text(
+        (MARGIN_L + W - MARGIN_R) / 2.0,
+        H - 16.0,
+        "middle",
+        &s.x_name,
+    );
+    // Y tick labels at the quartiles.
+    for k in 0..=4 {
+        let v = y_lo + (y_hi - y_lo) * k as f64 / 4.0;
+        c.text(MARGIN_L - 6.0, py(v) + 4.0, "end", &format!("{v:.4}"));
+        c.line(MARGIN_L, py(v), W - MARGIN_R, py(v), "#e5e7eb", 0.5);
+    }
+    for (li, l) in s.lines.iter().enumerate() {
+        let color = PALETTE[li % PALETTE.len()];
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| (px(i), py(l.values[i]))).collect();
+        c.polyline(&pts, color);
+        for &(x, y) in &pts {
+            c.circle(x, y, 2.5, color);
+        }
+    }
+    legend(
+        &mut c,
+        &s.lines.iter().map(|l| l.name.clone()).collect::<Vec<_>>(),
+    );
+    c.finish()
+}
+
+pub(crate) fn breakdown(b: &Breakdown) -> String {
+    let mut c = Canvas::new(&b.title);
+    let rows = b.groups.len().max(1) as f64;
+    let row_h = ((H - MARGIN_T - MARGIN_B) / rows).min(56.0);
+    let bar_h = row_h * 0.55;
+
+    match b.baseline {
+        Some(baseline) => {
+            // Tornado: range bars around the baseline.
+            let mut lo = baseline;
+            let mut hi = baseline;
+            for g in &b.groups {
+                for seg in &g.segments {
+                    lo = lo.min(seg.value);
+                    hi = hi.max(seg.value);
+                }
+            }
+            let (lo, hi) = padded(lo, hi);
+            let px = |v: f64| scale(v, lo, hi, MARGIN_L, W - MARGIN_R);
+            frame(&mut c);
+            for k in 0..=4 {
+                let v = lo + (hi - lo) * k as f64 / 4.0;
+                c.text(px(v), H - MARGIN_B + 16.0, "middle", &format!("{v:.1}"));
+            }
+            c.text((MARGIN_L + W - MARGIN_R) / 2.0, H - 16.0, "middle", &b.unit);
+            for (i, g) in b.groups.iter().enumerate() {
+                let [s_lo, s_hi] = g.segments.as_slice() else {
+                    panic!("range breakdown group {:?} must be [low, high]", g.label);
+                };
+                let y = MARGIN_T + row_h * i as f64 + (row_h - bar_h) / 2.0;
+                let (x0, x1) = (
+                    px(s_lo.value.min(s_hi.value)),
+                    px(s_lo.value.max(s_hi.value)),
+                );
+                c.rect(x0, y, x1 - x0, bar_h, PALETTE[0]);
+                c.text(
+                    W - MARGIN_R + 12.0,
+                    y + bar_h / 2.0 + 4.0,
+                    "start",
+                    &g.label,
+                );
+            }
+            // The baseline marker goes on top of the bars.
+            c.line(
+                px(baseline),
+                MARGIN_T,
+                px(baseline),
+                H - MARGIN_B,
+                "#111827",
+                1.0,
+            );
+        }
+        None => {
+            // Stacked horizontal bars, one per group.
+            let max_total = b
+                .groups
+                .iter()
+                .map(|g| g.segments.iter().map(|s| s.value).sum::<f64>())
+                .fold(f64::MIN_POSITIVE, f64::max);
+            let px = |v: f64| scale(v, 0.0, max_total * 1.05, MARGIN_L, W - MARGIN_R);
+            frame(&mut c);
+            for k in 0..=4 {
+                let v = max_total * 1.05 * k as f64 / 4.0;
+                c.text(px(v), H - MARGIN_B + 16.0, "middle", &format!("{v:.1}"));
+            }
+            c.text((MARGIN_L + W - MARGIN_R) / 2.0, H - 16.0, "middle", &b.unit);
+            let mut segment_names: Vec<String> = Vec::new();
+            for g in &b.groups {
+                for s in &g.segments {
+                    if !segment_names.contains(&s.label) {
+                        segment_names.push(s.label.clone());
+                    }
+                }
+            }
+            for (i, g) in b.groups.iter().enumerate() {
+                let y = MARGIN_T + row_h * i as f64 + (row_h - bar_h) / 2.0;
+                let mut x = px(0.0);
+                for s in &g.segments {
+                    let w = px(s.value) - px(0.0);
+                    let color_index = segment_names
+                        .iter()
+                        .position(|n| *n == s.label)
+                        .unwrap_or(0);
+                    c.rect(x, y, w, bar_h, PALETTE[color_index % PALETTE.len()]);
+                    x += w;
+                }
+                c.text(
+                    W - MARGIN_R + 12.0,
+                    y + bar_h / 2.0 + 4.0,
+                    "start",
+                    &g.label,
+                );
+            }
+            legend(&mut c, &segment_names);
+        }
+    }
+    c.finish()
+}
+
+pub(crate) fn frontier(p: &FrontierPlot) -> String {
+    let mut c = Canvas::new(&p.title);
+    frame(&mut c);
+    // Scatter of the first two objectives (a single-objective plot
+    // falls back to objective vs first axis).
+    type Getter = fn(&crate::FrontierPoint) -> f64;
+    let (x_of, y_of, x_name, y_name): (Getter, Getter, String, String) = if p.objectives.len() >= 2
+    {
+        (
+            |pt| pt.objectives[0],
+            |pt| pt.objectives[1],
+            format!("{} {}", p.objectives[0], p.directions[0].arrow()),
+            format!("{} {}", p.objectives[1], p.directions[1].arrow()),
+        )
+    } else {
+        (
+            |pt| pt.coords[0],
+            |pt| pt.objectives[0],
+            p.axes.first().cloned().unwrap_or_default(),
+            format!("{} {}", p.objectives[0], p.directions[0].arrow()),
+        )
+    };
+    let xs: Vec<f64> = p.points.iter().map(x_of).collect();
+    let ys: Vec<f64> = p.points.iter().map(y_of).collect();
+    let (x_lo, x_hi) = padded(
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (y_lo, y_hi) = padded(
+        ys.iter().cloned().fold(f64::INFINITY, f64::min),
+        ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let px = |v: f64| scale(v, x_lo, x_hi, MARGIN_L, W - MARGIN_R);
+    let py = |v: f64| scale(v, y_lo, y_hi, H - MARGIN_B, MARGIN_T);
+    for k in 0..=4 {
+        let vx = x_lo + (x_hi - x_lo) * k as f64 / 4.0;
+        c.text(px(vx), H - MARGIN_B + 16.0, "middle", &format!("{vx:.3}"));
+        let vy = y_lo + (y_hi - y_lo) * k as f64 / 4.0;
+        c.text(MARGIN_L - 6.0, py(vy) + 4.0, "end", &format!("{vy:.3}"));
+    }
+    c.text((MARGIN_L + W - MARGIN_R) / 2.0, H - 16.0, "middle", &x_name);
+    c.text(MARGIN_L, MARGIN_T - 10.0, "start", &y_name);
+
+    // Dominated screen first (underneath), then the frontier.
+    for pt in p.points.iter().filter(|pt| !pt.on_frontier) {
+        c.circle(px(x_of(pt)), py(y_of(pt)), 2.0, "#d1d5db");
+    }
+    let mut members: Vec<&crate::FrontierPoint> = p.frontier().collect();
+    members.sort_by(|a, b| {
+        x_of(a)
+            .partial_cmp(&x_of(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    let path: Vec<(f64, f64)> = members
+        .iter()
+        .map(|pt| (px(x_of(pt)), py(y_of(pt))))
+        .collect();
+    c.polyline(&path, PALETTE[0]);
+    for pt in &members {
+        c.circle(px(x_of(pt)), py(y_of(pt)), 3.5, PALETTE[0]);
+    }
+    // MC confirmations as open red rings around their screen point.
+    for pt in p.points.iter().filter(|pt| pt.confirmed.is_some()) {
+        let (x, y) = (px(x_of(pt)), py(y_of(pt)));
+        c.body.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"5.50\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.00\"/>\n",
+            f(x), f(y), PALETTE[1]
+        ));
+    }
+    legend(&mut c, &["frontier".to_owned(), "MC confirmed".to_owned()]);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::value::SeriesX;
+    use crate::{Breakdown, Direction, FrontierPlot, FrontierPoint, Segment, Series};
+
+    fn plot() -> FrontierPlot {
+        FrontierPlot::new(
+            "f",
+            vec!["x".into()],
+            vec!["cost".into(), "shipped".into()],
+            vec![Direction::LowerIsBetter, Direction::HigherIsBetter],
+            vec![
+                FrontierPoint {
+                    index: 0,
+                    coords: vec![0.0],
+                    objectives: vec![1.0, 0.9],
+                    on_frontier: true,
+                    confirmed: Some(vec![1.01, 0.89]),
+                },
+                FrontierPoint {
+                    index: 1,
+                    coords: vec![1.0],
+                    objectives: vec![2.0, 0.8],
+                    on_frontier: false,
+                    confirmed: None,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn svg_is_wellformed_and_deterministic() {
+        let s = Series::new("s & t", "x", SeriesX::Values(vec![1.0, 2.0]))
+            .line("y <1>", vec![3.0, 4.0]);
+        let svg = s.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("s &amp; t"));
+        assert!(svg.contains("y &lt;1&gt;"));
+        assert_eq!(svg, s.to_svg());
+    }
+
+    #[test]
+    fn tornado_svg_draws_baseline_and_bars() {
+        let b = Breakdown::new("t", "cu")
+            .with_baseline(100.0)
+            .range("p", 90.0, 110.0);
+        let svg = b.to_svg();
+        assert!(svg.matches("<rect").count() >= 2); // background + bar
+        assert!(svg.contains("cu"));
+    }
+
+    #[test]
+    fn stacked_svg_has_legend_entries() {
+        let b = Breakdown::new("s", "cu").group(
+            "g",
+            vec![Segment::new("direct", 2.0), Segment::new("yield loss", 1.0)],
+        );
+        let svg = b.to_svg();
+        assert!(svg.contains("direct") && svg.contains("yield loss"));
+    }
+
+    #[test]
+    fn frontier_svg_marks_confirmations() {
+        let svg = plot().to_svg();
+        assert!(svg.contains("stroke-width=\"1.00\""), "confirmation ring");
+        assert!(svg.contains("MC confirmed"));
+    }
+}

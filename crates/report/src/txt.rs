@@ -1,0 +1,265 @@
+//! The aligned plain-text sink.
+//!
+//! Alignment is computed over the *rendered* cells (so precision
+//! participates in the width), columns are separated by two spaces,
+//! and every artifact ends with a trailing newline — the byte layout
+//! golden tests pin.
+
+use crate::value::{Align, Breakdown, FrontierPlot, Series, Table};
+
+/// Unicode-aware-enough display width: counts chars, not bytes
+/// (the artifact vocabulary is Latin plus a few symbols — `Ω`, `█`,
+/// `◀`, `↓` — all single-width).
+fn width(s: &str) -> usize {
+    s.chars().count()
+}
+
+fn pad(s: &str, w: usize, align: Align) -> String {
+    let fill = w.saturating_sub(width(s));
+    match align {
+        Align::Left => format!("{s}{}", " ".repeat(fill)),
+        Align::Right => format!("{}{s}", " ".repeat(fill)),
+    }
+}
+
+fn push_notes(out: &mut String, notes: &[String]) {
+    for note in notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+}
+
+/// Render an aligned grid: `columns[i]` pairs a header with an
+/// alignment; `rows` are pre-rendered cells.
+fn grid(out: &mut String, headers: &[(String, Align)], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|(h, _)| width(h)).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(width(cell));
+        }
+    }
+    let mut line = String::new();
+    for (i, (h, align)) in headers.iter().enumerate() {
+        if i > 0 {
+            line.push_str("  ");
+        }
+        line.push_str(&pad(h, widths[i], *align));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&pad(cell, widths[i], headers[i].1));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+}
+
+pub(crate) fn table(t: &Table) -> String {
+    let mut out = format!("{}\n", t.title);
+    let headers: Vec<(String, Align)> = t
+        .columns
+        .iter()
+        .map(|c| (c.name.clone(), c.align))
+        .collect();
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(&t.columns)
+                .map(|(cell, col)| cell.display(col.precision))
+                .collect()
+        })
+        .collect();
+    grid(&mut out, &headers, &rows);
+    push_notes(&mut out, &t.notes);
+    out
+}
+
+pub(crate) fn series(s: &Series) -> String {
+    let value = |v: f64| match s.precision {
+        Some(p) => format!("{v:.p$}"),
+        None => crate::fmt_f64(v),
+    };
+    let mut out = format!("{}\n", s.title);
+    let mut headers = vec![(s.x_name.clone(), Align::Left)];
+    headers.extend(s.lines.iter().map(|l| (l.name.clone(), Align::Right)));
+    let rows: Vec<Vec<String>> = (0..s.x.len())
+        .map(|i| {
+            let mut row = vec![s.x.display_label(i, s.precision)];
+            row.extend(s.lines.iter().map(|l| value(l.values[i])));
+            row
+        })
+        .collect();
+    grid(&mut out, &headers, &rows);
+    push_notes(&mut out, &s.notes);
+    out
+}
+
+/// Bar width in characters for the txt breakdown/tornado bars.
+const BAR: f64 = 30.0;
+
+pub(crate) fn breakdown(b: &Breakdown) -> String {
+    let mut out = format!("{}\n", b.title);
+    match b.baseline {
+        Some(baseline) => {
+            out.push_str(&format!("baseline {baseline:.2} {}\n", b.unit));
+            let max_swing = b
+                .groups
+                .iter()
+                .filter_map(|g| match g.segments.as_slice() {
+                    [lo, hi] => Some((hi.value - lo.value).abs()),
+                    _ => None,
+                })
+                .fold(f64::MIN_POSITIVE, f64::max);
+            let mut rows = Vec::new();
+            for g in &b.groups {
+                let [lo, hi] = g.segments.as_slice() else {
+                    panic!(
+                        "breakdown {:?}: range group {:?} must have exactly [low, high] segments",
+                        b.title, g.label
+                    );
+                };
+                let swing = (hi.value - lo.value).abs();
+                let chars = ((swing / max_swing) * BAR).round().max(1.0) as usize;
+                rows.push(vec![
+                    g.label.clone(),
+                    format!("{:.2}", lo.value),
+                    "…".to_owned(),
+                    format!("{:.2}", hi.value),
+                    "█".repeat(chars),
+                ]);
+            }
+            let headers = [
+                ("parameter".to_owned(), Align::Left),
+                ("low".to_owned(), Align::Right),
+                ("".to_owned(), Align::Left),
+                ("high".to_owned(), Align::Right),
+                ("swing".to_owned(), Align::Left),
+            ];
+            grid(&mut out, &headers, &rows);
+        }
+        None => {
+            for g in &b.groups {
+                let total: f64 = g.segments.iter().map(|s| s.value).sum();
+                out.push_str(&format!("{}  (total {:.2} {})\n", g.label, total, b.unit));
+                let denom = if total == 0.0 { 1.0 } else { total };
+                for seg in &g.segments {
+                    let chars = ((seg.value / denom).abs() * BAR).round() as usize;
+                    out.push_str(&format!(
+                        "  {:<24} {:>10.2}  ({:>5.1} %)  {}\n",
+                        seg.label,
+                        seg.value,
+                        100.0 * seg.value / denom,
+                        "█".repeat(chars.max(1))
+                    ));
+                }
+                for c in &g.callouts {
+                    out.push_str(&format!(
+                        "  {:<24} {:>10.2}  ({:>5.1} %)\n",
+                        format!("thereof: {}", c.label),
+                        c.value,
+                        100.0 * c.value / denom,
+                    ));
+                }
+            }
+        }
+    }
+    push_notes(&mut out, &b.notes);
+    out
+}
+
+pub(crate) fn frontier(f: &FrontierPlot) -> String {
+    let members: Vec<_> = f.frontier().collect();
+    let confirmed = f.points.iter().filter(|p| p.confirmed.is_some()).count();
+    let mut out = format!(
+        "{}\nfrontier: {} of {} screened points",
+        f.title,
+        members.len(),
+        f.points.len()
+    );
+    if confirmed > 0 {
+        out.push_str(&format!(", {confirmed} MC-confirmed"));
+    }
+    out.push('\n');
+    let mut headers = vec![("point".to_owned(), Align::Right)];
+    headers.extend(f.axes.iter().map(|a| (a.clone(), Align::Right)));
+    headers.extend(
+        f.objectives
+            .iter()
+            .zip(&f.directions)
+            .map(|(o, d)| (format!("{o} {}", d.arrow()), Align::Right)),
+    );
+    let rows: Vec<Vec<String>> = members
+        .iter()
+        .map(|m| {
+            let mut row = vec![m.index.to_string()];
+            row.extend(m.coords.iter().map(|v| format!("{v:.4}")));
+            row.extend(m.objectives.iter().map(|v| format!("{v:.4}")));
+            row
+        })
+        .collect();
+    grid(&mut out, &headers, &rows);
+    push_notes(&mut out, &f.notes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::value::{Cell, SeriesX};
+    use crate::{Breakdown, Segment, Series, Table};
+
+    #[test]
+    fn table_aligns_and_trims() {
+        let t = Table::new("t")
+            .text_column("name")
+            .numeric_column("v", 1)
+            .row(vec![Cell::text("long-label"), Cell::num(1.0)])
+            .row(vec![Cell::text("x"), Cell::num(12.25)]);
+        let txt = t.to_txt();
+        assert_eq!(
+            txt,
+            "t\nname           v\nlong-label   1.0\nx           12.2\n"
+        );
+    }
+
+    #[test]
+    fn stacked_breakdown_draws_shares() {
+        let b = Breakdown::new("costs", "cu").group(
+            "sol 2",
+            vec![Segment::new("direct", 75.0), Segment::new("yield", 25.0)],
+        );
+        let txt = b.to_txt();
+        assert!(txt.contains("sol 2"));
+        assert!(txt.contains("75.0 %") || txt.contains(" 75.0"));
+        assert!(txt.contains('█'));
+    }
+
+    #[test]
+    fn tornado_bars_scale_with_swing() {
+        let b = Breakdown::new("tornado", "cu")
+            .with_baseline(100.0)
+            .range("big", 80.0, 120.0)
+            .range("small", 99.0, 101.0);
+        let txt = b.to_txt();
+        assert!(txt.contains("baseline 100.00 cu"));
+        let big_bar = txt.lines().find(|l| l.contains("big")).unwrap();
+        let small_bar = txt.lines().find(|l| l.contains("small")).unwrap();
+        assert!(
+            big_bar.matches('█').count() > small_bar.matches('█').count(),
+            "{txt}"
+        );
+    }
+
+    #[test]
+    fn series_uses_x_labels() {
+        let s =
+            Series::new("s", "case", SeriesX::Labels(vec!["0805".into()])).line("body", vec![2.0]);
+        assert!(s.to_txt().contains("0805"));
+    }
+}

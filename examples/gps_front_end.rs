@@ -1,44 +1,55 @@
 //! The full paper reproduction: every table and figure of *Assessing the
-//! Cost Effectiveness of Integrated Passives* (DATE 2000), regenerated.
+//! Cost Effectiveness of Integrated Passives* (DATE 2000), regenerated
+//! through the artifact pipeline (`integrated_passives::artifacts`).
 //!
 //! Run with `cargo run --example gps_front_end` for everything, or pass
 //! any of `--fig1 --table1 --table2 --chain --fig3 --fig4 --fig5
 //! --fig5-mc --fig6 --final --sensitivity` to select artifacts.
+//!
+//! The same artifacts are scriptable from the shell:
+//! `cargo run --release --bin ipass -- artifact fig6 --format json`.
 
+use integrated_passives::artifacts;
 use integrated_passives::core::BuildUp;
-use integrated_passives::gps::paper::SOLUTION_NAMES;
-use integrated_passives::gps::{bom, experiments, filters, table2};
+use integrated_passives::gps::{bom, experiments, filters};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
-    if want("--fig1") {
-        println!("{}", experiments::fig1().render());
-    }
-    if want("--table1") {
-        println!("{}", experiments::table1()?.render());
-    }
-    if want("--table2") {
-        println!("Table 2 — cost & yield cards");
-        for (buildup, label) in BuildUp::paper_solutions().iter().zip(SOLUTION_NAMES) {
-            let card = table2::cost_inputs(buildup);
+    // The registry renders every named paper artifact; the blocks below
+    // only add the cross-checks and narrative the registry doesn't carry.
+    for (flag, name) in [
+        ("--fig1", "fig1"),
+        ("--table1", "table1"),
+        ("--table2", "table2"),
+        ("--fig3", "fig3"),
+        ("--fig4", "fig4"),
+        ("--fig5", "fig5"),
+        ("--fig6", "fig6"),
+        ("--sensitivity", "sensitivity"),
+    ] {
+        if want(flag) {
+            let spec = artifacts::find(name).expect("registered paper artifact");
             println!(
-                "  {label}: substrate {}/cm² (yield {}), chips {}, test {} (coverage {})",
-                card.substrate_cost_per_cm2,
-                card.substrate_yield,
-                card.chips
-                    .iter()
-                    .map(|c| format!("{} {} ({})", c.name, c.cost, c.incoming_yield))
-                    .collect::<Vec<_>>()
-                    .join(" + "),
-                card.final_test_cost,
-                card.fault_coverage,
+                "{}",
+                spec.build()?
+                    .render(integrated_passives::report::Format::Txt)?
             );
         }
-        println!();
     }
+
+    if want("--fig6") {
+        // Assert on the artifact *value*, not its rendering: the
+        // paper's headline decision must hold.
+        let fig6 = experiments::fig6()?;
+        assert!(
+            fig6.table.best().name.contains("IP&SMD"),
+            "solution 4 must win the figure of merit"
+        );
+    }
+
     if want("--chain") {
         println!("Fig. 2 — the analog chain (performance assessment, §4.1)");
         for buildup in BuildUp::paper_solutions() {
@@ -56,32 +67,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    if want("--fig3") {
-        println!("{}", experiments::fig3()?.render());
-    }
-    if want("--fig4") {
-        println!("{}", experiments::fig4(42)?.render());
-    }
-    if want("--fig5") {
-        println!("{}", experiments::fig5()?.render());
-    }
     if want("--fig5-mc") {
+        // The Monte Carlo cross-check of Fig. 5 (the paper's actual
+        // procedure) — compare the artifact values, engine vs engine.
+        let analytic = experiments::fig5()?;
+        let mc = experiments::fig5_monte_carlo(100_000, 2000)?;
         println!(
             "Fig. 5 cross-check by Monte Carlo (100 000 units/solution):\n{}",
-            experiments::fig5_monte_carlo(100_000, 2000)?.render()
+            mc.artifact_table().to_txt()
         );
-    }
-    if want("--fig6") {
-        println!("{}", experiments::fig6()?.render());
+        for (a, m) in analytic.rows.iter().zip(mc.rows.iter()) {
+            assert!(
+                (a.measured_percent - m.measured_percent).abs() < 1.0,
+                "{}: analytic {:.1}% vs MC {:.1}%",
+                a.label,
+                a.measured_percent,
+                m.measured_percent
+            );
+        }
     }
     if want("--final") {
         println!("{}", experiments::final_design_check()?.render());
-    }
-    if want("--sensitivity") {
-        println!(
-            "Sensitivity of solution 4's final cost (tornado):\n{}",
-            experiments::sensitivity(3)?.render()
-        );
     }
     if all {
         // The per-solution selection tables, for the curious.

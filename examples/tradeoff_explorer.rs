@@ -1,12 +1,12 @@
 //! Explore beyond the paper's four candidates: rank *every* structurally
 //! viable build-up of the GPS front end, under both selection objectives
-//! and several figure-of-merit weightings.
+//! and several figure-of-merit weightings — reported through the
+//! artifact pipeline's typed decision tables.
 //!
 //! Run with `cargo run --example tradeoff_explorer`.
 
-use integrated_passives::core::{
-    BuildUp, CandidateScore, DecisionTable, FomWeights, SelectionObjective,
-};
+use integrated_passives::core::BuildUp;
+use integrated_passives::core::{CandidateScore, DecisionTable, FomWeights, SelectionObjective};
 use integrated_passives::gps::{bom::gps_bom, filters::assess_performance, table2::cost_inputs};
 use integrated_passives::units::Money;
 
@@ -24,7 +24,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "minimum cost",
         ),
     ] {
-        println!("== objective: {objective_name} ==");
         let mut candidates = Vec::new();
         for buildup in BuildUp::enumerate() {
             let plan = buildup.plan(&gps_bom(&buildup), objective)?;
@@ -32,19 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = plan
                 .production_flow(area.substrate_area, &cost_inputs(&buildup))?
                 .analyze()?;
-            let perf = assess_performance(&buildup);
-            println!(
-                "  {:<22} {:>4} SMDs, {:>3} IPs, module {:>7.0} mm², cost {:>7.1}, perf {:.2}",
-                buildup.to_string(),
-                plan.smd_placements(),
-                plan.integrated_count(),
-                area.module_area.mm2(),
-                report.final_cost_per_shipped().units(),
-                perf.overall
-            );
             candidates.push(CandidateScore::new(
                 buildup.to_string(),
-                perf.overall,
+                assess_performance(&buildup).overall,
                 area.module_area,
                 report.final_cost_per_shipped(),
             ));
@@ -70,13 +59,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         ] {
             let table = DecisionTable::rank(&candidates, "PCB/SMD", weights)?;
-            println!(
-                "  {label}: best = {} (FoM {:.2})",
-                table.best().name,
-                table.best().fom
-            );
+            // One typed artifact per weighting; assert on the values,
+            // not on rendered strings.
+            let artifact =
+                table.artifact_titled(format!("all viable build-ups — {objective_name}, {label}"));
+            assert_eq!(artifact.rows.len(), candidates.len());
+            assert!(table.best().fom >= 1.0, "the reference never wins by < 1");
+            println!("{}", artifact.to_txt());
         }
-        println!();
+
+        // Under the paper's weights the full-integration candidates
+        // must not beat the hybrid IP&SMD build-up.
+        let paper_table = DecisionTable::rank(&candidates, "PCB/SMD", FomWeights::unweighted())?;
+        assert!(
+            paper_table.best().name.contains("IP&SMD"),
+            "the paper's hybrid solution stays on top under (1/1/1)"
+        );
     }
     Ok(())
 }

@@ -1,0 +1,242 @@
+//! The named paper-artifact registry: every table and figure of the
+//! paper as a buildable, renderable [`Artifact`].
+//!
+//! This is the layer the `ipass` CLI, the golden tests and the docs
+//! drift gate share. Each entry names one artifact, knows how to
+//! compute it from the domain crates, and documents it in one line.
+//! Regeneration ([`regen`]) renders every artifact in every supported
+//! format into `docs/artifacts/`, plus a composed Markdown page per
+//! artifact and an index — all byte-deterministic, so CI can fail on
+//! any drift between the committed docs and the code.
+
+use ipass_gps::experiments;
+use ipass_report::{Artifact, DirSink, Format, MemorySink, Sink};
+use std::error::Error;
+use std::path::Path;
+
+/// The seed every seeded (Monte Carlo) artifact uses — part of the
+/// artifact definition: changing it is a deliberate artifact change,
+/// caught by the golden tests and the docs drift gate.
+pub const ARTIFACT_SEED: u64 = 42;
+
+/// One registered artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct ArtifactSpec {
+    /// Registry name (the CLI's `<name>` and the file stem).
+    pub name: &'static str,
+    /// One-line description (shown by `ipass list`, embedded in the
+    /// docs page).
+    pub what: &'static str,
+    build: fn() -> Result<Artifact, Box<dyn Error>>,
+}
+
+impl ArtifactSpec {
+    /// Compute the artifact value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying experiment's error (planning,
+    /// evaluation or simulation failures).
+    pub fn build(&self) -> Result<Artifact, Box<dyn Error>> {
+        (self.build)()
+    }
+}
+
+type Build = fn() -> Result<Artifact, Box<dyn Error>>;
+
+const fn spec(name: &'static str, what: &'static str, build: Build) -> ArtifactSpec {
+    ArtifactSpec { name, what, build }
+}
+
+/// Every registered artifact, in docs order.
+pub fn specs() -> &'static [ArtifactSpec] {
+    static SPECS: &[ArtifactSpec] = &[
+        spec(
+            "fig1",
+            "Pure component vs mounted footprint area over the SMD sizes — the paper's motivation: bodies shrink, mounting overhead does not.",
+            || Ok(Artifact::Series(experiments::fig1().artifact())),
+        ),
+        spec(
+            "table1",
+            "Area-relevant data: the paper's component areas next to in-crate thin-film synthesis and the SMD catalog.",
+            || Ok(Artifact::Table(experiments::table1()?.artifact())),
+        ),
+        spec(
+            "table2",
+            "The cost and yield cards of the four implementations — the inputs of the MOE cost analysis.",
+            || Ok(Artifact::Table(experiments::table2().artifact())),
+        ),
+        spec(
+            "fig3",
+            "Module area consumed by each build-up, as a percentage of the PCB reference (methodology step 3).",
+            || Ok(Artifact::Table(experiments::fig3()?.artifact())),
+        ),
+        spec(
+            "fig4",
+            "The generic MOE production model of solution 2 run through the seeded Monte Carlo engine, vs the paper's illustration.",
+            || Ok(Artifact::Table(experiments::fig4(ARTIFACT_SEED)?.artifact())),
+        ),
+        spec(
+            "fig5",
+            "Final cost per shipped unit (Eq. 1) for the four solutions, percent of the PCB reference vs the paper.",
+            || Ok(Artifact::Table(experiments::fig5()?.artifact_table())),
+        ),
+        spec(
+            "fig5_breakdown",
+            "The Fig. 5 cost composition: direct cost and yield loss per shipped unit, chip cost as the paper's callout.",
+            || Ok(Artifact::Breakdown(experiments::fig5()?.artifact_breakdown())),
+        ),
+        spec(
+            "fig6",
+            "The figure-of-merit decision table (perf × 1/size × 1/cost) with the paper's published column — solution 4 wins.",
+            || Ok(Artifact::Table(experiments::fig6()?.artifact())),
+        ),
+        spec(
+            "sensitivity",
+            "Tornado sensitivity of solution 4's final cost to the Table 2 inputs (one compiled flow, every variant a parameter patch).",
+            || {
+                Ok(Artifact::Breakdown(experiments::sensitivity(3)?.artifact_titled(
+                    "sensitivity — solution 4 final cost vs Table 2 inputs",
+                )))
+            },
+        ),
+        spec(
+            "sensitivity_sol2",
+            "The same tornado for solution 2 (MCM/WB/SMD) — the classic build-up's cost drivers.",
+            || {
+                Ok(Artifact::Breakdown(experiments::sensitivity(1)?.artifact_titled(
+                    "sensitivity — solution 2 final cost vs Table 2 inputs",
+                )))
+            },
+        ),
+        spec(
+            "design_space",
+            "Solution 2's volume × substrate-yield design space: analytic screen, Pareto frontier over (final cost ↓, shipped fraction ↑), Monte-Carlo-confirmed band.",
+            || {
+                Ok(Artifact::Frontier(
+                    experiments::design_space(1, 12)?.artifact(),
+                ))
+            },
+        ),
+    ];
+    SPECS
+}
+
+/// Look up a registered artifact by name.
+pub fn find(name: &str) -> Option<&'static ArtifactSpec> {
+    specs().iter().find(|s| s.name == name)
+}
+
+/// Build and render every artifact in every supported format into a
+/// [`MemorySink`], including the composed per-artifact docs pages and
+/// the index (under the same names `regen` writes).
+///
+/// # Errors
+///
+/// Propagates the first failing artifact build.
+pub fn render_all() -> Result<MemorySink, Box<dyn Error>> {
+    let mut sink = MemorySink::new();
+    let mut index = String::from(
+        "# Generated paper artifacts\n\n\
+         Regenerate with `cargo run --release --bin ipass -- regen docs/artifacts/`.\n\
+         Every file in this directory is generated — do not edit by hand; CI fails\n\
+         on any diff between these files and the code.\n\n\
+         | artifact | what |\n| :-- | :-- |\n",
+    );
+    for spec in specs() {
+        let artifact = spec.build()?;
+        // The raw sinks (md here is the bare table; the page below
+        // embeds it).
+        for format in artifact.formats() {
+            if format == Format::Md {
+                continue;
+            }
+            let content = artifact.render(format).expect("format from formats()");
+            sink.write(spec.name, format, &content)?;
+        }
+        sink.write(spec.name, Format::Md, &page(spec, &artifact))?;
+        index.push_str(&format!(
+            "| [{}]({}.md) | {} |\n",
+            spec.name, spec.name, spec.what
+        ));
+    }
+    sink.write("README", Format::Md, &index)?;
+    Ok(sink)
+}
+
+/// The composed docs page for one artifact: description, the rendered
+/// Markdown table, the figure (when the artifact has an SVG form) and
+/// links to the machine-readable files.
+fn page(spec: &ArtifactSpec, artifact: &Artifact) -> String {
+    let mut out = format!(
+        "# `{}` — {}\n\n{}\n\n",
+        spec.name,
+        artifact.title(),
+        spec.what
+    );
+    if artifact.formats().contains(&Format::Svg) {
+        out.push_str(&format!("![{}]({}.svg)\n\n", spec.name, spec.name));
+    }
+    out.push_str(&artifact.render(Format::Md).expect("md is always supported"));
+    out.push_str(&format!(
+        "\nMachine-readable: [txt]({n}.txt) · [csv]({n}.csv) · [json]({n}.json)\n",
+        n = spec.name
+    ));
+    out
+}
+
+/// Regenerate `dir` (the committed `docs/artifacts/` tree): render
+/// everything and write it out. Returns the number of files written.
+///
+/// # Errors
+///
+/// Propagates artifact build failures and I/O errors.
+pub fn regen(dir: &Path) -> Result<usize, Box<dyn Error>> {
+    let rendered = render_all()?;
+    let mut sink = DirSink::new(dir);
+    for ((name, format), content) in rendered.entries() {
+        sink.write(name, *format, content)?;
+    }
+    Ok(sink.written().len())
+}
+
+/// Compare a fresh rendering against the committed `dir` without
+/// writing: the stale file names, empty when the docs are current.
+///
+/// # Errors
+///
+/// Propagates artifact build failures and I/O errors.
+pub fn check(dir: &Path) -> Result<Vec<String>, Box<dyn Error>> {
+    let rendered = render_all()?;
+    Ok(ipass_report::diff_against_dir(&rendered, dir)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = specs().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate artifact names");
+        assert!(find("table2").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn paper_artifacts_cover_the_required_formats() {
+        // The acceptance bar: table2, fig5, fig6, the sensitivity
+        // tornado and the design-space frontier must render in at
+        // least txt, CSV and JSON.
+        for name in ["table2", "fig5", "fig6", "sensitivity", "design_space"] {
+            let spec = find(name).unwrap();
+            let artifact = spec.build().unwrap();
+            for format in [Format::Txt, Format::Csv, Format::Json] {
+                assert!(artifact.render(format).is_ok(), "{name}/{format}");
+            }
+        }
+    }
+}

@@ -3,8 +3,13 @@
 //! Effectiveness of Integrated Passives* (DATE 2000).
 //!
 //! See the individual crates for full documentation: [`units`], [`sim`],
-//! [`moe`], [`explore`], [`passives`], [`rf`], [`layout`], [`core`],
-//! [`gps`] — and README.md / DESIGN.md at the workspace root.
+//! [`report`], [`moe`], [`explore`], [`passives`], [`rf`], [`layout`],
+//! [`core`], [`gps`] — and README.md / DESIGN.md / `docs/` at the
+//! workspace root.
+//!
+//! The [`artifacts`] module is the named paper-artifact registry behind
+//! the `ipass` CLI: every table and figure of the paper, buildable and
+//! renderable to txt/CSV/Markdown/JSON/SVG.
 //!
 //! # Examples
 //!
@@ -17,12 +22,15 @@
 //! ```
 #![forbid(unsafe_code)]
 
+pub mod artifacts;
+
 pub use ipass_core as core;
 pub use ipass_explore as explore;
 pub use ipass_gps as gps;
 pub use ipass_layout as layout;
 pub use ipass_moe as moe;
 pub use ipass_passives as passives;
+pub use ipass_report as report;
 pub use ipass_rf as rf;
 pub use ipass_sim as sim;
 pub use ipass_units as units;

@@ -1,0 +1,110 @@
+//! The artifact pipeline's output contract:
+//!
+//! * golden tests pinning byte-exact txt/CSV/JSON output for the
+//!   Table 2 cards, the Fig. 6 decision and the solution-2 tornado
+//!   (the files under `tests/golden/` are committed copies of
+//!   `docs/artifacts/` — regenerate both with
+//!   `cargo run --release --bin ipass -- regen docs/artifacts/`), and
+//! * the `ipass regen` idempotence/determinism contract: rendering the
+//!   whole registry twice produces identical bytes, so a second `regen`
+//!   run is always a zero-diff no-op.
+
+use integrated_passives::artifacts;
+use integrated_passives::report::Format;
+
+fn pinned(name: &str, format: Format, expected: &str) {
+    let artifact = artifacts::find(name)
+        .unwrap_or_else(|| panic!("artifact {name} not registered"))
+        .build()
+        .unwrap_or_else(|e| panic!("artifact {name} failed to build: {e}"));
+    let rendered = artifact.render(format).unwrap();
+    assert!(
+        rendered == expected,
+        "{name}.{format} drifted from tests/golden/{name}.{format}\n\
+         --- rendered ---\n{rendered}\n--- pinned ---\n{expected}"
+    );
+}
+
+#[test]
+fn table2_golden_txt_csv_json() {
+    pinned("table2", Format::Txt, include_str!("golden/table2.txt"));
+    pinned("table2", Format::Csv, include_str!("golden/table2.csv"));
+    pinned("table2", Format::Json, include_str!("golden/table2.json"));
+}
+
+#[test]
+fn fig6_golden_txt_csv_json() {
+    pinned("fig6", Format::Txt, include_str!("golden/fig6.txt"));
+    pinned("fig6", Format::Csv, include_str!("golden/fig6.csv"));
+    pinned("fig6", Format::Json, include_str!("golden/fig6.json"));
+}
+
+#[test]
+fn solution2_tornado_golden_txt_csv_json() {
+    pinned(
+        "sensitivity_sol2",
+        Format::Txt,
+        include_str!("golden/sensitivity_sol2.txt"),
+    );
+    pinned(
+        "sensitivity_sol2",
+        Format::Csv,
+        include_str!("golden/sensitivity_sol2.csv"),
+    );
+    pinned(
+        "sensitivity_sol2",
+        Format::Json,
+        include_str!("golden/sensitivity_sol2.json"),
+    );
+}
+
+#[test]
+fn every_paper_artifact_renders_txt_csv_json() {
+    // The acceptance floor: the paper deliverables render in at least
+    // txt, CSV and JSON (fig5's figure form and the frontier add SVG
+    // on top).
+    for name in ["table2", "fig5", "fig6", "sensitivity", "design_space"] {
+        let artifact = artifacts::find(name).unwrap().build().unwrap();
+        for format in [Format::Txt, Format::Csv, Format::Json] {
+            let rendered = artifact.render(format).unwrap();
+            assert!(!rendered.is_empty(), "{name}.{format} rendered empty");
+        }
+    }
+}
+
+#[test]
+fn regen_is_idempotent() {
+    // The whole registry, every format, rendered twice: bit-identical.
+    // (This is the in-process form of "running `ipass regen` twice
+    // produces zero diff"; CI additionally regenerates into the
+    // checkout and fails on any diff against the committed docs.)
+    let first = artifacts::render_all().unwrap();
+    let second = artifacts::render_all().unwrap();
+    assert_eq!(
+        first.entries().len(),
+        second.entries().len(),
+        "render_all produced different file sets"
+    );
+    for ((name, format), content) in first.entries() {
+        let again = second.get(name, *format).expect("same file set");
+        assert!(
+            content == again,
+            "{name}.{} is not deterministic across runs",
+            format.ext()
+        );
+    }
+    // Every registered artifact landed, plus the index page.
+    for spec in artifacts::specs() {
+        assert!(
+            first.get(spec.name, Format::Txt).is_some(),
+            "{} missing from regen output",
+            spec.name
+        );
+        assert!(
+            first.get(spec.name, Format::Md).is_some(),
+            "{} has no docs page",
+            spec.name
+        );
+    }
+    assert!(first.get("README", Format::Md).is_some(), "no index page");
+}
