@@ -21,13 +21,60 @@ fn solution2_flow() -> Flow {
 }
 
 fn bench_mc_scaling(c: &mut Criterion) {
+    // Lane width pinned to 1: this group is the *scalar* kernel
+    // baseline the batched `mc_units_batch` group is gated against.
     let flow = solution2_flow();
     let mut group = c.benchmark_group("mc_units");
     group.threads(1);
+    group.lane_width(1);
+    for units in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(units));
+        group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
+            b.iter(|| {
+                black_box(
+                    flow.simulate(&SimOptions::new(units).with_seed(3).with_lane_width(1))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_batch(c: &mut Criterion) {
+    // The batched lane kernel at the default width, same flow and seed
+    // as `mc_units` — the reports are bit-identical; only the walk
+    // order (lane-of-W per op) differs.
+    let flow = solution2_flow();
+    let width = ipass_moe::effective_lane_width(ipass_moe::DEFAULT_LANE_WIDTH);
+    let mut group = c.benchmark_group("mc_units_batch");
+    group.threads(1);
+    group.lane_width(width);
     for units in [1_000u64, 10_000, 100_000] {
         group.throughput(Throughput::Elements(units));
         group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
             b.iter(|| black_box(flow.simulate(&SimOptions::new(units).with_seed(3)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_lane_widths(c: &mut Criterion) {
+    // Width sweep at fixed unit count: how far the SoA lane loops
+    // vectorize on this host. Width 1 is the scalar fallback path.
+    let flow = solution2_flow();
+    let mut group = c.benchmark_group("mc_lanes_100k");
+    group.threads(1);
+    group.throughput(Throughput::Elements(100_000));
+    for width in [1usize, 2, 4, 8, 16, 32, 64] {
+        group.lane_width(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter(|| {
+                black_box(
+                    flow.simulate(&SimOptions::new(100_000).with_seed(3).with_lane_width(width))
+                        .unwrap(),
+                )
+            })
         });
     }
     group.finish();
@@ -240,6 +287,9 @@ fn rework_flow(max_attempts: u32) -> Flow {
 
 fn bench_rework(c: &mut Criterion) {
     let mut group = c.benchmark_group("rework_mc_20k");
+    // 20 000 routed units per iteration: per-element normalization so
+    // bench_gate can reason about these cases too.
+    group.throughput(Throughput::Elements(20_000));
     for attempts in [0u32, 1, 3] {
         let flow = if attempts == 0 {
             // plain scrap
@@ -282,6 +332,8 @@ criterion_group!(
     config = fast();
     targets =
     bench_mc_scaling,
+    bench_mc_batch,
+    bench_mc_lane_widths,
     bench_mc_threads,
     bench_analytic,
     bench_sweep_analytic,

@@ -12,9 +12,17 @@
 //! brace-splitting copy).
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> <case-id> <max-ratio>
+//! bench_gate <baseline.json> <current.json> <case-id> <max-ratio> [baseline-id]
 //! bench_gate BENCH_moe.json target/bench_smoke.json mc_units/100000 3.0
+//! bench_gate BENCH_moe.json target/bench_smoke.json mc_units_batch/100000 0.5 mc_units/100000
 //! ```
+//!
+//! The optional fifth argument compares the current `case-id` against a
+//! *different* baseline case. That turns the gate into a **speedup
+//! floor**: with `max-ratio` 0.5, the batched kernel's per-unit time
+//! must stay at most half the committed *scalar* baseline — i.e. the
+//! lane kernel must remain at least 2x faster than the scalar kernel it
+//! replaced, or CI fails.
 
 use ipass_report::json::{number_field, objects, string_field};
 use std::process::ExitCode;
@@ -44,9 +52,16 @@ fn ns_per_element(json: &str, id: &str) -> Option<f64> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, current_path, id, max_ratio] = args.as_slice() else {
-        eprintln!("usage: bench_gate <baseline.json> <current.json> <case-id> <max-ratio>");
-        return ExitCode::FAILURE;
+    let (baseline_path, current_path, id, max_ratio, baseline_id) = match args.as_slice() {
+        [b, c, i, r] => (b, c, i, r, i),
+        [b, c, i, r, bi] => (b, c, i, r, bi),
+        _ => {
+            eprintln!(
+                "usage: bench_gate <baseline.json> <current.json> <case-id> <max-ratio> \
+                 [baseline-id]"
+            );
+            return ExitCode::FAILURE;
+        }
     };
     let Ok(max_ratio) = max_ratio.parse::<f64>() else {
         eprintln!("bench_gate: max-ratio {max_ratio:?} is not a number");
@@ -62,8 +77,8 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
         return ExitCode::FAILURE;
     };
-    let Some(base) = ns_per_element(&baseline, id) else {
-        eprintln!("bench_gate: case {id:?} not found in {baseline_path}");
+    let Some(base) = ns_per_element(&baseline, baseline_id) else {
+        eprintln!("bench_gate: case {baseline_id:?} not found in {baseline_path}");
         return ExitCode::FAILURE;
     };
     let Some(now) = ns_per_element(&current, id) else {
@@ -71,12 +86,20 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let ratio = now / base;
+    let vs = if baseline_id == id {
+        String::new()
+    } else {
+        format!(" (vs {baseline_id})")
+    };
     println!(
-        "bench_gate {id}: baseline {base:.2} ns/elem, current {now:.2} ns/elem, \
+        "bench_gate {id}{vs}: baseline {base:.2} ns/elem, current {now:.2} ns/elem, \
          ratio {ratio:.2} (limit {max_ratio:.2})"
     );
     if ratio > max_ratio {
-        eprintln!("bench_gate: REGRESSION — {id} slowed down {ratio:.2}x (limit {max_ratio:.2}x)");
+        eprintln!(
+            "bench_gate: REGRESSION — {id}{vs} at {ratio:.2}x of baseline \
+             (limit {max_ratio:.2}x)"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -147,6 +170,23 @@ mod tests {
         assert_eq!(ns_per_element(zero, "x"), Some(1000.0));
         let bare = r#"[{"id": "x", "elements": 10}]"#;
         assert_eq!(ns_per_element(bare, "x"), None);
+    }
+
+    #[test]
+    fn cross_case_speedup_floor_inputs_resolve() {
+        // The 5-arg form reads `baseline-id` from the baseline file and
+        // `case-id` from the current file; both lookups go through
+        // `ns_per_element`, so a two-entry file must resolve each id to
+        // its own throughput.
+        let two = r#"[
+  {"id": "mc_units/100000", "mean_ns": 2200000.0, "elements": 100000, "ns_per_elem": 22.0},
+  {"id": "mc_units_batch/100000", "mean_ns": 880000.0, "elements": 100000, "ns_per_elem": 8.8}
+]"#;
+        let scalar = ns_per_element(two, "mc_units/100000").unwrap();
+        let batch = ns_per_element(two, "mc_units_batch/100000").unwrap();
+        assert_eq!(scalar, 22.0);
+        assert_eq!(batch, 8.8);
+        assert!(batch / scalar <= 0.5, "speedup floor would fail");
     }
 
     #[test]

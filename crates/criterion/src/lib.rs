@@ -37,6 +37,10 @@ pub struct BenchResult {
     /// [`BenchmarkGroup::threads`] (baselines self-describe their
     /// scaling trajectory).
     pub threads: Option<usize>,
+    /// Kernel lane width the benchmark case used, when declared via
+    /// [`BenchmarkGroup::lane_width`] (batched-kernel baselines
+    /// self-describe the width they measured).
+    pub lane_width: Option<usize>,
 }
 
 impl BenchResult {
@@ -104,7 +108,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.run_one(id.to_string(), None, None, |b| f(b));
+        self.run_one(id.to_string(), CaseMeta::default(), |b| f(b));
         self
     }
 
@@ -113,8 +117,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.to_string(),
-            throughput: None,
-            threads: None,
+            meta: CaseMeta::default(),
         }
     }
 
@@ -123,7 +126,7 @@ impl Criterion {
         &self.results
     }
 
-    fn run_one<F>(&mut self, id: String, elements: Option<u64>, threads: Option<usize>, mut f: F)
+    fn run_one<F>(&mut self, id: String, meta: CaseMeta, mut f: F)
     where
         F: FnMut(&mut Bencher),
     {
@@ -166,8 +169,9 @@ impl Criterion {
             max_ns: max,
             samples: samples_ns.len(),
             iters_per_sample: iters,
-            elements,
-            threads,
+            elements: meta.elements,
+            threads: meta.threads,
+            lane_width: meta.lane_width,
         };
         let throughput = result
             .elements_per_sec()
@@ -181,19 +185,27 @@ impl Criterion {
     }
 }
 
+/// Per-case metadata recorded alongside the timings (declared on the
+/// group, copied into each result).
+#[derive(Debug, Clone, Copy, Default)]
+struct CaseMeta {
+    elements: Option<u64>,
+    threads: Option<usize>,
+    lane_width: Option<usize>,
+}
+
 /// A group of related benchmarks sharing a name and throughput.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
-    throughput: Option<u64>,
-    threads: Option<usize>,
+    meta: CaseMeta,
 }
 
 impl BenchmarkGroup<'_> {
     /// Declare the work performed per iteration.
     pub fn throughput(&mut self, t: Throughput) -> &mut Self {
-        self.throughput = Some(match t {
+        self.meta.elements = Some(match t {
             Throughput::Elements(n) | Throughput::Bytes(n) => n,
         });
         self
@@ -203,7 +215,15 @@ impl BenchmarkGroup<'_> {
     /// (recorded in the result and used for the scaling report —
     /// an extension over the real criterion API).
     pub fn threads(&mut self, threads: usize) -> &mut Self {
-        self.threads = Some(threads);
+        self.meta.threads = Some(threads);
+        self
+    }
+
+    /// Declare the kernel lane width the next cases run on (recorded in
+    /// the result so batch-kernel baselines self-describe — an
+    /// extension over the real criterion API).
+    pub fn lane_width(&mut self, width: usize) -> &mut Self {
+        self.meta.lane_width = Some(width);
         self
     }
 
@@ -218,10 +238,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.0);
-        let elements = self.throughput;
-        let threads = self.threads;
-        self.criterion
-            .run_one(full, elements, threads, |b| f(b, input));
+        let meta = self.meta;
+        self.criterion.run_one(full, meta, |b| f(b, input));
         self
     }
 
@@ -231,9 +249,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        let elements = self.throughput;
-        let threads = self.threads;
-        self.criterion.run_one(full, elements, threads, |b| f(b));
+        let meta = self.meta;
+        self.criterion.run_one(full, meta, |b| f(b));
         self
     }
 
@@ -391,6 +408,25 @@ pub fn report_thread_scaling_on(results: &[BenchResult], cores: usize) {
     }
 }
 
+/// The banner printed when a baseline is recorded from a dirty working
+/// tree, or `None` for a clean (or unknown) revision. A `-dirty`
+/// baseline cannot be reproduced from any commit, so a recording run
+/// should never silently accept one.
+pub fn dirty_rev_warning(git_rev: &str) -> Option<String> {
+    if !git_rev.ends_with("-dirty") {
+        return None;
+    }
+    Some(format!(
+        "\n\
+         !!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!\n\
+         !!  WARNING: recording benchmark baseline from a DIRTY tree        !!\n\
+         !!  git_rev = {git_rev:<55} !!\n\
+         !!  No commit reproduces these numbers. Commit (or stash) your     !!\n\
+         !!  changes and rerun before updating a committed BENCH_*.json.    !!\n\
+         !!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+    ))
+}
+
 /// Write recorded results as JSON to the `BENCH_JSON` path, if set,
 /// and print the thread-scaling report.
 /// Called by [`criterion_main!`]; harmless to call directly.
@@ -400,13 +436,17 @@ pub fn finalize(results: &[BenchResult]) {
         return;
     };
     let git_rev = git_revision();
+    if let Some(warning) = dirty_rev_warning(&git_rev) {
+        eprintln!("{warning}");
+    }
     let nproc = available_cores();
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
              \"samples\": {}, \"iters_per_sample\": {}, \"elements\": {}, \"ns_per_elem\": {}, \
-             \"threads\": {}, \"nproc\": {nproc}, \"git_rev\": \"{git_rev}\"}}{}\n",
+             \"threads\": {}, \"lane_width\": {}, \"nproc\": {nproc}, \
+             \"git_rev\": \"{git_rev}\"}}{}\n",
             r.id.replace('"', "'"),
             r.mean_ns,
             r.min_ns,
@@ -417,6 +457,7 @@ pub fn finalize(results: &[BenchResult]) {
             r.ns_per_element()
                 .map_or("null".to_string(), |n| format!("{n:.2}")),
             r.threads.map_or("null".to_string(), |t| t.to_string()),
+            r.lane_width.map_or("null".to_string(), |w| w.to_string()),
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -538,5 +579,33 @@ mod tests {
     #[test]
     fn git_revision_is_nonempty() {
         assert!(!git_revision().is_empty());
+    }
+
+    #[test]
+    fn lane_width_is_recorded_per_case() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("widths");
+        for w in [1usize, 8] {
+            group.lane_width(w);
+            group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &n| {
+                b.iter(|| (0..n as u64).sum::<u64>())
+            });
+        }
+        group.finish();
+        assert_eq!(c.results()[0].lane_width, Some(1));
+        assert_eq!(c.results()[1].lane_width, Some(8));
+    }
+
+    #[test]
+    fn dirty_revision_triggers_a_loud_warning() {
+        assert_eq!(dirty_rev_warning("1fe6338"), None);
+        assert_eq!(dirty_rev_warning("unknown"), None);
+        let banner = dirty_rev_warning("1fe6338-dirty").expect("dirty rev warns");
+        assert!(banner.contains("WARNING"));
+        assert!(banner.contains("1fe6338-dirty"));
+        assert!(banner.contains("DIRTY"));
     }
 }

@@ -48,8 +48,8 @@ use std::fmt;
 
 pub(crate) const NCAT: usize = CostCategory::COUNT;
 
-const TEST_CAT: usize = 5; // CostCategory::Test.index()
-const OTHER_CAT: usize = 6; // CostCategory::Other.index()
+pub(crate) const TEST_CAT: usize = 5; // CostCategory::Test.index()
+pub(crate) const OTHER_CAT: usize = 6; // CostCategory::Other.index()
 
 /// One instruction of the routing program. All monetary amounts are
 /// plain `f64`s and all hot-path probabilities are integer draw
@@ -239,6 +239,40 @@ impl Totals {
         }
     }
 
+    /// [`Totals::scrap`] restricted to the `active` category indices.
+    /// Exactly equivalent whenever every skipped category is `+0.0` in
+    /// `by_cat` (the lane kernel's prefix guarantees it): `x += 0.0` is
+    /// an exact no-op for every non-`-0.0` accumulator, and these
+    /// accumulators never become `-0.0`.
+    #[inline]
+    pub(crate) fn scrap_active(&mut self, cost: f64, by_cat: &[f64; NCAT], active: &[u8]) {
+        self.scrapped += 1.0;
+        self.scrap_spend += cost;
+        for &k in active {
+            self.scrap_by_cat[k as usize] += by_cat[k as usize];
+        }
+    }
+
+    /// [`Totals::ship`] restricted to the `active` category indices —
+    /// see [`Totals::scrap_active`] for the exactness argument.
+    #[inline]
+    pub(crate) fn ship_active(
+        &mut self,
+        cost: f64,
+        by_cat: &[f64; NCAT],
+        defective: bool,
+        active: &[u8],
+    ) {
+        self.shipped += 1.0;
+        if !defective {
+            self.good_shipped += 1.0;
+        }
+        self.embodied += cost;
+        for &k in active {
+            self.embodied_by_cat[k as usize] += by_cat[k as usize];
+        }
+    }
+
     pub(crate) fn merge(&mut self, other: &Totals) {
         self.attempted += other.attempted;
         self.shipped += other.shipped;
@@ -337,6 +371,13 @@ impl RoutingProgram {
     /// The top region's `(entry, len)`.
     pub(crate) fn top_region(&self) -> (u32, u32) {
         (self.entry, self.len)
+    }
+
+    /// Whether the program contains no [`Op::SubLine`] anywhere — the
+    /// precondition for the batched lane kernel (and the recursion-free
+    /// scalar fast path).
+    pub(crate) fn flat(&self) -> bool {
+        self.flat
     }
 
     /// Patchable parameters, in emission order.

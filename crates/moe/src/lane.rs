@@ -1,0 +1,969 @@
+//! The batched lane kernel: routes a *lane* of `W` units through a
+//! sub-line-free routing program one op at a time, instead of one unit
+//! through all ops.
+//!
+//! The scalar walk pays three costs per unit that a lane amortizes or
+//! removes outright:
+//!
+//! * **Cost bookkeeping.** Every *alive* unit accrues exactly the same
+//!   cost sequence — op costs are added unconditionally, and a unit's
+//!   spending only diverges from the shared schedule when it is
+//!   scrapped (frozen at that op) or enters a rework loop (rare). The
+//!   kernel therefore precomputes one [`LanePrefix`] per program: the
+//!   running `(cost, by-category)` state after every op, folded
+//!   left-to-right exactly as the scalar walk folds it — so the
+//!   snapshot values are bit-identical — and the hot loop carries **no
+//!   per-unit cost state at all**.
+//! * **Draw addressing.** Draw `j` of unit `i` is
+//!   `mix64(key_i + j·G)`. The lane carries the running mix input
+//!   `h_i = key_i + j·G` ([`SimRng::mix_input`]) and advances it by one
+//!   add per consumed draw ([`SimRng::advance_mix_input`]) instead of
+//!   re-multiplying `j·G`, saving a third of the multiply pressure the
+//!   finalizer is bottlenecked on.
+//! * **Branches.** Per-op lane loops are straight-line masked code over
+//!   independent elements (auto-vectorizable); the scalar walk's
+//!   per-unit branch mispredictions disappear.
+//!
+//! # Why the results are bit-identical to the scalar kernel
+//!
+//! * **Draws.** Unit streams are independent, and conditional draw
+//!   consumption is reproduced with per-unit mix inputs: a masked op
+//!   advances `h_i` only when the scalar kernel would have consumed a
+//!   draw (alive and non-defective for yield draws, alive and defective
+//!   for coverage draws). Every unit therefore sees exactly the scalar
+//!   draw sequence.
+//! * **Per-unit sums.** An alive unit's cost state is the [`LanePrefix`]
+//!   snapshot — the same adds in the same order as the scalar walk. A
+//!   unit caught by a rework test *materializes* that snapshot into
+//!   explicit per-unit state and continues accruing op by op, again in
+//!   scalar order.
+//! * **Cross-unit sums.** Scrapped and shipped units book into
+//!   *disjoint* [`Totals`] fields (`scrap_spend`/`scrap_by_cat` vs
+//!   `embodied`/`embodied_by_cat`), so booking a lane's scrapped units
+//!   first and its shipped units second — each group in unit order —
+//!   feeds every order-sensitive float accumulator the exact operand
+//!   sequence of the scalar unit-order interleaving. Bookings made
+//!   during the op walk (`attempted`, defect counts, rework attempts)
+//!   are exact-integer adds, associative below 2⁵³. Lanes where no
+//!   unit diverged from the shared schedule go further: counters are
+//!   booked as popcounts, scrap snapshots fold branch-free with the
+//!   scrap mask applied to the value *bits*, and the identical ship
+//!   adds are *deferred* and replayed in one tight loop before any
+//!   booking that could interleave (see the post-pass in [`run_lane`]
+//!   and [`flush_ships`]) — all three transformations provably
+//!   preserve every accumulator's operand sequence.
+//! * **Chunk geometry.** Lanes are decomposed *inside* each executor
+//!   chunk (full lanes plus a scalar tail) and never straddle chunk
+//!   boundaries, so the chunk accumulators — and therefore the merge
+//!   tree, every golden value and every [`StopRule`] stopping point —
+//!   are invariant under lane width and thread count.
+//!
+//! Programs containing [`Op::SubLine`] fall back to the scalar per-unit
+//! walk (nested retry loops have data-dependent draw counts that defeat
+//! lane batching), as does the `width == 1` configuration.
+//!
+//! [`StopRule`]: ipass_sim::StopRule
+
+use crate::compile::{Op, Routed, RoutingProgram, Totals, UnitState, NCAT, OTHER_CAT, TEST_CAT};
+use crate::error::FlowError;
+use ipass_sim::{BatchSampler, SimRng};
+
+/// Explicit AVX-512 kernels for the wide lanes (widths 16, 32 and 64)
+/// — compiled only when the needed instructions are statically
+/// available; every call site falls back to the portable loops
+/// otherwise (same bits either way).
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+))]
+#[path = "lane_simd.rs"]
+#[allow(unsafe_code)] // the crate's one sanctioned `core::arch` island
+mod simd;
+
+/// Lane widths with monomorphized kernels. A requested width rounds
+/// *down* to the largest supported value (minimum 1 — the scalar walk).
+const SUPPORTED_LANE_WIDTHS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The lane width the kernel will actually run for a requested
+/// [`SimOptions::lane_width`](crate::SimOptions::lane_width): the
+/// largest supported width that does not exceed the request (widths `1`
+/// through `64` in powers of two; `1` is the scalar walk).
+///
+/// # Examples
+///
+/// ```
+/// use ipass_moe::effective_lane_width;
+///
+/// assert_eq!(effective_lane_width(8), 8);
+/// assert_eq!(effective_lane_width(12), 8); // rounds down
+/// assert_eq!(effective_lane_width(1_000), 64); // widest kernel
+/// assert_eq!(effective_lane_width(0), 1); // scalar floor
+/// ```
+pub fn effective_lane_width(requested: usize) -> usize {
+    SUPPORTED_LANE_WIDTHS
+        .iter()
+        .copied()
+        .filter(|&w| w <= requested)
+        .max()
+        .unwrap_or(1)
+}
+
+/// All-ones lane mask: "true" for one unit of a lane. Lane flags are
+/// `u64` masks (`0` / `ALL`) rather than `bool`s so every hot loop is
+/// homogeneous 64-bit element-wise code the auto-vectorizer maps onto
+/// full-width vector compares, blends and bitwise ops.
+const ALL: u64 = u64::MAX;
+
+/// The shared cost schedule of a flat program: the running
+/// `(cost, by-category)` state of an alive unit after each op's
+/// unconditional cost add, folded left-to-right exactly like the scalar
+/// walk (so every snapshot is bit-identical to the scalar accumulator
+/// at that op).
+struct LanePrefix {
+    /// `cost[j]` — running total cost after op `j`.
+    cost: Vec<f64>,
+    /// `by_cat[j]` — running per-category costs after op `j`.
+    by_cat: Vec<[f64; NCAT]>,
+    /// Category indices any op of the program can ever make non-zero.
+    /// Bookings iterate only these; the rest are identically `+0.0` on
+    /// every snapshot, and `x += 0.0` is an exact no-op (no accumulator
+    /// is ever `-0.0`), so skipping them changes no bits.
+    active: Vec<u8>,
+    /// Snapshot of a unit that survives the whole program (the last
+    /// op's state; zeros for an empty program).
+    ship_cost: f64,
+    ship_by_cat: [f64; NCAT],
+    /// `run_len[j]` — number of consecutive [`Op::Step`] /
+    /// [`Op::Cost`] ops starting at op `j` (`0` unless op `j` is one of
+    /// those). A whole run is evaluated as one batch: within a run a
+    /// still-clean unit consumes exactly one draw per step, so its
+    /// `s`-th draw input is `h + s·G` — independent of the other draws
+    /// — and the per-step work is pure mask algebra off the multiply
+    /// critical path. Interleaved `Cost` ops ride along for free: they
+    /// touch no mask and no draw, and alive units take their cost from
+    /// the shared prefix anyway.
+    run_len: Vec<u32>,
+}
+
+impl LanePrefix {
+    /// Fold the top region's cost schedule. Only called for flat
+    /// programs (no [`Op::SubLine`], whose cost is data-dependent).
+    fn build(program: &RoutingProgram) -> LanePrefix {
+        let (entry, len) = program.top_region();
+        let ops = &program.ops()[entry as usize..(entry + len) as usize];
+        let mut running = 0.0f64;
+        let mut running_cat = [0.0f64; NCAT];
+        let mut touched = [false; NCAT];
+        let mut cost = Vec::with_capacity(ops.len());
+        let mut by_cat = Vec::with_capacity(ops.len());
+        for op in ops {
+            let (c, cat) = match *op {
+                Op::Cost { cost, cat } => (cost, cat.index()),
+                Op::Condemn { cost, cat, .. } => (cost, cat.index()),
+                Op::Step { cost, cat, .. } => (cost, cat.index()),
+                Op::SubLine { .. } => unreachable!("lane prefix of a non-flat program"),
+                Op::TestScrap { cost, .. } => (cost, TEST_CAT),
+                Op::TestRework {
+                    cost, rework_cost, ..
+                } => {
+                    // Rework attempts book under `Other` too.
+                    touched[OTHER_CAT] |= rework_cost != 0.0;
+                    (cost, TEST_CAT)
+                }
+            };
+            running += c;
+            running_cat[cat] += c;
+            touched[cat] |= c != 0.0;
+            cost.push(running);
+            by_cat.push(running_cat);
+        }
+        let active = (0..NCAT as u8).filter(|&k| touched[k as usize]).collect();
+        let mut run_len = vec![0u32; ops.len()];
+        for j in (0..ops.len()).rev() {
+            if matches!(ops[j], Op::Step { .. } | Op::Cost { .. }) {
+                run_len[j] = 1 + run_len.get(j + 1).copied().unwrap_or(0);
+            }
+        }
+        LanePrefix {
+            ship_cost: running,
+            ship_by_cat: running_cat,
+            cost,
+            by_cat,
+            active,
+            run_len,
+        }
+    }
+}
+
+/// Structure-of-arrays state of one lane of `W` units. Allocated once
+/// per sampled range and re-initialized per lane; `scrap_op`, `cost`
+/// and `by_cat` need no reset because they are only read for units
+/// whose `scrapped`/`mat` flag was set — and therefore written — within
+/// the current lane.
+struct LaneState<const W: usize> {
+    /// Stream keys (only read to rebuild a scalar stream on the rare
+    /// rework path).
+    key: [u64; W],
+    /// Running draw mix inputs (see [`SimRng::mix_input`]).
+    h: [u64; W],
+    /// `0` / [`ALL`] masks.
+    defective: [u64; W],
+    /// `0` / [`ALL`] masks.
+    scrapped: [u64; W],
+    /// Op index the unit was scrapped at — selects the [`LanePrefix`]
+    /// snapshot its sunk cost froze at.
+    scrap_op: [u64; W],
+    /// Materialized: the unit's cost diverged from the shared prefix
+    /// (rework), so it carries explicit state in `cost`/`by_cat`.
+    mat: [bool; W],
+    cost: [f64; W],
+    by_cat: [[f64; W]; NCAT],
+}
+
+impl<const W: usize> LaneState<W> {
+    fn new() -> LaneState<W> {
+        LaneState {
+            key: [0; W],
+            h: [0; W],
+            defective: [0; W],
+            scrapped: [0; W],
+            scrap_op: [0; W],
+            mat: [false; W],
+            cost: [0.0; W],
+            by_cat: [[0.0; W]; NCAT],
+        }
+    }
+
+    /// Reset for the lane of units `base..base + W`.
+    #[inline]
+    fn reset(&mut self, seed: u64, base: u64) {
+        if !simd_keys(self, seed, base) {
+            for i in 0..W {
+                let (key, _) = SimRng::stream(seed, base + i as u64).state();
+                self.key[i] = key;
+                // A fresh stream's mix input is its key (counter 0).
+                self.h[i] = key;
+            }
+        }
+        self.defective = [0; W];
+        self.scrapped = [0; W];
+        self.mat = [false; W];
+    }
+
+    /// Add `c` (category `cat`) to every alive materialized unit — the
+    /// per-unit continuation of the scalar walk's unconditional cost
+    /// add for units that diverged from the shared prefix.
+    #[inline]
+    fn mat_cost_add(&mut self, c: f64, cat: usize) {
+        let LaneState {
+            mat,
+            scrapped,
+            cost,
+            by_cat,
+            ..
+        } = self;
+        let col = &mut by_cat[cat];
+        for i in 0..W {
+            if mat[i] && scrapped[i] == 0 {
+                cost[i] += c;
+                col[i] += c;
+            }
+        }
+    }
+
+    /// Gather one materialized unit's category columns.
+    #[inline]
+    fn gather_cats(&self, i: usize) -> [f64; NCAT] {
+        let mut cols = [0.0; NCAT];
+        for (slot, col) in cols.iter_mut().zip(self.by_cat.iter()) {
+            *slot = col[i];
+        }
+        cols
+    }
+}
+
+/// The compiled production line as a batched [`ipass_sim`] sampler: one
+/// range call routes a contiguous run of carrier units, a lane of `W`
+/// at a time where the program allows it.
+pub(crate) struct LaneSampler<'a> {
+    program: &'a RoutingProgram,
+    retry_budget: u32,
+    /// Requested lane width (rounded by [`effective_lane_width`]).
+    width: usize,
+    /// Shared cost schedule — `Some` exactly for flat programs.
+    prefix: Option<LanePrefix>,
+}
+
+impl<'a> LaneSampler<'a> {
+    pub(crate) fn new(program: &'a RoutingProgram, retry_budget: u32, width: usize) -> Self {
+        let prefix = program.flat().then(|| LanePrefix::build(program));
+        LaneSampler {
+            program,
+            retry_budget,
+            width,
+            prefix,
+        }
+    }
+}
+
+impl BatchSampler for LaneSampler<'_> {
+    type Acc = Totals;
+    type Error = FlowError;
+
+    fn make_acc(&self) -> Totals {
+        Totals::new(self.program.names().len())
+    }
+
+    fn sample_range(
+        &self,
+        seed: u64,
+        lo: u64,
+        hi: u64,
+        totals: &mut Totals,
+    ) -> Result<(), FlowError> {
+        let Some(prefix) = &self.prefix else {
+            // Nested sub-lines: scalar per-unit walk (recursion and
+            // retry loops have data-dependent draw counts).
+            return self.scalar_range(seed, lo, hi, totals);
+        };
+        match effective_lane_width(self.width) {
+            64 => self.lane_range::<64>(prefix, seed, lo, hi, totals),
+            32 => self.lane_range::<32>(prefix, seed, lo, hi, totals),
+            16 => self.lane_range::<16>(prefix, seed, lo, hi, totals),
+            8 => self.lane_range::<8>(prefix, seed, lo, hi, totals),
+            4 => self.lane_range::<4>(prefix, seed, lo, hi, totals),
+            2 => self.lane_range::<2>(prefix, seed, lo, hi, totals),
+            _ => self.scalar_range(seed, lo, hi, totals),
+        }
+    }
+
+    fn merge(&self, into: &mut Totals, from: Totals) {
+        into.merge(&from);
+    }
+
+    fn ci_half_width(&self, acc: &Totals, z: f64) -> Option<f64> {
+        Some(crate::mc::shipped_half_width(acc, z))
+    }
+}
+
+impl LaneSampler<'_> {
+    /// The canonical scalar walk — one unit at a time through the whole
+    /// program. Used for non-flat programs, width 1, and the tail of a
+    /// chunk that does not fill a full lane.
+    fn scalar_range(
+        &self,
+        seed: u64,
+        lo: u64,
+        hi: u64,
+        totals: &mut Totals,
+    ) -> Result<(), FlowError> {
+        for unit in lo..hi {
+            let mut rng = SimRng::stream(seed, unit);
+            totals.attempted += 1;
+            let mut state = UnitState::new();
+            if self
+                .program
+                .run_unit(&mut rng, totals, &mut state, self.retry_budget)?
+                == Routed::Shipped
+            {
+                totals.ship(state.cost, &state.by_cat, state.defective);
+            }
+        }
+        Ok(())
+    }
+
+    /// Full lanes of `W`, then the scalar walk for the remainder (a
+    /// flat program cannot actually fail, so the result is always `Ok`).
+    fn lane_range<const W: usize>(
+        &self,
+        prefix: &LanePrefix,
+        seed: u64,
+        lo: u64,
+        hi: u64,
+        totals: &mut Totals,
+    ) -> Result<(), FlowError> {
+        let mut state = LaneState::<W>::new();
+        let mut pending = ShipPending::default();
+        let mut unit = lo;
+        while unit + W as u64 <= hi {
+            run_lane::<W>(
+                self.program,
+                prefix,
+                seed,
+                unit,
+                &mut state,
+                totals,
+                &mut pending,
+            );
+            unit += W as u64;
+        }
+        // The scalar tail ships per unit — deferred adds land first.
+        flush_ships(prefix, totals, &mut pending);
+        self.scalar_range(seed, unit, hi, totals)
+    }
+}
+
+/// Evaluate a whole run of yield steps with the explicit SIMD kernel —
+/// entry mask, draws, defect booking and `h` writeback. Returns `false`
+/// (taking no action) when the lane width has no explicit kernel — the
+/// caller then runs the portable loop, which computes the identical
+/// bits.
+///
+/// Runs longer than [`simd::STEP_CHUNK`] re-enter [`simd::run_zmm`]
+/// with the written-back state; a unit alive across the seam has
+/// consumed exactly one draw per step either way, so its draw inputs —
+/// and every downstream bit — are unchanged. A later chunk with no
+/// entering units stops the loop before booking: the skipped bookings
+/// are all `+0.0`, an exact no-op.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+))]
+#[inline]
+fn simd_run<const W: usize>(
+    state: &mut LaneState<W>,
+    run_ops: &[Op],
+    totals: &mut Totals,
+    n_def_alive: &mut u32,
+) -> bool {
+    if W != 16 && W != 32 && W != 64 {
+        return false;
+    }
+    let LaneState {
+        h,
+        defective,
+        scrapped,
+        ..
+    } = state;
+    let mut th = [0u64; simd::STEP_CHUNK];
+    let mut lb = [0u32; simd::STEP_CHUNK];
+    let mut newly = [0u64; simd::STEP_CHUNK];
+    let mut it = run_ops.iter();
+    loop {
+        let mut n = 0usize;
+        for op in it.by_ref() {
+            // An interleaved `Cost` draws nothing.
+            if let Op::Step {
+                threshold, label, ..
+            } = op
+            {
+                th[n] = *threshold;
+                lb[n] = *label;
+                n += 1;
+                if n == simd::STEP_CHUNK {
+                    break;
+                }
+            }
+        }
+        if n == 0 {
+            break;
+        }
+        let entered = match W {
+            16 => simd::run_zmm::<2>(h, defective, scrapped, &th[..n], &mut newly[..n]),
+            32 => simd::run_zmm::<4>(h, defective, scrapped, &th[..n], &mut newly[..n]),
+            _ => simd::run_zmm::<8>(h, defective, scrapped, &th[..n], &mut newly[..n]),
+        };
+        if !entered {
+            break;
+        }
+        for s in 0..n {
+            // Unconditional: `+0.0` on a no-defect step is an exact
+            // no-op.
+            totals.defects[lb[s] as usize] += newly[s] as f64;
+            *n_def_alive += newly[s] as u32;
+        }
+        if n < simd::STEP_CHUNK {
+            break;
+        }
+    }
+    true
+}
+
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+)))]
+#[inline]
+fn simd_run<const W: usize>(
+    _state: &mut LaneState<W>,
+    _run_ops: &[Op],
+    _totals: &mut Totals,
+    _n_def_alive: &mut u32,
+) -> bool {
+    false
+}
+
+/// SIMD stream-key initialization; `false` (no action) when unavailable
+/// — the portable per-unit `SimRng::stream` runs instead.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+))]
+#[inline]
+fn simd_keys<const W: usize>(state: &mut LaneState<W>, seed: u64, base: u64) -> bool {
+    let LaneState { key, h, .. } = state;
+    match W {
+        16 => simd::keys_zmm::<2>(seed, base, key, h),
+        32 => simd::keys_zmm::<4>(seed, base, key, h),
+        64 => simd::keys_zmm::<8>(seed, base, key, h),
+        _ => return false,
+    }
+    true
+}
+
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+)))]
+#[inline]
+fn simd_keys<const W: usize>(_state: &mut LaneState<W>, _seed: u64, _base: u64) -> bool {
+    false
+}
+
+/// The SIMD coverage pass of a `TestScrap` threshold branch; `false`
+/// (no action) when unavailable — portable loop runs instead.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+))]
+#[inline]
+fn simd_cover<const W: usize>(
+    state: &mut LaneState<W>,
+    t: u64,
+    jj: u64,
+    caught_n: &mut u64,
+) -> bool {
+    let LaneState {
+        h,
+        defective,
+        scrapped,
+        scrap_op,
+        ..
+    } = state;
+    *caught_n += match W {
+        16 => simd::cover_zmm::<2>(h, t, jj, defective, scrapped, scrap_op),
+        32 => simd::cover_zmm::<4>(h, t, jj, defective, scrapped, scrap_op),
+        64 => simd::cover_zmm::<8>(h, t, jj, defective, scrapped, scrap_op),
+        _ => return false,
+    };
+    true
+}
+
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx512dq",
+    target_feature = "avx512vl"
+)))]
+#[inline]
+fn simd_cover<const W: usize>(
+    _state: &mut LaneState<W>,
+    _t: u64,
+    _jj: u64,
+    _caught_n: &mut u64,
+) -> bool {
+    false
+}
+
+/// Deferred fast-path ship bookings (see the post-pass in
+/// [`run_lane`]): counts of shipped / shipped-and-good units whose
+/// embodied-cost adds — all the identical prefix ship snapshot — have
+/// not been replayed into [`Totals`] yet.
+#[derive(Default)]
+struct ShipPending {
+    n_ship: u64,
+    n_good: u64,
+}
+
+/// Replay `pending.n_ship` deferred ship bookings: the exact adds the
+/// scalar walk performs for those units, in one tight loop. The float
+/// chains (`embodied` + active categories) are independent and overlap;
+/// the counter adds are integer-exact in any order.
+fn flush_ships(prefix: &LanePrefix, totals: &mut Totals, pending: &mut ShipPending) {
+    if pending.n_ship == 0 {
+        return;
+    }
+    let mut t_embodied = totals.embodied;
+    let mut t_by_cat = totals.embodied_by_cat;
+    for _ in 0..pending.n_ship {
+        t_embodied += prefix.ship_cost;
+        // All categories, const-length (accumulators stay in
+        // registers): untouched ones add `+0.0`, an exact no-op —
+        // the scalar walk's `Totals::ship` adds all of them too.
+        for (acc, add) in t_by_cat.iter_mut().zip(prefix.ship_by_cat.iter()) {
+            *acc += add;
+        }
+    }
+    totals.embodied = t_embodied;
+    totals.embodied_by_cat = t_by_cat;
+    totals.shipped += pending.n_ship as f64;
+    totals.good_shipped += pending.n_good as f64;
+    pending.n_ship = 0;
+    pending.n_good = 0;
+}
+
+/// Route the lane of units `base..base + W` through a flat program.
+fn run_lane<const W: usize>(
+    program: &RoutingProgram,
+    prefix: &LanePrefix,
+    seed: u64,
+    base: u64,
+    state: &mut LaneState<W>,
+    totals: &mut Totals,
+    pending: &mut ShipPending,
+) {
+    state.reset(seed, base);
+    let mut live = W as u32;
+    // Defective *and* alive — the units a test still has to catch; the
+    // whole coverage pass is skipped when a lane has none.
+    let mut n_def_alive = 0u32;
+    let mut any_mat = false;
+
+    totals.attempted += W as u64;
+
+    let (entry, len) = program.top_region();
+    let ops = &program.ops()[entry as usize..(entry + len) as usize];
+    let mut j = 0usize;
+    while j < ops.len() {
+        let op = &ops[j];
+        // A run of consecutive steps is evaluated as one batch: a unit
+        // still clean at step `s` of the run has consumed exactly one
+        // draw per step so far, so its draw input is `h + s·G` — a
+        // value independent of every other draw. That keeps the
+        // multiply-heavy finalizer off the loop-carried critical path
+        // (which shrinks to two mask ops per step) and advances `h`
+        // once per run by `consumed·G`.
+        if let Op::Step { .. } = op {
+            let run = prefix.run_len[j] as usize;
+            if any_mat {
+                for op in &ops[j..j + run] {
+                    match op {
+                        Op::Step { cost: c, cat, .. } | Op::Cost { cost: c, cat } => {
+                            state.mat_cost_add(*c, cat.index());
+                        }
+                        _ => unreachable!("run contains only steps and costs"),
+                    }
+                }
+            }
+            if !simd_run(state, &ops[j..j + run], totals, &mut n_def_alive) {
+                // Entry clean mask: the units that will draw this run.
+                let mut entered = [0u64; W];
+                let mut any_alive = 0u64;
+                for (e, (d, s)) in entered
+                    .iter_mut()
+                    .zip(state.defective.iter().zip(state.scrapped.iter()))
+                {
+                    *e = !(d | s);
+                    any_alive |= *e;
+                }
+                if any_alive != 0 {
+                    let mut alive = entered;
+                    let mut consumed = [0u64; W];
+                    // s·G, maintained additively.
+                    let mut sg = 0u64;
+                    for op in &ops[j..j + run] {
+                        let Op::Step {
+                            threshold, label, ..
+                        } = op
+                        else {
+                            continue; // an interleaved `Cost` draws nothing
+                        };
+                        // Masks are 0 / ALL, so subtracting them counts.
+                        let mut newly = 0u64;
+                        for i in 0..W {
+                            let draw = SimRng::mix_to_u53(state.h[i].wrapping_add(sg));
+                            let fail = alive[i] & 0u64.wrapping_sub(u64::from(draw >= *threshold));
+                            consumed[i] = consumed[i].wrapping_sub(alive[i]);
+                            alive[i] &= !fail;
+                            newly = newly.wrapping_sub(fail);
+                        }
+                        // Unconditional: `+0.0` on a no-defect step is
+                        // an exact no-op.
+                        totals.defects[*label as usize] += newly as f64;
+                        n_def_alive += newly as u32;
+                        sg = SimRng::advance_mix_input(sg);
+                    }
+                    for i in 0..W {
+                        state.h[i] = SimRng::mix_input(state.h[i], consumed[i]);
+                        state.defective[i] |= entered[i] & !alive[i];
+                    }
+                }
+            }
+            j += run;
+            continue;
+        }
+        match *op {
+            // Alive units take op costs from the shared prefix; only
+            // materialized (rework-diverged) units accrue explicitly.
+            Op::Cost { cost: c, cat } => {
+                if any_mat {
+                    state.mat_cost_add(c, cat.index());
+                }
+            }
+            Op::Condemn {
+                cost: c,
+                cat,
+                label,
+            } => {
+                if any_mat {
+                    state.mat_cost_add(c, cat.index());
+                }
+                let mut newly = 0u64;
+                for i in 0..W {
+                    let hit = !(state.scrapped[i] | state.defective[i]);
+                    newly = newly.wrapping_sub(hit);
+                    state.defective[i] |= !state.scrapped[i];
+                }
+                if newly > 0 {
+                    totals.defects[label as usize] += newly as f64;
+                    n_def_alive += newly as u32;
+                }
+            }
+            Op::Step { .. } => unreachable!("steps are consumed by run batches"),
+            Op::SubLine { .. } => unreachable!("lane kernel runs flat programs only"),
+            Op::TestScrap { cost: c, coverage } => {
+                if any_mat {
+                    state.mat_cost_add(c, TEST_CAT);
+                }
+                if n_def_alive > 0 && coverage > 0.0 {
+                    let jj = j as u64;
+                    let mut caught_n = 0u64;
+                    if coverage >= 1.0 {
+                        // Certain coverage consumes no draw (mirrors
+                        // `bernoulli`).
+                        for i in 0..W {
+                            let caught = state.defective[i] & !state.scrapped[i];
+                            state.scrapped[i] |= caught;
+                            state.scrap_op[i] = (caught & jj) | (!caught & state.scrap_op[i]);
+                            caught_n = caught_n.wrapping_sub(caught);
+                        }
+                    } else {
+                        let t = SimRng::threshold(coverage);
+                        if !simd_cover(state, t, jj, &mut caught_n) {
+                            for i in 0..W {
+                                // Only defective units draw coverage.
+                                let check = state.defective[i] & !state.scrapped[i];
+                                let draw = SimRng::mix_to_u53(state.h[i]);
+                                let next = SimRng::advance_mix_input(state.h[i]);
+                                let caught = check & 0u64.wrapping_sub(u64::from(draw < t));
+                                state.h[i] = (check & next) | (!check & state.h[i]);
+                                state.scrapped[i] |= caught;
+                                state.scrap_op[i] = (caught & jj) | (!caught & state.scrap_op[i]);
+                                caught_n = caught_n.wrapping_sub(caught);
+                            }
+                        }
+                    }
+                    live -= caught_n as u32;
+                    n_def_alive -= caught_n as u32;
+                    if live == 0 {
+                        break;
+                    }
+                }
+            }
+            Op::TestRework {
+                cost: c,
+                coverage,
+                rework_cost,
+                success,
+                max_attempts,
+            } => {
+                if !any_mat && n_def_alive == 0 {
+                    j += 1;
+                    continue; // nothing to catch, nothing accruing
+                }
+                // Rework draws a data-dependent number of times: run
+                // per unit on a rebuilt scalar stream, in unit order.
+                for i in 0..W {
+                    if state.scrapped[i] != 0 {
+                        continue;
+                    }
+                    if state.mat[i] {
+                        state.cost[i] += c;
+                        state.by_cat[TEST_CAT][i] += c;
+                    }
+                    if state.defective[i] == 0 {
+                        continue;
+                    }
+                    let ctr = SimRng::ctr_of_mix_input(state.key[i], state.h[i]);
+                    let mut rng = SimRng::from_state(state.key[i], ctr);
+                    if rng.bernoulli(coverage) {
+                        // Caught: this unit's spending diverges from
+                        // the shared schedule — materialize the prefix
+                        // snapshot (which already includes this op's
+                        // `c`) and accrue explicitly from here on.
+                        if !state.mat[i] {
+                            state.mat[i] = true;
+                            any_mat = true;
+                            state.cost[i] = prefix.cost[j];
+                            for (col, snap) in state.by_cat.iter_mut().zip(prefix.by_cat[j].iter())
+                            {
+                                col[i] = *snap;
+                            }
+                        }
+                        let mut recovered = false;
+                        for _ in 0..max_attempts {
+                            totals.rework_attempts += 1;
+                            state.cost[i] += rework_cost;
+                            state.by_cat[OTHER_CAT][i] += rework_cost;
+                            state.cost[i] += c;
+                            state.by_cat[TEST_CAT][i] += c;
+                            if rng.bernoulli(success) {
+                                state.defective[i] = 0;
+                                n_def_alive -= 1;
+                                recovered = true;
+                                break;
+                            }
+                            if !rng.bernoulli(coverage) {
+                                // Escaped on re-test: continues defective.
+                                recovered = true;
+                                break;
+                            }
+                        }
+                        if !recovered {
+                            state.scrapped[i] = ALL;
+                            live -= 1;
+                            n_def_alive -= 1;
+                        }
+                    }
+                    state.h[i] = SimRng::mix_input(state.key[i], rng.state().1);
+                }
+                if live == 0 {
+                    break;
+                }
+            }
+        }
+        j += 1;
+    }
+
+    // Book scrapped units first, shipped units second — each group in
+    // unit order. Scrap and ship touch disjoint `Totals` fields, so
+    // every order-sensitive accumulator sees the exact operand sequence
+    // of the scalar kernel's unit-order interleaving.
+    if !any_mat {
+        // Fast path — no unit diverged from the shared prefix, so every
+        // booked value comes from the prefix tables:
+        //
+        // * Counters (`scrapped`/`shipped`/`good_shipped`) only ever
+        //   receive `+1.0`; every intermediate value is an exactly
+        //   representable integer (`attempted < 2^53`), so those adds
+        //   are associative and batched popcount adds are bit-identical
+        //   to the scalar per-unit adds.
+        // * Scrap accumulators receive each unit's frozen snapshot with
+        //   the scrap mask applied to its *bits*: non-members
+        //   contribute `+0.0`, an exact no-op (no accumulator is ever
+        //   `-0.0`), so the operand sequence each accumulator folds is
+        //   exactly the scalar one. A lane with no scrap skips the fold
+        //   — all its adds would be `+0.0`. The loop is branch-free and
+        //   staged through locals so the float chains stay in registers
+        //   and overlap.
+        // * Ship bookings are *deferred*: every shipped fast-path unit
+        //   adds the same `ship_cost`/`ship_by_cat` snapshot, so the
+        //   lane only counts them here and [`flush_ships`] replays the
+        //   adds — same count, same operand, same order — before any
+        //   booking that could interleave (a materialized lane's
+        //   per-unit ships, the scalar tail) and at the end of the
+        //   range. Accumulator-disjointness makes the deferral
+        //   invisible: `embodied`/`embodied_by_cat` still fold exactly
+        //   the scalar sequence.
+        let mut smask = 0u64;
+        let mut dmask = 0u64;
+        for i in 0..W {
+            smask |= u64::from(state.scrapped[i] != 0) << i;
+            dmask |= u64::from(state.defective[i] != 0) << i;
+        }
+        let lane_mask = if W == 64 { ALL } else { (1u64 << W) - 1 };
+        let n_scrap = smask.count_ones();
+        totals.scrapped += f64::from(n_scrap);
+        pending.n_ship += u64::from(W as u32 - n_scrap);
+        pending.n_good += u64::from((!smask & !dmask & lane_mask).count_ones());
+        if smask != 0 {
+            // Non-empty: a scrapped unit implies at least one op. The
+            // clamp makes the (masked-irrelevant) stale `scrap_op`
+            // indices of non-scrapped units verifiably in-bounds.
+            let last = prefix.cost.len() - 1;
+            let mut t_spend = totals.scrap_spend;
+            let mut t_cat = totals.scrap_by_cat;
+            for i in 0..W {
+                let sm = state.scrapped[i];
+                let sj = (state.scrap_op[i] as usize).min(last);
+                t_spend += f64::from_bits(prefix.cost[sj].to_bits() & sm);
+                for (acc, snap) in t_cat.iter_mut().zip(prefix.by_cat[sj].iter()) {
+                    *acc += f64::from_bits(snap.to_bits() & sm);
+                }
+            }
+            totals.scrap_spend = t_spend;
+            totals.scrap_by_cat = t_cat;
+        }
+        return;
+    }
+    // Slow path — at least one unit materialized per-unit state. Its
+    // per-unit ship values interleave into `embodied`, so earlier
+    // lanes' deferred ship adds must land first.
+    flush_ships(prefix, totals, pending);
+    for i in 0..W {
+        if state.scrapped[i] == 0 {
+            continue;
+        }
+        if state.mat[i] {
+            totals.scrap_active(state.cost[i], &state.gather_cats(i), &prefix.active);
+        } else {
+            let sj = state.scrap_op[i] as usize;
+            totals.scrap_active(prefix.cost[sj], &prefix.by_cat[sj], &prefix.active);
+        }
+    }
+    for i in 0..W {
+        if state.scrapped[i] != 0 {
+            continue;
+        }
+        let defective = state.defective[i] != 0;
+        if state.mat[i] {
+            totals.ship_active(
+                state.cost[i],
+                &state.gather_cats(i),
+                defective,
+                &prefix.active,
+            );
+        } else {
+            totals.ship_active(
+                prefix.ship_cost,
+                &prefix.ship_by_cat,
+                defective,
+                &prefix.active,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_width_rounds_down_to_supported() {
+        assert_eq!(effective_lane_width(0), 1);
+        assert_eq!(effective_lane_width(1), 1);
+        assert_eq!(effective_lane_width(2), 2);
+        assert_eq!(effective_lane_width(3), 2);
+        assert_eq!(effective_lane_width(4), 4);
+        assert_eq!(effective_lane_width(7), 4);
+        assert_eq!(effective_lane_width(8), 8);
+        assert_eq!(effective_lane_width(15), 8);
+        assert_eq!(effective_lane_width(16), 16);
+        assert_eq!(effective_lane_width(31), 16);
+        assert_eq!(effective_lane_width(32), 32);
+        assert_eq!(effective_lane_width(64), 64);
+        assert_eq!(effective_lane_width(usize::MAX), 64);
+    }
+
+    #[test]
+    fn supported_widths_are_sorted_powers_of_two() {
+        assert!(SUPPORTED_LANE_WIDTHS.windows(2).all(|w| w[0] < w[1]));
+        assert!(SUPPORTED_LANE_WIDTHS.iter().all(|w| w.is_power_of_two()));
+        assert_eq!(SUPPORTED_LANE_WIDTHS[0], 1);
+    }
+}

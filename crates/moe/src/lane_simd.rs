@@ -1,0 +1,218 @@
+//! Explicit AVX-512 kernels for the wide lanes (widths 16, 32 and 64).
+//!
+//! The portable lane loops in [`super`] are written to auto-vectorize,
+//! but LLVM compiles the per-step draw loop conservatively: it inserts
+//! runtime alias checks against the op slice on every step and streams
+//! `alive`/`consumed` through the stack instead of keeping them in
+//! vector registers across steps. Spelling the mix64-heavy loops — the
+//! yield-step run, the test-coverage pass and the stream-key
+//! initialization — with explicit intrinsics pins the intended
+//! codegen: a lane is `NG` `zmm` registers (two for width 16, four for
+//! width 32, eight for width 64), occupancy masks (`entered`/`alive`/`fail`) live in mask
+//! registers, and memory traffic happens once per run, not once per
+//! step. The group loops have const trip counts, so LLVM fully unrolls
+//! them.
+//!
+//! Everything here is *integer* arithmetic — the same adds, multiplies,
+//! shifts, xors and compares as the portable loops, element for
+//! element — so the results are bit-identical by construction and the
+//! portable path remains the reference (and the fallback for other
+//! widths and non-x86 builds).
+//!
+//! Only compiled when `avx512dq`/`avx512vl` are statically enabled
+//! (e.g. `-C target-cpu=native` on a machine with them): `vpmullq`
+//! (64-bit lane-wise multiply, the backbone of the SplitMix64
+//! finalizer) is AVX-512DQ, the masked compares are AVX-512F.
+
+use core::arch::x86_64::{
+    __m512i, _mm512_add_epi64, _mm512_loadu_epi64, _mm512_mask_add_epi64,
+    _mm512_mask_cmpge_epu64_mask, _mm512_mask_cmplt_epu64_mask, _mm512_mask_mov_epi64,
+    _mm512_mask_set1_epi64, _mm512_mullo_epi64, _mm512_set1_epi64, _mm512_setzero_si512,
+    _mm512_srli_epi64, _mm512_storeu_epi64, _mm512_test_epi64_mask, _mm512_xor_si512,
+};
+
+/// SplitMix64 finalizer multiplier #1 (matches `ipass_sim::rng`).
+const C1: i64 = 0xBF58_476D_1CE4_E5B9_u64 as i64;
+/// SplitMix64 finalizer multiplier #2.
+const C2: i64 = 0x94D0_49BB_1331_11EB_u64 as i64;
+/// The golden-ratio counter stride (`SimRng`'s `GOLDEN`).
+const G: i64 = 0x9E37_79B9_7F4A_7C15_u64 as i64;
+
+/// `i · GOLDEN` for the lane offsets (unit `base + i` streams at
+/// `(base + i) · G + G = (base · G + G) + i · G`).
+const IDX_G: [u64; 64] = {
+    let mut a = [0u64; 64];
+    let mut i = 0;
+    while i < 64 {
+        a[i] = (G as u64).wrapping_mul(i as u64);
+        i += 1;
+    }
+    a
+};
+
+/// Steps per [`run_zmm`] call; longer runs loop in chunks of this.
+pub(super) const STEP_CHUNK: usize = 32;
+
+/// The full SplitMix64 finalizer (`mix64`) of eight lanes.
+#[inline(always)]
+unsafe fn mix64v(x: __m512i) -> __m512i {
+    // SAFETY: caller guarantees avx512f/avx512dq (compile-time gated at
+    // the module level).
+    unsafe {
+        let x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 30));
+        let x = _mm512_mullo_epi64(x, _mm512_set1_epi64(C1));
+        let x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 27));
+        let x = _mm512_mullo_epi64(x, _mm512_set1_epi64(C2));
+        _mm512_xor_si512(x, _mm512_srli_epi64(x, 31))
+    }
+}
+
+/// `mix_to_u53` of eight lanes: the SplitMix64 finalizer, top 53 bits.
+#[inline(always)]
+unsafe fn mix53(x: __m512i) -> __m512i {
+    // SAFETY: as above.
+    unsafe { _mm512_srli_epi64(mix64v(x), 11) }
+}
+
+/// `SimRng::stream(seed, base + i).key` for the `8 · NG` lane units —
+/// `mix64(seed ^ mix64((base + i) · G + G))`, written to both `key`
+/// and `h` (a fresh stream's mix input is its key).
+pub(super) fn keys_zmm<const NG: usize>(seed: u64, base: u64, key: &mut [u64], h: &mut [u64]) {
+    debug_assert!(NG <= 8 && key.len() == 8 * NG && h.len() == 8 * NG);
+    // SAFETY: unaligned loads/stores on in-bounds 8-element groups;
+    // intrinsics statically available (module gate).
+    unsafe {
+        let m = base.wrapping_mul(G as u64).wrapping_add(G as u64);
+        let mv = _mm512_set1_epi64(m as i64);
+        let sv = _mm512_set1_epi64(seed as i64);
+        let kp = key.as_mut_ptr().cast::<i64>();
+        let hp = h.as_mut_ptr().cast::<i64>();
+        let ip = IDX_G.as_ptr().cast::<i64>();
+        for g in 0..NG {
+            let u = _mm512_add_epi64(mv, _mm512_loadu_epi64(ip.add(8 * g)));
+            let k = mix64v(_mm512_xor_si512(sv, mix64v(u)));
+            _mm512_storeu_epi64(kp.add(8 * g), k);
+            _mm512_storeu_epi64(hp.add(8 * g), k);
+        }
+    }
+}
+
+/// Evaluate `th.len()` consecutive yield steps for an `8 · NG`-unit
+/// lane, entry mask to writeback.
+///
+/// Element-for-element identical to the portable run loop: units
+/// neither defective nor scrapped enter; step `s` draws
+/// `mix_to_u53(h[i] + s·G)`, a draw `>= th[s]` fails an alive unit,
+/// every alive unit consumes one draw, and `newly[s]` receives the
+/// number of fresh failures at step `s`. On return `h` has advanced by
+/// `consumed · G` and `defective` absorbed the failures. Returns
+/// `false` — with `newly` untouched and no writeback — when no unit
+/// enters (the portable run skips such a lane wholesale).
+pub(super) fn run_zmm<const NG: usize>(
+    h: &mut [u64],
+    defective: &mut [u64],
+    scrapped: &[u64],
+    th: &[u64],
+    newly: &mut [u64],
+) -> bool {
+    debug_assert!(th.len() <= STEP_CHUNK && newly.len() >= th.len());
+    debug_assert!(h.len() == 8 * NG && defective.len() == 8 * NG && scrapped.len() == 8 * NG);
+    // SAFETY: unaligned loads/stores on in-bounds 8-element groups; the
+    // intrinsics are statically available (module gate).
+    unsafe {
+        let hp = h.as_mut_ptr().cast::<i64>();
+        let dp = defective.as_mut_ptr().cast::<i64>();
+        let sp = scrapped.as_ptr().cast::<i64>();
+        let mut hv = [_mm512_setzero_si512(); NG];
+        let mut dv = [_mm512_setzero_si512(); NG];
+        let mut ek = [0u8; NG];
+        let mut any = 0u8;
+        for g in 0..NG {
+            hv[g] = _mm512_loadu_epi64(hp.add(8 * g));
+            dv[g] = _mm512_loadu_epi64(dp.add(8 * g));
+            let sv = _mm512_loadu_epi64(sp.add(8 * g));
+            // Flag words are 0 / ALL; `test` turns them into occupancy
+            // masks. entered = !(defective | scrapped).
+            ek[g] = !(_mm512_test_epi64_mask(dv[g], dv[g]) | _mm512_test_epi64_mask(sv, sv));
+            any |= ek[g];
+        }
+        if any == 0 {
+            return false;
+        }
+        let mut ak = ek;
+        let mut cv = [_mm512_setzero_si512(); NG];
+        let one = _mm512_set1_epi64(1);
+        let gv = _mm512_set1_epi64(G);
+        let mut sgv = _mm512_setzero_si512();
+        for (s, &t) in th.iter().enumerate() {
+            let tv = _mm512_set1_epi64(t as i64);
+            let mut fresh = 0u32;
+            for g in 0..NG {
+                let draw = mix53(_mm512_add_epi64(hv[g], sgv));
+                // fail = alive & (draw >= t).
+                let f = _mm512_mask_cmpge_epu64_mask(ak[g], draw, tv);
+                // Alive units consume one draw.
+                cv[g] = _mm512_mask_add_epi64(cv[g], ak[g], cv[g], one);
+                ak[g] &= !f;
+                fresh += f.count_ones();
+            }
+            newly[s] = u64::from(fresh);
+            sgv = _mm512_add_epi64(sgv, gv);
+        }
+        // h advances by `consumed · G`; failures enter `defective`.
+        for g in 0..NG {
+            let h2 = _mm512_add_epi64(hv[g], _mm512_mullo_epi64(cv[g], gv));
+            _mm512_storeu_epi64(hp.add(8 * g), h2);
+            _mm512_storeu_epi64(
+                dp.add(8 * g),
+                _mm512_mask_set1_epi64(dv[g], ek[g] & !ak[g], -1),
+            );
+        }
+        true
+    }
+}
+
+/// The threshold branch of a `TestScrap` coverage pass for an
+/// `8 · NG`-unit lane: defective, not-yet-scrapped units draw
+/// `mix_to_u53(h[i])`; a draw `< t` is caught (scrapped at op `jj`);
+/// exactly the checking units advance `h` by one stride. Returns the
+/// number caught.
+pub(super) fn cover_zmm<const NG: usize>(
+    h: &mut [u64],
+    t: u64,
+    jj: u64,
+    defective: &[u64],
+    scrapped: &mut [u64],
+    scrap_op: &mut [u64],
+) -> u64 {
+    debug_assert!(h.len() == 8 * NG && defective.len() == 8 * NG);
+    debug_assert!(scrapped.len() == 8 * NG && scrap_op.len() == 8 * NG);
+    // SAFETY: as in `run_zmm`.
+    unsafe {
+        let hp = h.as_mut_ptr().cast::<i64>();
+        let dp = defective.as_ptr().cast::<i64>();
+        let sp = scrapped.as_mut_ptr().cast::<i64>();
+        let op = scrap_op.as_mut_ptr().cast::<i64>();
+        let tv = _mm512_set1_epi64(t as i64);
+        let gv = _mm512_set1_epi64(G);
+        let jv = _mm512_set1_epi64(jj as i64);
+        let mut caught_n = 0u32;
+        for g in 0..NG {
+            let hv = _mm512_loadu_epi64(hp.add(8 * g));
+            let dv = _mm512_loadu_epi64(dp.add(8 * g));
+            let sv = _mm512_loadu_epi64(sp.add(8 * g));
+            // Only defective, unscrapped units draw coverage.
+            let check = _mm512_test_epi64_mask(dv, dv) & !_mm512_test_epi64_mask(sv, sv);
+            let draw = mix53(hv);
+            // caught = check & (draw < t).
+            let caught = _mm512_mask_cmplt_epu64_mask(check, draw, tv);
+            // h advances one stride exactly for the units that drew.
+            _mm512_storeu_epi64(hp.add(8 * g), _mm512_mask_add_epi64(hv, check, hv, gv));
+            _mm512_storeu_epi64(sp.add(8 * g), _mm512_mask_set1_epi64(sv, caught, -1));
+            let so = _mm512_loadu_epi64(op.add(8 * g));
+            _mm512_storeu_epi64(op.add(8 * g), _mm512_mask_mov_epi64(so, caught, jv));
+            caught_n += caught.count_ones();
+        }
+        u64::from(caught_n)
+    }
+}

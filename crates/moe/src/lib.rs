@@ -60,7 +60,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// explicitly-vectorized lane kernel (`lane::simd`), which needs
+// `core::arch` intrinsics and carries its own `allow` + safety docs.
+// Everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -70,6 +74,7 @@ mod cost;
 mod error;
 mod flow;
 mod labels;
+mod lane;
 mod line;
 mod mc;
 mod part;
@@ -87,10 +92,11 @@ pub use cost::{CostCategory, CostVector, StepCost};
 pub use error::FlowError;
 pub use flow::Flow;
 pub use ipass_sim::{Executor, StopRule};
+pub use lane::effective_lane_width;
 pub use line::{Line, LineBuilder};
 #[doc(hidden)]
 pub use mc::simulate_line_reference;
-pub use mc::{SimOptions, SimSummary, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
+pub use mc::{SimOptions, SimSummary, DEFAULT_LANE_WIDTH, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
 pub use part::{AttachInput, Part};
 pub use patch::{analyze_patched_batch, CompiledFlow, FlowPatch, PatchDirective};
 pub use report::{CostBreakdownRow, CostReport};

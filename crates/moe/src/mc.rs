@@ -11,15 +11,18 @@
 //! Since PR 2 the hot path no longer interprets the nested [`Line`]
 //! object graph per unit: the line is compiled once into a flat
 //! [`RoutingProgram`](crate::compile::RoutingProgram) (see
-//! [`crate::compile`]) and the sampler is a tight loop over precomputed
-//! ops. The original interpreter is kept below, exposed through
-//! [`simulate_line_reference`], as the bit-exactness oracle the
-//! property tests pin the kernel against.
+//! [`crate::compile`]), and since PR 6 sub-line-free programs are
+//! evaluated by the batched lane kernel (see [`crate::lane`]) — a lane
+//! of [`SimOptions::lane_width`] units per op, bit-identical to the
+//! scalar walk for every width. The original interpreter is kept below,
+//! exposed through [`simulate_line_reference`], as the bit-exactness
+//! oracle the property tests pin both kernels against.
 
-use crate::compile::{Routed, RoutingProgram, Totals, UnitState, NCAT};
+use crate::compile::{RoutingProgram, Totals, NCAT};
 use crate::cost::{CostCategory, CostVector};
 use crate::error::FlowError;
 use crate::labels::{self, InputLabels, LineLabels, StageLabels};
+use crate::lane::LaneSampler;
 use crate::line::Line;
 use crate::part::AttachInput;
 use crate::stage::{FailAction, Stage};
@@ -29,6 +32,13 @@ use ipass_units::Money;
 /// Default retry budget when a nested line must deliver one passing
 /// unit (see [`SimOptions::subassembly_retry_budget`]).
 pub const DEFAULT_SUBASSEMBLY_RETRY_BUDGET: u32 = 100_000;
+
+/// Default lane width of the batched Monte Carlo kernel (see
+/// [`SimOptions::lane_width`]). Width 64 is the widest kernel — eight
+/// `zmm` register groups on AVX-512 builds — and measures fastest
+/// across flow shapes; narrower lanes cost nothing to request on small
+/// runs because partial lanes fall back to the scalar tail anyway.
+pub const DEFAULT_LANE_WIDTH: usize = 64;
 
 /// Options for a Monte Carlo run.
 ///
@@ -53,16 +63,24 @@ pub struct SimOptions {
     /// exhausting it fails the run with
     /// [`FlowError::SubassemblyStarved`].
     pub subassembly_retry_budget: u32,
+    /// Lane width of the batched kernel — how many units the kernel
+    /// routes per op on sub-line-free programs. Rounded down to the
+    /// nearest supported width (powers of two up to 64; values below 1
+    /// mean the scalar walk). Like `threads`, a pure performance knob:
+    /// results are bit-identical for every width.
+    pub lane_width: usize,
 }
 
 impl SimOptions {
-    /// Create options for `units` started units (seed 0, single thread).
+    /// Create options for `units` started units (seed 0, single thread,
+    /// default lane width).
     pub fn new(units: u64) -> SimOptions {
         SimOptions {
             units,
             seed: 0,
             threads: 1,
             subassembly_retry_budget: DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
+            lane_width: DEFAULT_LANE_WIDTH,
         }
     }
 
@@ -85,6 +103,16 @@ impl SimOptions {
     /// never silently bumped.
     pub fn with_retry_budget(mut self, budget: u32) -> SimOptions {
         self.subassembly_retry_budget = budget;
+        self
+    }
+
+    /// Set the batched kernel's lane width (rounded down to the nearest
+    /// supported width by [`effective_lane_width`]; `1` — or `0` — runs
+    /// the scalar walk).
+    ///
+    /// [`effective_lane_width`]: crate::effective_lane_width
+    pub fn with_lane_width(mut self, width: usize) -> SimOptions {
+        self.lane_width = width;
         self
     }
 }
@@ -113,51 +141,14 @@ pub struct SimSummary {
     pub stopped_early: bool,
 }
 
-/// Shipped-fraction confidence half width used by both samplers'
-/// early-stopping hooks.
+/// Shipped-fraction confidence half width used by all samplers'
+/// early-stopping hooks (the lane kernel, the interpreter oracle).
 ///
 /// Wilson, not Wald: the Wald width is 0 while every unit so far
 /// shipped (or scrapped), which would vacuously satisfy any stop rule
 /// on a high-yield line.
-fn shipped_half_width(acc: &Totals, z: f64) -> f64 {
+pub(crate) fn shipped_half_width(acc: &Totals, z: f64) -> f64 {
     BinomialTally::from_f64_counts(acc.attempted as f64, acc.shipped).wilson_half_width(z)
-}
-
-/// The compiled production line as an [`ipass_sim`] sampler: one sample
-/// routes one carrier unit through the flat routing program.
-struct KernelSampler<'a> {
-    program: &'a RoutingProgram,
-    retry_budget: u32,
-}
-
-impl Sampler for KernelSampler<'_> {
-    type Acc = Totals;
-    type Error = FlowError;
-
-    fn make_acc(&self) -> Totals {
-        Totals::new(self.program.names().len())
-    }
-
-    fn sample(&self, _unit: u64, rng: &mut SimRng, totals: &mut Totals) -> Result<(), FlowError> {
-        totals.attempted += 1;
-        let mut unit = UnitState::new();
-        if self
-            .program
-            .run_unit(rng, totals, &mut unit, self.retry_budget)?
-            == Routed::Shipped
-        {
-            totals.ship(unit.cost, &unit.by_cat, unit.defective);
-        }
-        Ok(())
-    }
-
-    fn merge(&self, into: &mut Totals, from: Totals) {
-        into.merge(&from);
-    }
-
-    fn ci_half_width(&self, acc: &Totals, z: f64) -> Option<f64> {
-        Some(shipped_half_width(acc, z))
-    }
 }
 
 /// Run the Monte Carlo simulation for a validated line (test-only
@@ -217,11 +208,12 @@ pub(crate) fn simulate_program(
     stop: Option<StopRule>,
 ) -> Result<SimSummary, FlowError> {
     validate_options(options)?;
-    let sampler = KernelSampler {
+    let sampler = LaneSampler::new(
         program,
-        retry_budget: options.subassembly_retry_budget,
-    };
-    let outcome = Executor::new(options.threads).run_with(
+        options.subassembly_retry_budget,
+        options.lane_width,
+    );
+    let outcome = Executor::new(options.threads).run_batch_with(
         &sampler,
         options.units,
         options.seed,

@@ -1,0 +1,362 @@
+//! The batched lane kernel against the scalar walk and the interpreter
+//! oracle: for every lane width, every thread count and every flow
+//! shape — including degenerate probabilities, rework loops, nested
+//! sub-lines and flows that ship nothing — the seeded results must be
+//! **bit-identical**. Lane width and thread count are performance
+//! knobs; if any of them changes a single bit of a [`CostReport`], the
+//! kernel is wrong.
+//!
+//! (`kernel_oracle.rs` pins the compiled kernel against the PR-1
+//! interpreter at the default width; this suite pins the width/thread
+//! *invariance* of the kernel itself, with generators biased toward the
+//! lane kernel's edge cases.)
+
+use ipass_moe::{
+    simulate_line_reference, Attach, CostCategory, FailAction, Flow, Line, Part, Process, Rework,
+    SimOptions, StepCost, StopRule, Test, YieldModel,
+};
+use ipass_units::{Money, Probability};
+use proptest::prelude::*;
+use proptest::OneOf;
+
+/// Every lane width with a monomorphized kernel (1 is the scalar walk;
+/// 16/32/64 additionally have explicit SIMD kernels on AVX-512 builds).
+const WIDTHS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn p(v: f64) -> Probability {
+    Probability::clamped(v)
+}
+
+/// A step yield, deliberately including the exact degenerate values:
+/// `p ≤ 0` compiles to a condemning op and `p ≥ 1` to a pure cost op,
+/// and neither consumes a draw — the lane kernel must agree on both
+/// the routing and the draw-stream positions that follow.
+fn yield_strategy() -> impl Strategy<Value = f64> {
+    // (The local `prop_oneof!` is unweighted; repetition biases arms.)
+    prop_oneof![
+        Just(0.0f64),
+        Just(1.0f64),
+        0.7f64..1.0,
+        0.7f64..1.0,
+        0.0f64..0.2, // near-certain failure: dead lanes early
+    ]
+}
+
+/// A test coverage including the degenerate endpoints: `1.0` catches
+/// without drawing, `0.0` never catches (and never draws).
+fn coverage_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0f64), Just(1.0f64), 0.3f64..1.0, 0.3f64..1.0,]
+}
+
+#[derive(Debug, Clone)]
+enum StageSpec {
+    Process {
+        cost: f64,
+        yield_: f64,
+    },
+    Test {
+        cost: f64,
+        coverage: f64,
+        rework: Option<(f64, f64, u32)>,
+    },
+    /// An attach consuming a nested line's output — the program is then
+    /// non-flat and every width must take the scalar fallback.
+    SubLine {
+        sub_cost: f64,
+        sub_yield: f64,
+        qty: u32,
+    },
+}
+
+fn stage_strategy(nested: bool) -> impl Strategy<Value = StageSpec> {
+    let mut arms = vec![
+        (0.0f64..5.0, yield_strategy())
+            .prop_map(|(cost, yield_)| StageSpec::Process { cost, yield_ })
+            .boxed(),
+        (
+            0.0f64..3.0,
+            coverage_strategy(),
+            proptest::option::of((0.0f64..2.0, 0.2f64..0.9, 1u32..3)),
+        )
+            .prop_map(|(cost, coverage, rework)| StageSpec::Test {
+                cost,
+                coverage,
+                rework,
+            })
+            .boxed(),
+    ];
+    if nested {
+        arms.push(
+            (0.5f64..8.0, 0.7f64..1.0, 1u32..3)
+                .prop_map(|(sub_cost, sub_yield, qty)| StageSpec::SubLine {
+                    sub_cost,
+                    sub_yield,
+                    qty,
+                })
+                .boxed(),
+        );
+    }
+    OneOf::new(arms)
+}
+
+fn build_flow(carrier_yield: f64, stages: &[StageSpec]) -> Flow {
+    let mut builder = Line::builder(
+        "lane-prop",
+        Part::new("carrier", CostCategory::Substrate)
+            .with_cost(StepCost::fixed(Money::new(2.0)))
+            .with_incoming_yield(YieldModel::flat(p(carrier_yield))),
+    );
+    for (i, spec) in stages.iter().enumerate() {
+        builder = match spec {
+            StageSpec::Process { cost, yield_ } => builder.process(
+                Process::new(format!("proc{i}"))
+                    .with_cost(StepCost::fixed(Money::new(*cost)))
+                    .with_yield(YieldModel::flat(p(*yield_))),
+            ),
+            StageSpec::Test {
+                cost,
+                coverage,
+                rework,
+            } => {
+                let action = match rework {
+                    Some((rc, rs, attempts)) => FailAction::Rework(Rework::new(
+                        StepCost::fixed(Money::new(*rc)),
+                        p(*rs),
+                        *attempts,
+                    )),
+                    None => FailAction::Scrap,
+                };
+                builder.test(
+                    Test::new(format!("test{i}"))
+                        .with_cost(StepCost::fixed(Money::new(*cost)))
+                        .with_coverage(p(*coverage))
+                        .on_fail(action),
+                )
+            }
+            StageSpec::SubLine {
+                sub_cost,
+                sub_yield,
+                qty,
+            } => {
+                let sub = Line::builder(
+                    format!("sub{i}"),
+                    Part::new(format!("blank{i}"), CostCategory::Substrate)
+                        .with_cost(StepCost::fixed(Money::new(*sub_cost))),
+                )
+                .process(
+                    Process::new(format!("fab{i}")).with_yield(YieldModel::flat(p(*sub_yield))),
+                )
+                .build()
+                .expect("sub-line is non-empty");
+                builder.attach(Attach::new(format!("join{i}")).input(sub, *qty))
+            }
+        };
+    }
+    Flow::new(builder.build().expect("non-empty line"))
+        .with_nre(Money::new(250.0))
+        .with_volume(10_000)
+}
+
+/// Either every width agrees on the summary, or every width fails with
+/// the same error (a flow where nothing ships errors identically
+/// regardless of how units were batched).
+fn assert_width_invariant(flow: &Flow, opts_for: impl Fn(usize) -> SimOptions) {
+    let reference = flow.simulate_summary(&opts_for(1));
+    for width in WIDTHS[1..].iter().copied() {
+        let got = flow.simulate_summary(&opts_for(width));
+        match (&reference, &got) {
+            (Ok(r), Ok(g)) => assert_eq!(r, g, "width {width} diverged"),
+            (Err(r), Err(g)) => {
+                assert_eq!(format!("{r:?}"), format!("{g:?}"), "width {width} error")
+            }
+            _ => panic!("width {width}: one width errored, another shipped"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    /// The core contract: every (width, thread count) pair produces the
+    /// same bits as the scalar walk, which itself matches the
+    /// interpreter oracle. Unit count 10_007 is deliberately odd so
+    /// every width leaves a different-sized scalar tail.
+    #[test]
+    fn widths_and_threads_match_scalar_and_oracle(
+        carrier_yield in yield_strategy(),
+        stages in proptest::collection::vec(stage_strategy(false), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let flow = build_flow(carrier_yield, &stages);
+        let opts = SimOptions::new(10_007).with_seed(seed).with_threads(1).with_lane_width(1);
+        let scalar = flow.simulate_summary(&opts);
+        if let Ok(scalar) = &scalar {
+            let oracle =
+                simulate_line_reference(flow.line(), flow.nre(), flow.volume(), &opts, None)
+                    .expect("oracle runs whenever the kernel does");
+            prop_assert_eq!(scalar, &oracle);
+        }
+        for threads in [1usize, 3] {
+            assert_width_invariant(&flow, |w| {
+                SimOptions::new(10_007).with_seed(seed).with_threads(threads).with_lane_width(w)
+            });
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Non-flat programs (nested sub-lines, possibly starving) must
+    /// fall back identically for every width — including identical
+    /// starvation errors.
+    #[test]
+    fn nested_lines_fall_back_identically(
+        carrier_yield in 0.8f64..1.0,
+        stages in proptest::collection::vec(stage_strategy(true), 1..5),
+        seed in 0u64..1_000,
+    ) {
+        let flow = build_flow(carrier_yield, &stages);
+        assert_width_invariant(&flow, |w| {
+            SimOptions::new(4_003).with_seed(seed).with_threads(1).with_lane_width(w)
+        });
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Rework loops force units off the shared cost schedule
+    /// (materialization) and re-enter the draw stream through a rebuilt
+    /// scalar RNG — the most intricate lane path, so it gets its own
+    /// generator with rework guaranteed present and defects plentiful.
+    #[test]
+    fn rework_materialization_is_width_invariant(
+        step_yield in 0.5f64..0.95,
+        coverage in 0.5f64..1.0,
+        success in 0.2f64..0.9,
+        attempts in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let line = Line::builder(
+            "rework",
+            Part::new("carrier", CostCategory::Substrate)
+                .with_cost(StepCost::fixed(Money::new(3.0))),
+        )
+        .process(
+            Process::new("fab")
+                .with_cost(StepCost::fixed(Money::new(1.0)))
+                .with_yield(YieldModel::flat(p(step_yield))),
+        )
+        .test(
+            Test::new("t1")
+                .with_cost(StepCost::fixed(Money::new(0.5)))
+                .with_coverage(p(coverage))
+                .on_fail(FailAction::Rework(Rework::new(
+                    StepCost::fixed(Money::new(0.7)),
+                    p(success),
+                    attempts,
+                ))),
+        )
+        .process(Process::new("finish").with_yield(YieldModel::flat(p(0.98))))
+        .test(Test::new("t2").with_coverage(p(0.9)))
+        .build()
+        .unwrap();
+        let flow = Flow::new(line);
+        assert_width_invariant(&flow, |w| {
+            SimOptions::new(10_007).with_seed(seed).with_threads(1).with_lane_width(w)
+        });
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Early stopping folds at deterministic chunk boundaries that do
+    /// not depend on how a chunk was batched internally — so adaptive
+    /// runs must stop at the same unit count and produce the same bits
+    /// for every width.
+    #[test]
+    fn stop_rule_is_invariant_across_widths(
+        carrier_yield in 0.85f64..1.0,
+        stages in proptest::collection::vec(stage_strategy(false), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let flow = build_flow(carrier_yield, &stages);
+        let stop = StopRule::half_width_95(0.02);
+        let reference = flow.simulate_adaptive(
+            &SimOptions::new(300_000).with_seed(seed).with_lane_width(1),
+            stop,
+        );
+        for width in [8usize, 16, 64] {
+            let got = flow.simulate_adaptive(
+                &SimOptions::new(300_000).with_seed(seed).with_lane_width(width),
+                stop,
+            );
+            match (&reference, &got) {
+                (Ok(r), Ok(g)) => prop_assert_eq!(r, g, "width {} diverged", width),
+                (Err(r), Err(g)) => {
+                    prop_assert_eq!(format!("{r:?}"), format!("{g:?}"), "width {}", width)
+                }
+                _ => prop_assert!(false, "width {}: divergent error-ness", width),
+            }
+        }
+    }
+}
+
+/// Unit counts around the lane geometry: smaller than any lane, exactly
+/// one widest lane, one lane plus a tail straddling every width.
+#[test]
+fn tiny_and_tail_unit_counts_are_width_invariant() {
+    let flow = build_flow(
+        0.95,
+        &[
+            StageSpec::Process {
+                cost: 1.0,
+                yield_: 0.9,
+            },
+            StageSpec::Test {
+                cost: 0.3,
+                coverage: 0.95,
+                rework: None,
+            },
+        ],
+    );
+    for units in [1u64, 3, 63, 64, 65, 130, 1_000] {
+        for seed in [0u64, 7, 42] {
+            assert_width_invariant(&flow, |w| {
+                SimOptions::new(units)
+                    .with_seed(seed)
+                    .with_threads(1)
+                    .with_lane_width(w)
+            });
+        }
+    }
+}
+
+/// A flow that ships nothing must report the *same* error for every
+/// width — the starved/empty outcome is part of the seeded contract.
+#[test]
+fn nothing_shipped_errors_identically_across_widths() {
+    let flow = build_flow(
+        0.0, // every carrier arrives defective
+        &[StageSpec::Test {
+            cost: 0.5,
+            coverage: 1.0, // ...and certain coverage scraps them all
+            rework: None,
+        }],
+    );
+    for width in WIDTHS {
+        let err = flow
+            .simulate_summary(&SimOptions::new(5_000).with_seed(11).with_lane_width(width))
+            .expect_err("nothing ships");
+        assert_eq!(
+            format!("{err:?}"),
+            format!(
+                "{:?}",
+                flow.simulate_summary(&SimOptions::new(5_000).with_seed(11).with_lane_width(1))
+                    .expect_err("nothing ships")
+            ),
+            "width {width}"
+        );
+    }
+}

@@ -12,10 +12,18 @@
 //! is fixed, the result is bit-identical for any thread count — threads
 //! are purely a performance knob.
 //!
+//! Internally every run is a [`BatchSampler`] run: a chunk is one
+//! contiguous `[lo, hi)` unit range handed to
+//! [`BatchSampler::sample_range`]. Scalar [`Sampler`]s get the
+//! canonical unit-by-unit walk through the blanket impl in
+//! [`crate::batch`]; batched kernels substitute their own lane walk
+//! without touching the chunk geometry or the fold order.
+//!
 //! Optional sequential early stopping evaluates a confidence-interval
 //! rule at every prefix extension (again in chunk order), so the
 //! stopping point is a pure function of the data, not of scheduling.
 
+use crate::batch::BatchSampler;
 use crate::rng::SimRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -229,6 +237,43 @@ impl Executor {
         seed: u64,
         options: &RunOptions,
     ) -> Result<RunOutcome<S::Acc>, S::Error> {
+        // Scalar samplers are batch samplers through the blanket impl;
+        // one generic engine serves both forms.
+        self.run_batch_with(sampler, units, seed, options)
+    }
+
+    /// Run `units` units of a [`BatchSampler`] under `seed` and return
+    /// the merged accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sampler error in unit order.
+    pub fn run_batch<B: BatchSampler>(
+        &self,
+        sampler: &B,
+        units: u64,
+        seed: u64,
+    ) -> Result<B::Acc, B::Error> {
+        self.run_batch_with(sampler, units, seed, &RunOptions::default())
+            .map(|outcome| outcome.acc)
+    }
+
+    /// Like [`Executor::run_batch`], with early stopping and run
+    /// metadata. Every chunk is one contiguous
+    /// [`BatchSampler::sample_range`] call; chunk geometry stays the
+    /// pure function of `units` documented on [`Executor::run`], so a
+    /// batched kernel inherits the full determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sampler error in unit order.
+    pub fn run_batch_with<B: BatchSampler>(
+        &self,
+        sampler: &B,
+        units: u64,
+        seed: u64,
+        options: &RunOptions,
+    ) -> Result<RunOutcome<B::Acc>, B::Error> {
         if units == 0 {
             return Ok(RunOutcome {
                 acc: sampler.make_acc(),
@@ -452,19 +497,22 @@ impl<E: Experiment> Experiment for &E {
     }
 }
 
-/// Route one chunk of units, each on its own stream.
-fn run_chunk<S: Sampler>(sampler: &S, seed: u64, lo: u64, hi: u64) -> Result<S::Acc, S::Error> {
+/// Route one chunk of units: a single contiguous range call on the
+/// batch sampler (the blanket impl walks it unit by unit).
+fn run_chunk<B: BatchSampler>(
+    sampler: &B,
+    seed: u64,
+    lo: u64,
+    hi: u64,
+) -> Result<B::Acc, B::Error> {
     let mut acc = sampler.make_acc();
-    for unit in lo..hi {
-        let mut rng = SimRng::stream(seed, unit);
-        sampler.sample(unit, &mut rng, &mut acc)?;
-    }
+    sampler.sample_range(seed, lo, hi, &mut acc)?;
     Ok(acc)
 }
 
-fn stop_rule_met<S: Sampler>(
-    sampler: &S,
-    acc: &S::Acc,
+fn stop_rule_met<B: BatchSampler>(
+    sampler: &B,
+    acc: &B::Acc,
     units_so_far: u64,
     rule: &StopRule,
 ) -> bool {
@@ -474,13 +522,13 @@ fn stop_rule_met<S: Sampler>(
             .is_some_and(|hw| hw <= rule.target_half_width)
 }
 
-fn run_serial<S: Sampler>(
-    sampler: &S,
+fn run_serial<B: BatchSampler>(
+    sampler: &B,
     units: u64,
     seed: u64,
     chunk: u64,
     options: &RunOptions,
-) -> Result<RunOutcome<S::Acc>, S::Error> {
+) -> Result<RunOutcome<B::Acc>, B::Error> {
     let mut prefix = sampler.make_acc();
     let mut lo = 0;
     while lo < units {
@@ -511,18 +559,18 @@ fn run_serial<S: Sampler>(
 /// order. No shared fold state, no lock a worker could serialize on —
 /// the only synchronization is the lock-free channel send per
 /// completed chunk.
-fn run_parallel<S: Sampler>(
-    sampler: &S,
+fn run_parallel<B: BatchSampler>(
+    sampler: &B,
     units: u64,
     seed: u64,
     chunk: u64,
     n_chunks: u64,
     workers: usize,
     options: &RunOptions,
-) -> Result<RunOutcome<S::Acc>, S::Error> {
+) -> Result<RunOutcome<B::Acc>, B::Error> {
     let cursor = AtomicU64::new(0);
     let done = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<(u64, Result<S::Acc, S::Error>)>();
+    let (tx, rx) = mpsc::channel::<(u64, Result<B::Acc, B::Error>)>();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -554,13 +602,13 @@ fn run_parallel<S: Sampler>(
         // The in-order fold, on the calling thread. All determinism
         // lives here: records may arrive in any order, but they join
         // the prefix strictly by chunk index.
-        let mut pending: Vec<Option<Result<S::Acc, S::Error>>> = Vec::new();
+        let mut pending: Vec<Option<Result<B::Acc, B::Error>>> = Vec::new();
         pending.resize_with(n_chunks as usize, || None);
         let mut prefix = sampler.make_acc();
         let mut next: u64 = 0;
         let mut units_merged: u64 = 0;
         let mut stopped = false;
-        let mut error: Option<S::Error> = None;
+        let mut error: Option<B::Error> = None;
         while let Ok((c, record)) = rx.recv() {
             if stopped || error.is_some() {
                 // The run is already decided; drain so workers finishing

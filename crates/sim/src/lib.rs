@@ -13,6 +13,9 @@
 //! * [`Sampler`] / [`Experiment`] — the two shapes of a Monte Carlo
 //!   experiment (accumulate-in-place for hot engines, output-per-unit
 //!   for everything else).
+//! * [`BatchSampler`] — the batched form: one call evaluates a whole
+//!   contiguous unit range, so vectorized lane kernels can walk many
+//!   units per op. Every [`Sampler`] is one via a blanket impl.
 //! * [`Executor`] — a chunked multi-thread executor. Workers steal
 //!   fixed-size chunks from a shared cursor; completed chunks fold into
 //!   a prefix strictly in chunk order, so results are **bit-identical
@@ -72,11 +75,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod exec;
 mod memo;
 mod rng;
 mod stats;
 
+pub use batch::BatchSampler;
 pub use exec::{Collect, Executor, Experiment, RunOptions, RunOutcome, Sampler, StopRule};
 pub use memo::Memo;
 pub use rng::SimRng;

@@ -15,6 +15,26 @@
 /// Golden-ratio increment used by SplitMix64.
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Multiplicative inverse of [`GOLDEN`] modulo 2⁶⁴ (it is odd, so one
+/// exists): `GOLDEN.wrapping_mul(GOLDEN_INV) == 1`. Lets batched
+/// kernels recover a draw counter from a running mix input without a
+/// division (see [`SimRng::ctr_of_mix_input`]).
+const GOLDEN_INV: u64 = golden_inv();
+
+/// Newton–Raphson 2-adic inverse: every step doubles the number of
+/// correct low bits, and `x = a` starts with three (odd `a` satisfies
+/// `a·a ≡ 1 (mod 8)`), so five steps reach all 64.
+const fn golden_inv() -> u64 {
+    let a = GOLDEN;
+    let mut x = a;
+    let mut i = 0;
+    while i < 5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+        i += 1;
+    }
+    x
+}
+
 /// The 64-bit finalizer from SplitMix64: a bijective avalanche mix.
 #[inline]
 fn mix64(mut z: u64) -> u64 {
@@ -52,6 +72,7 @@ impl SimRng {
     /// Stream `stream` of `seed`. Streams with different indices are
     /// statistically independent; equal `(seed, stream)` pairs reproduce
     /// the exact same draw sequence.
+    #[inline]
     pub fn stream(seed: u64, stream: u64) -> SimRng {
         SimRng {
             key: mix64(seed ^ mix64(stream.wrapping_mul(GOLDEN).wrapping_add(GOLDEN))),
@@ -65,6 +86,82 @@ impl SimRng {
     /// should not disturb the parent's draw sequence.
     pub fn substream(&self, tag: u64) -> SimRng {
         SimRng::stream(self.key, tag.wrapping_add(1))
+    }
+
+    /// The stream's `(key, counter)` state.
+    ///
+    /// Batched kernels keep structure-of-arrays copies of many unit
+    /// streams and evaluate [`SimRng::raw_u64`] over them in tight
+    /// loops; `state` / [`SimRng::from_state`] convert between the two
+    /// representations without perturbing the draw sequence.
+    #[inline]
+    pub fn state(&self) -> (u64, u64) {
+        (self.key, self.ctr)
+    }
+
+    /// Rebuild a stream from a `(key, counter)` pair captured by
+    /// [`SimRng::state`]. The rebuilt stream continues the exact draw
+    /// sequence of the captured one.
+    #[inline]
+    pub fn from_state(key: u64, ctr: u64) -> SimRng {
+        SimRng { key, ctr }
+    }
+
+    /// Draw number `ctr` of the stream keyed `key`, as a pure function —
+    /// exactly what [`SimRng::next_u64`] returns before advancing. The
+    /// stateless form batched kernels evaluate over a whole lane of
+    /// `(key, counter)` pairs per op.
+    #[inline]
+    pub fn raw_u64(key: u64, ctr: u64) -> u64 {
+        mix64(key.wrapping_add(ctr.wrapping_mul(GOLDEN)))
+    }
+
+    /// The 53-bit variant of [`SimRng::raw_u64`], matching
+    /// [`SimRng::next_u53`] — for comparing against a precomputed
+    /// [`SimRng::threshold`].
+    #[inline]
+    pub fn raw_u53(key: u64, ctr: u64) -> u64 {
+        SimRng::raw_u64(key, ctr) >> 11
+    }
+
+    /// The *mix input* of draw `ctr` on the stream keyed `key` — the
+    /// value the SplitMix64 finalizer is applied to. Batched kernels
+    /// carry this running value instead of `(key, ctr)`: consecutive
+    /// draws differ by a constant stride, so advancing costs one add
+    /// ([`SimRng::advance_mix_input`]) instead of a multiply, and
+    /// [`SimRng::mix_to_u53`] turns it into the exact draw.
+    ///
+    /// `mix_input(key, 0) == key`, so a fresh stream's mix input is its
+    /// key.
+    #[inline]
+    pub fn mix_input(key: u64, ctr: u64) -> u64 {
+        key.wrapping_add(ctr.wrapping_mul(GOLDEN))
+    }
+
+    /// The mix input of the *next* draw: `advance_mix_input(mix_input
+    /// (key, ctr)) == mix_input(key, ctr + 1)`.
+    #[inline]
+    pub fn advance_mix_input(h: u64) -> u64 {
+        h.wrapping_add(GOLDEN)
+    }
+
+    /// Finalize a mix input into its 53-bit draw:
+    /// `mix_to_u53(mix_input(key, ctr)) == SimRng::raw_u53(key, ctr)`,
+    /// bit for bit.
+    #[inline]
+    pub fn mix_to_u53(h: u64) -> u64 {
+        mix64(h) >> 11
+    }
+
+    /// Recover the draw counter a running mix input stands at:
+    /// `ctr_of_mix_input(key, mix_input(key, ctr)) == ctr`. Exact for
+    /// every counter (multiplication by the stride's modular inverse),
+    /// so a batched kernel can rebuild the [`SimRng`] of one lane
+    /// element — `SimRng::from_state(key, ctr)` — when it must fall
+    /// back to scalar draws.
+    #[inline]
+    pub fn ctr_of_mix_input(key: u64, h: u64) -> u64 {
+        h.wrapping_sub(key).wrapping_mul(GOLDEN_INV)
     }
 
     /// The next raw 64-bit draw.
@@ -263,6 +360,56 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn raw_draws_match_the_stateful_sequence() {
+        let mut r = SimRng::stream(17, 42);
+        let (key, start) = r.state();
+        assert_eq!(start, 0);
+        for j in 0..64 {
+            assert_eq!(SimRng::raw_u64(key, j), r.next_u64(), "draw {j}");
+        }
+        let mut r53 = SimRng::stream(17, 42);
+        for j in 0..64 {
+            assert_eq!(SimRng::raw_u53(key, j), r53.next_u53(), "draw {j}");
+        }
+    }
+
+    #[test]
+    fn mix_input_walk_reproduces_raw_draws() {
+        let (key, _) = SimRng::stream(23, 5).state();
+        assert_eq!(SimRng::mix_input(key, 0), key);
+        let mut h = key;
+        for j in 0..64 {
+            assert_eq!(SimRng::mix_to_u53(h), SimRng::raw_u53(key, j), "draw {j}");
+            assert_eq!(SimRng::ctr_of_mix_input(key, h), j, "ctr at {j}");
+            h = SimRng::advance_mix_input(h);
+        }
+        assert_eq!(h, SimRng::mix_input(key, 64));
+    }
+
+    #[test]
+    fn golden_inverse_is_exact() {
+        assert_eq!(GOLDEN.wrapping_mul(GOLDEN_INV), 1);
+        // Counter recovery is exact even at wrap-around extremes.
+        for ctr in [0u64, 1, u64::MAX, u64::MAX / 2, 1 << 53] {
+            let h = SimRng::mix_input(99, ctr);
+            assert_eq!(SimRng::ctr_of_mix_input(99, h), ctr);
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_mid_sequence() {
+        let mut a = SimRng::stream(5, 9);
+        let _ = a.next_u64();
+        let _ = a.next_u64();
+        let (key, ctr) = a.state();
+        let mut b = SimRng::from_state(key, ctr);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(a.state(), b.state());
     }
 
     #[test]
