@@ -237,6 +237,13 @@ fn bench_explore_frontier(c: &mut Criterion) {
     group.bench_function("screen", |b| {
         b.iter(|| black_box(explorer.screen_frontier(&SamplerSpec::Grid).unwrap()))
     });
+    group.bench_function("directed", |b| {
+        // Gradient-directed screening: seed lattice + dual-guided
+        // descent + frontier expansion; same frontier as `screen`
+        // (asserted in the gps and explore test suites) from a
+        // fraction of the point evaluations.
+        b.iter(|| black_box(explorer.screen_frontier_directed().unwrap()))
+    });
     let refine_options = RefineOptions {
         margin: 0.05,
         mc_units: 2_000,
@@ -256,6 +263,96 @@ fn bench_explore_frontier(c: &mut Criterion) {
                     .unwrap(),
             )
         })
+    });
+    group.finish();
+}
+
+/// The headline dual-number comparison: a 12-row cost tornado of the
+/// real solution-2 flow, evaluated two ways.
+///
+/// * `dual_pass` — one K=12 forward-mode walk
+///   ([`Tornado::evaluate_gradients`]): every row is an exact gradient
+///   extrapolation off a single analytic evaluation.
+/// * `patched_batch` — the pre-dual shape
+///   ([`Tornado::evaluate_patches`]): `1 + 2·12` patched cohort walks,
+///   serial executor so the comparison is work per chart, not parallel
+///   speedup.
+///
+/// For pure cost rows the two charts are numerically identical (final
+/// cost is affine in every cost slot), so this measures the same
+/// answer computed 25 walks vs 1.
+fn bench_sensitivity_duals(c: &mut Criterion) {
+    use ipass_moe::{DualDirection, SlotKind, Tornado, TornadoDirection, TornadoPatch};
+
+    let flow = solution2_flow();
+    let compiled = flow.compiled().unwrap();
+    // 12 rows: every single cost slot of the program (9 on the
+    // solution-2 flow) plus three composite multi-slot rows ("all
+    // chips", "board-level", "everything"), each a ±10 % scale.
+    let singles: Vec<Vec<String>> = compiled
+        .slots()
+        .filter(|(_, kind)| *kind == SlotKind::Cost)
+        .map(|(name, _)| vec![name.to_owned()])
+        .collect();
+    let composites = vec![
+        vec![
+            "chip assembly/RF chip".to_string(),
+            "chip assembly/DSP correlator".to_string(),
+            "SMD mounting/SMD kit".to_string(),
+        ],
+        vec![
+            "MCM-D(Si) substrate".to_string(),
+            "packaging / mount on laminate".to_string(),
+        ],
+        singles.iter().map(|s| s[0].clone()).collect(),
+    ];
+    let rows: Vec<Vec<String>> = singles.into_iter().chain(composites).collect();
+    assert_eq!(rows.len(), 12, "the solution-2 tornado is 12 rows");
+
+    // Chart specifications are built once — both strategies take their
+    // inputs by reference, so the bench measures the per-chart
+    // evaluation work, not one-time spec assembly.
+    let directions: Vec<TornadoDirection<'_>> = rows
+        .iter()
+        .map(|slots| {
+            let mut direction = DualDirection::new();
+            for slot in slots {
+                let unit = compiled.slot_unit_cost(slot).unwrap().units();
+                direction = direction.with(slot, SlotKind::Cost, unit);
+            }
+            TornadoDirection {
+                name: &slots[0],
+                direction,
+                low: -0.1,
+                high: 0.1,
+            }
+        })
+        .collect();
+    let patches: Vec<TornadoPatch<'_>> = rows
+        .iter()
+        .map(|slots| {
+            let mut low = compiled.patch();
+            let mut high = compiled.patch();
+            for slot in slots {
+                low.scale_cost(slot, 0.9).unwrap();
+                high.scale_cost(slot, 1.1).unwrap();
+            }
+            TornadoPatch {
+                name: &slots[0],
+                low,
+                high,
+            }
+        })
+        .collect();
+
+    let serial = ipass_moe::Executor::serial();
+    let mut group = c.benchmark_group("sensitivity_duals");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function("dual_pass", |b| {
+        b.iter(|| black_box(Tornado::evaluate_gradients(&compiled, &directions).unwrap()))
+    });
+    group.bench_function("patched_batch", |b| {
+        b.iter(|| black_box(Tornado::evaluate_patches_with(&serial, &compiled, &patches).unwrap()))
     });
     group.finish();
 }
@@ -338,6 +435,7 @@ criterion_group!(
     bench_analytic,
     bench_sweep_analytic,
     bench_explore_frontier,
+    bench_sensitivity_duals,
     bench_rework
 );
 

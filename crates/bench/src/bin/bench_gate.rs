@@ -50,22 +50,89 @@ fn ns_per_element(json: &str, id: &str) -> Option<f64> {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (baseline_path, current_path, id, max_ratio, baseline_id) = match args.as_slice() {
+/// Parsed command line. The 4-arg form gates `id` against the same id
+/// in the baseline file; the 5-arg form names a *different* baseline
+/// case, turning the gate into a cross-case speedup floor.
+#[derive(Debug, PartialEq)]
+struct GateArgs<'a> {
+    baseline_path: &'a str,
+    current_path: &'a str,
+    id: &'a str,
+    max_ratio: f64,
+    baseline_id: &'a str,
+}
+
+fn parse_args(args: &[String]) -> Result<GateArgs<'_>, String> {
+    let (baseline_path, current_path, id, max_ratio, baseline_id) = match args {
         [b, c, i, r] => (b, c, i, r, i),
         [b, c, i, r, bi] => (b, c, i, r, bi),
         _ => {
-            eprintln!(
+            return Err(
                 "usage: bench_gate <baseline.json> <current.json> <case-id> <max-ratio> \
                  [baseline-id]"
-            );
-            return ExitCode::FAILURE;
+                    .to_string(),
+            )
         }
     };
-    let Ok(max_ratio) = max_ratio.parse::<f64>() else {
-        eprintln!("bench_gate: max-ratio {max_ratio:?} is not a number");
-        return ExitCode::FAILURE;
+    let max_ratio = max_ratio
+        .parse::<f64>()
+        .map_err(|_| format!("bench_gate: max-ratio {max_ratio:?} is not a number"))?;
+    Ok(GateArgs {
+        baseline_path,
+        current_path,
+        id,
+        max_ratio,
+        baseline_id,
+    })
+}
+
+/// The gate decision on already-loaded JSON: the human-readable report
+/// line, plus the regression message when the ratio exceeds the limit.
+fn evaluate(
+    baseline: &str,
+    current: &str,
+    args: &GateArgs<'_>,
+) -> Result<(String, Option<String>), String> {
+    let base = ns_per_element(baseline, args.baseline_id).ok_or_else(|| {
+        format!(
+            "bench_gate: case {:?} not found in {}",
+            args.baseline_id, args.baseline_path
+        )
+    })?;
+    let now = ns_per_element(current, args.id).ok_or_else(|| {
+        format!(
+            "bench_gate: case {:?} not found in {}",
+            args.id, args.current_path
+        )
+    })?;
+    let ratio = now / base;
+    let vs = if args.baseline_id == args.id {
+        String::new()
+    } else {
+        format!(" (vs {})", args.baseline_id)
+    };
+    let report = format!(
+        "bench_gate {}{vs}: baseline {base:.2} ns/elem, current {now:.2} ns/elem, \
+         ratio {ratio:.2} (limit {:.2})",
+        args.id, args.max_ratio
+    );
+    let regression = (ratio > args.max_ratio).then(|| {
+        format!(
+            "bench_gate: REGRESSION — {}{vs} at {ratio:.2}x of baseline (limit {:.2}x)",
+            args.id, args.max_ratio
+        )
+    });
+    Ok((report, regression))
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
     };
     let read = |path: &str| match std::fs::read_to_string(path) {
         Ok(s) => Some(s),
@@ -74,35 +141,24 @@ fn main() -> ExitCode {
             None
         }
     };
-    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+    let (Some(baseline), Some(current)) = (read(args.baseline_path), read(args.current_path))
+    else {
         return ExitCode::FAILURE;
     };
-    let Some(base) = ns_per_element(&baseline, baseline_id) else {
-        eprintln!("bench_gate: case {baseline_id:?} not found in {baseline_path}");
-        return ExitCode::FAILURE;
-    };
-    let Some(now) = ns_per_element(&current, id) else {
-        eprintln!("bench_gate: case {id:?} not found in {current_path}");
-        return ExitCode::FAILURE;
-    };
-    let ratio = now / base;
-    let vs = if baseline_id == id {
-        String::new()
-    } else {
-        format!(" (vs {baseline_id})")
-    };
-    println!(
-        "bench_gate {id}{vs}: baseline {base:.2} ns/elem, current {now:.2} ns/elem, \
-         ratio {ratio:.2} (limit {max_ratio:.2})"
-    );
-    if ratio > max_ratio {
-        eprintln!(
-            "bench_gate: REGRESSION — {id}{vs} at {ratio:.2}x of baseline \
-             (limit {max_ratio:.2}x)"
-        );
-        return ExitCode::FAILURE;
+    match evaluate(&baseline, &current, &args) {
+        Ok((report, regression)) => {
+            println!("{report}");
+            if let Some(message) = regression {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -187,6 +243,101 @@ mod tests {
         assert_eq!(scalar, 22.0);
         assert_eq!(batch, 8.8);
         assert!(batch / scalar <= 0.5, "speedup floor would fail");
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn four_args_gate_the_case_against_itself() {
+        let args = strings(&["base.json", "now.json", "mc_units/100000", "3.0"]);
+        let parsed = parse_args(&args).unwrap();
+        assert_eq!(parsed.baseline_id, "mc_units/100000");
+        assert_eq!(parsed.id, "mc_units/100000");
+        assert_eq!(parsed.max_ratio, 3.0);
+        assert_eq!(parsed.baseline_path, "base.json");
+        assert_eq!(parsed.current_path, "now.json");
+    }
+
+    #[test]
+    fn fifth_arg_selects_a_different_baseline_case() {
+        let args = strings(&[
+            "base.json",
+            "now.json",
+            "mc_units_batch/100000",
+            "0.5",
+            "mc_units/100000",
+        ]);
+        let parsed = parse_args(&args).unwrap();
+        assert_eq!(parsed.id, "mc_units_batch/100000");
+        assert_eq!(parsed.baseline_id, "mc_units/100000");
+        assert_eq!(parsed.max_ratio, 0.5);
+    }
+
+    #[test]
+    fn wrong_arity_and_bad_ratio_are_rejected() {
+        assert!(parse_args(&strings(&["a", "b", "c"]))
+            .unwrap_err()
+            .contains("usage"));
+        assert!(parse_args(&strings(&["a", "b", "c", "1.0", "d", "e"]))
+            .unwrap_err()
+            .contains("usage"));
+        assert!(parse_args(&strings(&["a", "b", "c", "fast"]))
+            .unwrap_err()
+            .contains("not a number"));
+    }
+
+    #[test]
+    fn same_id_gate_passes_and_fails_on_the_ratio() {
+        let baseline = r#"[{"id": "x", "ns_per_elem": 10.0}]"#;
+        let slow = r#"[{"id": "x", "ns_per_elem": 35.0}]"#;
+        let raw = strings(&["b", "c", "x", "3.0"]);
+        let args = parse_args(&raw).unwrap();
+        let (report, regression) = evaluate(baseline, baseline, &args).unwrap();
+        assert!(report.contains("ratio 1.00"));
+        assert!(
+            !report.contains("(vs "),
+            "self-gate must not print a vs clause"
+        );
+        assert!(regression.is_none());
+        let (_, regression) = evaluate(baseline, slow, &args).unwrap();
+        assert!(regression.unwrap().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn cross_case_gate_reads_each_id_from_its_own_file() {
+        // With a fifth arg the baseline id resolves in the baseline
+        // file and the case id in the current file — here the same
+        // two-entry run gates the batch case against the scalar one.
+        let run = r#"[
+  {"id": "scalar", "ns_per_elem": 22.0},
+  {"id": "batch", "ns_per_elem": 8.8}
+]"#;
+        let raw = strings(&["b", "c", "batch", "0.5", "scalar"]);
+        let args = parse_args(&raw).unwrap();
+        let (report, regression) = evaluate(run, run, &args).unwrap();
+        assert!(report.contains("(vs scalar)"));
+        assert!(report.contains("ratio 0.40"));
+        assert!(regression.is_none());
+        // A floor of 0.25 the 0.40 ratio misses must fail the gate.
+        let raw_floor = strings(&["b", "c", "batch", "0.25", "scalar"]);
+        let floor = parse_args(&raw_floor).unwrap();
+        let (_, regression) = evaluate(run, run, &floor).unwrap();
+        assert!(regression.unwrap().contains("(vs scalar)"));
+    }
+
+    #[test]
+    fn missing_ids_name_the_file_they_were_expected_in() {
+        let run = r#"[{"id": "x", "ns_per_elem": 1.0}]"#;
+        let raw = strings(&["base.json", "now.json", "x", "1.0", "y"]);
+        let args = parse_args(&raw).unwrap();
+        let err = evaluate(run, run, &args).unwrap_err();
+        assert!(err.contains("\"y\"") && err.contains("base.json"), "{err}");
+        let raw = strings(&["base.json", "now.json", "z", "1.0", "x"]);
+        let args = parse_args(&raw).unwrap();
+        let err = evaluate(run, run, &args).unwrap_err();
+        assert!(err.contains("\"z\"") && err.contains("now.json"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Property tests for the gradient-directed frontier screen: on
+//! randomized flows and grids it only ever surfaces points of the true
+//! (full-grid) frontier — never a pseudo-frontier member a skipped
+//! point would dominate — it finds all of them, and the result is
+//! deterministic.
+
+use ipass_explore::{FlowAxis, FlowExplorer, Levels, Metric, Objective, SamplerSpec};
+use ipass_moe::{CostCategory, Flow, Line, Part, Process, StepCost, Test, YieldModel};
+use ipass_sim::Executor;
+use ipass_units::{Money, Probability};
+use proptest::prelude::*;
+
+fn flow(board_cost: f64, process_yield: f64, coverage: f64) -> Flow {
+    let line = Line::builder(
+        "prop",
+        Part::new("board", CostCategory::Substrate)
+            .with_cost(StepCost::fixed(Money::new(board_cost))),
+    )
+    .process(
+        Process::new("assemble")
+            .with_cost(StepCost::fixed(Money::new(1.0)))
+            .with_yield(YieldModel::flat(Probability::clamped(process_yield))),
+    )
+    .test(
+        Test::new("test")
+            .with_cost(StepCost::fixed(Money::new(0.5)))
+            .with_coverage(Probability::clamped(coverage)),
+    )
+    .build()
+    .unwrap();
+    Flow::new(line)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn directed_screen_equals_the_full_grid_frontier(
+        board_cost in 0.5f64..20.0,
+        process_yield in 0.55f64..0.995,
+        base_coverage in 0.9f64..0.99,
+        scale_lo in 0.3f64..0.9,
+        scale_span in 0.2f64..1.5,
+        cov_lo in 0.85f64..0.95,
+        n_scale in 3usize..14,
+        n_cov in 3usize..14,
+    ) {
+        let explorer = FlowExplorer::new(
+            flow(board_cost, process_yield, base_coverage).compiled().unwrap(),
+        )
+        .axis(FlowAxis::cost_scale(
+            "board",
+            Levels::linspace(scale_lo, scale_lo + scale_span, n_scale),
+        ))
+        .axis(FlowAxis::coverage(
+            "test",
+            Levels::linspace(cov_lo, 0.999, n_cov),
+        ))
+        .objective(Objective::minimize(Metric::FinalCostPerShipped))
+        .objective(Objective::minimize(Metric::EscapeRate))
+        .with_executor(Executor::serial());
+
+        let full = explorer.screen_frontier(&SamplerSpec::Grid).unwrap();
+        let directed = explorer.screen_frontier_directed().unwrap();
+
+        // Every directed member is a true frontier member (it only
+        // ever adds frontier-dominating points), and none are missing.
+        prop_assert_eq!(&directed.frontier, &full);
+        prop_assert!(directed.evaluated <= directed.grid_points);
+
+        // Deterministic: a second run (and a parallel one) reproduces
+        // the exact same frontier and evaluation count.
+        let again = explorer.screen_frontier_directed().unwrap();
+        prop_assert_eq!(&again.frontier, &directed.frontier);
+        prop_assert_eq!(again.evaluated, directed.evaluated);
+        let parallel = explorer
+            .clone()
+            .with_executor(Executor::new(4))
+            .screen_frontier_directed()
+            .unwrap();
+        prop_assert_eq!(&parallel.frontier, &directed.frontier);
+        prop_assert_eq!(parallel.evaluated, directed.evaluated);
+    }
+}

@@ -802,31 +802,77 @@ pub fn sensitivity(solution_index: usize) -> Result<ipass_moe::Tornado, Experime
     }
 }
 
-/// The fast path: one compiled program, every variant a patch.
+/// The fast path: one dual-carrying analytic walk covers the baseline
+/// and every pure-cost row at once — final cost is affine in each cost
+/// slot, so the gradient extrapolation `baseline + ∂cost/∂scale · Δ` is
+/// *exact*, not first-order (see
+/// [`CompiledFlow::analyze_duals`](ipass_moe::CompiledFlow::analyze_duals)).
+/// Only the two rows whose large steps move cohort masses nonlinearly —
+/// the KGS-coupled substrate-yield shift and the 99.9 → 95 % coverage
+/// drop — are still re-evaluated as patches. The pre-dual
+/// implementation paid `1 + 2·n` full walks for n rows; this pays
+/// `1 + 4`.
 fn sensitivity_patched(
     plan: &BuildUpPlan,
     area: ipass_units::Area,
     base_card: &ipass_core::CostInputs,
 ) -> Result<ipass_moe::Tornado, FlowError> {
-    use ipass_moe::{FlowPatch, StepCost, TornadoPatch};
+    use ipass_moe::{DualDirection, FlowPatch, SlotKind, StepCost, Tornado, TornadoRow};
     use ipass_units::Probability;
 
     let flow = plan.production_flow(area, base_card)?;
     let compiled = flow.compiled()?;
     let carrier = flow.line().carrier().name().to_owned();
 
-    let scale_chips = |factor: f64| -> Result<FlowPatch, FlowError> {
-        let mut patch = compiled.patch();
-        for chip in &base_card.chips {
-            patch.scale_cost(&format!("chip assembly/{}", chip.name), factor)?;
+    // A "scale this slot by a factor" direction: weighting each slot by
+    // its current per-unit cost makes the lane's derivative
+    // ∂cost/∂(scale factor), so a ±x % row extrapolates with Δ = ±x/100.
+    let scale_dir = |slots: &[String]| -> Result<DualDirection, FlowError> {
+        let mut dir = DualDirection::new();
+        for slot in slots {
+            dir = dir.with(slot, SlotKind::Cost, compiled.slot_unit_cost(slot)?.units());
         }
-        Ok(patch)
+        Ok(dir)
     };
-    let scale_slot = |slot: &str, factor: f64| -> Result<FlowPatch, FlowError> {
-        let mut patch = compiled.patch();
-        patch.scale_cost(slot, factor)?;
-        Ok(patch)
-    };
+    let chip_slots: Vec<String> = base_card
+        .chips
+        .iter()
+        .map(|chip| format!("chip assembly/{}", chip.name))
+        .collect();
+    let mut cost_rows = vec![
+        ("chip cost ±10 %", scale_dir(&chip_slots)?, 0.1),
+        (
+            "substrate cost/cm² ±20 %",
+            scale_dir(std::slice::from_ref(&carrier))?,
+            0.2,
+        ),
+        (
+            "test cost ±50 %",
+            scale_dir(&["functional test".to_owned()])?,
+            0.5,
+        ),
+    ];
+    if base_card.packaging.is_some() {
+        cost_rows.push((
+            "packaging cost ±30 %",
+            scale_dir(&["packaging / mount on laminate".to_owned()])?,
+            0.3,
+        ));
+    }
+
+    let directions: Vec<DualDirection> = cost_rows.iter().map(|(_, d, _)| d.clone()).collect();
+    let dual = compiled.analyze_duals(&directions)?;
+    let baseline = dual.report.final_cost_per_shipped().units();
+    let mut rows: Vec<TornadoRow> = cost_rows
+        .iter()
+        .zip(&dual.gradients)
+        .map(|((name, _, delta), g)| TornadoRow {
+            name: (*name).to_owned(),
+            low_cost: baseline - g.final_cost_per_shipped * delta,
+            high_cost: baseline + g.final_cost_per_shipped * delta,
+        })
+        .collect();
+
     let shift_substrate_yield = |delta: f64| -> Result<FlowPatch, FlowError> {
         let mut patch = compiled.patch();
         let y = Probability::clamped(base_card.substrate_yield.value() + delta);
@@ -845,42 +891,20 @@ fn sensitivity_patched(
         patch.set_coverage("functional test", Probability::clamped(cov))?;
         Ok(patch)
     };
-
-    let mut inputs = vec![
-        TornadoPatch {
-            name: "chip cost ±10 %",
-            low: scale_chips(0.9)?,
-            high: scale_chips(1.1)?,
-        },
-        TornadoPatch {
-            name: "substrate cost/cm² ±20 %",
-            low: scale_slot(&carrier, 0.8)?,
-            high: scale_slot(&carrier, 1.2)?,
-        },
-        TornadoPatch {
-            name: "substrate yield ∓5 pts",
-            low: shift_substrate_yield(0.05)?,
-            high: shift_substrate_yield(-0.05)?,
-        },
-        TornadoPatch {
-            name: "fault coverage 99.9 → 95 %",
-            low: set_coverage(0.999)?,
-            high: set_coverage(0.95)?,
-        },
-        TornadoPatch {
-            name: "test cost ±50 %",
-            low: scale_slot("functional test", 0.5)?,
-            high: scale_slot("functional test", 1.5)?,
-        },
-    ];
-    if base_card.packaging.is_some() {
-        inputs.push(TornadoPatch {
-            name: "packaging cost ±30 %",
-            low: scale_slot("packaging / mount on laminate", 0.7)?,
-            high: scale_slot("packaging / mount on laminate", 1.3)?,
-        });
-    }
-    ipass_moe::Tornado::evaluate_patches(&compiled, inputs)
+    let patched_cost = |patch: Result<FlowPatch, FlowError>| -> Result<f64, FlowError> {
+        Ok(patch?.analyze()?.final_cost_per_shipped().units())
+    };
+    rows.push(TornadoRow {
+        name: "substrate yield ∓5 pts".to_owned(),
+        low_cost: patched_cost(shift_substrate_yield(0.05))?,
+        high_cost: patched_cost(shift_substrate_yield(-0.05))?,
+    });
+    rows.push(TornadoRow {
+        name: "fault coverage 99.9 → 95 %".to_owned(),
+        low_cost: patched_cost(set_coverage(0.999))?,
+        high_cost: patched_cost(set_coverage(0.95))?,
+    });
+    Ok(Tornado::from_rows(baseline, rows))
 }
 
 /// The rebuild fallback (the pre-patching implementation, kept for
@@ -1364,6 +1388,43 @@ mod tests {
             );
         }
         assert!(space.render().contains("design space"));
+    }
+
+    #[test]
+    fn directed_screen_reproduces_solution2_golden_frontier() {
+        // The golden 32×32 substrate-cost × test-coverage grid of the
+        // real solution-2 flow (the `explore_frontier` bench shape):
+        // gradient-directed screening must reproduce the full-grid
+        // frontier exactly while evaluating fewer analytic points.
+        use ipass_explore::{FlowAxis, FlowExplorer, Levels, Metric, Objective, SamplerSpec};
+
+        let buildup = BuildUp::paper_solutions()[1];
+        let plan = buildup
+            .plan(&gps_bom(&buildup), SelectionObjective::MinArea)
+            .unwrap();
+        let area = plan.area().substrate_area;
+        let flow = plan.production_flow(area, &cost_inputs(&buildup)).unwrap();
+        let carrier = flow.line().carrier().name().to_owned();
+        let explorer = FlowExplorer::new(flow.compiled().unwrap())
+            .axis(FlowAxis::cost_scale(
+                &carrier,
+                Levels::linspace(0.5, 1.5, 32),
+            ))
+            .axis(FlowAxis::coverage(
+                "functional test",
+                Levels::linspace(0.9, 0.999, 32),
+            ))
+            .objective(Objective::minimize(Metric::FinalCostPerShipped))
+            .objective(Objective::minimize(Metric::EscapeRate));
+        let full = explorer.screen_frontier(&SamplerSpec::Grid).unwrap();
+        let directed = explorer.screen_frontier_directed().unwrap();
+        assert_eq!(directed.frontier, full);
+        assert!(
+            directed.evaluated < directed.grid_points,
+            "directed paid {} of {} points",
+            directed.evaluated,
+            directed.grid_points
+        );
     }
 
     #[test]

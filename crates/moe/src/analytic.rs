@@ -27,8 +27,9 @@
 //! [`analyze_line_reference`]) as the oracle the property tests pin the
 //! IR walker against, exactly like the Monte Carlo interpreter oracle.
 
-use crate::compile::{Op, RoutingProgram};
+use crate::compile::{Op, RoutingProgram, SlotKind};
 use crate::cost::{CostCategory, CostVector};
+use crate::dual::{Dual, DualReport, Gradient, NoSeeds, Scalar, SeedTable, TangentSeeds};
 use crate::error::FlowError;
 use crate::labels::{self, InputLabels, LineLabels, StageLabels};
 use crate::line::Line;
@@ -39,29 +40,32 @@ use ipass_units::Money;
 const NCAT: usize = CostCategory::COUNT;
 
 /// A group of in-flight units with identical accumulated cost.
+///
+/// Generic over the [`Scalar`]: `f64` for plain evaluation, a dual for
+/// forward-mode differentiation — same walk, same arithmetic sequence.
 #[derive(Debug, Clone)]
-struct Cohort {
+struct Cohort<S = f64> {
     /// Mass of defect-free units.
-    good: f64,
+    good: S,
     /// Mass of defective units.
-    def: f64,
+    def: S,
     /// Accumulated cost per unit.
-    cost: f64,
+    cost: S,
     /// Accumulated cost per unit, by category.
-    by_cat: [f64; NCAT],
+    by_cat: [S; NCAT],
 }
 
-impl Cohort {
-    fn mass(&self) -> f64 {
+impl<S: Scalar> Cohort<S> {
+    fn mass(&self) -> S {
         self.good + self.def
     }
 
-    fn add_cost(&mut self, amount: f64, category: CostCategory) {
+    fn add_cost(&mut self, amount: S, category: CostCategory) {
         self.cost += amount;
         self.by_cat[category.index()] += amount;
     }
 
-    fn add_costs(&mut self, amount: f64, cats: &[f64; NCAT]) {
+    fn add_costs(&mut self, amount: S, cats: &[S; NCAT]) {
         self.cost += amount;
         for (a, b) in self.by_cat.iter_mut().zip(cats.iter()) {
             *a += *b;
@@ -72,50 +76,57 @@ impl Cohort {
 /// Scrap and defect accounting, normalized per started unit of the line
 /// being evaluated.
 #[derive(Debug, Clone)]
-struct Acc {
-    scrap_mass: f64,
-    scrap_spend: f64,
-    scrap_by_cat: [f64; NCAT],
+struct Acc<S = f64> {
+    scrap_mass: S,
+    scrap_spend: S,
+    scrap_by_cat: [S; NCAT],
+    /// Defect-source masses stay primal-only: no report derivative
+    /// reads them (the [`Gradient`] exposes no per-label terms), and a
+    /// K-wide tangent on every label update is the walk's single
+    /// biggest slab of dead arithmetic. Accumulating `val()` performs
+    /// the identical `f64` sequence, so the primal stays bit-exact.
+    ///
+    /// [`Gradient`]: crate::Gradient
     defects: Vec<f64>,
 }
 
-impl Acc {
-    fn new(n_labels: usize) -> Acc {
+impl<S: Scalar> Acc<S> {
+    fn new(n_labels: usize) -> Acc<S> {
         Acc {
-            scrap_mass: 0.0,
-            scrap_spend: 0.0,
-            scrap_by_cat: [0.0; NCAT],
+            scrap_mass: S::ZERO,
+            scrap_spend: S::ZERO,
+            scrap_by_cat: [S::ZERO; NCAT],
             defects: vec![0.0; n_labels],
         }
     }
 
-    fn scrap(&mut self, mass: f64, cohort: &Cohort) {
+    fn scrap(&mut self, mass: S, cohort: &Cohort<S>) {
         self.scrap_mass += mass;
         self.scrap_spend += mass * cohort.cost;
         for (a, b) in self.scrap_by_cat.iter_mut().zip(cohort.by_cat.iter()) {
-            *a += mass * b;
+            *a += mass * *b;
         }
     }
 
-    fn merge_scaled(&mut self, other: &Acc, scale: f64) {
+    fn merge_scaled(&mut self, other: &Acc<S>, scale: S) {
         self.scrap_mass += other.scrap_mass * scale;
         self.scrap_spend += other.scrap_spend * scale;
         for (a, b) in self.scrap_by_cat.iter_mut().zip(other.scrap_by_cat.iter()) {
-            *a += b * scale;
+            *a += *b * scale;
         }
         for (a, b) in self.defects.iter_mut().zip(other.defects.iter()) {
-            *a += b * scale;
+            *a += *b * scale.val();
         }
     }
 }
 
 /// Per-started-unit outcome of a line.
 #[derive(Debug, Clone)]
-struct LineOutcome {
-    shipped: f64,
-    good: f64,
-    embodied: f64,
-    by_cat: [f64; NCAT],
+struct LineOutcome<S = f64> {
+    shipped: S,
+    good: S,
+    embodied: S,
+    by_cat: [S; NCAT],
 }
 
 /// Assemble the [`CostReport`](crate::report::CostReport) from a
@@ -184,35 +195,54 @@ pub(crate) fn analyze_ops(
     nre: Money,
     volume: u64,
 ) -> Result<crate::report::CostReport, FlowError> {
-    let (outcome, acc) = eval_region(ops, entry, len, names.len());
+    let (outcome, acc) = eval_region(ops, entry, len, names.len(), &NoSeeds);
     report_from(line_name, names, &outcome, &acc, nre, volume)
 }
 
 /// Propagate one unit of cohort mass through a region of the op vector;
 /// returns the outcome normalized to one started unit. The math is the
 /// oracle's [`eval_line`] expressed over precomputed ops.
-fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcome, Acc) {
+///
+/// Generic over the [`Scalar`]: `seeds` lifts each op parameter into
+/// `S` — the identity for the production `f64` path ([`NoSeeds`]), a
+/// tangent-seeding lookup for dual passes. Every branch guard compares
+/// only the primal component, so control flow (and therefore the primal
+/// arithmetic sequence) is identical across scalars.
+fn eval_region<S: Scalar>(
+    ops: &[Op],
+    entry: u32,
+    len: u32,
+    n_labels: usize,
+    seeds: &impl TangentSeeds<S>,
+) -> (LineOutcome<S>, Acc<S>) {
     let mut acc = Acc::new(n_labels);
     let mut cohorts = vec![Cohort {
-        good: 1.0,
-        def: 0.0,
-        cost: 0.0,
-        by_cat: [0.0; NCAT],
+        good: S::ONE,
+        def: S::ZERO,
+        cost: S::ZERO,
+        by_cat: [S::ZERO; NCAT],
     }];
-    for op in &ops[entry as usize..(entry + len) as usize] {
+    let mut scratch: Vec<Cohort<S>> = Vec::new();
+    for (i, op) in ops[entry as usize..(entry + len) as usize]
+        .iter()
+        .enumerate()
+    {
+        let idx = entry as usize + i;
         match *op {
             Op::Cost { cost, cat } => {
+                let cost = seeds.cost(idx, cost);
                 for cohort in cohorts.iter_mut() {
                     cohort.add_cost(cost, cat);
                 }
             }
             Op::Condemn { cost, cat, label } => {
+                let cost = seeds.cost(idx, cost);
                 for cohort in cohorts.iter_mut() {
                     cohort.add_cost(cost, cat);
                     let newly = cohort.good;
                     cohort.good -= newly;
                     cohort.def += newly;
-                    acc.defects[label as usize] += newly;
+                    acc.defects[label as usize] += newly.val();
                 }
             }
             Op::Step {
@@ -222,12 +252,14 @@ fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcom
                 p_good,
                 label,
             } => {
+                let cost = seeds.cost(idx, cost);
+                let p_good = seeds.p_good(idx, p_good);
                 for cohort in cohorts.iter_mut() {
                     cohort.add_cost(cost, cat);
-                    let newly = cohort.good * (1.0 - p_good);
+                    let newly = cohort.good * (S::ONE - p_good);
                     cohort.good -= newly;
                     cohort.def += newly;
-                    acc.defects[label as usize] += newly;
+                    acc.defects[label as usize] += newly.val();
                 }
             }
             Op::SubLine {
@@ -236,37 +268,40 @@ fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcom
                 len,
                 name: _,
             } => {
-                let (sub_out, sub_acc) = eval_region(ops, entry, len, n_labels);
-                if sub_out.shipped <= 1e-12 {
+                let (sub_out, sub_acc) = eval_region(ops, entry, len, n_labels, seeds);
+                if sub_out.shipped.val() <= 1e-12 {
                     // The subassembly ships nothing: every consumer is
                     // starved. Model as all-defective free input; the
                     // flow-level NothingShipped check reports the
                     // problem if it matters.
                     for cohort in cohorts.iter_mut() {
                         cohort.def += cohort.good;
-                        cohort.good = 0.0;
+                        cohort.good = S::ZERO;
                     }
                     continue;
                 }
                 let q = qty as f64;
                 let unit_cost = sub_out.embodied / sub_out.shipped;
-                let mut unit_cats = [0.0; NCAT];
+                let mut unit_cats = [S::ZERO; NCAT];
                 for (u, s) in unit_cats.iter_mut().zip(sub_out.by_cat.iter()) {
-                    *u = s / sub_out.shipped;
+                    *u = *s / sub_out.shipped;
                 }
                 for u in unit_cats.iter_mut() {
-                    *u *= q;
+                    *u = u.scale(q);
                 }
                 let p_good = (sub_out.good / sub_out.shipped).powf(q);
-                let alive: f64 = cohorts.iter().map(Cohort::mass).sum();
+                let mut alive = S::ZERO;
+                for cohort in cohorts.iter() {
+                    alive += cohort.mass();
+                }
                 // Sub-units consumed per started outer unit, and
                 // sub-starts needed to produce them.
-                let consumed = alive * q;
+                let consumed = alive.scale(q);
                 let sub_starts = consumed / sub_out.shipped;
                 acc.merge_scaled(&sub_acc, sub_starts);
                 for cohort in cohorts.iter_mut() {
-                    cohort.add_costs(q * unit_cost, &unit_cats);
-                    let newly = cohort.good * (1.0 - p_good);
+                    cohort.add_costs(unit_cost.scale(q), &unit_cats);
+                    let newly = cohort.good * (S::ONE - p_good);
                     cohort.good -= newly;
                     cohort.def += newly;
                     // Escapes of the sub-line are already counted in
@@ -275,7 +310,9 @@ fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcom
                 }
             }
             Op::TestScrap { cost, coverage } => {
-                test_stage(&mut cohorts, &mut acc, cost, coverage, None);
+                let cost = seeds.cost(idx, cost);
+                let coverage = seeds.coverage(idx, coverage);
+                test_stage(&mut cohorts, &mut scratch, &mut acc, cost, coverage, None);
             }
             Op::TestRework {
                 cost,
@@ -284,8 +321,11 @@ fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcom
                 success,
                 max_attempts,
             } => {
+                let cost = seeds.cost(idx, cost);
+                let coverage = seeds.coverage(idx, coverage);
                 test_stage(
                     &mut cohorts,
+                    &mut scratch,
                     &mut acc,
                     cost,
                     coverage,
@@ -296,17 +336,17 @@ fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcom
     }
 
     let mut outcome = LineOutcome {
-        shipped: 0.0,
-        good: 0.0,
-        embodied: 0.0,
-        by_cat: [0.0; NCAT],
+        shipped: S::ZERO,
+        good: S::ZERO,
+        embodied: S::ZERO,
+        by_cat: [S::ZERO; NCAT],
     };
     for cohort in &cohorts {
         outcome.shipped += cohort.mass();
         outcome.good += cohort.good;
         outcome.embodied += cohort.mass() * cohort.cost;
         for (o, c) in outcome.by_cat.iter_mut().zip(cohort.by_cat.iter()) {
-            *o += cohort.mass() * c;
+            *o += cohort.mass() * *c;
         }
     }
     (outcome, acc)
@@ -314,15 +354,23 @@ fn eval_region(ops: &[Op], entry: u32, len: u32, n_labels: usize) -> (LineOutcom
 
 /// Split every cohort at a test op: pass/escape mass continues, caught
 /// mass scraps or loops through bounded rework — the oracle's test
-/// branch, parameterized by the op's precomputed floats.
-fn test_stage(
-    cohorts: &mut Vec<Cohort>,
-    acc: &mut Acc,
-    t_cost: f64,
-    cov: f64,
+/// branch, parameterized by the op's precomputed floats. The rework
+/// parameters stay plain `f64`s: they carry no patch slot, hence no
+/// tangent.
+fn test_stage<S: Scalar>(
+    cohorts: &mut Vec<Cohort<S>>,
+    scratch: &mut Vec<Cohort<S>>,
+    acc: &mut Acc<S>,
+    t_cost: S,
+    cov: S,
     rework: Option<(f64, f64, u32)>,
 ) {
-    let mut next = Vec::with_capacity(cohorts.len() + 2);
+    // `scratch` is the previous swap's spent cohort list — reusing it
+    // keeps a multi-test walk at zero allocations per op, which the
+    // K-wide dual cohorts (hundreds of bytes each) actually feel.
+    scratch.clear();
+    let next = scratch;
+    next.reserve(cohorts.len() + 2);
     for mut cohort in cohorts.drain(..) {
         cohort.add_cost(t_cost, CostCategory::Test);
         let caught = cohort.def * cov;
@@ -333,16 +381,16 @@ fn test_stage(
             cost: cohort.cost,
             by_cat: cohort.by_cat,
         };
-        if pass.mass() > 0.0 {
+        if pass.mass().val() > 0.0 {
             next.push(pass);
         }
-        if caught <= 0.0 {
+        if caught.val() <= 0.0 {
             continue;
         }
         match rework {
             None => {
                 let scrapped = Cohort {
-                    good: 0.0,
+                    good: S::ZERO,
                     def: caught,
                     cost: cohort.cost,
                     by_cat: cohort.by_cat,
@@ -350,24 +398,26 @@ fn test_stage(
                 acc.scrap(caught, &scrapped);
             }
             Some((r_cost, rho, max_attempts)) => {
+                let r_cost = S::from_f64(r_cost);
+                let rho = S::from_f64(rho);
                 let mut current = caught;
                 let mut unit = Cohort {
-                    good: 0.0,
+                    good: S::ZERO,
                     def: current,
                     cost: cohort.cost,
                     by_cat: cohort.by_cat,
                 };
                 for _ in 0..max_attempts {
-                    if current <= 0.0 {
+                    if current.val() <= 0.0 {
                         break;
                     }
                     unit.add_cost(r_cost, CostCategory::Other);
                     unit.add_cost(t_cost, CostCategory::Test);
                     let fixed = current * rho;
                     let unfixed = current - fixed;
-                    let escaped = unfixed * (1.0 - cov);
+                    let escaped = unfixed * (S::ONE - cov);
                     let recaught = unfixed - escaped;
-                    if fixed + escaped > 0.0 {
+                    if (fixed + escaped).val() > 0.0 {
                         next.push(Cohort {
                             good: fixed,
                             def: escaped,
@@ -377,9 +427,9 @@ fn test_stage(
                     }
                     current = recaught;
                 }
-                if current > 0.0 {
+                if current.val() > 0.0 {
                     let scrapped = Cohort {
-                        good: 0.0,
+                        good: S::ZERO,
                         def: current,
                         cost: unit.cost,
                         by_cat: unit.by_cat,
@@ -389,7 +439,162 @@ fn test_stage(
             }
         }
     }
-    *cohorts = next;
+    std::mem::swap(cohorts, next);
+}
+
+// ---------------------------------------------------------------------
+// The dual pass: one generic walk, K tangent directions at once.
+// ---------------------------------------------------------------------
+
+/// One resolved component of a tangent direction: `weight` is the
+/// derivative of the op's **folded** parameter along the direction
+/// (the per-unit → folded chain rule was already applied by the
+/// resolver in [`crate::patch`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FoldedSeed {
+    pub(crate) op: u32,
+    pub(crate) kind: SlotKind,
+    pub(crate) weight: f64,
+}
+
+/// Every direction's [`FoldedSeed`]s in one flat allocation;
+/// `ends[i]` is the exclusive end of direction `i`'s range in `seeds`.
+/// (A vec-of-vecs costs one allocation per direction per evaluation —
+/// measurable next to the walk itself.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct FoldedDirections {
+    pub(crate) seeds: Vec<FoldedSeed>,
+    pub(crate) ends: Vec<u32>,
+}
+
+impl FoldedDirections {
+    fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    fn direction(&self, i: usize) -> &[FoldedSeed] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.seeds[start..self.ends[i] as usize]
+    }
+}
+
+/// Widest dual carried in one pass; more directions chunk into
+/// multiple walks of at most this width.
+const MAX_WIDTH: usize = 16;
+
+/// Evaluate one op vector once per ≤[`MAX_WIDTH`]-direction chunk and
+/// return the primal report (bit-identical to [`analyze_ops`]) plus
+/// one exact [`Gradient`] per direction.
+#[allow(clippy::too_many_arguments)] // mirrors analyze_ops plus the directions
+pub(crate) fn analyze_ops_duals(
+    ops: &[Op],
+    entry: u32,
+    len: u32,
+    names: &[String],
+    line_name: &str,
+    nre: Money,
+    volume: u64,
+    directions: &FoldedDirections,
+) -> Result<DualReport, FlowError> {
+    if directions.len() == 0 {
+        let report = analyze_ops(ops, entry, len, names, line_name, nre, volume)?;
+        return Ok(DualReport {
+            report,
+            gradients: Vec::new(),
+        });
+    }
+    let mut report = None;
+    let mut gradients = Vec::with_capacity(directions.len());
+    for start in (0..directions.len()).step_by(MAX_WIDTH) {
+        let count = MAX_WIDTH.min(directions.len() - start);
+        // Monomorphized widths: the headline K=12 tornado gets its own
+        // instantiation; in-between counts round up (unused lanes stay
+        // zero-seeded and cost a few wasted multiplies, not a pass).
+        let chunk = (directions, start, count);
+        let (chunk_report, chunk_gradients) = match count {
+            1 => duals_chunk::<1>(ops, entry, len, names, line_name, nre, volume, chunk),
+            2 => duals_chunk::<2>(ops, entry, len, names, line_name, nre, volume, chunk),
+            3..=4 => duals_chunk::<4>(ops, entry, len, names, line_name, nre, volume, chunk),
+            5..=8 => duals_chunk::<8>(ops, entry, len, names, line_name, nre, volume, chunk),
+            9..=12 => duals_chunk::<12>(ops, entry, len, names, line_name, nre, volume, chunk),
+            _ => duals_chunk::<MAX_WIDTH>(ops, entry, len, names, line_name, nre, volume, chunk),
+        }?;
+        report.get_or_insert(chunk_report);
+        gradients.extend(chunk_gradients);
+    }
+    Ok(DualReport {
+        report: report.expect("at least one chunk ran"),
+        gradients,
+    })
+}
+
+/// One K-wide dual walk: seed the chunk's directions, evaluate, strip
+/// the primal into the shared [`report_from`] assembly and read each
+/// report-level derivative off the tangent lanes.
+#[allow(clippy::too_many_arguments)] // mirrors analyze_ops plus the directions
+fn duals_chunk<const K: usize>(
+    ops: &[Op],
+    entry: u32,
+    len: u32,
+    names: &[String],
+    line_name: &str,
+    nre: Money,
+    volume: u64,
+    (directions, start, count): (&FoldedDirections, usize, usize),
+) -> Result<(crate::report::CostReport, Vec<Gradient>), FlowError> {
+    debug_assert!(count <= K);
+    let mut seeds = SeedTable::<K>::new(ops.len());
+    for lane in 0..count {
+        for part in directions.direction(start + lane) {
+            seeds.seed(part.op as usize, part.kind, lane, part.weight);
+        }
+    }
+    let (outcome, acc) = eval_region::<Dual<K>>(ops, entry, len, names.len(), &seeds);
+
+    // Primal: the value components, assembled through the exact same
+    // report_from the f64 walk uses — bit-identical by construction.
+    let primal_outcome = LineOutcome {
+        shipped: outcome.shipped.val,
+        good: outcome.good.val,
+        embodied: outcome.embodied.val,
+        by_cat: outcome.by_cat.map(|c| c.val),
+    };
+    let primal_acc = Acc {
+        scrap_mass: acc.scrap_mass.val,
+        scrap_spend: acc.scrap_spend.val,
+        scrap_by_cat: acc.scrap_by_cat.map(|c| c.val),
+        defects: acc.defects,
+    };
+    let report = report_from(line_name, names, &primal_outcome, &primal_acc, nre, volume)?;
+
+    // Tangents: differentiate the report formulas in dual arithmetic
+    // (started = 1, so shipped *is* the shipped fraction).
+    let shipped = outcome.shipped;
+    let total_spend = outcome.embodied + acc.scrap_spend;
+    let direct = outcome.embodied / shipped;
+    let yield_loss = (total_spend - outcome.embodied) / shipped;
+    let nre_per = Dual::<K>::from_f64(nre.units() / volume as f64) / shipped;
+    let final_cost = direct + yield_loss + nre_per;
+    let escape_rate = (shipped - outcome.good) / shipped;
+    let mut by_category = [Dual::<K>::ZERO; NCAT];
+    for (g, (o, s)) in by_category
+        .iter_mut()
+        .zip(outcome.by_cat.iter().zip(acc.scrap_by_cat.iter()))
+    {
+        *g = (*o + *s) / shipped;
+    }
+    let gradients = (0..count)
+        .map(|k| Gradient {
+            final_cost_per_shipped: final_cost.eps[k],
+            direct_cost_per_shipped: direct.eps[k],
+            yield_loss_per_shipped: yield_loss.eps[k],
+            total_spend: total_spend.eps[k],
+            shipped_fraction: shipped.eps[k],
+            escape_rate: escape_rate.eps[k],
+            by_category: by_category.map(|c| c.eps[k]),
+        })
+        .collect();
+    Ok((report, gradients))
 }
 
 // ---------------------------------------------------------------------

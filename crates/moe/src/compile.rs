@@ -44,7 +44,9 @@ use crate::line::Line;
 use crate::part::AttachInput;
 use crate::stage::{FailAction, Stage};
 use ipass_sim::SimRng;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasherDefault;
 
 pub(crate) const NCAT: usize = CostCategory::COUNT;
 
@@ -321,6 +323,52 @@ pub(crate) struct RoutingProgram {
     flat: bool,
     /// Patchable parameters, in emission order (see [`PatchSlot`]).
     slots: Vec<PatchSlot>,
+    /// Pre-resolved name → per-kind slot lookup, including build-time
+    /// ambiguity marks, so [`RoutingProgram::resolve_slot`] is one hash
+    /// probe — a dual direction resolves every part it names, and a
+    /// K-wide tornado resolves K of them per evaluation.
+    slot_lookup: HashMap<String, SlotEntry, BuildHasherDefault<FnvHasher>>,
+}
+
+/// Resolution outcomes for one slot name, indexed by [`SlotKind`]
+/// discriminant.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct SlotEntry {
+    by_kind: [Option<SlotTarget>; 3],
+}
+
+/// What a `(name, kind)` pair resolves to, decided at compile time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlotTarget {
+    /// Exactly one registered slot.
+    Unique { op: u32, qty: u32 },
+    /// Duplicate stage/part names (legal in a line) — resolution must
+    /// error rather than silently pick one.
+    Ambiguous,
+}
+
+/// FNV-1a: slot names are short, so a byte-at-a-time multiply-xor beats
+/// SipHash's finalization overhead; resolution is a hot per-evaluation
+/// path for dual directions, not a DoS surface.
+#[derive(Debug)]
+pub(crate) struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl RoutingProgram {
@@ -341,6 +389,19 @@ impl RoutingProgram {
             &mut slots,
         );
         let flat = !ops.iter().any(|op| matches!(op, Op::SubLine { .. }));
+        let mut slot_lookup: HashMap<String, SlotEntry, BuildHasherDefault<FnvHasher>> =
+            HashMap::with_capacity_and_hasher(slots.len(), BuildHasherDefault::default());
+        for s in &slots {
+            let target =
+                &mut slot_lookup.entry(s.name.clone()).or_default().by_kind[s.kind as usize];
+            *target = Some(match target {
+                None => SlotTarget::Unique {
+                    op: s.op,
+                    qty: s.qty,
+                },
+                Some(_) => SlotTarget::Ambiguous,
+            });
+        }
         RoutingProgram {
             ops,
             entry,
@@ -350,6 +411,7 @@ impl RoutingProgram {
             line_name: line.name().to_owned(),
             flat,
             slots,
+            slot_lookup,
         }
     }
 
@@ -383,6 +445,26 @@ impl RoutingProgram {
     /// Patchable parameters, in emission order.
     pub(crate) fn slots(&self) -> &[PatchSlot] {
         &self.slots
+    }
+
+    /// Resolve `(name, kind)` to its unique `(op, qty)`. Zero matches
+    /// and multiple matches (duplicate stage/part names are legal in a
+    /// line) are both errors — silently using the first duplicate would
+    /// diverge from rebuilding the line.
+    pub(crate) fn resolve_slot(&self, name: &str, kind: SlotKind) -> Result<(u32, u32), FlowError> {
+        match self
+            .slot_lookup
+            .get(name)
+            .and_then(|e| e.by_kind[kind as usize])
+        {
+            Some(SlotTarget::Unique { op, qty }) => Ok((op, qty)),
+            Some(SlotTarget::Ambiguous) => Err(FlowError::AmbiguousPatchSlot {
+                slot: format!("{name} ({kind})"),
+            }),
+            None => Err(FlowError::UnknownPatchSlot {
+                slot: format!("{name} ({kind})"),
+            }),
+        }
     }
 
     /// Find a slot by `(name, kind)` (first match; the patcher's

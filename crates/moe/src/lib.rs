@@ -71,6 +71,7 @@
 mod analytic;
 mod compile;
 mod cost;
+mod dual;
 mod error;
 mod flow;
 mod labels;
@@ -89,6 +90,7 @@ mod yield_model;
 pub use analytic::analyze_line_reference;
 pub use compile::SlotKind;
 pub use cost::{CostCategory, CostVector, StepCost};
+pub use dual::{DualDirection, DualReport, Gradient};
 pub use error::FlowError;
 pub use flow::Flow;
 pub use ipass_sim::{Executor, StopRule};
@@ -100,7 +102,7 @@ pub use mc::{SimOptions, SimSummary, DEFAULT_LANE_WIDTH, DEFAULT_SUBASSEMBLY_RET
 pub use part::{AttachInput, Part};
 pub use patch::{analyze_patched_batch, CompiledFlow, FlowPatch, PatchDirective};
 pub use report::{CostBreakdownRow, CostReport};
-pub use sensitivity::{Tornado, TornadoInput, TornadoPatch, TornadoRow};
+pub use sensitivity::{Tornado, TornadoDirection, TornadoInput, TornadoPatch, TornadoRow};
 pub use stage::{Attach, FailAction, Process, Rework, Stage, Test};
 pub use sweep::{
     find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_series, sweep_with,

@@ -42,8 +42,9 @@
 //!
 //! [`Line`]: crate::Line
 
-use crate::analytic;
+use crate::analytic::{self, FoldedDirections, FoldedSeed};
 use crate::compile::{Op, RoutingProgram, SlotKind};
+use crate::dual::{DualDirection, DualReport};
 use crate::error::FlowError;
 use crate::mc::{self, SimOptions, SimSummary};
 use crate::report::CostReport;
@@ -150,6 +151,76 @@ impl CompiledFlow {
         mc::simulate_program(&self.program, self.nre, self.volume, options, None)
     }
 
+    /// Evaluate the program **once** with forward-mode duals and
+    /// return the primal report (bit-identical to
+    /// [`CompiledFlow::analyze`]) plus one exact [`Gradient`] per
+    /// requested direction — where a tornado or sweep pays `1 + 2·n`
+    /// full walks for n parameters, this pays one walk carrying n
+    /// tangent lanes (chunked above 16 directions).
+    ///
+    /// Each [`DualDirection`] is a weighted combination of patch slots
+    /// with the per-input-unit semantics of the [`FlowPatch`] setters;
+    /// the derivative of the final cost per shipped unit is *exact*
+    /// (the analytic engine is closed-form, and final cost is affine in
+    /// every cost slot, so cost-direction extrapolations are exact too,
+    /// not just first-order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] /
+    /// [`FlowError::AmbiguousPatchSlot`] for unresolvable direction
+    /// components and [`FlowError::NothingShipped`] when the flow ships
+    /// nothing.
+    ///
+    /// [`Gradient`]: crate::Gradient
+    pub fn analyze_duals(&self, directions: &[DualDirection]) -> Result<DualReport, FlowError> {
+        self.analyze_duals_ref(directions)
+    }
+
+    /// [`CompiledFlow::analyze_duals`] over borrowed directions — the
+    /// allocation-free entry the tornado evaluator uses (its inputs own
+    /// their directions; cloning them into a slice would cost more than
+    /// the walk's own seeding).
+    pub(crate) fn analyze_duals_ref<'d>(
+        &self,
+        directions: impl IntoIterator<Item = &'d DualDirection>,
+    ) -> Result<DualReport, FlowError> {
+        let folded = fold_directions(&self.program, self.program.ops(), directions)?;
+        let (entry, len) = self.program.top_region();
+        analytic::analyze_ops_duals(
+            self.program.ops(),
+            entry,
+            len,
+            self.program.names(),
+            self.program.line_name(),
+            self.nre,
+            self.volume,
+            &folded,
+        )
+    }
+
+    /// The current per-input-unit cost of a cost slot (the op's folded
+    /// cost divided by its quantity) — the weight a [`DualDirection`]
+    /// component needs to express "scale this slot's cost", since
+    /// ∂cost/∂(scale factor) = the slot's current folded cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] /
+    /// [`FlowError::AmbiguousPatchSlot`] like the patch setters.
+    pub fn slot_unit_cost(&self, slot: &str) -> Result<Money, FlowError> {
+        let (op, qty) = self.program.resolve_slot(slot, SlotKind::Cost)?;
+        let folded = match self.program.ops()[op as usize] {
+            Op::Cost { cost, .. }
+            | Op::Condemn { cost, .. }
+            | Op::Step { cost, .. }
+            | Op::TestScrap { cost, .. }
+            | Op::TestRework { cost, .. } => cost,
+            Op::SubLine { .. } => unreachable!("cost slot registered on a sub-line op"),
+        };
+        Ok(Money::new(folded / qty as f64))
+    }
+
     /// Start a patch: a private copy of the op vector with every slot
     /// still at its compiled value. Creating one per scenario point is
     /// the intended pattern — it is a single `Vec` clone.
@@ -230,20 +301,7 @@ impl FlowPatch {
     /// line) are both errors — silently patching the first duplicate
     /// would diverge from rebuilding the line.
     fn resolve(&self, name: &str, kind: SlotKind) -> Result<(u32, u32), FlowError> {
-        let mut matches = self
-            .program
-            .slots()
-            .iter()
-            .filter(|s| s.kind == kind && s.name == name);
-        let first = matches.next().ok_or_else(|| FlowError::UnknownPatchSlot {
-            slot: format!("{name} ({kind})"),
-        })?;
-        if matches.next().is_some() {
-            return Err(FlowError::AmbiguousPatchSlot {
-                slot: format!("{name} ({kind})"),
-            });
-        }
-        Ok((first.op, first.qty))
+        self.program.resolve_slot(name, kind)
     }
 
     /// Set a cost slot to `unit_cost` per input unit (the op books
@@ -385,6 +443,80 @@ impl FlowPatch {
             self.volume,
         )
     }
+
+    /// Like [`CompiledFlow::analyze_duals`] but on the patched op
+    /// vector: one dual walk at the *patched* operating point, with
+    /// the primal report bit-identical to [`FlowPatch::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownPatchSlot`] /
+    /// [`FlowError::AmbiguousPatchSlot`] for unresolvable direction
+    /// components and [`FlowError::NothingShipped`] when the patched
+    /// flow ships nothing.
+    pub fn analyze_duals(&self, directions: &[DualDirection]) -> Result<DualReport, FlowError> {
+        let folded = fold_directions(&self.program, &self.ops, directions)?;
+        let (entry, len) = self.program.top_region();
+        analytic::analyze_ops_duals(
+            &self.ops,
+            entry,
+            len,
+            self.program.names(),
+            self.program.line_name(),
+            self.nre,
+            self.volume,
+            &folded,
+        )
+    }
+}
+
+/// Translate per-input-unit [`DualDirection`]s into per-op tangent
+/// seeds on the *folded* op parameters — the inverse of the folding the
+/// [`FlowPatch`] setters perform, as a chain-rule weight:
+///
+/// - cost slots fold `quantity × unit_cost`, so ∂folded/∂unit = `qty`;
+/// - yield slots fold `p_unit^quantity`, so ∂folded/∂p_unit =
+///   `qty · p_unit^(qty-1) = qty · p_good^((qty-1)/qty)` evaluated at
+///   the op's *current* folded `p_good` (zero when a multi-unit slot
+///   sits at `p_good = 0`, matching the one-sided derivative);
+/// - coverage slots are stored unfolded, weight passes through.
+///
+/// `ops` is passed separately from `program` so patched op vectors
+/// seed at their patched operating point.
+fn fold_directions<'d>(
+    program: &RoutingProgram,
+    ops: &[Op],
+    directions: impl IntoIterator<Item = &'d DualDirection>,
+) -> Result<FoldedDirections, FlowError> {
+    let mut folded = FoldedDirections::default();
+    for dir in directions {
+        for (name, kind, w) in &dir.parts {
+            let (op, qty) = program.resolve_slot(name, *kind)?;
+            let weight = match kind {
+                SlotKind::Cost => w * qty as f64,
+                SlotKind::Coverage => *w,
+                SlotKind::Yield if qty <= 1 => *w,
+                SlotKind::Yield => {
+                    let Op::Step { p_good, .. } = ops[op as usize] else {
+                        unreachable!("yield slot registered on a non-step op");
+                    };
+                    let q = qty as f64;
+                    if p_good <= 0.0 {
+                        0.0
+                    } else {
+                        w * q * p_good.powf((q - 1.0) / q)
+                    }
+                }
+            };
+            folded.seeds.push(FoldedSeed {
+                op,
+                kind: *kind,
+                weight,
+            });
+        }
+        folded.ends.push(folded.seeds.len() as u32);
+    }
+    Ok(folded)
 }
 
 #[cfg(test)]
@@ -564,6 +696,178 @@ mod tests {
         // nothing ships, but the walker stays well-defined.
         let doomed = patch.analyze().unwrap();
         assert!(doomed.shipped_fraction() < 0.05);
+    }
+
+    /// Central finite difference of `metric` under `apply(x)` patching.
+    fn central_fd(
+        base: &CompiledFlow,
+        x0: f64,
+        h: f64,
+        apply: impl Fn(&mut FlowPatch, f64),
+        metric: impl Fn(&CostReport) -> f64,
+    ) -> f64 {
+        let mut lo = base.patch();
+        apply(&mut lo, x0 - h);
+        let mut hi = base.patch();
+        apply(&mut hi, x0 + h);
+        (metric(&hi.analyze().unwrap()) - metric(&lo.analyze().unwrap())) / (2.0 * h)
+    }
+
+    #[test]
+    fn dual_primal_is_bit_identical_to_analyze() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let dirs = [
+            DualDirection::cost("c"),
+            DualDirection::cost("a/die"),
+            DualDirection::step_yield("p"),
+            DualDirection::step_yield("a/die"),
+            DualDirection::coverage("ft"),
+        ];
+        let dual = base.analyze_duals(&dirs).unwrap();
+        assert_eq!(dual.report, base.analyze().unwrap());
+        assert_eq!(dual.gradients.len(), dirs.len());
+    }
+
+    #[test]
+    fn dual_gradients_match_finite_differences() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let dual = base
+            .analyze_duals(&[
+                DualDirection::cost("c"),
+                DualDirection::cost("a/die"),
+                DualDirection::step_yield("p"),
+                DualDirection::step_yield("a/die"),
+                DualDirection::coverage("ft"),
+            ])
+            .unwrap();
+        let h = 1e-6;
+        type Setter = Box<dyn Fn(&mut FlowPatch, f64)>;
+        let cases: [(f64, Setter); 5] = [
+            (
+                10.0,
+                Box::new(|p, x| {
+                    p.set_cost("c", Money::new(x)).unwrap();
+                }),
+            ),
+            (
+                5.0,
+                Box::new(|p, x| {
+                    p.set_cost("a/die", Money::new(x)).unwrap();
+                }),
+            ),
+            (
+                0.9,
+                Box::new(|pt, x| {
+                    pt.set_yield("p", p(x)).unwrap();
+                }),
+            ),
+            (
+                0.95,
+                Box::new(|pt, x| {
+                    pt.set_yield("a/die", p(x)).unwrap();
+                }),
+            ),
+            (
+                0.99,
+                Box::new(|pt, x| {
+                    pt.set_coverage("ft", p(x)).unwrap();
+                }),
+            ),
+        ];
+        for (g, (x0, apply)) in dual.gradients.iter().zip(&cases) {
+            let fd = central_fd(&base, *x0, h, apply, |r| r.final_cost_per_shipped().units());
+            assert!(
+                (g.final_cost_per_shipped - fd).abs() <= 1e-6 * fd.abs().max(1.0),
+                "dual {} vs fd {fd}",
+                g.final_cost_per_shipped,
+            );
+            let fd_ship = central_fd(&base, *x0, h, apply, CostReport::shipped_fraction);
+            assert!((g.shipped_fraction - fd_ship).abs() <= 1e-6 * fd_ship.abs().max(1.0));
+        }
+        // Cost directions are exact-linear: extrapolating the carrier
+        // cost by a *finite* step must land exactly on the re-analyzed
+        // value (cohort masses don't depend on costs).
+        let g = dual.gradients[0].final_cost_per_shipped;
+        let base_cost = dual.report.final_cost_per_shipped().units();
+        let mut jumped = base.patch();
+        jumped.set_cost("c", Money::new(17.5)).unwrap();
+        let expect = jumped.analyze().unwrap().final_cost_per_shipped().units();
+        assert!((base_cost + g * 7.5 - expect).abs() <= 1e-12 * expect.abs());
+    }
+
+    #[test]
+    fn multi_slot_direction_sums_component_derivatives() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        // d/ds of scaling *both* cost slots by (1+s) at s=0: weight each
+        // slot by its current per-unit cost.
+        let combined =
+            DualDirection::new()
+                .with("c", SlotKind::Cost, 10.0)
+                .with("a/die", SlotKind::Cost, 5.0);
+        let dual = base
+            .analyze_duals(&[
+                combined,
+                DualDirection::cost("c"),
+                DualDirection::cost("a/die"),
+            ])
+            .unwrap();
+        let lhs = dual.gradients[0].final_cost_per_shipped;
+        let rhs = 10.0 * dual.gradients[1].final_cost_per_shipped
+            + 5.0 * dual.gradients[2].final_cost_per_shipped;
+        assert!((lhs - rhs).abs() <= 1e-12 * rhs.abs());
+    }
+
+    #[test]
+    fn dual_directions_resolve_like_the_setters() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let err = base
+            .analyze_duals(&[DualDirection::cost("ghost")])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::UnknownPatchSlot { .. }));
+        // No-direction call degenerates to a plain analyze.
+        let empty = base.analyze_duals(&[]).unwrap();
+        assert_eq!(empty.report, base.analyze().unwrap());
+        assert!(empty.gradients.is_empty());
+    }
+
+    #[test]
+    fn patched_duals_seed_at_the_patched_point() {
+        // After patching the step yield, the dual derivative must be
+        // taken at the *patched* operating point, not the compiled one.
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let mut patch = base.patch();
+        patch.set_yield("p", p(0.7)).unwrap();
+        let dual = patch
+            .analyze_duals(&[DualDirection::step_yield("p")])
+            .unwrap();
+        assert_eq!(dual.report, patch.analyze().unwrap());
+        let h = 1e-6;
+        let fd = central_fd(
+            &base,
+            0.7,
+            h,
+            |pt, x| {
+                pt.set_yield("p", p(x)).unwrap();
+            },
+            |r| r.final_cost_per_shipped().units(),
+        );
+        let g = dual.gradients[0].final_cost_per_shipped;
+        assert!((g - fd).abs() <= 1e-6 * fd.abs().max(1.0), "{g} vs {fd}");
+    }
+
+    #[test]
+    fn more_than_max_width_directions_chunk_correctly() {
+        // 20 directions forces two chunks (16 + 4); lane bookkeeping
+        // must not bleed across chunk boundaries.
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let one = base.analyze_duals(&[DualDirection::cost("c")]).unwrap();
+        let many: Vec<DualDirection> = (0..20).map(|_| DualDirection::cost("c")).collect();
+        let wide = base.analyze_duals(&many).unwrap();
+        assert_eq!(wide.report, one.report);
+        assert_eq!(wide.gradients.len(), 20);
+        for g in &wide.gradients {
+            assert_eq!(*g, one.gradients[0]);
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! its low/high variant, re-evaluate the flow analytically, and rank the
 //! inputs by their cost swing.
 
+use crate::dual::DualDirection;
 use crate::error::FlowError;
 use crate::flow::Flow;
 use crate::patch::{CompiledFlow, FlowPatch};
@@ -34,6 +35,24 @@ pub struct TornadoPatch<'a> {
     pub low: FlowPatch,
     /// The patch with the parameter at its high value.
     pub high: FlowPatch,
+}
+
+/// One input parameter as a derivative direction plus its low/high
+/// deltas — the gradient form of [`TornadoPatch`]: the whole chart is
+/// one dual pass ([`CompiledFlow::analyze_duals`]) instead of `1 + 2·n`
+/// patched walks. Rows extrapolate `baseline + ∂cost/∂direction · Δ`;
+/// for pure cost directions that extrapolation is *exact* (final cost
+/// is affine in every cost slot), elsewhere it is first-order.
+#[derive(Debug)]
+pub struct TornadoDirection<'a> {
+    /// Parameter label.
+    pub name: &'a str,
+    /// The derivative direction (per-input-unit slot weights).
+    pub direction: DualDirection,
+    /// Signed delta along `direction` for the low variant.
+    pub low: f64,
+    /// Signed delta along `direction` for the high variant.
+    pub high: f64,
 }
 
 /// One bar of the tornado chart.
@@ -108,7 +127,7 @@ impl Tornado {
     /// Fails if the baseline or any patched variant ships nothing.
     pub fn evaluate_patches(
         baseline: &CompiledFlow,
-        inputs: Vec<TornadoPatch<'_>>,
+        inputs: &[TornadoPatch<'_>],
     ) -> Result<Tornado, FlowError> {
         Tornado::evaluate_patches_with(&Executor::available(), baseline, inputs)
     }
@@ -122,7 +141,7 @@ impl Tornado {
     pub fn evaluate_patches_with(
         executor: &Executor,
         baseline: &CompiledFlow,
-        inputs: Vec<TornadoPatch<'_>>,
+        inputs: &[TornadoPatch<'_>],
     ) -> Result<Tornado, FlowError> {
         // One flat batch: the unpatched baseline first, then each
         // input's low/high patch. An unpatched `FlowPatch` analyzes
@@ -130,7 +149,7 @@ impl Tornado {
         // the same shared fan-out as the variants.
         let mut variants: Vec<Option<&FlowPatch>> = Vec::with_capacity(1 + 2 * inputs.len());
         variants.push(None);
-        for input in &inputs {
+        for input in inputs {
             variants.push(Some(&input.low));
             variants.push(Some(&input.high));
         }
@@ -148,11 +167,54 @@ impl Tornado {
         Ok(Tornado::from_costs(&costs, names))
     }
 
+    /// Evaluate a tornado in **one analytic pass**: the baseline walk
+    /// carries one tangent lane per input, and each row is the
+    /// gradient extrapolation `baseline + ∂cost/∂direction · Δ`.
+    ///
+    /// For rows whose direction touches only [`SlotKind::Cost`] slots
+    /// the extrapolated costs equal the re-evaluated
+    /// [`Tornado::evaluate_patches`] costs exactly (cohort masses are
+    /// cost-independent, so final cost is affine in every cost slot);
+    /// yield and coverage rows are first-order around the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a direction names an unknown or ambiguous slot, or if
+    /// the baseline ships nothing.
+    ///
+    /// [`SlotKind::Cost`]: crate::SlotKind::Cost
+    pub fn evaluate_gradients(
+        baseline: &CompiledFlow,
+        inputs: &[TornadoDirection<'_>],
+    ) -> Result<Tornado, FlowError> {
+        let dual = baseline.analyze_duals_ref(inputs.iter().map(|i| &i.direction))?;
+        let baseline_cost = dual.report.final_cost_per_shipped().units();
+        let rows = inputs
+            .iter()
+            .zip(&dual.gradients)
+            .map(|(input, g)| TornadoRow {
+                name: input.name.to_owned(),
+                low_cost: baseline_cost + g.final_cost_per_shipped * input.low,
+                high_cost: baseline_cost + g.final_cost_per_shipped * input.high,
+            })
+            .collect();
+        Ok(Tornado::sorted(baseline_cost, rows))
+    }
+
+    /// Assemble a chart from externally computed rows — for hybrid
+    /// evaluations that mix exact gradient extrapolations (cost rows)
+    /// with re-evaluated patches (large nonlinear steps), like
+    /// the GPS case study's sensitivity experiment. Rows are sorted by
+    /// decreasing swing like every other constructor.
+    pub fn from_rows(baseline_cost: f64, rows: Vec<TornadoRow>) -> Tornado {
+        Tornado::sorted(baseline_cost, rows)
+    }
+
     /// Assemble the chart from the flat `[baseline, low₀, high₀, …]`
     /// cost batch both evaluation strategies produce.
     fn from_costs<'a>(costs: &[f64], names: impl Iterator<Item = &'a str>) -> Tornado {
         let baseline_cost = costs[0];
-        let mut rows: Vec<TornadoRow> = names
+        let rows: Vec<TornadoRow> = names
             .enumerate()
             .map(|(i, name)| TornadoRow {
                 name: name.to_owned(),
@@ -160,11 +222,17 @@ impl Tornado {
                 high_cost: costs[2 + 2 * i],
             })
             .collect();
-        rows.sort_by(|a, b| {
-            b.swing()
-                .partial_cmp(&a.swing())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        Tornado::sorted(baseline_cost, rows)
+    }
+
+    /// Sort rows by decreasing swing. `total_cmp`, not `partial_cmp`:
+    /// a NaN swing (e.g. a variant whose cost overflowed to NaN) must
+    /// sort deterministically — NaN ranks above every finite swing so a
+    /// poisoned row is impossible to overlook at the top of the chart —
+    /// rather than short-circuiting the comparator to `Equal` and
+    /// leaving neighbors in arbitrary relative order.
+    fn sorted(baseline_cost: f64, mut rows: Vec<TornadoRow>) -> Tornado {
+        rows.sort_by(|a, b| b.swing().total_cmp(&a.swing()));
         Tornado {
             baseline_cost,
             rows,
@@ -292,7 +360,7 @@ mod tests {
         };
         let patched = Tornado::evaluate_patches(
             &base,
-            vec![
+            &[
                 TornadoPatch {
                     name: "part cost ±10%",
                     low: variant(Some(9.0), None),
@@ -308,6 +376,97 @@ mod tests {
         .unwrap();
         assert_eq!(rebuilt.baseline_cost(), patched.baseline_cost());
         assert_eq!(rebuilt.rows(), patched.rows());
+    }
+
+    #[test]
+    fn nan_swing_sorts_first_not_arbitrarily() {
+        // `partial_cmp(..).unwrap_or(Equal)` used to make NaN swings
+        // compare Equal to everything, so sort order depended on where
+        // the NaN row sat in the input. `total_cmp` ranks NaN above all
+        // finite swings, deterministically.
+        let costs = [
+            10.0, // baseline
+            9.0,
+            11.0, // "small": swing 2
+            f64::NAN,
+            11.0, // "poisoned": swing NaN
+            5.0,
+            15.0, // "big": swing 10
+        ];
+        let tornado = Tornado::from_costs(&costs, ["small", "poisoned", "big"].into_iter());
+        let order: Vec<&str> = tornado.rows().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(order, ["poisoned", "big", "small"]);
+        // Same rows, NaN listed last on input: same output order.
+        let costs = [10.0, 5.0, 15.0, 9.0, 11.0, f64::NAN, 11.0];
+        let tornado = Tornado::from_costs(&costs, ["big", "small", "poisoned"].into_iter());
+        let order: Vec<&str> = tornado.rows().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(order, ["poisoned", "big", "small"]);
+    }
+
+    #[test]
+    fn gradient_tornado_cross_checks_the_patched_path() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let variant = |cost: Option<f64>, y: Option<f64>| {
+            let mut p_ = base.patch();
+            if let Some(c) = cost {
+                p_.set_cost("c", Money::new(c)).unwrap();
+            }
+            if let Some(y) = y {
+                p_.set_yield("p", Probability::new(y).unwrap()).unwrap();
+            }
+            p_
+        };
+        let patched = Tornado::evaluate_patches(
+            &base,
+            &[
+                TornadoPatch {
+                    name: "part cost ±10%",
+                    low: variant(Some(9.0), None),
+                    high: variant(Some(11.0), None),
+                },
+                TornadoPatch {
+                    name: "process yield ±5pts",
+                    low: variant(None, Some(0.85)),
+                    high: variant(None, Some(0.95)),
+                },
+            ],
+        )
+        .unwrap();
+        let gradient = Tornado::evaluate_gradients(
+            &base,
+            &[
+                TornadoDirection {
+                    name: "part cost ±10%",
+                    direction: DualDirection::cost("c"),
+                    low: -1.0,
+                    high: 1.0,
+                },
+                TornadoDirection {
+                    name: "process yield ±5pts",
+                    direction: DualDirection::step_yield("p"),
+                    low: -0.05,
+                    high: 0.05,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(gradient.baseline_cost(), patched.baseline_cost());
+        assert_eq!(gradient.rows().len(), 2);
+        for (g, p_) in gradient.rows().iter().zip(patched.rows()) {
+            assert_eq!(g.name, p_.name);
+            if g.name.contains("cost") {
+                // Cost rows: the gradient extrapolation is exact.
+                assert!((g.low_cost - p_.low_cost).abs() <= 1e-12 * p_.low_cost.abs());
+                assert!((g.high_cost - p_.high_cost).abs() <= 1e-12 * p_.high_cost.abs());
+            } else {
+                // Yield rows: first-order around the baseline — within
+                // a few percent for a ±5 pt step on this line.
+                assert!((g.low_cost - p_.low_cost).abs() / p_.low_cost.abs() < 0.03);
+                assert!((g.high_cost - p_.high_cost).abs() / p_.high_cost.abs() < 0.03);
+            }
+        }
+        // Both strategies agree on the ranking.
+        assert_eq!(gradient.rows()[0].name, patched.rows()[0].name);
     }
 
     #[test]

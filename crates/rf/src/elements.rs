@@ -1,7 +1,7 @@
 //! Circuit elements with loss models, composable into one-port
 //! immittances.
 
-use crate::complex::Complex;
+use crate::complex::{Complex, DualComplex};
 use ipass_units::{Capacitance, Frequency, Inductance, Resistance};
 use std::fmt;
 
@@ -35,6 +35,17 @@ impl Loss {
                 r
             }
         }
+    }
+
+    /// The series resistance together with its ω-derivative, given the
+    /// reactance `x` and its derivative `dx` (d|x|/dω = sign(x)·dx).
+    fn series_r_dw(self, x: f64, dx: f64) -> (f64, f64) {
+        let r = self.series_r(x);
+        let dr = match self {
+            Loss::Ideal | Loss::SeriesR(_) => 0.0,
+            Loss::Q(q) => (if x < 0.0 { -dx } else { dx }) / q,
+        };
+        (r, dr)
     }
 }
 
@@ -140,6 +151,48 @@ impl Immittance {
     /// admittance so downstream matrix algebra stays NaN-free.
     pub fn admittance(&self, f: Frequency) -> Complex {
         safe_recip(self.impedance(f))
+    }
+
+    /// The impedance at `f` together with its exact derivative with
+    /// respect to angular frequency, propagated as a dual number.
+    ///
+    /// The value component follows the same arithmetic as
+    /// [`Immittance::impedance`]; the derivative applies the chain rule
+    /// per element: `d(ωL)/dω = L`, `d(−1/(ωC))/dω = 1/(ω²C)`, and for
+    /// a constant-Q loss the series resistance tracks `|x|/Q`.
+    pub(crate) fn impedance_dw(&self, f: Frequency) -> DualComplex {
+        let w = f.angular();
+        match self {
+            Immittance::Resistor(r) => DualComplex::constant(Complex::real(r.ohms())),
+            Immittance::Inductor { henries, loss } => {
+                let l = henries.henries();
+                let x = w * l;
+                let (r, dr) = loss.series_r_dw(x, l);
+                DualComplex::new(Complex::new(r, x), Complex::new(dr, l))
+            }
+            Immittance::Capacitor { farads, loss } => {
+                let c = farads.farads();
+                let x = -1.0 / (w * c);
+                let dx = 1.0 / (w * w * c);
+                let (r, dr) = loss.series_r_dw(x, dx);
+                DualComplex::new(Complex::new(r, x), Complex::new(dr, dx))
+            }
+            Immittance::Series(parts) => parts
+                .iter()
+                .fold(DualComplex::ZERO, |acc, p| acc + p.impedance_dw(f)),
+            Immittance::Parallel(parts) => {
+                let y = parts.iter().fold(DualComplex::ZERO, |acc, p| {
+                    acc + p.impedance_dw(f).safe_recip()
+                });
+                y.safe_recip()
+            }
+        }
+    }
+
+    /// The admittance dual at `f` — [`Immittance::impedance_dw`] through
+    /// the NaN-free reciprocal.
+    pub(crate) fn admittance_dw(&self, f: Frequency) -> DualComplex {
+        self.impedance_dw(f).safe_recip()
     }
 
     /// Count of primitive R/L/C elements (for BOM accounting).

@@ -169,7 +169,12 @@ pub fn chebyshev_order(atten_db: f64, ripple_db: f64, omega: f64) -> usize {
 }
 
 /// Group delay of a ladder at `f`, in seconds, from the phase slope of
-/// S21 (central finite difference).
+/// S21 (exact ω-derivative via dual numbers — no finite-difference
+/// step, so the result is free of truncation and cancellation error).
+///
+/// S21 of a ladder is `2√(Zs·Zl)/denom` with a real numerator, so
+/// `τ = −d arg(S21)/dω = Im(denom′/denom)`; the denominator and its
+/// derivative come out of one dual-valued ABCD cascade.
 ///
 /// # Panics
 ///
@@ -189,13 +194,8 @@ pub fn chebyshev_order(atten_db: f64, ripple_db: f64, omega: f64) -> usize {
 /// ```
 pub fn group_delay(ladder: &Ladder, f: Frequency) -> f64 {
     assert!(f.hertz() > 0.0, "frequency must be positive");
-    let df = f.hertz() * 1e-6;
-    let lo = ladder.s_params(Frequency::new(f.hertz() - df)).s21;
-    let hi = ladder.s_params(Frequency::new(f.hertz() + df)).s21;
-    // Unwrapped phase difference via the angle of the ratio — immune to
-    // branch cuts as long as the step is small.
-    let dphi = (hi / lo).arg();
-    -dphi / (2.0 * std::f64::consts::PI * 2.0 * df)
+    let denom = ladder.s21_denominator_dw(f);
+    (denom.dw / denom.val).im
 }
 
 #[cfg(test)]
@@ -345,7 +345,60 @@ mod tests {
     #[test]
     fn group_delay_of_through_is_zero() {
         let through = Ladder::new(vec![], 50.0, 50.0);
-        assert!(group_delay(&through, mhz(100.0)).abs() < 1e-15);
+        // The dual derivative of the identity cascade is exactly zero —
+        // no finite-difference noise floor.
+        assert_eq!(group_delay(&through, mhz(100.0)), 0.0);
+    }
+
+    /// The central finite difference the function used before the dual
+    /// rewrite, kept as an independent cross-check.
+    fn group_delay_fd(ladder: &Ladder, f: Frequency) -> f64 {
+        let df = f.hertz() * 1e-6;
+        let lo = ladder.s_params(Frequency::new(f.hertz() - df)).s21;
+        let hi = ladder.s_params(Frequency::new(f.hertz() + df)).s21;
+        let dphi = (hi / lo).arg();
+        -dphi / (2.0 * std::f64::consts::PI * 2.0 * df)
+    }
+
+    #[test]
+    fn dual_group_delay_matches_finite_differences() {
+        // Lossy and lossless, low-pass and high-pass, in and out of
+        // band: the exact dual derivative must agree with the central
+        // finite difference to the latter's truncation accuracy.
+        let networks = [
+            lowpass(
+                5,
+                Approximation::Chebyshev { ripple_db: 0.5 },
+                mhz(10.0),
+                50.0,
+                ElementLosses::q(20.0, 100.0),
+            ),
+            lowpass(
+                4,
+                Approximation::Butterworth,
+                mhz(10.0),
+                50.0,
+                ElementLosses::ideal(),
+            ),
+            highpass(
+                3,
+                Approximation::Butterworth,
+                mhz(10.0),
+                75.0,
+                ElementLosses::q(40.0, 40.0),
+            ),
+        ];
+        for ladder in &networks {
+            for f in linspace(mhz(1.0), mhz(30.0), 25) {
+                let exact = group_delay(ladder, f);
+                let fd = group_delay_fd(ladder, f);
+                let tol = 1e-6 * fd.abs().max(1e-9);
+                assert!(
+                    (exact - fd).abs() < tol,
+                    "{ladder} at {f}: dual {exact} vs FD {fd}"
+                );
+            }
+        }
     }
 
     #[test]

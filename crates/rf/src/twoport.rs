@@ -1,7 +1,7 @@
 //! Two-port networks: ABCD (chain) matrices, S-parameters and ladder
 //! networks.
 
-use crate::complex::Complex;
+use crate::complex::{Complex, DualComplex};
 use crate::elements::Immittance;
 use ipass_units::{voltage_ratio_to_db, Frequency};
 use std::fmt;
@@ -210,6 +210,60 @@ impl Branch {
             Branch::Series(imm) | Branch::Shunt(imm) => imm,
         }
     }
+
+    /// The branch's ABCD matrix at `f` as duals over ω.
+    fn abcd_dw(&self, f: Frequency) -> AbcdDw {
+        match self {
+            Branch::Series(imm) => AbcdDw {
+                a: DualComplex::constant(Complex::ONE),
+                b: imm.impedance_dw(f),
+                c: DualComplex::ZERO,
+                d: DualComplex::constant(Complex::ONE),
+            },
+            Branch::Shunt(imm) => AbcdDw {
+                a: DualComplex::constant(Complex::ONE),
+                b: DualComplex::ZERO,
+                c: imm.admittance_dw(f),
+                d: DualComplex::constant(Complex::ONE),
+            },
+        }
+    }
+}
+
+/// An ABCD matrix of [`DualComplex`] entries: the chain matrix together
+/// with its exact derivative with respect to angular frequency.
+#[derive(Debug, Clone, Copy)]
+struct AbcdDw {
+    a: DualComplex,
+    b: DualComplex,
+    c: DualComplex,
+    d: DualComplex,
+}
+
+impl AbcdDw {
+    const IDENTITY: AbcdDw = AbcdDw {
+        a: DualComplex {
+            val: Complex::ONE,
+            dw: Complex::ZERO,
+        },
+        b: DualComplex::ZERO,
+        c: DualComplex::ZERO,
+        d: DualComplex {
+            val: Complex::ONE,
+            dw: Complex::ZERO,
+        },
+    };
+
+    /// Cascade: `self` followed by `rhs`, with the product rule applied
+    /// entry-wise by the dual arithmetic.
+    fn cascade(self, rhs: AbcdDw) -> AbcdDw {
+        AbcdDw {
+            a: self.a * rhs.a + self.b * rhs.c,
+            b: self.a * rhs.b + self.b * rhs.d,
+            c: self.c * rhs.a + self.d * rhs.c,
+            d: self.c * rhs.b + self.d * rhs.d,
+        }
+    }
 }
 
 /// A doubly-terminated ladder network (the canonical filter structure).
@@ -297,6 +351,22 @@ impl Ladder {
     pub fn s_params(&self, f: Frequency) -> SParams {
         self.abcd(f)
             .to_s_params_between(self.source_ohms, self.load_ohms)
+    }
+
+    /// The S21 denominator `A·Zl + B + C·Zs·Zl + D·Zs` at `f` with its
+    /// exact ω-derivative.
+    ///
+    /// Because `S21 = 2√(Zs·Zl)/denom` with a real, frequency-independent
+    /// numerator, the entire phase of S21 is `−arg(denom)`, so the group
+    /// delay `τ = −d arg(S21)/dω` is exactly `Im(denom′/denom)`.
+    pub(crate) fn s21_denominator_dw(&self, f: Frequency) -> DualComplex {
+        let m = self
+            .branches
+            .iter()
+            .fold(AbcdDw::IDENTITY, |acc, b| acc.cascade(b.abcd_dw(f)));
+        let zs = Complex::real(self.source_ohms);
+        let zl = Complex::real(self.load_ohms);
+        m.a * zl + m.b + m.c * (zs * zl) + m.d * zs
     }
 
     /// Insertion loss in dB at `f` (relative to the maximum power
