@@ -13,7 +13,7 @@ use ipass_core::{
     PlanError, SelectionObjective,
 };
 use ipass_explore::ExploreError;
-use ipass_moe::{CostCategory, CostReport, FlowError, SimOptions, SimSummary};
+use ipass_moe::{CostCategory, CostReport, Flow, FlowError, SimOptions, SimSummary};
 use ipass_passives::{
     smd_area_series, MimCapacitor, SpiralInductor, SynthesisError, ThinFilmProcess,
     ThinFilmResistor,
@@ -126,6 +126,26 @@ pub fn assess_all() -> Result<Vec<SolutionAssessment>, ExperimentError> {
             cost,
         })
     })
+}
+
+/// The four paper solutions' production flows, labelled with the
+/// paper's solution names — the full committed-model surface the
+/// `ipass lint` gate verifies statically (every flow a registry
+/// artifact evaluates passes through here).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if planning or flow construction fails.
+pub fn solution_flows() -> Result<Vec<(&'static str, Flow)>, ExperimentError> {
+    BuildUp::paper_solutions()
+        .iter()
+        .zip(paper::SOLUTION_NAMES.iter().copied())
+        .map(|(buildup, label)| {
+            let plan = buildup.plan(&gps_bom(buildup), SelectionObjective::MinArea)?;
+            let flow = plan.production_flow(plan.area().substrate_area, &cost_inputs(buildup))?;
+            Ok((label, flow))
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------

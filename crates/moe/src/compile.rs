@@ -307,10 +307,12 @@ impl Totals {
 /// `Sync`.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RoutingProgram {
-    ops: Vec<Op>,
+    /// Field visibility is `pub(crate)` (not accessor-only) so the
+    /// verifier's mutation corpus can corrupt programs in place.
+    pub(crate) ops: Vec<Op>,
     /// The top line's contiguous region.
-    entry: u32,
-    len: u32,
+    pub(crate) entry: u32,
+    pub(crate) len: u32,
     /// Defect-source labels, in [`labels::index_line`] order — shared
     /// with the analytic engine's pareto.
     names: Vec<String>,
@@ -320,9 +322,9 @@ pub(crate) struct RoutingProgram {
     line_name: String,
     /// No [`Op::SubLine`] anywhere: the kernel may take the
     /// recursion-free fast path.
-    flat: bool,
+    pub(crate) flat: bool,
     /// Patchable parameters, in emission order (see [`PatchSlot`]).
-    slots: Vec<PatchSlot>,
+    pub(crate) slots: Vec<PatchSlot>,
     /// Pre-resolved name → per-kind slot lookup, including build-time
     /// ambiguity marks, so [`RoutingProgram::resolve_slot`] is one hash
     /// probe — a dual direction resolves every part it names, and a
@@ -423,6 +425,11 @@ impl RoutingProgram {
     /// The top line's name.
     pub(crate) fn line_name(&self) -> &str {
         &self.line_name
+    }
+
+    /// Nested line names ([`Op::SubLine::name`] indexes this).
+    pub(crate) fn line_names(&self) -> &[String] {
+        &self.line_names
     }
 
     /// The flat op vector (the analytic walker and patcher read it).

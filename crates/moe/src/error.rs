@@ -66,6 +66,29 @@ pub enum FlowError {
         /// Retry budget that was exhausted.
         attempts: u32,
     },
+    /// A strict ([`FlowPatch::deny_warnings`]) patch wrote the same slot
+    /// twice — the second write silently discards the first, which in a
+    /// scenario definition almost always means two directives disagree
+    /// about the same parameter.
+    ///
+    /// [`FlowPatch::deny_warnings`]: crate::FlowPatch::deny_warnings
+    DuplicatePatchSlot {
+        /// The twice-written `name (kind)` pair.
+        slot: String,
+    },
+    /// Static verification ([`CompiledFlow::verify`]) found
+    /// error-severity diagnostics, so the requested operation refused to
+    /// trust the program.
+    ///
+    /// [`CompiledFlow::verify`]: crate::CompiledFlow::verify
+    VerificationFailed {
+        /// Name of the flow.
+        flow: String,
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// The first error diagnostic, rendered.
+        first: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -108,6 +131,24 @@ impl fmt::Display for FlowError {
                 write!(
                     f,
                     "nested line {line:?} produced no passing unit in {attempts} attempts"
+                )
+            }
+            FlowError::DuplicatePatchSlot { slot } => {
+                write!(
+                    f,
+                    "patch slot {slot:?} written twice; the second write would \
+                     silently discard the first"
+                )
+            }
+            FlowError::VerificationFailed {
+                flow,
+                errors,
+                first,
+            } => {
+                write!(
+                    f,
+                    "flow {flow:?} failed static verification with {errors} error(s); \
+                     first: {first}"
                 )
             }
         }

@@ -129,11 +129,21 @@ impl Flow {
     /// [`CompiledFlow`]: crate::CompiledFlow
     /// [`CompiledFlow::patch`]: crate::CompiledFlow::patch
     pub fn compiled(&self) -> Result<crate::patch::CompiledFlow, FlowError> {
-        Ok(crate::patch::CompiledFlow::new(
-            self.program()?.clone(),
-            self.nre,
-            self.volume,
-        ))
+        let compiled =
+            crate::patch::CompiledFlow::new(self.program()?.clone(), self.nre, self.volume);
+        // Debug builds statically verify every freshly compiled program:
+        // a compiler bug that corrupts an invariant the engines trust
+        // fails loudly here instead of skewing numbers downstream.
+        #[cfg(debug_assertions)]
+        {
+            let diags = compiled.verify();
+            debug_assert!(
+                !diags.has_errors(),
+                "compiled program for flow {:?} failed static verification:\n{diags}",
+                self.name(),
+            );
+        }
+        Ok(compiled)
     }
 
     /// Evaluate the flow by seeded Monte Carlo simulation.

@@ -71,6 +71,7 @@
 mod analytic;
 mod compile;
 mod cost;
+mod diagnostics;
 mod dual;
 mod error;
 mod flow;
@@ -84,12 +85,14 @@ mod report;
 mod sensitivity;
 mod stage;
 mod sweep;
+mod verify;
 mod yield_model;
 
 #[doc(hidden)]
 pub use analytic::analyze_line_reference;
 pub use compile::SlotKind;
 pub use cost::{CostCategory, CostVector, StepCost};
+pub use diagnostics::{Diagnostic, Diagnostics, Severity};
 pub use dual::{DualDirection, DualReport, Gradient};
 pub use error::FlowError;
 pub use flow::Flow;
@@ -108,4 +111,7 @@ pub use sweep::{
     find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_series, sweep_with,
     CrossoverError, SweepPoint,
 };
+#[doc(hidden)]
+pub use verify::measured_draws_per_unit;
+pub use verify::{CountInterval, Interval, StaticBounds};
 pub use yield_model::{DefectModel, YieldModel};

@@ -44,10 +44,12 @@
 
 use crate::analytic::{self, FoldedDirections, FoldedSeed};
 use crate::compile::{Op, RoutingProgram, SlotKind};
+use crate::diagnostics::{Diagnostic, Diagnostics, Severity};
 use crate::dual::{DualDirection, DualReport};
 use crate::error::FlowError;
 use crate::mc::{self, SimOptions, SimSummary};
 use crate::report::CostReport;
+use crate::verify::{self, StaticBounds, VerifyMode};
 use ipass_sim::{Executor, SimRng};
 use ipass_units::{Money, Probability};
 use std::borrow::Cow;
@@ -107,6 +109,92 @@ impl CompiledFlow {
     /// The flow's name (the top line's name).
     pub fn name(&self) -> &str {
         self.program.line_name()
+    }
+
+    /// The underlying routing program (verification, draw measurement).
+    pub(crate) fn program(&self) -> &RoutingProgram {
+        &self.program
+    }
+
+    /// Statically verify the compiled program against the invariant
+    /// catalog every engine trusts and lint it for probable modeling
+    /// mistakes — DESIGN.md's verifier section has the full catalog.
+    /// Runs
+    /// automatically (as a debug assertion) when a flow is compiled
+    /// under `debug_assertions`.
+    pub fn verify(&self) -> Diagnostics {
+        verify::verify_program(
+            &self.program,
+            self.program.ops(),
+            VerifyMode::Compiled,
+            mc::DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
+        )
+    }
+
+    /// Statically verified per-started-unit bounds — RNG draws, booked
+    /// cost, shipped-fraction support, rework attempts, sub-unit builds
+    /// — valid for *every* draw outcome at the given
+    /// `subassembly_retry_budget` (the bound the Monte Carlo engine
+    /// enforces; the analytic engine's untruncated retry model stays
+    /// inside the cost bound whenever each sub-line's expected attempt
+    /// count does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::ZeroRetryBudget`] for a zero budget and
+    /// [`FlowError::VerificationFailed`] when structural verification
+    /// finds errors (the interval walk trusts region soundness).
+    pub fn static_bounds(&self, retry_budget: u32) -> Result<StaticBounds, FlowError> {
+        if retry_budget == 0 {
+            return Err(FlowError::ZeroRetryBudget);
+        }
+        let diags =
+            verify::structural_errors(&self.program, self.program.ops(), VerifyMode::Compiled);
+        if diags.has_errors() {
+            return Err(verification_failed(&diags));
+        }
+        let (entry, len) = self.program.top_region();
+        Ok(verify::static_bounds(
+            self.program.ops(),
+            entry,
+            len,
+            retry_budget,
+        ))
+    }
+
+    /// Lint a batch of [`PatchDirective`]s against this program without
+    /// applying them: unresolvable slots are errors, several directives
+    /// writing the same slot is a warning (last-wins is almost always a
+    /// scenario-definition mistake).
+    pub fn lint_directives(&self, directives: &[PatchDirective]) -> Diagnostics {
+        let mut diags = Diagnostics::new(self.program.line_name());
+        let mut touched: Vec<(u32, SlotKind, &str)> = Vec::new();
+        for directive in directives {
+            let (slot, kind) = match directive {
+                PatchDirective::SetCost { slot, .. } | PatchDirective::ScaleCost { slot, .. } => {
+                    (slot.as_str(), SlotKind::Cost)
+                }
+                PatchDirective::SetYield { slot, .. } => (slot.as_str(), SlotKind::Yield),
+                PatchDirective::SetCoverage { slot, .. } => (slot.as_str(), SlotKind::Coverage),
+            };
+            lint_slot_ref(&self.program, slot, kind, &mut touched, &mut diags);
+        }
+        diags
+    }
+
+    /// Lint a batch of [`DualDirection`]s against this program without
+    /// evaluating them: unresolvable components are errors, one
+    /// direction weighting the same slot twice is a warning (the weights
+    /// silently sum, which is almost always a duplicated component).
+    pub fn lint_directions(&self, directions: &[DualDirection]) -> Diagnostics {
+        let mut diags = Diagnostics::new(self.program.line_name());
+        for dir in directions {
+            let mut touched: Vec<(u32, SlotKind, &str)> = Vec::new();
+            for (name, kind, _) in &dir.parts {
+                lint_slot_ref(&self.program, name, *kind, &mut touched, &mut diags);
+            }
+        }
+        diags
     }
 
     /// The patchable parameters: `(slot name, kind)` pairs, in program
@@ -230,7 +318,64 @@ impl CompiledFlow {
             ops: self.program.ops().to_vec(),
             nre: self.nre,
             volume: self.volume,
+            touched: Vec::new(),
+            strict: false,
         }
+    }
+}
+
+/// The [`FlowError::VerificationFailed`] for a diagnostics report that
+/// `has_errors()`.
+fn verification_failed(diags: &Diagnostics) -> FlowError {
+    let first = diags
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+        .expect("caller checked has_errors")
+        .to_string();
+    FlowError::VerificationFailed {
+        flow: diags.flow().to_owned(),
+        errors: diags.count(Severity::Error),
+        first,
+    }
+}
+
+/// Shared slot-reference lint: resolve `(name, kind)` and report
+/// unknown/ambiguous references as errors and repeated writes of the
+/// same resolved slot (tracked in `touched`) as a warning.
+fn lint_slot_ref<'n>(
+    program: &RoutingProgram,
+    name: &'n str,
+    kind: SlotKind,
+    touched: &mut Vec<(u32, SlotKind, &'n str)>,
+    diags: &mut Diagnostics,
+) {
+    match program.resolve_slot(name, kind) {
+        Ok((op, _)) => {
+            if touched.iter().any(|(o, k, _)| *o == op && *k == kind) {
+                diags.push(Diagnostic::new(
+                    Severity::Warning,
+                    "duplicate-slot-write",
+                    format!("{name} ({kind})"),
+                    "slot referenced twice in one batch; later writes silently \
+                     override (weights silently sum for dual directions)",
+                ));
+            } else {
+                touched.push((op, kind, name));
+            }
+        }
+        Err(FlowError::AmbiguousPatchSlot { .. }) => diags.push(Diagnostic::new(
+            Severity::Error,
+            "ambiguous-slot",
+            format!("{name} ({kind})"),
+            "reference matches more than one stage/part; rename the duplicates",
+        )),
+        Err(_) => diags.push(Diagnostic::new(
+            Severity::Error,
+            "unknown-slot",
+            format!("{name} ({kind})"),
+            "the compiled program exposes no such slot (the parameter may have \
+             been compiled away)",
+        )),
     }
 }
 
@@ -281,6 +426,12 @@ pub struct FlowPatch {
     ops: Vec<Op>,
     nre: Money,
     volume: u64,
+    /// Every slot write so far, `(op, kind, name)` — the duplicate-write
+    /// detector ([`FlowPatch::duplicate_slots`] and strict mode) reads
+    /// this.
+    touched: Vec<(u32, SlotKind, String)>,
+    /// Strict mode: setters refuse to write a slot twice.
+    strict: bool,
 }
 
 impl FlowPatch {
@@ -296,12 +447,74 @@ impl FlowPatch {
         }
     }
 
-    /// Resolve `(name, kind)` to its unique op. Zero matches and
-    /// multiple matches (duplicate stage/part names are legal in a
-    /// line) are both errors — silently patching the first duplicate
-    /// would diverge from rebuilding the line.
-    fn resolve(&self, name: &str, kind: SlotKind) -> Result<(u32, u32), FlowError> {
-        self.program.resolve_slot(name, kind)
+    /// Resolve `(name, kind)` to its unique op and log the write for
+    /// duplicate detection. Zero matches and multiple matches
+    /// (duplicate stage/part names are legal in a line) are both errors
+    /// — silently patching the first duplicate would diverge from
+    /// rebuilding the line. Writing the same slot twice is an error in
+    /// strict mode ([`FlowPatch::deny_warnings`]) and a
+    /// [`FlowPatch::lint`] warning otherwise: last-wins in a scenario
+    /// definition almost always means two directives disagree.
+    fn resolve(&mut self, name: &str, kind: SlotKind) -> Result<(u32, u32), FlowError> {
+        let (op, qty) = self.program.resolve_slot(name, kind)?;
+        let duplicate = self.touched.iter().any(|(o, k, _)| *o == op && *k == kind);
+        if duplicate && self.strict {
+            return Err(FlowError::DuplicatePatchSlot {
+                slot: format!("{name} ({kind})"),
+            });
+        }
+        self.touched.push((op, kind, name.to_owned()));
+        Ok((op, qty))
+    }
+
+    /// Toggle strict mode: with `deny` set, writing the same slot twice
+    /// returns [`FlowError::DuplicatePatchSlot`] instead of silently
+    /// letting the last write win — the programmatic analogue of
+    /// `ipass lint --deny-warnings`.
+    pub fn deny_warnings(&mut self, deny: bool) -> &mut FlowPatch {
+        self.strict = deny;
+        self
+    }
+
+    /// The slots written more than once so far, as `name (kind)` labels
+    /// in first-rewrite order (deduplicated).
+    pub fn duplicate_slots(&self) -> Vec<String> {
+        let mut seen: Vec<(u32, SlotKind)> = Vec::new();
+        let mut dupes: Vec<(u32, SlotKind)> = Vec::new();
+        let mut labels = Vec::new();
+        for (op, kind, name) in &self.touched {
+            if seen.contains(&(*op, *kind)) {
+                if !dupes.contains(&(*op, *kind)) {
+                    dupes.push((*op, *kind));
+                    labels.push(format!("{name} ({kind})"));
+                }
+            } else {
+                seen.push((*op, *kind));
+            }
+        }
+        labels
+    }
+
+    /// Verify and lint the *patched* op vector: the structural checks
+    /// and lints of [`CompiledFlow::verify`] in patched mode (degenerate
+    /// probabilities under the `set_yield` threshold convention are
+    /// info-grade, not errors), plus a warning per slot written twice.
+    pub fn lint(&self) -> Diagnostics {
+        let mut diags = verify::verify_program(
+            &self.program,
+            &self.ops,
+            VerifyMode::Patched,
+            mc::DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
+        );
+        for slot in self.duplicate_slots() {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                "duplicate-slot-write",
+                slot,
+                "slot written more than once; the last write silently won",
+            ));
+        }
+        diags
     }
 
     /// Set a cost slot to `unit_cost` per input unit (the op books
@@ -417,11 +630,12 @@ impl FlowPatch {
         self
     }
 
-    /// Restore every slot to its compiled value (reuse one allocation
-    /// across scenario points).
+    /// Restore every slot to its compiled value and clear the write log
+    /// (reuse one allocation across scenario points).
     pub fn reset(&mut self) -> &mut FlowPatch {
         self.ops.clear();
         self.ops.extend_from_slice(self.program.ops());
+        self.touched.clear();
         self
     }
 
@@ -653,6 +867,96 @@ mod tests {
         assert!(err.to_string().contains("anneal"));
         // The unique carrier slot still resolves.
         assert!(patch.set_cost("c", Money::new(2.0)).is_ok());
+    }
+
+    #[test]
+    fn duplicate_slot_writes_are_detected_not_silently_last_wins() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        // Default mode: both writes land (last wins) but the patch
+        // knows, and lint() surfaces it as a warning.
+        let mut patch = base.patch();
+        patch.set_cost("c", Money::new(11.0)).unwrap();
+        patch.set_cost("c", Money::new(12.0)).unwrap();
+        assert_eq!(patch.duplicate_slots(), vec!["c (cost)".to_owned()]);
+        let diags = patch.lint();
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "duplicate-slot-write" && d.path == "c (cost)"));
+        assert_eq!(diags.deny_warnings_failures(), 1, "{diags}");
+        // Same slot name, different kind: not a duplicate.
+        let mut patch = base.patch();
+        patch.set_cost("a/die", Money::new(6.0)).unwrap();
+        patch.set_yield("a/die", p(0.9)).unwrap();
+        assert!(patch.duplicate_slots().is_empty());
+        // Strict mode refuses the second write outright.
+        let mut strict = base.patch();
+        strict.deny_warnings(true);
+        strict
+            .apply(&PatchDirective::SetCost {
+                slot: "c".into(),
+                unit_cost: Money::new(11.0),
+            })
+            .unwrap();
+        let err = strict
+            .apply(&PatchDirective::ScaleCost {
+                slot: "c".into(),
+                factor: 2.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, FlowError::DuplicatePatchSlot { .. }));
+        assert!(err.to_string().contains("c (cost)"));
+        // reset() clears the write log with the values.
+        strict.reset();
+        assert!(strict.scale_cost("c", 2.0).is_ok());
+    }
+
+    #[test]
+    fn batch_lints_catch_unknown_ambiguous_and_duplicate_references() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let directives = [
+            PatchDirective::SetCost {
+                slot: "c".into(),
+                unit_cost: Money::new(11.0),
+            },
+            PatchDirective::ScaleCost {
+                slot: "c".into(),
+                factor: 2.0,
+            },
+            PatchDirective::SetYield {
+                slot: "ghost".into(),
+                p: p(0.5),
+            },
+        ];
+        let diags = base.lint_directives(&directives);
+        assert!(diags.iter().any(|d| d.code == "duplicate-slot-write"));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "unknown-slot" && d.path.contains("ghost")));
+        assert!(diags.has_errors());
+
+        let dirs = [
+            DualDirection::new()
+                .with("c", SlotKind::Cost, 1.0)
+                .with("c", SlotKind::Cost, 2.0),
+            DualDirection::cost("ghost"),
+        ];
+        let diags = base.lint_directions(&dirs);
+        assert!(diags.iter().any(|d| d.code == "duplicate-slot-write"));
+        assert!(diags.iter().any(|d| d.code == "unknown-slot"));
+        // Distinct directions may legitimately touch the same slot.
+        let ok = base.lint_directions(&[DualDirection::cost("c"), DualDirection::cost("c")]);
+        assert_eq!(ok.deny_warnings_failures(), 0, "{ok}");
+    }
+
+    #[test]
+    fn patched_lint_runs_in_patched_mode() {
+        let base = flow(10.0, 0.9).compiled().unwrap();
+        let mut patch = base.patch();
+        patch.set_yield("p", Probability::ONE).unwrap();
+        let diags = patch.lint();
+        // A degenerate patched probability is info-grade, not an error.
+        assert!(!diags.has_errors(), "{diags}");
+        assert!(diags.iter().any(|d| d.code == "degenerate-patched-step"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The artifact sum type, the output formats, and the JSON encoding.
 
 use crate::json::Json;
-use crate::value::{Breakdown, Cell, Direction, FrontierPlot, Series, SeriesX, Table};
+use crate::value::{Breakdown, Cell, Direction, Findings, FrontierPlot, Series, SeriesX, Table};
 use std::error::Error;
 use std::fmt;
 
@@ -97,6 +97,8 @@ pub enum Artifact {
     Breakdown(Breakdown),
     /// A screened design space with its frontier.
     Frontier(FrontierPlot),
+    /// Typed diagnostics from a verification/lint pass.
+    Findings(Findings),
 }
 
 impl Artifact {
@@ -107,14 +109,17 @@ impl Artifact {
             Artifact::Series(s) => &s.title,
             Artifact::Breakdown(b) => &b.title,
             Artifact::Frontier(f) => &f.title,
+            Artifact::Findings(d) => &d.title,
         }
     }
 
     /// The formats this artifact renders to, in `regen` order.
     pub fn formats(&self) -> Vec<Format> {
         match self {
-            // A table has no meaningful figure form.
-            Artifact::Table(_) => vec![Format::Txt, Format::Csv, Format::Md, Format::Json],
+            // Tables and findings lists have no meaningful figure form.
+            Artifact::Table(_) | Artifact::Findings(_) => {
+                vec![Format::Txt, Format::Csv, Format::Md, Format::Json]
+            }
             _ => Format::ALL.to_vec(),
         }
     }
@@ -147,6 +152,10 @@ impl Artifact {
             (Artifact::Frontier(f), Format::Csv) => f.to_csv(),
             (Artifact::Frontier(f), Format::Md) => f.to_md(),
             (Artifact::Frontier(f), Format::Svg) => f.to_svg(),
+            (Artifact::Findings(d), Format::Txt) => d.to_txt(),
+            (Artifact::Findings(d), Format::Csv) => d.to_csv(),
+            (Artifact::Findings(d), Format::Md) => d.to_md(),
+            (Artifact::Findings(_), Format::Svg) => return Err(unsupported()),
             (_, Format::Json) => self.to_json().render(),
         })
     }
@@ -273,6 +282,36 @@ impl Artifact {
                     ),
                 ),
                 ("notes", notes(&f.notes)),
+            ]),
+            Artifact::Findings(d) => Json::obj(vec![
+                ("kind", Json::str("findings")),
+                ("title", Json::str(&d.title)),
+                (
+                    "counts",
+                    Json::Obj(
+                        d.counts()
+                            .into_iter()
+                            .map(|(name, n)| (name, Json::Int(n as i64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "items",
+                    Json::Arr(
+                        d.items
+                            .iter()
+                            .map(|item| {
+                                Json::obj(vec![
+                                    ("severity", Json::str(&item.severity)),
+                                    ("code", Json::str(&item.code)),
+                                    ("path", Json::str(&item.path)),
+                                    ("message", Json::str(&item.message)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("notes", notes(&d.notes)),
             ]),
         }
     }

@@ -69,8 +69,8 @@ mod value;
 pub use artifact::{Artifact, Format, ReportError};
 pub use sink::{diff_against_dir, emit, DirSink, MemorySink, Sink};
 pub use value::{
-    Align, Breakdown, BreakdownGroup, Cell, Column, Direction, FrontierPlot, FrontierPoint,
-    Segment, Series, SeriesLine, SeriesX, Table,
+    Align, Breakdown, BreakdownGroup, Cell, Column, Direction, Finding, Findings, FrontierPlot,
+    FrontierPoint, Segment, Series, SeriesLine, SeriesX, Table,
 };
 
 /// Deterministic shortest-round-trip rendering of an `f64` for the

@@ -178,6 +178,157 @@ impl Table {
     }
 }
 
+/// One row of a [`Findings`] report: a typed diagnostic from a
+/// verification or lint pass.
+///
+/// The severity is carried as a plain string (`"error"`, `"warning"`,
+/// `"info"`, …) so this crate stays below the domain crates — the
+/// producer's severity enum maps to its display name at the adapter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Severity name, e.g. `"error"`.
+    pub severity: String,
+    /// Stable machine-readable code, e.g. `"threshold-mismatch"`.
+    pub code: String,
+    /// Where in the subject the finding anchors (a stage/part path,
+    /// an op index, or `"program"`).
+    pub path: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A titled list of [`Finding`]s — the renderable form of a static
+/// verifier's diagnostics.
+///
+/// Renders to txt/CSV/Markdown as a four-column table and to JSON as a
+/// `"kind": "findings"` document carrying per-severity counts, so CI
+/// gates can read the counts without re-parsing rows.
+///
+/// # Examples
+///
+/// ```
+/// use ipass_report::Findings;
+///
+/// let f = Findings::new("lint — demo flow")
+///     .finding("warning", "zero-coverage-test", "ft", "test detects nothing")
+///     .note("1 finding");
+/// assert!(f.to_csv().starts_with("severity,code,path,message"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Findings {
+    /// Title line.
+    pub title: String,
+    /// The findings, in emission order.
+    pub items: Vec<Finding>,
+    /// Footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Findings {
+    /// An empty findings list.
+    pub fn new(title: impl Into<String>) -> Findings {
+        Findings {
+            title: title.into(),
+            items: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one finding.
+    #[must_use]
+    pub fn finding(
+        mut self,
+        severity: impl Into<String>,
+        code: impl Into<String>,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Findings {
+        self.push(severity, code, path, message);
+        self
+    }
+
+    /// Append one finding in place.
+    pub fn push(
+        &mut self,
+        severity: impl Into<String>,
+        code: impl Into<String>,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.items.push(Finding {
+            severity: severity.into(),
+            code: code.into(),
+            path: path.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Append a footnote.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Findings {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list carries no findings.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Per-severity counts, keyed by severity name in first-seen order.
+    pub fn counts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for item in &self.items {
+            match counts.iter_mut().find(|(name, _)| *name == item.severity) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((item.severity.clone(), 1)),
+            }
+        }
+        counts
+    }
+
+    /// The tabular form the text sinks render.
+    pub(crate) fn as_table(&self) -> Table {
+        let mut table = Table::new(&self.title)
+            .text_column("severity")
+            .text_column("code")
+            .text_column("path")
+            .text_column("message");
+        for item in &self.items {
+            table = table.row(vec![
+                Cell::text(&item.severity),
+                Cell::text(&item.code),
+                Cell::text(&item.path),
+                Cell::text(&item.message),
+            ]);
+        }
+        for note in &self.notes {
+            table = table.note(note);
+        }
+        table
+    }
+
+    /// Render as aligned plain text.
+    pub fn to_txt(&self) -> String {
+        self.as_table().to_txt()
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        self.as_table().to_csv()
+    }
+
+    /// Render as a Markdown pipe table.
+    pub fn to_md(&self) -> String {
+        self.as_table().to_md()
+    }
+}
+
 /// The x axis of a [`Series`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SeriesX {

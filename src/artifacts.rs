@@ -10,7 +10,8 @@
 //! any drift between the committed docs and the code.
 
 use ipass_gps::experiments;
-use ipass_report::{Artifact, DirSink, Format, MemorySink, Sink};
+use ipass_moe::{CompiledFlow, Severity, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
+use ipass_report::{Artifact, Cell, DirSink, Findings, Format, MemorySink, Sink, Table};
 use std::error::Error;
 use std::path::Path;
 
@@ -110,6 +111,16 @@ pub fn specs() -> &'static [ArtifactSpec] {
             },
         ),
         spec(
+            "lint",
+            "Static verification of every committed solution flow: the moe::verify diagnostics (invariant violations, model lints) across the full artifact registry — `ipass lint` gates CI on this being warning-free.",
+            || Ok(Artifact::Findings(lint_findings()?)),
+        ),
+        spec(
+            "verify",
+            "The verifier's statically proven per-unit bounds for each solution flow: RNG draws, booked cost and shipped-fraction support over every possible draw outcome.",
+            || Ok(Artifact::Table(verify_table()?)),
+        ),
+        spec(
             "design_space",
             "Solution 2's volume × substrate-yield design space: analytic screen, Pareto frontier over (final cost ↓, shipped fraction ↑), Monte-Carlo-confirmed band.",
             || {
@@ -125,6 +136,86 @@ pub fn specs() -> &'static [ArtifactSpec] {
 /// Look up a registered artifact by name.
 pub fn find(name: &str) -> Option<&'static ArtifactSpec> {
     specs().iter().find(|s| s.name == name)
+}
+
+/// The committed flows the `ipass lint` gate verifies: the four paper
+/// solutions' production flows, compiled — every flow a registry
+/// artifact evaluates passes through one of these programs.
+///
+/// # Errors
+///
+/// Propagates planning/compilation failures.
+pub fn lint_targets() -> Result<Vec<(&'static str, CompiledFlow)>, Box<dyn Error>> {
+    let mut targets = Vec::new();
+    for (label, flow) in experiments::solution_flows()? {
+        targets.push((label, flow.compiled()?));
+    }
+    Ok(targets)
+}
+
+/// The `lint` artifact: every verifier diagnostic across the committed
+/// solution flows, paths prefixed with the flow's label.
+fn lint_findings() -> Result<Findings, Box<dyn Error>> {
+    let targets = lint_targets()?;
+    let mut findings = Findings::new("lint — committed solution flows");
+    let (mut errors, mut warnings, mut infos) = (0, 0, 0);
+    for (label, compiled) in &targets {
+        let diags = compiled.verify();
+        errors += diags.count(Severity::Error);
+        warnings += diags.count(Severity::Warning);
+        infos += diags.count(Severity::Info);
+        for d in diags.iter() {
+            findings.push(
+                d.severity.to_string(),
+                d.code,
+                format!("{label}: {}", d.path),
+                &d.message,
+            );
+        }
+    }
+    Ok(findings
+        .note(format!(
+            "{} flow(s) verified: {errors} error(s), {warnings} warning(s), {infos} info(s)",
+            targets.len(),
+        ))
+        .note(
+            "`ipass lint --deny-warnings` (the CI gate) fails on any warning or error; \
+             infos are observations",
+        ))
+}
+
+/// The `verify` artifact: per-flow statically proven bounds — valid for
+/// every draw outcome, not just in expectation.
+fn verify_table() -> Result<Table, Box<dyn Error>> {
+    let mut table = Table::new("verify — static per-unit bounds of the solution flows")
+        .text_column("solution")
+        .numeric_column("draws min", 0)
+        .numeric_column("draws max", 0)
+        .numeric_column("cost min", 2)
+        .numeric_column("cost max", 2)
+        .numeric_column("ship lo", 0)
+        .numeric_column("ship hi", 0)
+        .numeric_column("rework max", 0)
+        .numeric_column("sub builds max", 0);
+    for (label, compiled) in lint_targets()? {
+        let b = compiled.static_bounds(DEFAULT_SUBASSEMBLY_RETRY_BUDGET)?;
+        table = table.row(vec![
+            Cell::text(label),
+            Cell::int(b.draws_per_unit.lo as i64),
+            Cell::int(b.draws_per_unit.hi as i64),
+            Cell::num(b.cost_per_unit.lo),
+            Cell::num(b.cost_per_unit.hi),
+            Cell::num(b.shipped_fraction.lo.round()),
+            Cell::num(b.shipped_fraction.hi.round()),
+            Cell::int(b.rework_per_unit.hi as i64),
+            Cell::int(b.sub_builds_per_unit.hi as i64),
+        ]);
+    }
+    Ok(table.note(format!(
+        "bounds hold for every possible draw outcome (not just in expectation), \
+         at the default subassembly retry budget of {DEFAULT_SUBASSEMBLY_RETRY_BUDGET}; \
+         cost bounds exclude NRE"
+    )))
 }
 
 /// Build and render every artifact in every supported format into a

@@ -22,7 +22,8 @@ const USAGE: &str = "usage: ipass <command>\n\
     commands:\n\
     \x20 list                                     list registered artifacts\n\
     \x20 artifact <name> [--format F] [--out P]   render one artifact (F: txt|csv|md|json|svg; default txt)\n\
-    \x20 regen [--check] [dir]                    regenerate the committed artifact tree (default docs/artifacts/)\n";
+    \x20 regen [--check] [dir]                    regenerate the committed artifact tree (default docs/artifacts/)\n\
+    \x20 lint [--deny-warnings]                   statically verify every committed solution flow (CI gate)\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         Some("list") => list(),
         Some("artifact") => artifact(&args[1..]),
         Some("regen") => regen(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some(other) => {
             eprintln!("ipass: unknown command {other:?}\n{USAGE}");
             ExitCode::FAILURE
@@ -114,6 +116,50 @@ fn artifact(args: &[String]) -> ExitCode {
         None => print!("{content}"),
     }
     ExitCode::SUCCESS
+}
+
+/// `ipass lint [--deny-warnings]` — run the `moe::verify` static pass
+/// over every committed solution flow. Errors always fail; warnings
+/// fail under `--deny-warnings` (the CI configuration); infos never do.
+fn lint(args: &[String]) -> ExitCode {
+    use integrated_passives::moe::Severity;
+    let mut deny_warnings = false;
+    for arg in args {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            other => {
+                eprintln!("ipass: unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let targets = match artifacts::lint_targets() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ipass: building the committed flows failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (mut errors, mut warnings, mut infos) = (0, 0, 0);
+    for (label, compiled) in &targets {
+        let diags = compiled.verify();
+        errors += diags.count(Severity::Error);
+        warnings += diags.count(Severity::Warning);
+        infos += diags.count(Severity::Info);
+        for d in diags.iter() {
+            println!("{label}: {d}");
+        }
+    }
+    println!(
+        "ipass lint: {} flow(s) verified — {errors} error(s), {warnings} warning(s), \
+         {infos} info(s)",
+        targets.len(),
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn regen(args: &[String]) -> ExitCode {

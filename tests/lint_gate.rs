@@ -1,0 +1,57 @@
+//! The `ipass lint --deny-warnings` gate as an integration test: every
+//! committed solution flow must pass static verification with zero
+//! errors and zero warnings (infos are observations and allowed), and
+//! the verifier's static bounds must exist and contain the analytic
+//! report for each flow. CI runs the CLI form of this gate too; this
+//! test keeps it enforced under plain `cargo test`.
+
+use integrated_passives::artifacts;
+use integrated_passives::moe::DEFAULT_SUBASSEMBLY_RETRY_BUDGET;
+
+#[test]
+fn committed_flows_verify_warning_free() {
+    let targets = artifacts::lint_targets().expect("committed flows build");
+    assert_eq!(targets.len(), 4, "the paper has four solutions");
+    for (label, compiled) in &targets {
+        let diags = compiled.verify();
+        assert_eq!(
+            diags.deny_warnings_failures(),
+            0,
+            "flow {label} has lint failures:\n{diags}"
+        );
+    }
+}
+
+#[test]
+fn committed_flows_have_sound_static_bounds() {
+    for (label, compiled) in artifacts::lint_targets().expect("committed flows build") {
+        let bounds = compiled
+            .static_bounds(DEFAULT_SUBASSEMBLY_RETRY_BUDGET)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let report = compiled
+            .analyze()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let per_started = report.total_spend().units() / report.started();
+        assert!(
+            bounds.cost_per_unit.contains(per_started),
+            "{label}: analytic cost {per_started} outside {:?}",
+            bounds.cost_per_unit
+        );
+        assert!(
+            bounds.shipped_fraction.contains(report.shipped_fraction()),
+            "{label}: shipped fraction {} outside {:?}",
+            report.shipped_fraction(),
+            bounds.shipped_fraction
+        );
+    }
+}
+
+#[test]
+fn lint_artifact_renders_and_reports_no_failures() {
+    let spec = artifacts::find("lint").expect("lint artifact registered");
+    let artifact = spec.build().expect("lint artifact builds");
+    let txt = artifact
+        .render(integrated_passives::report::Format::Txt)
+        .unwrap();
+    assert!(txt.contains("0 error(s), 0 warning(s)"), "{txt}");
+}
