@@ -59,6 +59,72 @@ fn bench_mc_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Probe overhead on the lane hot path: the same 100k-unit batched run
+/// with the deterministic-plane probe off vs on. A disabled probe must
+/// compile to nothing (the `off` case is the `mc_units_batch/100000`
+/// shape); the `on` case pays a per-unit counter pass at lane end
+/// (~1.45x measured) and is gated in CI to stay within 2x of `off`.
+/// The probed run's exact draw count is attached to the baseline as
+/// `draws_per_elem`.
+fn bench_mc_probe(c: &mut Criterion) {
+    use ipass_moe::Probe;
+
+    let flow = solution2_flow();
+    let width = ipass_moe::effective_lane_width(ipass_moe::DEFAULT_LANE_WIDTH);
+    const UNITS: u64 = 100_000;
+    let probed = flow
+        .simulate_summary(&SimOptions::new(UNITS).with_seed(3).with_probe(Probe::ON))
+        .unwrap();
+    let stats = probed.stats.expect("probed run carries stats");
+
+    let mut group = c.benchmark_group("mc_probe_100k");
+    group.threads(1);
+    group.lane_width(width);
+    group.throughput(Throughput::Elements(UNITS));
+    group.bench_function("off", |b| {
+        b.iter(|| black_box(flow.simulate(&SimOptions::new(UNITS).with_seed(3)).unwrap()))
+    });
+    group.draws_per_elem(stats.draws as f64 / stats.units as f64);
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            black_box(
+                flow.simulate_summary(&SimOptions::new(UNITS).with_seed(3).with_probe(Probe::ON))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The `ipass-sim` memo table under a skewed (80/20-style) key mix:
+/// per-lookup cost of `get_or_insert_with` once the cache is warm. The
+/// measured hit rate off the memo's own counters rides the baseline as
+/// `memo_hit_rate`.
+fn bench_memo_cache(c: &mut Criterion) {
+    use ipass_sim::Memo;
+
+    const LOOKUPS: u64 = 10_000;
+    let memo: Memo<u64, f64> = Memo::new();
+    let key = |i: u64| (i * 31) % 64; // 64 hot keys
+    for i in 0..LOOKUPS {
+        memo.get_or_insert_with(key(i), || i as f64);
+    }
+    let warm = memo.stats();
+    let lookups = warm.hits + warm.misses;
+
+    let mut group = c.benchmark_group("memo_cache");
+    group.throughput(Throughput::Elements(LOOKUPS));
+    group.memo_hit_rate(warm.hits as f64 / lookups as f64);
+    group.bench_function("warm_10k", |b| {
+        b.iter(|| {
+            for i in 0..LOOKUPS {
+                black_box(memo.get_or_insert_with(key(i), || i as f64));
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_mc_lane_widths(c: &mut Criterion) {
     // Width sweep at fixed unit count: how far the SoA lane loops
     // vectorize on this host. Width 1 is the scalar fallback path.
@@ -249,6 +315,7 @@ fn bench_explore_frontier(c: &mut Criterion) {
         mc_units: 2_000,
         seed: 7,
         stop: None,
+        ..RefineOptions::default()
     };
     group.bench_function("refine", |b| {
         b.iter(|| {
@@ -430,6 +497,8 @@ criterion_group!(
     targets =
     bench_mc_scaling,
     bench_mc_batch,
+    bench_mc_probe,
+    bench_memo_cache,
     bench_mc_lane_widths,
     bench_mc_threads,
     bench_analytic,

@@ -341,6 +341,31 @@ mod tests {
     }
 
     #[test]
+    fn gate_tolerates_probe_metadata_fields_in_either_file() {
+        // Newer baselines carry `draws_per_elem` / `memo_hit_rate`
+        // probe snapshots; older ones don't. The gate must read its
+        // timing fields identically from both generations, in either
+        // position (baseline or current).
+        let old = r#"[{"id": "mc_units_batch/100000", "mean_ns": 961000.0, "elements": 100000, "ns_per_elem": 9.61, "threads": 1, "lane_width": 64}]"#;
+        let new = r#"[{"id": "mc_units_batch/100000", "mean_ns": 961000.0, "elements": 100000, "ns_per_elem": 9.61, "threads": 1, "lane_width": 64, "draws_per_elem": 6.7413, "memo_hit_rate": null}]"#;
+        assert_eq!(ns_per_element(old, "mc_units_batch/100000"), Some(9.61));
+        assert_eq!(ns_per_element(new, "mc_units_batch/100000"), Some(9.61));
+        let raw = strings(&["b", "c", "mc_units_batch/100000", "1.1"]);
+        let args = parse_args(&raw).unwrap();
+        for (baseline, current) in [(old, new), (new, old)] {
+            let (report, regression) = evaluate(baseline, current, &args).unwrap();
+            assert!(report.contains("ratio 1.00"), "{report}");
+            assert!(regression.is_none());
+        }
+        // And the probe fields themselves are readable where present.
+        assert_eq!(
+            lookup(new, "mc_units_batch/100000", "draws_per_elem"),
+            Some(6.7413)
+        );
+        assert_eq!(lookup(old, "mc_units_batch/100000", "draws_per_elem"), None);
+    }
+
+    #[test]
     fn lookup_survives_escapes_and_nesting() {
         // The cases the old brace-splitting scanner got wrong.
         let tricky = r#"[

@@ -41,6 +41,13 @@ pub struct BenchResult {
     /// [`BenchmarkGroup::lane_width`] (batched-kernel baselines
     /// self-describe the width they measured).
     pub lane_width: Option<usize>,
+    /// RNG draws per throughput element, when the case declared a probe
+    /// snapshot via [`BenchmarkGroup::draws_per_elem`] — the workload's
+    /// exact per-element randomness cost, independent of timing noise.
+    pub draws_per_elem: Option<f64>,
+    /// Memo-cache hit rate (hits over lookups), when the case declared
+    /// one via [`BenchmarkGroup::memo_hit_rate`].
+    pub memo_hit_rate: Option<f64>,
 }
 
 impl BenchResult {
@@ -172,6 +179,8 @@ impl Criterion {
             elements: meta.elements,
             threads: meta.threads,
             lane_width: meta.lane_width,
+            draws_per_elem: meta.draws_per_elem,
+            memo_hit_rate: meta.memo_hit_rate,
         };
         let throughput = result
             .elements_per_sec()
@@ -192,6 +201,8 @@ struct CaseMeta {
     elements: Option<u64>,
     threads: Option<usize>,
     lane_width: Option<usize>,
+    draws_per_elem: Option<f64>,
+    memo_hit_rate: Option<f64>,
 }
 
 /// A group of related benchmarks sharing a name and throughput.
@@ -224,6 +235,21 @@ impl BenchmarkGroup<'_> {
     /// extension over the real criterion API).
     pub fn lane_width(&mut self, width: usize) -> &mut Self {
         self.meta.lane_width = Some(width);
+        self
+    }
+
+    /// Attach a probe-measured RNG draw count per throughput element to
+    /// the group's subsequent cases (deterministic workload metadata —
+    /// baselines self-describe their randomness cost).
+    pub fn draws_per_elem(&mut self, draws: f64) -> &mut Self {
+        self.meta.draws_per_elem = Some(draws);
+        self
+    }
+
+    /// Attach a probe-measured memo hit rate (hits over lookups) to the
+    /// group's subsequent cases.
+    pub fn memo_hit_rate(&mut self, rate: f64) -> &mut Self {
+        self.meta.memo_hit_rate = Some(rate);
         self
     }
 
@@ -445,7 +471,8 @@ pub fn finalize(results: &[BenchResult]) {
         out.push_str(&format!(
             "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
              \"samples\": {}, \"iters_per_sample\": {}, \"elements\": {}, \"ns_per_elem\": {}, \
-             \"threads\": {}, \"lane_width\": {}, \"nproc\": {nproc}, \
+             \"threads\": {}, \"lane_width\": {}, \"draws_per_elem\": {}, \
+             \"memo_hit_rate\": {}, \"nproc\": {nproc}, \
              \"git_rev\": \"{git_rev}\"}}{}\n",
             r.id.replace('"', "'"),
             r.mean_ns,
@@ -458,6 +485,10 @@ pub fn finalize(results: &[BenchResult]) {
                 .map_or("null".to_string(), |n| format!("{n:.2}")),
             r.threads.map_or("null".to_string(), |t| t.to_string()),
             r.lane_width.map_or("null".to_string(), |w| w.to_string()),
+            r.draws_per_elem
+                .map_or("null".to_string(), |d| format!("{d:.4}")),
+            r.memo_hit_rate
+                .map_or("null".to_string(), |h| format!("{h:.4}")),
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

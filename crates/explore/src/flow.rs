@@ -26,11 +26,13 @@ use ipass_moe::{
     analyze_patched_batch, CompiledFlow, CostReport, DualDirection, Flow, FlowError, FlowPatch,
     Gradient, PatchDirective, SimOptions, SlotKind, StopRule,
 };
+use ipass_obs::{ExploreStats, Probe, Profiler, RunStats};
 use ipass_sim::{Executor, SimRng};
 use ipass_units::{Money, Probability};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A caller-supplied patch procedure (the [`FlowTarget::Custom`]
@@ -327,6 +329,11 @@ pub struct RefineOptions {
     /// Optional CI-based early stopping (see
     /// [`Flow::simulate_adaptive`]).
     pub stop: Option<StopRule>,
+    /// Deterministic-plane instrumentation for the confirmation runs:
+    /// [`Probe::ON`] makes every [`Confirmation`] carry a [`RunStats`]
+    /// snapshot (and [`Refined::run_stats`] their merge). Off by
+    /// default — disabled probes cost nothing on the kernel hot path.
+    pub probe: Probe,
 }
 
 impl Default for RefineOptions {
@@ -336,6 +343,7 @@ impl Default for RefineOptions {
             mc_units: 20_000,
             seed: 0x1DEA_5EED,
             stop: None,
+            probe: Probe::OFF,
         }
     }
 }
@@ -353,6 +361,9 @@ pub struct Confirmation {
     pub units_run: f64,
     /// Whether the early-stopping rule fired.
     pub stopped_early: bool,
+    /// Deterministic counters for this confirmation run — `Some`
+    /// exactly when [`RefineOptions::probe`] was on.
+    pub stats: Option<RunStats>,
 }
 
 /// The outcome of [`FlowExplorer::refine`].
@@ -365,6 +376,9 @@ pub struct Refined {
     /// Per-promoted-point Monte Carlo confirmations, aligned with
     /// `promoted`.
     pub confirmations: Vec<Confirmation>,
+    /// Patch-slot writes the screening pass applied (every setter call,
+    /// duplicates included).
+    pub patch_writes: u64,
 }
 
 impl Refined {
@@ -391,6 +405,33 @@ impl Refined {
     /// Fraction of screened points that paid for a Monte Carlo run.
     pub fn promoted_fraction(&self) -> f64 {
         self.promoted.len() as f64 / self.screen.points.len().max(1) as f64
+    }
+
+    /// The refinement's deterministic-plane snapshot: every promoted
+    /// point's probed engine counters merged (all zero when the probe
+    /// was off), plus the pipeline counters — points screened /
+    /// promoted / confirmed, early stops, and patch-slot writes — which
+    /// are counted whether or not the probe was on. Bit-identical for
+    /// any executor thread count.
+    pub fn run_stats(&self) -> RunStats {
+        let mut stats = RunStats::default();
+        for c in &self.confirmations {
+            if let Some(s) = &c.stats {
+                stats.merge(s);
+            }
+        }
+        stats.explore = ExploreStats {
+            screened: self.screen.points.len() as u64,
+            promoted: self.promoted.len() as u64,
+            confirmed: self.confirmations.len() as u64,
+            early_stops: self
+                .confirmations
+                .iter()
+                .filter(|c| c.stopped_early)
+                .count() as u64,
+        };
+        stats.patch_writes = self.patch_writes;
+        stats
     }
 
     /// The refinement as a typed [`FrontierPlot`] artifact: the full
@@ -466,6 +507,12 @@ pub struct FlowExplorer {
     axes: Vec<FlowAxis>,
     objectives: Vec<Objective>,
     executor: Executor,
+    /// Patch-slot writes applied by every screening pass on this
+    /// explorer (shared across clones). A relaxed `u64` sum is
+    /// order-independent, so the count stays deterministic under any
+    /// thread count.
+    patch_writes: Arc<AtomicU64>,
+    profiler: Option<Profiler>,
 }
 
 impl FlowExplorer {
@@ -477,6 +524,8 @@ impl FlowExplorer {
             axes: Vec::new(),
             objectives: Vec::new(),
             executor: Executor::available(),
+            patch_writes: Arc::new(AtomicU64::new(0)),
+            profiler: None,
         }
     }
 
@@ -495,6 +544,16 @@ impl FlowExplorer {
     /// Change the executor (results never depend on the choice).
     pub fn with_executor(mut self, executor: Executor) -> FlowExplorer {
         self.executor = executor;
+        self
+    }
+
+    /// Attach a wall-clock profiler: [`FlowExplorer::explore`] and
+    /// [`FlowExplorer::screen_frontier`] record a `"screen"` span,
+    /// [`FlowExplorer::refine`] a `"confirm"` span around the Monte
+    /// Carlo pass. Timings live strictly outside the deterministic
+    /// plane — no result or [`RunStats`] ever depends on them.
+    pub fn with_profiler(mut self, profiler: Profiler) -> FlowExplorer {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -529,13 +588,21 @@ impl FlowExplorer {
     }
 
     /// Patch one point's coordinates into a fresh copy of the compiled
-    /// program.
+    /// program, counting the slot writes it took.
     fn patch_point(&self, coords: &[f64]) -> Result<FlowPatch, FlowError> {
         let mut patch = self.compiled.patch();
         for (axis, &x) in self.axes.iter().zip(coords) {
             axis.apply(x, &mut patch)?;
         }
+        self.patch_writes
+            .fetch_add(patch.writes(), Ordering::Relaxed);
         Ok(patch)
+    }
+
+    /// Total patch-slot writes screening passes have applied on this
+    /// explorer (and its clones) so far.
+    pub fn patch_writes(&self) -> u64 {
+        self.patch_writes.load(Ordering::Relaxed)
     }
 
     fn measure(&self, report: &CostReport) -> Vec<f64> {
@@ -559,6 +626,7 @@ impl FlowExplorer {
     /// degenerate or any point fails to evaluate (first failure in
     /// point order).
     pub fn explore(&self, sampler: &SamplerSpec) -> Result<Exploration, ExploreError> {
+        let _span = self.profiler.as_ref().map(|p| p.span("screen"));
         self.validate()?;
         let names = self.objective_names();
         let senses = self.senses();
@@ -597,6 +665,7 @@ impl FlowExplorer {
     ///
     /// See [`FlowExplorer::explore`].
     pub fn screen_frontier(&self, sampler: &SamplerSpec) -> Result<ParetoFrontier, ExploreError> {
+        let _span = self.profiler.as_ref().map(|p| p.span("screen"));
         self.validate()?;
         let names = self.objective_names();
         let senses = self.senses();
@@ -645,14 +714,19 @@ impl FlowExplorer {
     where
         B: Fn(&[f64]) -> Result<Flow, FlowError> + Sync,
     {
+        let writes_before = self.patch_writes.load(Ordering::Relaxed);
         let screen = self.explore(sampler)?;
         let promoted = promote(&screen, options.margin);
+        let patch_writes = self.patch_writes.load(Ordering::Relaxed) - writes_before;
         let names = self.objective_names();
+        let _span = self.profiler.as_ref().map(|p| p.span("confirm"));
         let confirmations = self.executor.try_map(&promoted, |_, &i| {
             let point = &screen.points[i];
             let flow = build(&point.coords)?;
             let seed = SimRng::stream(options.seed, i as u64).next_u64();
-            let sim = SimOptions::new(options.mc_units).with_seed(seed);
+            let sim = SimOptions::new(options.mc_units)
+                .with_seed(seed)
+                .with_probe(options.probe);
             let summary = match options.stop {
                 Some(rule) => flow.simulate_adaptive(&sim, rule),
                 None => flow.simulate_summary(&sim),
@@ -662,12 +736,14 @@ impl FlowExplorer {
                 objectives: checked_objectives(i, self.measure(&summary.report), &names)?,
                 units_run: summary.report.started(),
                 stopped_early: summary.stopped_early,
+                stats: summary.stats,
             })
         })?;
         Ok(Refined {
             screen,
             promoted,
             confirmations,
+            patch_writes,
         })
     }
 }
@@ -1177,6 +1253,7 @@ mod tests {
             mc_units: 4_000,
             seed: 11,
             stop: None,
+            probe: Probe::ON,
         };
         let refined = explorer()
             .refine(&SamplerSpec::Grid, &options, |coords| {
@@ -1211,5 +1288,51 @@ mod tests {
         assert!(refined.render().contains("promoted to MC"));
         // The MC-measured frontier exists and stays near the band.
         assert!(!refined.confirmed_frontier().members().is_empty());
+        // The probe was on, so every confirmation carries its exact
+        // counters, and the merged snapshot adds the pipeline totals.
+        assert!(refined.confirmations.iter().all(|c| c.stats.is_some()));
+        let stats = refined.run_stats();
+        assert_eq!(stats.explore.screened, 64);
+        assert_eq!(stats.explore.promoted as usize, refined.promoted.len());
+        assert_eq!(
+            stats.explore.confirmed as usize,
+            refined.confirmations.len()
+        );
+        assert_eq!(stats.explore.early_stops, 0);
+        // No early stopping: every promoted point paid the full budget.
+        assert_eq!(stats.units, 4_000 * refined.promoted.len() as u64);
+        assert!(stats.draws > 0);
+        // Two single-slot axes, one write each, per screened point.
+        assert_eq!(refined.patch_writes, 2 * 64);
+        assert_eq!(stats.patch_writes, refined.patch_writes);
+    }
+
+    #[test]
+    fn unprobed_refinement_carries_pipeline_counters_only() {
+        let refined = explorer()
+            .refine(&SamplerSpec::Grid, &RefineOptions::default(), |coords| {
+                Ok(flow(2.0 * coords[0], coords[1]))
+            })
+            .unwrap();
+        assert!(refined.confirmations.iter().all(|c| c.stats.is_none()));
+        let stats = refined.run_stats();
+        assert_eq!(stats.units, 0);
+        assert_eq!(stats.explore.screened, 64);
+        assert_eq!(stats.patch_writes, 2 * 64);
+    }
+
+    #[test]
+    fn profiler_records_screen_and_confirm_spans() {
+        let profiler = ipass_obs::Profiler::default();
+        explorer()
+            .with_profiler(profiler.clone())
+            .refine(&SamplerSpec::Grid, &RefineOptions::default(), |coords| {
+                Ok(flow(2.0 * coords[0], coords[1]))
+            })
+            .unwrap();
+        let trace = profiler.trace();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["screen", "confirm"]);
+        assert_eq!(trace.spans[0].count, 1);
     }
 }

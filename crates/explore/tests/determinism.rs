@@ -107,6 +107,7 @@ fn refinement_is_bit_identical_across_thread_counts() {
         mc_units: 30_000,
         seed: 23,
         stop: Some(StopRule::half_width_95(0.01)),
+        ..RefineOptions::default()
     };
     let rebuild = |coords: &[f64]| Ok(flow(3.0 * coords[0], coords[1], 0.97));
     let baseline = explorer(Executor::new(1))
@@ -145,6 +146,7 @@ fn promoted_points_simulate_independently_of_the_band() {
                 mc_units: 5_000,
                 seed: 5,
                 stop: None,
+                ..RefineOptions::default()
             },
             |coords| Ok(flow(3.0 * coords[0], coords[1], 0.97)),
         )
@@ -157,6 +159,7 @@ fn promoted_points_simulate_independently_of_the_band() {
                 mc_units: 5_000,
                 seed: 5,
                 stop: None,
+                ..RefineOptions::default()
             },
             |coords| Ok(flow(3.0 * coords[0], coords[1], 0.97)),
         )

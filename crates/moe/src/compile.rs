@@ -43,6 +43,7 @@ use crate::labels::{self, InputLabels, LineLabels, StageLabels};
 use crate::line::Line;
 use crate::part::AttachInput;
 use crate::stage::{FailAction, Stage};
+use ipass_obs::EngineCounters;
 use ipass_sim::SimRng;
 use std::collections::HashMap;
 use std::fmt;
@@ -113,6 +114,22 @@ pub(crate) enum Op {
         success: f64,
         max_attempts: u32,
     },
+}
+
+impl Op {
+    /// Slot of this op kind in [`EngineCounters::ops`] (the
+    /// `ipass_obs::OP_*` indices).
+    #[inline]
+    pub(crate) fn kind_index(&self) -> usize {
+        match self {
+            Op::Cost { .. } => ipass_obs::OP_COST,
+            Op::Condemn { .. } => ipass_obs::OP_CONDEMN,
+            Op::Step { .. } => ipass_obs::OP_STEP,
+            Op::SubLine { .. } => ipass_obs::OP_SUB_LINE,
+            Op::TestScrap { .. } => ipass_obs::OP_TEST_SCRAP,
+            Op::TestRework { .. } => ipass_obs::OP_TEST_REWORK,
+        }
+    }
 }
 
 /// What a patch slot lets you overwrite on a compiled program.
@@ -201,6 +218,15 @@ pub(crate) struct Totals {
     pub(crate) defects: Vec<f64>,
     pub(crate) rework_attempts: u64,
     pub(crate) sub_units_built: u64,
+    /// Whether deterministic probe counting is on for this run. Rides
+    /// the accumulator so every counting site can check it without an
+    /// extra parameter; false (the default) compiles the probe blocks
+    /// out of the hot path.
+    pub(crate) probe: bool,
+    /// Probe counters (draws, ops by kind, lane occupancy). Folded by
+    /// [`Totals::merge`] exactly like the results, so they inherit the
+    /// executor's bit-identity across thread counts.
+    pub(crate) obs: EngineCounters,
 }
 
 impl Totals {
@@ -217,6 +243,8 @@ impl Totals {
             defects: vec![0.0; n_labels],
             rework_attempts: 0,
             sub_units_built: 0,
+            probe: false,
+            obs: EngineCounters::new(),
         }
     }
 
@@ -284,6 +312,7 @@ impl Totals {
         self.scrapped += other.scrapped;
         self.rework_attempts += other.rework_attempts;
         self.sub_units_built += other.sub_units_built;
+        self.obs.merge(&other.obs);
         for (a, b) in self
             .embodied_by_cat
             .iter_mut()
@@ -530,6 +559,9 @@ impl RoutingProgram {
         let mut defective = false;
         let ops = &self.ops[entry as usize..(entry + len) as usize];
         for op in ops {
+            if totals.probe {
+                totals.obs.ops[op.kind_index()] += 1;
+            }
             match *op {
                 Op::Cost { cost: c, cat } => {
                     cost += c;

@@ -144,6 +144,13 @@ struct LanePrefix {
     /// touch no mask and no draw, and alive units take their cost from
     /// the shared prefix anyway.
     run_len: Vec<u32>,
+    /// `kind_prefix[j]` — ops executed *by kind* on the routing path of
+    /// a unit that has walked ops `0..j` (region-relative; length
+    /// `ops.len() + 1`). The probe pass reads one row per unit — a
+    /// scrapped unit executed `scrap_op + 1` ops, a surviving one all of
+    /// them — reproducing the scalar walk's per-iteration counts without
+    /// any hot-loop work.
+    kind_prefix: Vec<[u64; 6]>,
 }
 
 impl LanePrefix {
@@ -185,6 +192,13 @@ impl LanePrefix {
                 run_len[j] = 1 + run_len.get(j + 1).copied().unwrap_or(0);
             }
         }
+        let mut kind_prefix = Vec::with_capacity(ops.len() + 1);
+        let mut kinds = [0u64; 6];
+        kind_prefix.push(kinds);
+        for op in ops {
+            kinds[op.kind_index()] += 1;
+            kind_prefix.push(kinds);
+        }
         LanePrefix {
             ship_cost: running,
             ship_by_cat: running_cat,
@@ -192,6 +206,7 @@ impl LanePrefix {
             by_cat,
             active,
             run_len,
+            kind_prefix,
         }
     }
 }
@@ -293,16 +308,25 @@ pub(crate) struct LaneSampler<'a> {
     width: usize,
     /// Shared cost schedule — `Some` exactly for flat programs.
     prefix: Option<LanePrefix>,
+    /// Deterministic probe counting for this run (off by default; set
+    /// on every accumulator the sampler creates).
+    probe: ipass_obs::Probe,
 }
 
 impl<'a> LaneSampler<'a> {
-    pub(crate) fn new(program: &'a RoutingProgram, retry_budget: u32, width: usize) -> Self {
+    pub(crate) fn new(
+        program: &'a RoutingProgram,
+        retry_budget: u32,
+        width: usize,
+        probe: ipass_obs::Probe,
+    ) -> Self {
         let prefix = program.flat().then(|| LanePrefix::build(program));
         LaneSampler {
             program,
             retry_budget,
             width,
             prefix,
+            probe,
         }
     }
 }
@@ -312,7 +336,9 @@ impl BatchSampler for LaneSampler<'_> {
     type Error = FlowError;
 
     fn make_acc(&self) -> Totals {
-        Totals::new(self.program.names().len())
+        let mut totals = Totals::new(self.program.names().len());
+        totals.probe = self.probe.is_on();
+        totals
     }
 
     fn sample_range(
@@ -368,6 +394,12 @@ impl LaneSampler<'_> {
                 == Routed::Shipped
             {
                 totals.ship(state.cost, &state.by_cat, state.defective);
+            }
+            if totals.probe {
+                // The stream counter *is* the unit's draw count
+                // (sub-line draws included — one stream per unit).
+                totals.obs.record_unit(rng.state().1);
+                totals.obs.lanes[0] += 1;
             }
         }
         Ok(())
@@ -826,6 +858,10 @@ fn run_lane<const W: usize>(
                         }
                         if !recovered {
                             state.scrapped[i] = ALL;
+                            // A rework-scrapped unit is materialized, so
+                            // its cost never reads `scrap_op` — but the
+                            // probe pass still needs its last op index.
+                            state.scrap_op[i] = j as u64;
                             live -= 1;
                             n_def_alive -= 1;
                         }
@@ -838,6 +874,30 @@ fn run_lane<const W: usize>(
             }
         }
         j += 1;
+    }
+
+    // Probe pass — off the hot path entirely: one predicted-false
+    // branch when probes are disabled, and when enabled the work is
+    // per-*unit* (not per-op): each unit's draw count is recovered
+    // exactly from its final mix input (`h = key + draws·G`), and its
+    // op-by-kind counts are a single prefix-table row selected by where
+    // it stopped. Integer adds only, folded into the chunk accumulator
+    // — bit-identical across thread counts by construction.
+    if totals.probe {
+        totals.obs.lanes[W.trailing_zeros() as usize] += W as u64;
+        for i in 0..W {
+            totals
+                .obs
+                .record_unit(SimRng::ctr_of_mix_input(state.key[i], state.h[i]));
+            let end = if state.scrapped[i] != 0 {
+                state.scrap_op[i] as usize + 1
+            } else {
+                ops.len()
+            };
+            for (slot, n) in totals.obs.ops.iter_mut().zip(prefix.kind_prefix[end]) {
+                *slot += n;
+            }
+        }
     }
 
     // Book scrapped units first, shipped units second — each group in

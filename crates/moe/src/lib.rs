@@ -96,6 +96,7 @@ pub use diagnostics::{Diagnostic, Diagnostics, Severity};
 pub use dual::{DualDirection, DualReport, Gradient};
 pub use error::FlowError;
 pub use flow::Flow;
+pub use ipass_obs::{Probe, Profiler, RunStats};
 pub use ipass_sim::{Executor, StopRule};
 pub use lane::effective_lane_width;
 pub use line::{Line, LineBuilder};
@@ -111,7 +112,5 @@ pub use sweep::{
     find_crossover, sweep, sweep_patched, sweep_patched_with, sweep_series, sweep_with,
     CrossoverError, SweepPoint,
 };
-#[doc(hidden)]
-pub use verify::measured_draws_per_unit;
 pub use verify::{CountInterval, Interval, StaticBounds};
 pub use yield_model::{DefectModel, YieldModel};

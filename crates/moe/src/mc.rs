@@ -26,6 +26,7 @@ use crate::lane::LaneSampler;
 use crate::line::Line;
 use crate::part::AttachInput;
 use crate::stage::{FailAction, Stage};
+use ipass_obs::{Probe, Profiler, RunStats};
 use ipass_sim::{BinomialTally, Executor, RunOptions, Sampler, SimRng, StopRule};
 use ipass_units::Money;
 
@@ -69,6 +70,13 @@ pub struct SimOptions {
     /// mean the scalar walk). Like `threads`, a pure performance knob:
     /// results are bit-identical for every width.
     pub lane_width: usize,
+    /// Deterministic probe counting ([`Probe::OFF`] by default). When
+    /// on, the run's [`SimSummary::stats`] snapshot carries RNG draw,
+    /// op-by-kind and lane-occupancy counters, chunk-folded exactly
+    /// like the results — bit-identical for any thread count. When off,
+    /// every probe site is a dead predicted-false branch; the hot path
+    /// pays nothing.
+    pub probe: Probe,
 }
 
 impl SimOptions {
@@ -81,6 +89,7 @@ impl SimOptions {
             threads: 1,
             subassembly_retry_budget: DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
             lane_width: DEFAULT_LANE_WIDTH,
+            probe: Probe::OFF,
         }
     }
 
@@ -115,6 +124,13 @@ impl SimOptions {
         self.lane_width = width;
         self
     }
+
+    /// Enable (or disable) deterministic probe counting; see
+    /// [`SimOptions::probe`].
+    pub fn with_probe(mut self, probe: Probe) -> SimOptions {
+        self.probe = probe;
+        self
+    }
 }
 
 impl Default for SimOptions {
@@ -139,6 +155,11 @@ pub struct SimSummary {
     /// Whether an early-stopping rule ended the run before the full
     /// unit budget.
     pub stopped_early: bool,
+    /// Deterministic probe counters — `Some` exactly when the run was
+    /// probed ([`SimOptions::probe`]). Bit-identical for any thread
+    /// count; the portable core ([`RunStats::invariant_core`]) is
+    /// additionally invariant across lane widths.
+    pub stats: Option<RunStats>,
 }
 
 /// Shipped-fraction confidence half width used by all samplers'
@@ -207,18 +228,36 @@ pub(crate) fn simulate_program(
     options: &SimOptions,
     stop: Option<StopRule>,
 ) -> Result<SimSummary, FlowError> {
+    simulate_program_profiled(program, nre, volume, options, stop, None)
+}
+
+/// [`simulate_program`] with an optional wall-clock profiler: the
+/// executor records one `"chunk"` span per completed chunk. Profiling
+/// never touches the deterministic plane — the summary (stats included)
+/// is bit-identical with and without it.
+pub(crate) fn simulate_program_profiled(
+    program: &RoutingProgram,
+    nre: Money,
+    volume: u64,
+    options: &SimOptions,
+    stop: Option<StopRule>,
+    profiler: Option<&Profiler>,
+) -> Result<SimSummary, FlowError> {
     validate_options(options)?;
     let sampler = LaneSampler::new(
         program,
         options.subassembly_retry_budget,
         options.lane_width,
+        options.probe,
     );
-    let outcome = Executor::new(options.threads).run_batch_with(
-        &sampler,
-        options.units,
-        options.seed,
-        &RunOptions { stop },
-    )?;
+    let executor = Executor::new(options.threads);
+    let run_options = RunOptions { stop };
+    let outcome = match profiler {
+        Some(p) => {
+            executor.run_batch_traced(&sampler, options.units, options.seed, &run_options, p)?
+        }
+        None => executor.run_batch_with(&sampler, options.units, options.seed, &run_options)?,
+    };
     summarize(
         program.line_name(),
         program.names(),
@@ -266,12 +305,19 @@ fn summarize(
         volume,
         labels::pareto(names, &totals.defects, started),
     );
+    let stats = totals.probe.then(|| {
+        let mut stats = RunStats::from_engine(totals.attempted, &totals.obs);
+        stats.rework_attempts = totals.rework_attempts;
+        stats.sub_units_built = totals.sub_units_built;
+        stats
+    });
     Ok(SimSummary {
         report,
         scrapped: totals.scrapped,
         rework_attempts: totals.rework_attempts,
         sub_units_built: totals.sub_units_built,
         stopped_early,
+        stats,
     })
 }
 

@@ -106,14 +106,16 @@ impl CompiledFlow {
         }
     }
 
+    /// Test-only access to the compiled op vector (the verifier's unit
+    /// tests corrupt copies of real programs to exercise diagnostics).
+    #[cfg(test)]
+    pub(crate) fn program(&self) -> &RoutingProgram {
+        &self.program
+    }
+
     /// The flow's name (the top line's name).
     pub fn name(&self) -> &str {
         self.program.line_name()
-    }
-
-    /// The underlying routing program (verification, draw measurement).
-    pub(crate) fn program(&self) -> &RoutingProgram {
-        &self.program
     }
 
     /// Statically verify the compiled program against the invariant
@@ -237,6 +239,29 @@ impl CompiledFlow {
     /// See [`Flow::simulate`](crate::Flow::simulate).
     pub fn simulate_summary(&self, options: &SimOptions) -> Result<SimSummary, FlowError> {
         mc::simulate_program(&self.program, self.nre, self.volume, options, None)
+    }
+
+    /// Like [`CompiledFlow::simulate_summary`], recording wall-clock
+    /// spans (one `"chunk"` per executor chunk) into `profiler`.
+    /// Profiling is strictly the wall-clock plane: the returned summary
+    /// — probe stats included — is bit-identical to the unprofiled run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Flow::simulate`](crate::Flow::simulate).
+    pub fn simulate_summary_profiled(
+        &self,
+        options: &SimOptions,
+        profiler: &ipass_obs::Profiler,
+    ) -> Result<SimSummary, FlowError> {
+        mc::simulate_program_profiled(
+            &self.program,
+            self.nre,
+            self.volume,
+            options,
+            None,
+            Some(profiler),
+        )
     }
 
     /// Evaluate the program **once** with forward-mode duals and
@@ -474,6 +499,14 @@ impl FlowPatch {
     pub fn deny_warnings(&mut self, deny: bool) -> &mut FlowPatch {
         self.strict = deny;
         self
+    }
+
+    /// Number of slot writes applied so far (every setter call,
+    /// duplicates included) — the deterministic patch-application
+    /// counter the observability plane aggregates into
+    /// `RunStats::patch_writes`.
+    pub fn writes(&self) -> u64 {
+        self.touched.len() as u64
     }
 
     /// The slots written more than once so far, as `name (kind)` labels

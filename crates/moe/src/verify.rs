@@ -38,9 +38,8 @@
 //! bound whenever each sub-line's expected attempt count stays within
 //! the budget (guaranteed for any remotely production-worthy yield).
 
-use crate::compile::{Op, PatchSlot, RoutingProgram, SlotKind, Totals, UnitState, NCAT, TEST_CAT};
+use crate::compile::{Op, PatchSlot, RoutingProgram, SlotKind, NCAT, TEST_CAT};
 use crate::diagnostics::{Diagnostic, Diagnostics, Severity};
-use crate::error::FlowError;
 use crate::CostCategory;
 use ipass_sim::SimRng;
 use std::collections::HashMap;
@@ -101,6 +100,75 @@ pub struct StaticBounds {
     /// Sub-line build attempts one unit can trigger (each consumption
     /// retries up to the `subassembly_retry_budget`).
     pub sub_builds_per_unit: CountInterval,
+}
+
+impl StaticBounds {
+    /// Check a probed run's measured counters against these static
+    /// intervals — the dynamic-vs-static cross-check behind
+    /// `ipass stats` and the CI smoke gate.
+    ///
+    /// `stats` is the run's deterministic snapshot
+    /// ([`SimSummary::stats`]); `cost_per_started` and
+    /// `shipped_fraction` come off its report (total spend excluding
+    /// NRE divided by started units, and shipped over started). Returns
+    /// one human-readable message per violated bound — empty means every
+    /// measured counter landed inside the proven intervals.
+    ///
+    /// [`SimSummary::stats`]: crate::SimSummary
+    pub fn violations(
+        &self,
+        stats: &ipass_obs::RunStats,
+        cost_per_started: f64,
+        shipped_fraction: f64,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        if stats.units == 0 {
+            out.push("no units recorded in the run snapshot".to_owned());
+            return out;
+        }
+        if !self.draws_per_unit.contains(stats.draws_min) {
+            out.push(format!(
+                "min draws per unit {} outside [{}, {}]",
+                stats.draws_min, self.draws_per_unit.lo, self.draws_per_unit.hi
+            ));
+        }
+        if !self.draws_per_unit.contains(stats.draws_max) {
+            out.push(format!(
+                "max draws per unit {} outside [{}, {}]",
+                stats.draws_max, self.draws_per_unit.lo, self.draws_per_unit.hi
+            ));
+        }
+        if !self.cost_per_unit.contains(cost_per_started) {
+            out.push(format!(
+                "cost per started unit {cost_per_started} outside [{}, {}]",
+                self.cost_per_unit.lo, self.cost_per_unit.hi
+            ));
+        }
+        if !self.shipped_fraction.contains(shipped_fraction) {
+            out.push(format!(
+                "shipped fraction {shipped_fraction} outside [{}, {}]",
+                self.shipped_fraction.lo, self.shipped_fraction.hi
+            ));
+        }
+        if stats.rework_attempts > self.rework_per_unit.hi.saturating_mul(stats.units) {
+            out.push(format!(
+                "{} rework attempts exceed {} per unit × {} units",
+                stats.rework_attempts, self.rework_per_unit.hi, stats.units
+            ));
+        }
+        if stats.sub_units_built < self.sub_builds_per_unit.lo.saturating_mul(stats.units)
+            || stats.sub_units_built > self.sub_builds_per_unit.hi.saturating_mul(stats.units)
+        {
+            out.push(format!(
+                "{} sub-units built outside [{}, {}] per unit × {} units",
+                stats.sub_units_built,
+                self.sub_builds_per_unit.lo,
+                self.sub_builds_per_unit.hi,
+                stats.units
+            ));
+        }
+        out
+    }
 }
 
 /// What kind of program `verify_program` is looking at: a compiled
@@ -1024,35 +1092,6 @@ fn region_bounds(
     bounds
 }
 
-/// Route `units` units through `flow`'s program on the scalar kernel
-/// and return the exact number of RNG draws each consumed, read off the
-/// counter-based generator's state (unit `i` draws from
-/// `SimRng::stream(seed, i)`, the executor contract every engine
-/// shares).
-///
-/// A test harness for pinning real draw consumption inside
-/// [`StaticBounds::draws_per_unit`] — not a public API.
-#[doc(hidden)]
-pub fn measured_draws_per_unit(
-    flow: &crate::CompiledFlow,
-    units: u64,
-    seed: u64,
-    retry_budget: u32,
-) -> Result<Vec<u64>, FlowError> {
-    let program = flow.program();
-    let mut totals = Totals::new(program.names().len());
-    let mut unit = UnitState::new();
-    let mut draws = Vec::with_capacity(units as usize);
-    for i in 0..units {
-        let mut rng = SimRng::stream(seed, i);
-        totals.attempted += 1;
-        program.run_unit(&mut rng, &mut totals, &mut unit, retry_budget)?;
-        let (_, consumed) = rng.state();
-        draws.push(consumed);
-    }
-    Ok(draws)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1471,7 +1510,11 @@ mod tests {
             .contains(analytic.shipped_fraction()));
         let units = 4_000u64;
         let summary = compiled
-            .simulate_summary(&crate::SimOptions::new(units).with_seed(7))
+            .simulate_summary(
+                &crate::SimOptions::new(units)
+                    .with_seed(7)
+                    .with_probe(ipass_obs::Probe::ON),
+            )
             .unwrap();
         let mc = &summary.report;
         assert!(bounds
@@ -1481,17 +1524,24 @@ mod tests {
         assert!(summary.rework_attempts <= bounds.rework_per_unit.hi.saturating_mul(units));
         assert!(summary.sub_units_built >= bounds.sub_builds_per_unit.lo * units);
         assert!(summary.sub_units_built <= bounds.sub_builds_per_unit.hi.saturating_mul(units));
-        for (i, consumed) in measured_draws_per_unit(&compiled, 500, 7, 100)
-            .unwrap()
-            .into_iter()
-            .enumerate()
-        {
-            assert!(
-                bounds.draws_per_unit.contains(consumed),
-                "unit {i} consumed {consumed}, bounds {:?}",
-                bounds.draws_per_unit
-            );
-        }
+        // The probed snapshot's exact per-unit draw range must land
+        // inside the proven interval — for every unit, via min/max.
+        let stats = summary.stats.expect("probed run carries stats");
+        assert_eq!(stats.units, units);
+        assert!(
+            bounds.draws_per_unit.contains(stats.draws_min)
+                && bounds.draws_per_unit.contains(stats.draws_max),
+            "draw range [{}, {}] escapes bounds {:?}",
+            stats.draws_min,
+            stats.draws_max,
+            bounds.draws_per_unit
+        );
+        // And the one-call form agrees.
+        let spend = mc.total_spend().units() / mc.started();
+        assert_eq!(
+            bounds.violations(&stats, spend, mc.shipped_fraction()),
+            Vec::<String>::new()
+        );
     }
 
     #[test]

@@ -4,12 +4,16 @@
 //! must verify with zero errors, and every number either engine
 //! produces must fall inside the verifier's [`StaticBounds`]:
 //! per-started-unit cost, shipped fraction, rework attempts, sub-unit
-//! builds, and — counted exactly off the RNG state, per unit, across
-//! lane widths — RNG draws consumed.
+//! builds, and — read off the probe plane's exact per-unit draw
+//! counters, across lane widths — RNG draws consumed. The probed
+//! [`RunStats`] snapshot itself must be bit-identical across thread
+//! counts, and width-invariant in its core.
+//!
+//! [`RunStats`]: ipass_moe::RunStats
 
 use ipass_moe::{
-    measured_draws_per_unit, Attach, CostCategory, FailAction, Flow, Line, Part, Process, Rework,
-    SimOptions, StepCost, Test, YieldModel, DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
+    Attach, CostCategory, FailAction, Flow, Line, Part, Probe, Process, Rework, SimOptions,
+    StepCost, Test, YieldModel, DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
 };
 use ipass_units::{Money, Probability};
 use proptest::prelude::*;
@@ -230,12 +234,12 @@ proptest! {
         }
     }
 
-    /// The draw budget is sound per unit: routing each unit on the
-    /// scalar kernel and counting its actual RNG consumption off the
-    /// counter-based generator's state lands inside
-    /// `bounds.draws_per_unit` — and the count is what the lane
-    /// kernel's run-batching budget relies on, so the simulated report
-    /// must also be identical across lane widths.
+    /// The draw budget is sound per unit: the probe plane counts each
+    /// unit's actual RNG consumption exactly (off the counter-based
+    /// generator's stream position), and the measured min/max must land
+    /// inside `bounds.draws_per_unit` — the interval the lane kernel's
+    /// run-batching budget relies on. The simulated report must also be
+    /// identical across lane widths.
     #[test]
     fn measured_draws_stay_inside_the_budget_across_lane_widths(
         carrier_cost in 0.5f64..20.0,
@@ -248,18 +252,29 @@ proptest! {
         let bounds = compiled
             .static_bounds(DEFAULT_SUBASSEMBLY_RETRY_BUDGET)
             .unwrap();
-        match measured_draws_per_unit(&compiled, 300, seed, DEFAULT_SUBASSEMBLY_RETRY_BUDGET) {
-            Ok(draws) => {
-                for (i, consumed) in draws.into_iter().enumerate() {
-                    prop_assert!(
-                        bounds.draws_per_unit.contains(consumed),
-                        "unit {i} consumed {consumed} draws, bounds {:?}",
-                        bounds.draws_per_unit
-                    );
-                }
+        match compiled.simulate_summary(
+            &SimOptions::new(300).with_seed(seed).with_probe(Probe::ON),
+        ) {
+            Ok(summary) => {
+                let stats = summary.stats.expect("probed run carries stats");
+                prop_assert_eq!(stats.units, 300);
+                prop_assert!(
+                    bounds.draws_per_unit.contains(stats.draws_min)
+                        && bounds.draws_per_unit.contains(stats.draws_max),
+                    "draw range [{}, {}] escapes bounds {:?}",
+                    stats.draws_min,
+                    stats.draws_max,
+                    bounds.draws_per_unit
+                );
+                prop_assert_eq!(stats.rework_attempts, summary.rework_attempts);
+                prop_assert_eq!(stats.sub_units_built, summary.sub_units_built);
             }
             Err(e) => prop_assert!(
-                matches!(e, ipass_moe::FlowError::SubassemblyStarved { .. }),
+                matches!(
+                    e,
+                    ipass_moe::FlowError::NothingShipped { .. }
+                        | ipass_moe::FlowError::SubassemblyStarved { .. }
+                ),
                 "unexpected routing failure: {e}"
             ),
         }
@@ -283,6 +298,68 @@ proptest! {
                     prop_assert_eq!(&base.report, &r.report, "lane width {} diverged", w);
                     prop_assert_eq!(base.rework_attempts, r.rework_attempts);
                     prop_assert_eq!(base.sub_units_built, r.sub_units_built);
+                }
+            }
+            Err(e) => prop_assert!(matches!(
+                e,
+                ipass_moe::FlowError::NothingShipped { .. }
+                    | ipass_moe::FlowError::SubassemblyStarved { .. }
+            )),
+        }
+    }
+
+    /// The deterministic plane's promise: a probed [`RunStats`] is
+    /// bit-identical for any thread count (full equality, lanes
+    /// histogram included — chunk geometry depends only on `units`),
+    /// and its [`invariant_core`] — everything except the
+    /// width-dependent lane-occupancy histogram and the racy memo
+    /// counters — is additionally identical across lane widths.
+    ///
+    /// [`RunStats`]: ipass_moe::RunStats
+    /// [`invariant_core`]: ipass_moe::RunStats::invariant_core
+    #[test]
+    fn probed_run_stats_are_invariant_across_threads_and_widths(
+        carrier_cost in 0.5f64..20.0,
+        carrier_yield in 0.5f64..=1.0,
+        stages in proptest::collection::vec(stage_strategy(), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let flow = build_flow(carrier_cost, carrier_yield, &stages);
+        let compiled = flow.compiled().unwrap();
+        let units = 600u64;
+        let run = |threads: usize, width: usize| {
+            compiled.simulate_summary(
+                &SimOptions::new(units)
+                    .with_seed(seed)
+                    .with_threads(threads)
+                    .with_lane_width(width)
+                    .with_probe(Probe::ON),
+            )
+        };
+        match run(1, 4) {
+            Ok(base) => {
+                let base_stats = base.stats.expect("probed run carries stats");
+                for threads in [2usize, 8] {
+                    let r = run(threads, 4).unwrap_or_else(|e| {
+                        panic!("{threads} threads failed where 1 succeeded: {e}")
+                    });
+                    prop_assert_eq!(
+                        base_stats,
+                        r.stats.expect("probed run carries stats"),
+                        "RunStats diverged at {} threads",
+                        threads
+                    );
+                }
+                for width in [1usize, 64] {
+                    let r = run(1, width).unwrap_or_else(|e| {
+                        panic!("width {width} failed where 4 succeeded: {e}")
+                    });
+                    prop_assert_eq!(
+                        base_stats.invariant_core(),
+                        r.stats.expect("probed run carries stats").invariant_core(),
+                        "invariant core diverged at lane width {}",
+                        width
+                    );
                 }
             }
             Err(e) => prop_assert!(matches!(

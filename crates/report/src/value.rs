@@ -51,6 +51,12 @@ impl Cell {
         Cell::Num(v)
     }
 
+    /// A counter cell: an exact `u64` counter (e.g. a probe snapshot
+    /// field), saturating at `i64::MAX` — far beyond any real count.
+    pub fn count(v: u64) -> Cell {
+        Cell::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+
     /// Display-sink rendering under a column's precision.
     pub(crate) fn display(&self, precision: Option<usize>) -> String {
         match self {
@@ -786,6 +792,13 @@ mod tests {
     #[should_panic(expected = "line has 1 values for 2 x positions")]
     fn series_arity_is_enforced() {
         let _ = Series::new("s", "x", SeriesX::Values(vec![1.0, 2.0])).line("l", vec![1.0]);
+    }
+
+    #[test]
+    fn count_cells_are_exact_integers_saturating_at_i64_max() {
+        assert_eq!(Cell::count(0), Cell::Int(0));
+        assert_eq!(Cell::count(12_345).display(None), "12345");
+        assert_eq!(Cell::count(u64::MAX), Cell::Int(i64::MAX));
     }
 
     #[test]

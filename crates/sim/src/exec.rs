@@ -25,8 +25,10 @@
 
 use crate::batch::BatchSampler;
 use crate::rng::SimRng;
+use ipass_obs::Profiler;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// A Monte Carlo experiment that accumulates directly into a mergeable
 /// accumulator (the zero-allocation form used by hot engines).
@@ -274,6 +276,37 @@ impl Executor {
         seed: u64,
         options: &RunOptions,
     ) -> Result<RunOutcome<B::Acc>, B::Error> {
+        self.run_batch_inner(sampler, units, seed, options, None)
+    }
+
+    /// Like [`Executor::run_batch_with`], recording wall-clock spans
+    /// into `profiler`: one `"chunk"` span per completed chunk. Timing
+    /// lives entirely in the wall-clock plane — the accumulator (and
+    /// any deterministic counters folded inside it) is bit-identical to
+    /// the untraced run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sampler error in unit order.
+    pub fn run_batch_traced<B: BatchSampler>(
+        &self,
+        sampler: &B,
+        units: u64,
+        seed: u64,
+        options: &RunOptions,
+        profiler: &Profiler,
+    ) -> Result<RunOutcome<B::Acc>, B::Error> {
+        self.run_batch_inner(sampler, units, seed, options, Some(profiler))
+    }
+
+    fn run_batch_inner<B: BatchSampler>(
+        &self,
+        sampler: &B,
+        units: u64,
+        seed: u64,
+        options: &RunOptions,
+        profiler: Option<&Profiler>,
+    ) -> Result<RunOutcome<B::Acc>, B::Error> {
         if units == 0 {
             return Ok(RunOutcome {
                 acc: sampler.make_acc(),
@@ -285,9 +318,11 @@ impl Executor {
         let n_chunks = units.div_ceil(chunk);
         let workers = self.threads.min(n_chunks as usize);
         if workers <= 1 {
-            return run_serial(sampler, units, seed, chunk, options);
+            return run_serial(sampler, units, seed, chunk, options, profiler);
         }
-        run_parallel(sampler, units, seed, chunk, n_chunks, workers, options)
+        run_parallel(
+            sampler, units, seed, chunk, n_chunks, workers, options, profiler,
+        )
     }
 
     /// Run an [`Experiment`] and collect its outputs in unit order.
@@ -498,15 +533,26 @@ impl<E: Experiment> Experiment for &E {
 }
 
 /// Route one chunk of units: a single contiguous range call on the
-/// batch sampler (the blanket impl walks it unit by unit).
+/// batch sampler (the blanket impl walks it unit by unit). When a
+/// profiler is attached, the chunk's wall-clock time is recorded under
+/// the `"chunk"` span — outside the accumulator, so tracing never
+/// perturbs results.
 fn run_chunk<B: BatchSampler>(
     sampler: &B,
     seed: u64,
     lo: u64,
     hi: u64,
+    profiler: Option<&Profiler>,
 ) -> Result<B::Acc, B::Error> {
+    let start = profiler.map(|_| Instant::now());
     let mut acc = sampler.make_acc();
     sampler.sample_range(seed, lo, hi, &mut acc)?;
+    if let (Some(p), Some(t0)) = (profiler, start) {
+        p.record(
+            "chunk",
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
     Ok(acc)
 }
 
@@ -528,12 +574,13 @@ fn run_serial<B: BatchSampler>(
     seed: u64,
     chunk: u64,
     options: &RunOptions,
+    profiler: Option<&Profiler>,
 ) -> Result<RunOutcome<B::Acc>, B::Error> {
     let mut prefix = sampler.make_acc();
     let mut lo = 0;
     while lo < units {
         let hi = (lo + chunk).min(units);
-        let part = run_chunk(sampler, seed, lo, hi)?;
+        let part = run_chunk(sampler, seed, lo, hi, profiler)?;
         sampler.merge(&mut prefix, part);
         lo = hi;
         if let Some(rule) = &options.stop {
@@ -559,6 +606,7 @@ fn run_serial<B: BatchSampler>(
 /// order. No shared fold state, no lock a worker could serialize on —
 /// the only synchronization is the lock-free channel send per
 /// completed chunk.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel<B: BatchSampler>(
     sampler: &B,
     units: u64,
@@ -567,6 +615,7 @@ fn run_parallel<B: BatchSampler>(
     n_chunks: u64,
     workers: usize,
     options: &RunOptions,
+    profiler: Option<&Profiler>,
 ) -> Result<RunOutcome<B::Acc>, B::Error> {
     let cursor = AtomicU64::new(0);
     let done = AtomicBool::new(false);
@@ -589,7 +638,7 @@ fn run_parallel<B: BatchSampler>(
                 let hi = (lo + chunk).min(units);
                 // All fold work stays worker-local; only the completion
                 // record crosses threads.
-                let record = run_chunk(sampler, seed, lo, hi);
+                let record = run_chunk(sampler, seed, lo, hi, profiler);
                 if tx.send((c, record)).is_err() {
                     break;
                 }
@@ -874,6 +923,27 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err, "bad 99");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_counts_chunks() {
+        let coin = Coin { p: 0.37 };
+        let baseline = Executor::new(1).run(&coin, 50_000, 11).unwrap();
+        for threads in [1, 4] {
+            let profiler = Profiler::new();
+            let outcome = Executor::new(threads)
+                .run_batch_traced(&coin, 50_000, 11, &RunOptions::default(), &profiler)
+                .unwrap();
+            assert_eq!(outcome.acc, baseline, "threads = {threads}");
+            let trace = profiler.trace();
+            let chunk_span = trace
+                .spans
+                .iter()
+                .find(|s| s.name == "chunk")
+                .expect("chunk span recorded");
+            // chunk_size(50_000) = 781 → 65 chunks, regardless of threads.
+            assert_eq!(chunk_span.count, 65, "threads = {threads}");
+        }
     }
 
     #[test]

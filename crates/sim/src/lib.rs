@@ -26,7 +26,13 @@
 //!   confidence-interval half width is reached, evaluated at
 //!   deterministic chunk boundaries.
 //! * [`Memo`] — a concurrent cache for per-candidate sub-results in
-//!   candidate × scenario batches.
+//!   candidate × scenario batches, with hit/miss/dropped counters
+//!   surfaced as an `ipass_obs::MemoStats` snapshot.
+//!
+//! Wall-clock observability rides on the same machinery:
+//! [`Executor::run_batch_traced`] records one `"chunk"` span per
+//! completed chunk into an `ipass_obs::Profiler` without perturbing the
+//! deterministic accumulator.
 //!
 //! # The determinism contract
 //!

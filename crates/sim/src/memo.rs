@@ -6,10 +6,21 @@
 //! be shared. [`Memo`] is a concurrent key → `Arc<V>` table; entries are
 //! computed outside the lock, and when two workers race on the same key
 //! the first insert wins (both computed the same deterministic value).
+//!
+//! Effectiveness is observable: every lookup bumps a hit or miss
+//! counter, entries rejected by a [`Memo::with_max_entries`] capacity
+//! bound bump `dropped`, and a recovered shard-lock poisoning bumps
+//! `poisoned` — all surfaced as an [`ipass_obs::MemoStats`] snapshot via
+//! [`Memo::stats`]. Counters use relaxed atomics: totals are exact once
+//! the cache is quiescent, but the hit/miss split may wobble by racing
+//! lookups, so memo counters sit outside the strict bit-identity
+//! contract of the deterministic plane.
 
+use ipass_obs::MemoStats;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 const SHARDS: usize = 16;
 
@@ -25,11 +36,18 @@ const SHARDS: usize = 16;
 /// let b = memo.get_or_insert_with(7, || unreachable!("cached"));
 /// assert!(std::sync::Arc::ptr_eq(&a, &b));
 /// assert_eq!(memo.len(), 1);
+/// let stats = memo.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
 /// ```
 #[derive(Debug)]
 pub struct Memo<K, V> {
     shards: Vec<Mutex<HashMap<K, Arc<V>>>>,
     hasher: RandomState,
+    max_per_shard: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dropped: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 impl<K: Hash + Eq, V> Default for Memo<K, V> {
@@ -39,17 +57,60 @@ impl<K: Hash + Eq, V> Default for Memo<K, V> {
 }
 
 impl<K: Hash + Eq, V> Memo<K, V> {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Memo<K, V> {
         Memo {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hasher: RandomState::new(),
+            max_per_shard: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty cache holding at most `max_entries` values.
+    ///
+    /// The bound is enforced per shard (`max_entries / 16`, rounded up),
+    /// so the true ceiling can exceed `max_entries` by at most one entry
+    /// per shard. An insert into a full shard is **not** cached: the
+    /// computed value is returned to the caller as usual and the
+    /// [`MemoStats::dropped`] counter records the rejection — no silent
+    /// loss.
+    pub fn with_max_entries(max_entries: usize) -> Memo<K, V> {
+        Memo {
+            max_per_shard: Some(max_entries.div_ceil(SHARDS).max(1)),
+            ..Memo::new()
         }
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
         let h = self.hasher.hash_one(key) as usize;
         &self.shards[h % SHARDS]
+    }
+
+    /// Lock a shard, recovering (and counting) a poisoned lock instead
+    /// of propagating the panic. Entries are inserted fully formed, so a
+    /// poisoned shard still holds a consistent map.
+    fn lock<'a>(&self, shard: &'a Mutex<HashMap<K, Arc<V>>>) -> MutexGuard<'a, HashMap<K, Arc<V>>> {
+        shard.lock().unwrap_or_else(|poisoned| {
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Insert `value` under `key` unless the shard is at capacity;
+    /// either way, return the `Arc` the caller should use.
+    fn insert_or_drop(&self, key: K, value: Arc<V>) -> Arc<V> {
+        let mut shard = self.lock(self.shard(&key));
+        if let Some(cap) = self.max_per_shard {
+            if shard.len() >= cap && !shard.contains_key(&key) {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return value;
+            }
+        }
+        Arc::clone(shard.entry(key).or_insert(value))
     }
 
     /// Look up `key`, computing and caching `compute()` on a miss.
@@ -60,9 +121,7 @@ impl<K: Hash + Eq, V> Memo<K, V> {
         if let Some(hit) = self.get(&key) {
             return hit;
         }
-        let value = Arc::new(compute());
-        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
-        Arc::clone(shard.entry(key).or_insert(value))
+        self.insert_or_drop(key, Arc::new(compute()))
     }
 
     /// Fallible version of [`Memo::get_or_insert_with`]; errors are not
@@ -79,26 +138,22 @@ impl<K: Hash + Eq, V> Memo<K, V> {
         if let Some(hit) = self.get(&key) {
             return Ok(hit);
         }
-        let value = Arc::new(compute()?);
-        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
-        Ok(Arc::clone(shard.entry(key).or_insert(value)))
+        Ok(self.insert_or_drop(key, Arc::new(compute()?)))
     }
 
-    /// Current cached value for `key`, if any.
+    /// Current cached value for `key`, if any. Counts as a hit or miss.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        self.shard(key)
-            .lock()
-            .expect("memo shard poisoned")
-            .get(key)
-            .cloned()
+        let found = self.lock(self.shard(key)).get(key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| self.lock(s).len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -106,10 +161,21 @@ impl<K: Hash + Eq, V> Memo<K, V> {
         self.len() == 0
     }
 
-    /// Drop every cached entry.
+    /// Drop every cached entry (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("memo shard poisoned").clear();
+            self.lock(shard).clear();
+        }
+    }
+
+    /// Snapshot of the lifetime hit / miss / dropped / poisoned
+    /// counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
         }
     }
 }
@@ -161,5 +227,54 @@ mod tests {
             }
         });
         assert_eq!(memo.len(), 100);
+        let stats = memo.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+        assert!(stats.misses >= 100, "each key misses at least once");
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.poisoned, 0);
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let memo: Memo<u32, u32> = Memo::new();
+        assert!(memo.get(&1).is_none());
+        let _ = memo.get_or_insert_with(1, || 10);
+        let _ = memo.get_or_insert_with(1, || unreachable!());
+        let stats = memo.stats();
+        assert_eq!(stats.misses, 2); // explicit get + first insert
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted_not_silent() {
+        // One entry per shard: later distinct keys start landing in
+        // full shards and must be rejected loudly, not lost silently.
+        let memo: Memo<u64, u64> = Memo::with_max_entries(1);
+        let mut dropped_values_still_correct = true;
+        for k in 0..64 {
+            let v = memo.get_or_insert_with(k, || k + 1);
+            dropped_values_still_correct &= *v == k + 1;
+        }
+        assert!(dropped_values_still_correct);
+        let stats = memo.stats();
+        assert!(stats.dropped > 0, "overflow must be signalled");
+        assert_eq!(memo.len() as u64 + stats.dropped, 64);
+        // Cached keys still hit; dropped keys keep recomputing.
+        let before = memo.stats();
+        for k in 0..64 {
+            let _ = memo.get_or_insert_with(k, || k + 1);
+        }
+        let after = memo.stats();
+        assert_eq!(after.hits - before.hits, memo.len() as u64);
+    }
+
+    #[test]
+    fn unbounded_cache_never_drops() {
+        let memo: Memo<u64, u64> = Memo::new();
+        for k in 0..1000 {
+            let _ = memo.get_or_insert_with(k, || k);
+        }
+        assert_eq!(memo.len(), 1000);
+        assert_eq!(memo.stats().dropped, 0);
     }
 }

@@ -10,7 +10,11 @@
 //! any drift between the committed docs and the code.
 
 use ipass_gps::experiments;
-use ipass_moe::{CompiledFlow, Severity, DEFAULT_SUBASSEMBLY_RETRY_BUDGET};
+use ipass_moe::{
+    CompiledFlow, Probe, Profiler, RunStats, Severity, SimOptions, StaticBounds,
+    DEFAULT_SUBASSEMBLY_RETRY_BUDGET,
+};
+use ipass_obs::{Trace, LANE_WIDTHS, OP_KINDS};
 use ipass_report::{Artifact, Cell, DirSink, Findings, Format, MemorySink, Sink, Table};
 use std::error::Error;
 use std::path::Path;
@@ -121,6 +125,16 @@ pub fn specs() -> &'static [ArtifactSpec] {
             || Ok(Artifact::Table(verify_table()?)),
         ),
         spec(
+            "runstats",
+            "The observability deterministic plane: solution 2's probed Monte Carlo run — exact draw/op/lane/rework counters, cross-checked at runtime against the statically proven bounds.",
+            || Ok(Artifact::Table(runstats_table()?)),
+        ),
+        spec(
+            "profile",
+            "The observability wall-clock plane: phase spans of the solution-2 runstats pipeline (build, bounds, Monte Carlo, per-chunk). Committed totals are redacted — timings never enter the byte contract; `ipass profile` prints them live.",
+            || Ok(Artifact::Table(profile_table()?)),
+        ),
+        spec(
             "design_space",
             "Solution 2's volume × substrate-yield design space: analytic screen, Pareto frontier over (final cost ↓, shipped fraction ↑), Monte-Carlo-confirmed band.",
             || {
@@ -216,6 +230,229 @@ fn verify_table() -> Result<Table, Box<dyn Error>> {
          at the default subassembly retry budget of {DEFAULT_SUBASSEMBLY_RETRY_BUDGET}; \
          cost bounds exclude NRE"
     )))
+}
+
+/// Monte Carlo unit budget of the `runstats` / `profile` artifacts and
+/// the `ipass stats` / `ipass profile` verbs — like [`ARTIFACT_SEED`],
+/// part of the artifact definition.
+pub const STATS_UNITS: u64 = 20_000;
+
+/// One committed flow's probed Monte Carlo run: the deterministic
+/// [`RunStats`] snapshot next to the statically proven [`StaticBounds`]
+/// and the runtime cross-check between them.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// The flow's registry label (the paper's solution name).
+    pub label: &'static str,
+    /// The deterministic-plane snapshot (probe on).
+    pub stats: RunStats,
+    /// Booked spend (NRE excluded) per started unit, off the report.
+    pub cost_per_started: f64,
+    /// Shipped over started units, off the report.
+    pub shipped_fraction: f64,
+    /// The statically proven per-unit bounds.
+    pub bounds: StaticBounds,
+    /// [`StaticBounds::violations`] of the measured counters — empty
+    /// means the run landed inside every proven interval.
+    pub violations: Vec<String>,
+}
+
+/// Resolve an `ipass stats` / `ipass profile` flow selector —
+/// `solution1`..`solution4` or bare `1`..`4` — to its
+/// [`lint_targets`] index.
+pub fn solution_index(selector: &str) -> Option<usize> {
+    let n: u32 = selector
+        .strip_prefix("solution")
+        .unwrap_or(selector)
+        .parse()
+        .ok()?;
+    (1..=4).contains(&n).then(|| n as usize - 1)
+}
+
+/// Run one committed solution flow (by [`lint_targets`] index) through
+/// the probed Monte Carlo engine at [`ARTIFACT_SEED`] /
+/// [`STATS_UNITS`] and cross-check the measured counters against the
+/// flow's static bounds. `profiler` additionally records the
+/// wall-clock plane (`build` / `bounds` / `mc` phases plus the
+/// executor's per-`chunk` spans).
+///
+/// # Errors
+///
+/// Propagates planning, compilation, bounds and simulation failures.
+pub fn measure_solution(
+    index: usize,
+    profiler: Option<&Profiler>,
+) -> Result<MeasuredRun, Box<dyn Error>> {
+    let (label, compiled) = {
+        let _span = profiler.map(|p| p.span("build"));
+        let mut targets = lint_targets()?;
+        if index >= targets.len() {
+            return Err(format!("no solution flow at index {index}").into());
+        }
+        targets.swap_remove(index)
+    };
+    let bounds = {
+        let _span = profiler.map(|p| p.span("bounds"));
+        compiled.static_bounds(DEFAULT_SUBASSEMBLY_RETRY_BUDGET)?
+    };
+    let options = SimOptions::new(STATS_UNITS)
+        .with_seed(ARTIFACT_SEED)
+        .with_probe(Probe::ON);
+    let summary = {
+        let _span = profiler.map(|p| p.span("mc"));
+        match profiler {
+            Some(p) => compiled.simulate_summary_profiled(&options, p)?,
+            None => compiled.simulate_summary(&options)?,
+        }
+    };
+    let stats = summary.stats.expect("probed run carries stats");
+    let cost_per_started = summary.report.total_spend().units() / summary.report.started();
+    let shipped_fraction = summary.report.shipped_fraction();
+    let violations = bounds.violations(&stats, cost_per_started, shipped_fraction);
+    Ok(MeasuredRun {
+        label,
+        stats,
+        cost_per_started,
+        shipped_fraction,
+        bounds,
+        violations,
+    })
+}
+
+/// The [`MeasuredRun`] as a counters-vs-bounds table (the `runstats`
+/// artifact body, and what `ipass stats` prints).
+pub fn runstats_table_for(run: &MeasuredRun) -> Table {
+    let s = &run.stats;
+    let b = &run.bounds;
+    let yes_no = |ok: bool| Cell::text(if ok { "yes" } else { "NO" });
+    let unbounded = || (Cell::Empty, Cell::Empty, Cell::text("-"));
+    let mut rows: Vec<Vec<Cell>> = Vec::new();
+    let mut row = |name: &str, value: u64, (lo, hi, within): (Cell, Cell, Cell)| {
+        rows.push(vec![Cell::text(name), Cell::count(value), lo, hi, within]);
+    };
+    row("units started", s.units, unbounded());
+    row(
+        "rng draws",
+        s.draws,
+        (
+            Cell::count(b.draws_per_unit.lo.saturating_mul(s.units)),
+            Cell::count(b.draws_per_unit.hi.saturating_mul(s.units)),
+            yes_no(
+                s.draws >= b.draws_per_unit.lo.saturating_mul(s.units)
+                    && s.draws <= b.draws_per_unit.hi.saturating_mul(s.units),
+            ),
+        ),
+    );
+    for (bound, value, name) in [
+        (b.draws_per_unit, s.draws_min, "draws/unit min"),
+        (b.draws_per_unit, s.draws_max, "draws/unit max"),
+    ] {
+        row(
+            name,
+            value,
+            (
+                Cell::count(bound.lo),
+                Cell::count(bound.hi),
+                yes_no(bound.contains(value)),
+            ),
+        );
+    }
+    for (kind, &count) in OP_KINDS.iter().zip(&s.ops) {
+        row(&format!("ops: {kind}"), count, unbounded());
+    }
+    for (&width, &count) in LANE_WIDTHS.iter().zip(&s.lanes) {
+        row(&format!("units in width-{width} lanes"), count, unbounded());
+    }
+    row(
+        "rework attempts",
+        s.rework_attempts,
+        (
+            Cell::Empty,
+            Cell::count(b.rework_per_unit.hi.saturating_mul(s.units)),
+            yes_no(s.rework_attempts <= b.rework_per_unit.hi.saturating_mul(s.units)),
+        ),
+    );
+    row(
+        "sub-units built",
+        s.sub_units_built,
+        (
+            Cell::count(b.sub_builds_per_unit.lo.saturating_mul(s.units)),
+            Cell::count(b.sub_builds_per_unit.hi.saturating_mul(s.units)),
+            yes_no(
+                s.sub_units_built >= b.sub_builds_per_unit.lo.saturating_mul(s.units)
+                    && s.sub_units_built <= b.sub_builds_per_unit.hi.saturating_mul(s.units),
+            ),
+        ),
+    );
+    let mut table = Table::new(format!(
+        "runstats — measured counters, solution {}",
+        run.label
+    ))
+    .text_column("counter")
+    .integer_column("value")
+    .integer_column("bound lo")
+    .integer_column("bound hi")
+    .text_column("within");
+    for r in rows {
+        table = table.row(r);
+    }
+    let violation_note = if run.violations.is_empty() {
+        "all measured counters (and the report's cost per started unit and shipped \
+         fraction) inside the statically proven bounds"
+            .to_owned()
+    } else {
+        format!("BOUND VIOLATIONS: {}", run.violations.join("; "))
+    };
+    table
+        .note(format!(
+            "probed Monte Carlo run: {STATS_UNITS} units at seed {ARTIFACT_SEED}; \
+             deterministic plane — bit-identical for any executor thread count"
+        ))
+        .note(violation_note)
+        .note(
+            "lane rows depend on the lane width (default 64); every other row is \
+             also identical across widths",
+        )
+}
+
+/// The `runstats` artifact: solution 2's probed run vs its bounds.
+fn runstats_table() -> Result<Table, Box<dyn Error>> {
+    Ok(runstats_table_for(&measure_solution(1, None)?))
+}
+
+/// The wall-clock [`Trace`] as a phase table. `redact` replaces the
+/// timing column with `-` — the committed `profile` artifact does,
+/// keeping the byte contract free of wall-clock noise; `ipass profile`
+/// prints live totals.
+pub fn profile_table_for(trace: &Trace, redact: bool) -> Table {
+    let mut table = Table::new("profile — wall-clock phase spans, solution 2 runstats pipeline")
+        .text_column("phase")
+        .integer_column("spans")
+        .text_column("total");
+    for span in &trace.spans {
+        table = table.row(vec![
+            Cell::text(&span.name),
+            Cell::count(span.count),
+            if redact {
+                Cell::text("-")
+            } else {
+                Cell::text(format!("{:.3} ms", span.total_ns as f64 / 1e6))
+            },
+        ]);
+    }
+    table.note(
+        "wall-clock plane: span counts are deterministic, timings are not and never \
+         feed the deterministic snapshot; committed totals are redacted — run \
+         `ipass profile solution2` for live timings",
+    )
+}
+
+/// The `profile` artifact: the solution-2 runstats pipeline's spans,
+/// totals redacted.
+fn profile_table() -> Result<Table, Box<dyn Error>> {
+    let profiler = Profiler::default();
+    measure_solution(1, Some(&profiler))?;
+    Ok(profile_table_for(&profiler.trace(), true))
 }
 
 /// Build and render every artifact in every supported format into a

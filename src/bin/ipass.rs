@@ -6,6 +6,8 @@
 //! ipass artifact fig6 --format svg --out f.svg
 //! ipass regen [docs/artifacts/]               # rewrite the committed tree
 //! ipass regen --check [docs/artifacts/]       # drift check, no writes
+//! ipass stats solution2                       # probed counters vs proven bounds
+//! ipass profile solution2 --json              # live wall-clock phase spans
 //! ```
 //!
 //! `regen` is byte-deterministic: running it twice produces identical
@@ -23,7 +25,9 @@ const USAGE: &str = "usage: ipass <command>\n\
     \x20 list                                     list registered artifacts\n\
     \x20 artifact <name> [--format F] [--out P]   render one artifact (F: txt|csv|md|json|svg; default txt)\n\
     \x20 regen [--check] [dir]                    regenerate the committed artifact tree (default docs/artifacts/)\n\
-    \x20 lint [--deny-warnings]                   statically verify every committed solution flow (CI gate)\n";
+    \x20 lint [--deny-warnings]                   statically verify every committed solution flow (CI gate)\n\
+    \x20 stats <solution> [--deny-warnings]       probed-run counters vs the statically proven bounds (solution1..4)\n\
+    \x20 profile <solution> [--json]              live wall-clock phase spans of the stats pipeline\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +36,8 @@ fn main() -> ExitCode {
         Some("artifact") => artifact(&args[1..]),
         Some("regen") => regen(&args[1..]),
         Some("lint") => lint(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("profile") => profile(&args[1..]),
         Some(other) => {
             eprintln!("ipass: unknown command {other:?}\n{USAGE}");
             ExitCode::FAILURE
@@ -160,6 +166,92 @@ fn lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `ipass stats <solution> [--deny-warnings]` — run the selected
+/// committed flow through the probed Monte Carlo engine and cross-check
+/// every measured counter against the statically proven bounds. Any
+/// violation fails; `--deny-warnings` (the CI configuration) also fails
+/// on silently degraded caching (dropped or poison-recovered memo
+/// entries).
+fn stats(args: &[String]) -> ExitCode {
+    let mut deny_warnings = false;
+    let mut selector: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            other if selector.is_none() && !other.starts_with('-') => selector = Some(other),
+            other => {
+                eprintln!("ipass: unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(index) = selector.and_then(artifacts::solution_index) else {
+        eprintln!("ipass: stats needs a flow selector (solution1..solution4)");
+        return ExitCode::FAILURE;
+    };
+    let run = match artifacts::measure_solution(index, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ipass: measuring the flow failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", artifacts::runstats_table_for(&run).to_txt());
+    for v in &run.violations {
+        eprintln!("ipass stats: BOUND VIOLATION: {v}");
+    }
+    let memo = run.stats.memo;
+    if deny_warnings && (memo.dropped > 0 || memo.poisoned > 0) {
+        eprintln!(
+            "ipass stats: memo degraded under --deny-warnings: {} dropped, {} \
+             poison-recovered entries",
+            memo.dropped, memo.poisoned
+        );
+        return ExitCode::FAILURE;
+    }
+    if run.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `ipass profile <solution> [--json]` — the same pipeline as
+/// `ipass stats`, timed: live wall-clock spans (build / bounds / mc /
+/// executor chunks), as a table or as the trace's JSON form. Timings
+/// are real here — only the committed `profile` artifact redacts them.
+fn profile(args: &[String]) -> ExitCode {
+    use integrated_passives::obs::Profiler;
+    let mut json = false;
+    let mut selector: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if selector.is_none() && !other.starts_with('-') => selector = Some(other),
+            other => {
+                eprintln!("ipass: unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(index) = selector.and_then(artifacts::solution_index) else {
+        eprintln!("ipass: profile needs a flow selector (solution1..solution4)");
+        return ExitCode::FAILURE;
+    };
+    let profiler = Profiler::default();
+    if let Err(e) = artifacts::measure_solution(index, Some(&profiler)) {
+        eprintln!("ipass: profiling the flow failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let trace = profiler.trace();
+    if json {
+        println!("{}", trace.to_json());
+    } else {
+        print!("{}", artifacts::profile_table_for(&trace, false).to_txt());
+    }
+    ExitCode::SUCCESS
 }
 
 fn regen(args: &[String]) -> ExitCode {

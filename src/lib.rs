@@ -2,10 +2,10 @@
 //! reproduction of Scheffler & Tröster, *Assessing the Cost
 //! Effectiveness of Integrated Passives* (DATE 2000).
 //!
-//! See the individual crates for full documentation: [`units`], [`sim`],
-//! [`report`], [`moe`], [`explore`], [`passives`], [`rf`], [`layout`],
-//! [`core`], [`gps`] — and README.md / DESIGN.md / `docs/` at the
-//! workspace root.
+//! See the individual crates for full documentation: [`units`], [`obs`],
+//! [`sim`], [`report`], [`moe`], [`explore`], [`passives`], [`rf`],
+//! [`layout`], [`core`], [`gps`] — and README.md / DESIGN.md / `docs/`
+//! at the workspace root.
 //!
 //! The [`artifacts`] module is the named paper-artifact registry behind
 //! the `ipass` CLI: every table and figure of the paper, buildable and
@@ -29,6 +29,7 @@ pub use ipass_explore as explore;
 pub use ipass_gps as gps;
 pub use ipass_layout as layout;
 pub use ipass_moe as moe;
+pub use ipass_obs as obs;
 pub use ipass_passives as passives;
 pub use ipass_report as report;
 pub use ipass_rf as rf;

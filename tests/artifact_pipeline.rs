@@ -1,10 +1,11 @@
 //! The artifact pipeline's output contract:
 //!
 //! * golden tests pinning byte-exact txt/CSV/JSON output for the
-//!   Table 2 cards, the Fig. 6 decision and the solution-2 tornado
-//!   (the files under `tests/golden/` are committed copies of
-//!   `docs/artifacts/` — regenerate both with
-//!   `cargo run --release --bin ipass -- regen docs/artifacts/`), and
+//!   Table 2 cards, the Fig. 6 decision, the solution-2 tornado and
+//!   the observability artifacts (`runstats`, `profile`) — the files
+//!   under `tests/golden/` are committed copies of `docs/artifacts/`;
+//!   regenerate both with
+//!   `cargo run --release --bin ipass -- regen docs/artifacts/` — and
 //! * the `ipass regen` idempotence/determinism contract: rendering the
 //!   whole registry twice produces identical bytes, so a second `regen`
 //!   run is always a zero-diff no-op.
@@ -56,6 +57,30 @@ fn solution2_tornado_golden_txt_csv_json() {
         Format::Json,
         include_str!("golden/sensitivity_sol2.json"),
     );
+}
+
+#[test]
+fn runstats_golden_txt_json() {
+    // The observability deterministic plane is part of the byte
+    // contract: every counter in this table is exact and thread-count
+    // invariant, so the rendering is pinned like any paper artifact.
+    pinned("runstats", Format::Txt, include_str!("golden/runstats.txt"));
+    pinned(
+        "runstats",
+        Format::Json,
+        include_str!("golden/runstats.json"),
+    );
+}
+
+#[test]
+fn profile_golden_txt_json() {
+    // The wall-clock plane is pinned only in its deterministic shadow:
+    // span names and counts are reproducible, timings are redacted to
+    // "-" by the committed artifact (live timings come from
+    // `ipass profile`). Byte-pinning the redacted form proves the
+    // wall-clock plane never leaks into the committed tree.
+    pinned("profile", Format::Txt, include_str!("golden/profile.txt"));
+    pinned("profile", Format::Json, include_str!("golden/profile.json"));
 }
 
 #[test]

@@ -59,6 +59,7 @@ fn refiner_reproduces_the_full_grid_frontier_with_sparse_mc() {
                 mc_units: 20_000,
                 seed: 99,
                 stop: None,
+                ..RefineOptions::default()
             },
             |coords| {
                 let mut card = base_card.clone();
@@ -113,6 +114,7 @@ fn golden_flow_exploration_is_bit_identical_across_thread_counts() {
                     mc_units: 5_000,
                     seed: 3,
                     stop: None,
+                    ..RefineOptions::default()
                 },
                 |coords| {
                     let mut card = base_card.clone();
