@@ -48,6 +48,14 @@ pub struct BenchResult {
     /// Memo-cache hit rate (hits over lookups), when the case declared
     /// one via [`BenchmarkGroup::memo_hit_rate`].
     pub memo_hit_rate: Option<f64>,
+    /// Median per-element latency in nanoseconds, when the case
+    /// measured one itself via [`BenchmarkGroup::latency_ns`] (load
+    /// harnesses time individual requests; the harness's own samples
+    /// only see whole iterations).
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile per-element latency in nanoseconds, when the
+    /// case declared one via [`BenchmarkGroup::latency_ns`].
+    pub p99_ns: Option<f64>,
 }
 
 impl BenchResult {
@@ -181,6 +189,8 @@ impl Criterion {
             lane_width: meta.lane_width,
             draws_per_elem: meta.draws_per_elem,
             memo_hit_rate: meta.memo_hit_rate,
+            p50_ns: meta.p50_ns,
+            p99_ns: meta.p99_ns,
         };
         let throughput = result
             .elements_per_sec()
@@ -203,6 +213,8 @@ struct CaseMeta {
     lane_width: Option<usize>,
     draws_per_elem: Option<f64>,
     memo_hit_rate: Option<f64>,
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
 }
 
 /// A group of related benchmarks sharing a name and throughput.
@@ -250,6 +262,17 @@ impl BenchmarkGroup<'_> {
     /// group's subsequent cases.
     pub fn memo_hit_rate(&mut self, rate: f64) -> &mut Self {
         self.meta.memo_hit_rate = Some(rate);
+        self
+    }
+
+    /// Attach self-measured per-element latency percentiles (p50/p99,
+    /// nanoseconds) to the group's subsequent cases. Load harnesses
+    /// time each request individually and summarize here; the timing
+    /// harness itself only sees whole iterations, so it cannot compute
+    /// these (an extension over the real criterion API).
+    pub fn latency_ns(&mut self, p50: f64, p99: f64) -> &mut Self {
+        self.meta.p50_ns = Some(p50);
+        self.meta.p99_ns = Some(p99);
         self
     }
 
@@ -472,7 +495,7 @@ pub fn finalize(results: &[BenchResult]) {
             "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
              \"samples\": {}, \"iters_per_sample\": {}, \"elements\": {}, \"ns_per_elem\": {}, \
              \"threads\": {}, \"lane_width\": {}, \"draws_per_elem\": {}, \
-             \"memo_hit_rate\": {}, \"nproc\": {nproc}, \
+             \"memo_hit_rate\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"nproc\": {nproc}, \
              \"git_rev\": \"{git_rev}\"}}{}\n",
             r.id.replace('"', "'"),
             r.mean_ns,
@@ -489,6 +512,8 @@ pub fn finalize(results: &[BenchResult]) {
                 .map_or("null".to_string(), |d| format!("{d:.4}")),
             r.memo_hit_rate
                 .map_or("null".to_string(), |h| format!("{h:.4}")),
+            r.p50_ns.map_or("null".to_string(), |p| format!("{p:.1}")),
+            r.p99_ns.map_or("null".to_string(), |p| format!("{p:.1}")),
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

@@ -161,6 +161,49 @@ impl MemoStats {
     }
 }
 
+/// Request counters for one `ipass-serve` server instance.
+///
+/// Maintained with relaxed atomics on the serving hot path: totals are
+/// exact once the server is quiescent (drained and shut down), which is
+/// when the snapshot is read. Every count is a pure function of the
+/// request stream the server saw — never of wall-clock time — so a
+/// drained server's snapshot is reproducible for a fixed client
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request lines received (well-formed or not).
+    pub requests: u64,
+    /// Requests answered with an `ok` response.
+    pub responses_ok: u64,
+    /// Requests answered with a typed error response.
+    pub responses_err: u64,
+    /// Payload bytes read off the wire (request lines incl. newline).
+    pub bytes_in: u64,
+    /// Response bytes written to the wire (incl. newline).
+    pub bytes_out: u64,
+    /// Batches dispatched onto the executor.
+    pub batches: u64,
+    /// Requests that rode a batch of size ≥ 2 (the rest dispatched
+    /// alone).
+    pub batched_requests: u64,
+}
+
+impl ServeStats {
+    /// Associative merge (field-wise sum).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.connections += other.connections;
+        self.requests += other.requests;
+        self.responses_ok += other.responses_ok;
+        self.responses_err += other.responses_err;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+    }
+}
+
 /// Deterministic counters for one explorer `refine()` pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExploreStats {
@@ -216,6 +259,8 @@ pub struct RunStats {
     pub memo: MemoStats,
     /// Explorer counters, when the run went through `refine()`.
     pub explore: ExploreStats,
+    /// Server counters, when the run was driven through `ipassd`.
+    pub serve: ServeStats,
 }
 
 impl RunStats {
@@ -258,19 +303,28 @@ impl RunStats {
         self.patch_writes += other.patch_writes;
         self.memo.merge(&other.memo);
         self.explore.merge(&other.explore);
+        self.serve.merge(&other.serve);
     }
 
     /// The width- and concurrency-invariant core of the snapshot.
     ///
     /// Zeroes the lane histogram (which reports kernel shape, so it
-    /// *should* change with lane width) and the memo split (whose
-    /// hit/miss balance can race under concurrency). Everything left is
-    /// bit-identical across thread counts *and* lane widths.
+    /// *should* change with lane width), the memo split (whose hit/miss
+    /// balance can race under concurrency) and the server's batch
+    /// grouping (how many requests shared a dispatch is arrival-timing
+    /// dependent, even though every response's *bytes* are not).
+    /// Everything left is bit-identical across thread counts *and*
+    /// lane widths.
     #[must_use]
     pub fn invariant_core(&self) -> RunStats {
         RunStats {
             lanes: [0; 7],
             memo: MemoStats::default(),
+            serve: ServeStats {
+                batches: 0,
+                batched_requests: 0,
+                ..self.serve
+            },
             ..*self
         }
     }
@@ -456,18 +510,63 @@ mod tests {
     }
 
     #[test]
-    fn invariant_core_strips_lanes_and_memo_only() {
+    fn invariant_core_strips_lanes_memo_and_batch_grouping_only() {
         let mut eng = EngineCounters::new();
         eng.record_unit(2);
         eng.lanes[6] = 1;
         let mut stats = RunStats::from_engine(1, &eng);
         stats.memo.hits = 10;
         stats.rework_attempts = 3;
+        stats.serve.requests = 9;
+        stats.serve.batches = 4;
+        stats.serve.batched_requests = 6;
         let core = stats.invariant_core();
         assert_eq!(core.lanes, [0; 7]);
         assert_eq!(core.memo, MemoStats::default());
         assert_eq!(core.draws, stats.draws);
         assert_eq!(core.rework_attempts, 3);
+        // Request totals are workload-determined and stay; how they were
+        // grouped into batches is arrival timing and goes.
+        assert_eq!(core.serve.requests, 9);
+        assert_eq!(core.serve.batches, 0);
+        assert_eq!(core.serve.batched_requests, 0);
+    }
+
+    #[test]
+    fn serve_stats_merge_is_field_wise_sum() {
+        let mut a = ServeStats {
+            connections: 1,
+            requests: 5,
+            responses_ok: 4,
+            responses_err: 1,
+            bytes_in: 100,
+            bytes_out: 300,
+            batches: 2,
+            batched_requests: 3,
+        };
+        let b = ServeStats {
+            connections: 2,
+            requests: 7,
+            ..ServeStats::default()
+        };
+        let id = ServeStats::default();
+        let mut with_id = a;
+        with_id.merge(&id);
+        assert_eq!(with_id, a);
+        a.merge(&b);
+        assert_eq!(a.connections, 3);
+        assert_eq!(a.requests, 12);
+        assert_eq!(a.responses_ok, 4);
+        // RunStats::merge delegates field-wise.
+        let mut run = RunStats {
+            serve: b,
+            ..RunStats::default()
+        };
+        run.merge(&RunStats {
+            serve: b,
+            ..RunStats::default()
+        });
+        assert_eq!(run.serve.connections, 4);
     }
 
     #[test]

@@ -67,6 +67,53 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace and no trailing
+    /// newline — the form a newline-delimited protocol can frame.
+    /// Deterministic like [`Json::render`]: member order is insertion
+    /// order, floats are shortest-round-trip.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => out.push_str(&crate::fmt_f64(*v)),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -316,6 +363,30 @@ mod tests {
     fn empty_containers_stay_compact() {
         assert_eq!(Json::Arr(vec![]).render(), "[]\n");
         assert_eq!(Json::Obj(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_scanner_readable() {
+        let v = Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("verb", Json::str("analyze")),
+            ("n", Json::Num(28.5)),
+            ("tags", Json::Arr(vec![Json::Int(1), Json::Null])),
+            ("nested", Json::obj(vec![("k", Json::str("v\n"))])),
+        ]);
+        let line = v.render_compact();
+        assert_eq!(
+            line,
+            r#"{"ok":true,"verb":"analyze","n":28.5,"tags":[1,null],"nested":{"k":"v\n"}}"#
+        );
+        assert!(!line.contains('\n'), "compact form must be frameable");
+        // The reader side parses what the compact writer wrote.
+        assert_eq!(field_value(&line, "ok"), Some("true"));
+        assert_eq!(string_field(&line, "verb"), Some("analyze"));
+        assert_eq!(number_field(&line, "n"), Some(28.5));
+        assert_eq!(field_value(&line, "nested"), Some(r#"{"k":"v\n"}"#));
+        assert_eq!(Json::Arr(vec![]).render_compact(), "[]");
+        assert_eq!(Json::Obj(vec![]).render_compact(), "{}");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Request batching onto the `ipass-sim` executor.
+//!
+//! Connection threads never evaluate requests themselves: they enqueue
+//! `(request line, reply channel)` jobs through a [`BatchHandle`] and
+//! block on the reply. A single dispatcher thread drains whatever has
+//! accumulated since the last dispatch and evaluates the whole batch
+//! in parallel through [`Executor::map`] — under load, concurrent
+//! clients amortize into one executor fan-out instead of a
+//! thread-per-request stampede.
+//!
+//! Batching is invisible on the wire: responses are pure functions of
+//! request content (see [`Engine::handle_line`]), so *which* batch a
+//! request lands in can change latency but never bytes. The
+//! arrival-timing-dependent grouping is observable only through the
+//! `batches` / `batched_requests` counters, which is exactly why
+//! [`ipass_obs::RunStats::invariant_core`] zeroes those two fields.
+//!
+//! [`Engine::handle_line`]: crate::engine::Engine::handle_line
+
+use crate::engine::Engine;
+use crate::protocol::{ErrorCode, ServeError};
+use ipass_sim::Executor;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued request: the raw line and where to send the response.
+struct Job {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: Vec<Job>,
+    stopped: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+/// A cloneable submission handle onto the dispatcher's queue.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchHandle {
+    shared: Arc<Shared>,
+}
+
+impl BatchHandle {
+    /// Enqueue one request line and block until its response arrives.
+    /// After [`Batcher::stop`] the queue refuses new work with a typed
+    /// error rather than hanging.
+    pub fn submit(&self, line: String) -> String {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if queue.stopped {
+                return ServeError::new(ErrorCode::InternalError, "server is shutting down")
+                    .response_line();
+            }
+            queue.jobs.push(Job { line, reply: tx });
+        }
+        self.shared.ready.notify_one();
+        rx.recv().unwrap_or_else(|_| {
+            ServeError::new(ErrorCode::InternalError, "dispatcher dropped the request")
+                .response_line()
+        })
+    }
+}
+
+/// The batch dispatcher: owns the worker thread; stopped (draining
+/// queued work first) on [`Batcher::stop`] or drop.
+#[derive(Debug)]
+pub(crate) struct Batcher {
+    handle: BatchHandle,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Start the dispatcher thread, evaluating batches on `executor`.
+    pub fn start(engine: Arc<Engine>, executor: Executor) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            ready: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || dispatch_loop(&worker_shared, &engine, &executor));
+        Batcher {
+            handle: BatchHandle { shared },
+            worker: Some(worker),
+        }
+    }
+
+    /// A new submission handle for a connection thread.
+    pub fn handle(&self) -> BatchHandle {
+        self.handle.clone()
+    }
+
+    /// Stop the dispatcher: queued work is still drained and answered,
+    /// then the worker exits and is joined.
+    pub fn stop(&mut self) {
+        {
+            let mut queue = self
+                .handle
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            queue.stopped = true;
+        }
+        self.handle.shared.ready.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn dispatch_loop(shared: &Shared, engine: &Engine, executor: &Executor) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            while queue.jobs.is_empty() && !queue.stopped {
+                queue = shared.ready.wait(queue).unwrap_or_else(|p| p.into_inner());
+            }
+            if queue.jobs.is_empty() {
+                // Stopped and drained.
+                return;
+            }
+            std::mem::take(&mut queue.jobs)
+        };
+        engine.serve.batches.fetch_add(1, Ordering::Relaxed);
+        engine
+            .serve
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // `mpsc::Sender` is not `Sync`, so split the lines (mapped in
+        // parallel) from the reply channels (answered serially after).
+        let (lines, replies): (Vec<String>, Vec<mpsc::Sender<String>>) =
+            batch.into_iter().map(|j| (j.line, j.reply)).unzip();
+        let responses = executor.map(&lines, |_, line| engine.handle_line(line));
+        for (reply, response) in replies.into_iter().zip(responses) {
+            // A client that hung up mid-flight is not an error.
+            let _ = reply.send(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FlowRegistry;
+    use crate::testflow::demo_flow;
+
+    fn batcher(threads: usize) -> (Arc<Engine>, Batcher) {
+        let mut reg = FlowRegistry::new();
+        reg.register("demo", demo_flow());
+        let engine = Arc::new(Engine::new(reg));
+        let b = Batcher::start(Arc::clone(&engine), Executor::new(threads));
+        (engine, b)
+    }
+
+    #[test]
+    fn batched_responses_match_direct_evaluation() {
+        let (engine, b) = batcher(2);
+        let line = r#"{"verb":"analyze","flow":"demo"}"#;
+        let direct = engine.handle_line(line);
+        assert_eq!(b.handle().submit(line.to_owned()), direct);
+    }
+
+    #[test]
+    fn concurrent_submissions_all_get_answers_and_are_counted() {
+        let (engine, mut b) = batcher(4);
+        let handle = b.handle();
+        std::thread::scope(|scope| {
+            for i in 0..16 {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let line = format!(r#"{{"verb":"mc","flow":"demo","units":200,"seed":{i}}}"#);
+                    let resp = handle.submit(line);
+                    assert!(resp.starts_with(r#"{"ok":true"#), "{resp}");
+                });
+            }
+        });
+        b.stop();
+        let stats = engine.run_stats().serve;
+        assert_eq!(stats.batched_requests, 16);
+        assert!(stats.batches >= 1 && stats.batches <= 16);
+        assert_eq!(stats.responses_ok, 16);
+    }
+
+    #[test]
+    fn stop_refuses_new_work_with_a_typed_error() {
+        let (_, mut b) = batcher(1);
+        let handle = b.handle();
+        b.stop();
+        let resp = handle.submit(r#"{"verb":"list"}"#.to_owned());
+        assert!(resp.contains("internal-error"), "{resp}");
+    }
+}

@@ -1,0 +1,538 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line — the newline is the
+//! frame, so partial writes and interleaved sends cannot corrupt a
+//! conversation. Requests are parsed with the tolerant scanner of
+//! [`ipass_report::json`]; responses are built as [`Json`] trees and
+//! rendered with [`Json::render_compact`], so the encoding is the same
+//! deterministic writer the artifact pipeline commits to disk.
+//!
+//! Every failure is a *typed error response* (`{"ok":false,"error":
+//! {"code":…,"message":…}}`) rather than a dropped connection; the
+//! error codes are a closed set ([`ErrorCode`]) the golden wire tests
+//! pin byte-for-byte.
+
+use ipass_moe::PatchDirective;
+use ipass_report::json::{self, Json};
+use ipass_units::{Money, Probability};
+
+/// Hard bound on one request line (bytes, newline excluded). Longer
+/// lines are answered with an `oversized-request` error and discarded
+/// up to the next newline; the connection keeps serving.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Hard bound on the Monte Carlo unit budget of one `mc` request —
+/// a shared server refuses to burn minutes on a single query.
+pub const MAX_MC_UNITS: u64 = 1_000_000;
+
+/// A parsed request — one protocol verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `list`: names of the registered flows.
+    List,
+    /// `analyze`: closed-form evaluation of a registered flow.
+    Analyze {
+        /// Registered flow name.
+        flow: String,
+    },
+    /// `patch`: apply directives to the compiled program, then analyze.
+    Patch {
+        /// Registered flow name.
+        flow: String,
+        /// Slot overwrites, in request order.
+        directives: Vec<PatchDirective>,
+        /// Optional amortization-volume override.
+        volume: Option<u64>,
+    },
+    /// `mc`: seeded Monte Carlo evaluation of a registered flow.
+    Mc {
+        /// Registered flow name.
+        flow: String,
+        /// Carrier units to start (bounded by [`MAX_MC_UNITS`]).
+        units: u64,
+        /// Client seed; the server mixes it with the flow-name hash
+        /// (see [`derived_seed`]) so equal requests get equal answers
+        /// on any server, any interleaving.
+        seed: u64,
+    },
+    /// `stats`: server / cache / engine counters.
+    Stats,
+    /// `shutdown`: stop accepting, drain in-flight work, exit.
+    Shutdown,
+}
+
+/// The closed set of protocol error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not a JSON object.
+    MalformedJson,
+    /// The `verb` member names no known verb.
+    UnknownVerb,
+    /// A required member is absent.
+    MissingField,
+    /// A member is present but unusable (wrong type, out of range).
+    BadField,
+    /// The named flow is not registered.
+    UnknownFlow,
+    /// The request line exceeds [`MAX_REQUEST_BYTES`].
+    OversizedRequest,
+    /// The request line is not valid UTF-8.
+    InvalidUtf8,
+    /// The engine rejected the evaluation (unknown slot, nothing
+    /// shipped, …) — the message carries the engine's own wording.
+    EngineError,
+    /// The connection sat idle past the server's idle timeout.
+    Timeout,
+    /// The request handler panicked (caught; the server keeps serving).
+    InternalError,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedJson => "malformed-json",
+            ErrorCode::UnknownVerb => "unknown-verb",
+            ErrorCode::MissingField => "missing-field",
+            ErrorCode::BadField => "bad-field",
+            ErrorCode::UnknownFlow => "unknown-flow",
+            ErrorCode::OversizedRequest => "oversized-request",
+            ErrorCode::InvalidUtf8 => "invalid-utf8",
+            ErrorCode::EngineError => "engine-error",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::InternalError => "internal-error",
+        }
+    }
+}
+
+/// A typed protocol error: code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Which kind of failure.
+    pub code: ErrorCode,
+    /// What exactly went wrong.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A new error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ServeError {
+        ServeError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The error as its wire response tree.
+    pub fn to_response(&self) -> Json {
+        Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::obj(vec![
+                    ("code", Json::str(self.code.as_str())),
+                    ("message", Json::str(self.message.clone())),
+                ]),
+            ),
+        ])
+    }
+
+    /// The error as one rendered response line (no trailing newline).
+    pub fn response_line(&self) -> String {
+        self.to_response().render_compact()
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// FNV-1a over `bytes` — the stable, dependency-free hash the protocol
+/// documents for flow names (DESIGN.md pins the constants).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer — the documented seed mixer.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The effective Monte Carlo seed of an `mc` request:
+/// `mix64(fnv1a(flow_name) ^ mix64(client_seed))`. A pure function of
+/// request content — never of arrival order, connection identity or
+/// server state — so concurrent clients asking the same question get
+/// bit-identical answers, and distinct flows sharing a client seed
+/// still draw from uncorrelated streams.
+pub fn derived_seed(flow: &str, client_seed: u64) -> u64 {
+    mix64(fnv1a(flow.as_bytes()) ^ mix64(client_seed))
+}
+
+/// Parse one request line (framing already done: complete, UTF-8,
+/// within size bounds).
+///
+/// # Errors
+///
+/// A [`ServeError`] describing exactly what was wrong — parsing never
+/// panics and never partially succeeds.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let line = line.trim();
+    if !line.starts_with('{') {
+        return Err(ServeError::new(
+            ErrorCode::MalformedJson,
+            "request must be one JSON object per line",
+        ));
+    }
+    let verb = json::string_field(line, "verb").ok_or_else(|| {
+        ServeError::new(ErrorCode::MissingField, "request object has no \"verb\"")
+    })?;
+    match verb {
+        "list" => Ok(Request::List),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "analyze" => Ok(Request::Analyze {
+            flow: required_flow(line)?,
+        }),
+        "mc" => {
+            let flow = required_flow(line)?;
+            let units = required_u64(line, "units")?;
+            if units == 0 || units > MAX_MC_UNITS {
+                return Err(ServeError::new(
+                    ErrorCode::BadField,
+                    format!("\"units\" must be in 1..={MAX_MC_UNITS}, got {units}"),
+                ));
+            }
+            let seed = optional_u64(line, "seed")?.unwrap_or(0);
+            Ok(Request::Mc { flow, units, seed })
+        }
+        "patch" => {
+            let flow = required_flow(line)?;
+            let directives_raw = json::field_value(line, "directives").ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::MissingField,
+                    "patch request has no \"directives\" array",
+                )
+            })?;
+            if !directives_raw.starts_with('[') {
+                return Err(ServeError::new(
+                    ErrorCode::BadField,
+                    "\"directives\" must be an array of directive objects",
+                ));
+            }
+            let directives = json::objects(directives_raw)
+                .into_iter()
+                .map(parse_directive)
+                .collect::<Result<Vec<_>, _>>()?;
+            if directives.is_empty() {
+                return Err(ServeError::new(
+                    ErrorCode::BadField,
+                    "\"directives\" must contain at least one directive",
+                ));
+            }
+            let volume = optional_u64(line, "volume")?;
+            Ok(Request::Patch {
+                flow,
+                directives,
+                volume,
+            })
+        }
+        other => Err(ServeError::new(
+            ErrorCode::UnknownVerb,
+            format!(
+                "unknown verb {other:?} (expected list, analyze, patch, mc, stats or shutdown)"
+            ),
+        )),
+    }
+}
+
+fn required_flow(line: &str) -> Result<String, ServeError> {
+    let flow = json::string_field(line, "flow").ok_or_else(|| {
+        ServeError::new(ErrorCode::MissingField, "request object has no \"flow\"")
+    })?;
+    if flow.is_empty() {
+        return Err(ServeError::new(ErrorCode::BadField, "\"flow\" is empty"));
+    }
+    Ok(flow.to_owned())
+}
+
+/// An integer member parsed exactly (`u64::from_str`, not through an
+/// `f64` — seeds above 2^53 must not silently lose bits).
+fn optional_u64(line: &str, field: &str) -> Result<Option<u64>, ServeError> {
+    match json::field_value(line, field) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+            ServeError::new(
+                ErrorCode::BadField,
+                format!("\"{field}\" must be an unsigned integer, got {raw}"),
+            )
+        }),
+    }
+}
+
+fn required_u64(line: &str, field: &str) -> Result<u64, ServeError> {
+    optional_u64(line, field)?.ok_or_else(|| {
+        ServeError::new(
+            ErrorCode::MissingField,
+            format!("request object has no \"{field}\""),
+        )
+    })
+}
+
+fn finite_number(obj: &str, field: &str) -> Result<f64, ServeError> {
+    let v = json::number_field(obj, field).ok_or_else(|| {
+        ServeError::new(
+            ErrorCode::MissingField,
+            format!("directive has no numeric \"{field}\""),
+        )
+    })?;
+    if !v.is_finite() {
+        return Err(ServeError::new(
+            ErrorCode::BadField,
+            format!("directive \"{field}\" must be finite"),
+        ));
+    }
+    Ok(v)
+}
+
+fn probability(obj: &str, field: &str) -> Result<Probability, ServeError> {
+    let v = finite_number(obj, field)?;
+    Probability::new(v).map_err(|_| {
+        ServeError::new(
+            ErrorCode::BadField,
+            format!("directive \"{field}\" must be a probability in [0, 1], got {v}"),
+        )
+    })
+}
+
+/// Parse one directive object. Wire forms:
+///
+/// ```text
+/// {"set":"cost","slot":S,"value":V}      V = cost per input unit
+/// {"scale":"cost","slot":S,"factor":F}
+/// {"set":"yield","slot":S,"value":P}     P in [0, 1]
+/// {"set":"coverage","slot":S,"value":P}
+/// ```
+fn parse_directive(obj: &str) -> Result<PatchDirective, ServeError> {
+    let slot = json::string_field(obj, "slot")
+        .ok_or_else(|| ServeError::new(ErrorCode::MissingField, "directive has no \"slot\""))?
+        .to_owned();
+    if let Some(kind) = json::string_field(obj, "scale") {
+        if kind != "cost" {
+            return Err(ServeError::new(
+                ErrorCode::BadField,
+                format!("only \"scale\":\"cost\" is supported, got {kind:?}"),
+            ));
+        }
+        let factor = finite_number(obj, "factor")?;
+        return Ok(PatchDirective::ScaleCost { slot, factor });
+    }
+    let kind = json::string_field(obj, "set").ok_or_else(|| {
+        ServeError::new(
+            ErrorCode::MissingField,
+            "directive needs a \"set\" or \"scale\" member",
+        )
+    })?;
+    match kind {
+        "cost" => Ok(PatchDirective::SetCost {
+            slot,
+            unit_cost: Money::new(finite_number(obj, "value")?),
+        }),
+        "yield" => Ok(PatchDirective::SetYield {
+            slot,
+            p: probability(obj, "value")?,
+        }),
+        "coverage" => Ok(PatchDirective::SetCoverage {
+            slot,
+            p: probability(obj, "value")?,
+        }),
+        other => Err(ServeError::new(
+            ErrorCode::BadField,
+            format!("unknown \"set\" kind {other:?} (expected cost, yield or coverage)"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse_request(r#"{"verb":"list"}"#).unwrap(), Request::List);
+        assert_eq!(
+            parse_request(r#"{"verb":"stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"analyze","flow":"demo"}"#).unwrap(),
+            Request::Analyze {
+                flow: "demo".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"mc","flow":"demo","units":1000,"seed":7}"#).unwrap(),
+            Request::Mc {
+                flow: "demo".into(),
+                units: 1000,
+                seed: 7
+            }
+        );
+        // Seed defaults to 0; whitespace is tolerated.
+        assert_eq!(
+            parse_request(r#" { "verb" : "mc" , "flow" : "demo" , "units" : 5 } "#).unwrap(),
+            Request::Mc {
+                flow: "demo".into(),
+                units: 5,
+                seed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn patch_directives_parse() {
+        let req = parse_request(
+            r#"{"verb":"patch","flow":"demo","volume":50000,"directives":[
+                {"set":"cost","slot":"c","value":12.5},
+                {"scale":"cost","slot":"c","factor":1.5},
+                {"set":"yield","slot":"p","value":0.9},
+                {"set":"coverage","slot":"ft","value":0.95}]}"#,
+        )
+        .unwrap();
+        let Request::Patch {
+            flow,
+            directives,
+            volume,
+        } = req
+        else {
+            panic!("not a patch");
+        };
+        assert_eq!(flow, "demo");
+        assert_eq!(volume, Some(50000));
+        assert_eq!(directives.len(), 4);
+        assert!(matches!(
+            &directives[1],
+            PatchDirective::ScaleCost { slot, factor } if slot == "c" && *factor == 1.5
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_get_the_right_code() {
+        let code = |line: &str| parse_request(line).unwrap_err().code;
+        assert_eq!(code("hello"), ErrorCode::MalformedJson);
+        assert_eq!(code("[1,2]"), ErrorCode::MalformedJson);
+        assert_eq!(code(r#"{"no":"verb"}"#), ErrorCode::MissingField);
+        assert_eq!(code(r#"{"verb":"frobnicate"}"#), ErrorCode::UnknownVerb);
+        assert_eq!(code(r#"{"verb":"analyze"}"#), ErrorCode::MissingField);
+        assert_eq!(code(r#"{"verb":"analyze","flow":""}"#), ErrorCode::BadField);
+        assert_eq!(code(r#"{"verb":"mc","flow":"d"}"#), ErrorCode::MissingField);
+        assert_eq!(
+            code(r#"{"verb":"mc","flow":"d","units":0}"#),
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            code(r#"{"verb":"mc","flow":"d","units":99999999999}"#),
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            code(r#"{"verb":"mc","flow":"d","units":"many"}"#),
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            code(r#"{"verb":"mc","flow":"d","units":12.5}"#),
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            code(r#"{"verb":"patch","flow":"d"}"#),
+            ErrorCode::MissingField
+        );
+        assert_eq!(
+            code(r#"{"verb":"patch","flow":"d","directives":[]}"#),
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            code(r#"{"verb":"patch","flow":"d","directives":7}"#),
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            code(
+                r#"{"verb":"patch","flow":"d","directives":[{"set":"yield","slot":"p","value":1.5}]}"#
+            ),
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            code(
+                r#"{"verb":"patch","flow":"d","directives":[{"scale":"yield","slot":"p","factor":2}]}"#
+            ),
+            ErrorCode::BadField
+        );
+    }
+
+    #[test]
+    fn truncated_json_yields_a_typed_error_not_a_panic() {
+        // The tolerant scanner may still find earlier members; whatever
+        // it resolves, the outcome must be a typed error or a complete
+        // parse — never a panic.
+        for line in [
+            r#"{"verb":"analyze","flow":"demo"#,
+            r#"{"verb":"anal"#,
+            r#"{"verb""#,
+            "{",
+            r#"{"verb":"patch","flow":"d","directives":[{"set":"cost""#,
+        ] {
+            let _ = parse_request(line);
+        }
+    }
+
+    #[test]
+    fn seeds_keep_all_64_bits() {
+        let big = u64::MAX - 3;
+        let req = parse_request(&format!(
+            r#"{{"verb":"mc","flow":"d","units":1,"seed":{big}}}"#
+        ))
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Mc {
+                flow: "d".into(),
+                units: 1,
+                seed: big
+            }
+        );
+    }
+
+    #[test]
+    fn derived_seed_is_a_pure_function_of_flow_and_seed() {
+        assert_eq!(derived_seed("demo", 7), derived_seed("demo", 7));
+        assert_ne!(derived_seed("demo", 7), derived_seed("demo", 8));
+        assert_ne!(derived_seed("demo", 7), derived_seed("other", 7));
+        // Pinned: the DESIGN.md rule, so a mixer change cannot slip by.
+        assert_eq!(derived_seed("demo", 7), mix64(fnv1a(b"demo") ^ mix64(7)));
+    }
+
+    #[test]
+    fn error_responses_have_the_pinned_shape() {
+        let e = ServeError::new(ErrorCode::UnknownVerb, "unknown verb \"zap\"");
+        assert_eq!(
+            e.response_line(),
+            r#"{"ok":false,"error":{"code":"unknown-verb","message":"unknown verb \"zap\""}}"#
+        );
+    }
+}

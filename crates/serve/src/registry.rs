@@ -1,0 +1,139 @@
+//! The flow registry: named flows plus the compiled-program cache.
+//!
+//! Compilation (validation, label indexing, op lowering) is the
+//! expensive, shareable step of the compile-once / query-many model;
+//! the registry performs it at most once per flow by keying an
+//! [`ipass_sim::Memo`] on the *flow hash* — FNV-1a over the flow's
+//! canonical debug form. Every request for a flow goes through the
+//! cache, so the hit/miss counters ([`Memo::stats`]) measure exactly
+//! how much compilation the serving layer is amortizing, on the same
+//! probe plane PR 9 introduced.
+
+use crate::protocol::{fnv1a, ErrorCode, ServeError};
+use ipass_moe::{CompiledFlow, Flow};
+use ipass_sim::Memo;
+use std::sync::Arc;
+
+/// A named, registered flow.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    flow: Flow,
+    /// FNV-1a over name + debug form — the compiled-program cache key.
+    hash: u64,
+}
+
+/// Registered flows plus the shared compiled-program cache.
+#[derive(Debug, Default)]
+pub struct FlowRegistry {
+    entries: Vec<Entry>,
+    cache: Memo<u64, CompiledFlow>,
+}
+
+impl FlowRegistry {
+    /// An empty registry.
+    pub fn new() -> FlowRegistry {
+        FlowRegistry::default()
+    }
+
+    /// Register `flow` under `name` (replaces an existing entry of the
+    /// same name — last registration wins, like a patch slot write).
+    pub fn register(&mut self, name: impl Into<String>, flow: Flow) -> &mut FlowRegistry {
+        let name = name.into();
+        let hash = fnv1a(format!("{name}\u{1f}{flow:?}").as_bytes());
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(Entry { name, flow, hash });
+        self
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Number of registered flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no flows are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The compiled program for `name`, compiling on first use and
+    /// serving the shared cached copy afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownFlow`] for unregistered names,
+    /// [`ErrorCode::EngineError`] when compilation itself fails.
+    pub fn compiled(&self, name: &str) -> Result<Arc<CompiledFlow>, ServeError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::UnknownFlow,
+                    format!("no flow named {name:?} is registered (try \"list\")"),
+                )
+            })?;
+        self.cache
+            .get_or_try_insert_with(entry.hash, || entry.flow.compiled())
+            .map_err(|e| ServeError::new(ErrorCode::EngineError, e.to_string()))
+    }
+
+    /// Compiled-program cache counters (hits, misses, dropped,
+    /// poisoned).
+    pub fn cache_stats(&self) -> ipass_obs::MemoStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipass_moe::{CostCategory, Line, Part, Process, StepCost, YieldModel};
+    use ipass_units::{Money, Probability};
+
+    fn toy(name: &str, cost: f64) -> Flow {
+        Flow::new(
+            Line::builder(
+                name,
+                Part::new("c", CostCategory::Substrate)
+                    .with_cost(StepCost::fixed(Money::new(cost))),
+            )
+            .process(Process::new("p").with_yield(YieldModel::flat(Probability::new(0.9).unwrap())))
+            .build()
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn compiles_once_and_counts_hits() {
+        let mut reg = FlowRegistry::new();
+        reg.register("a", toy("a", 1.0))
+            .register("b", toy("b", 2.0));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        let first = reg.compiled("a").unwrap();
+        let again = reg.compiled("a").unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        let stats = reg.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(reg.compiled("ghost").is_err());
+        // Unknown flow never touches the cache.
+        assert_eq!(reg.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn reregistration_replaces_and_rehashes() {
+        let mut reg = FlowRegistry::new();
+        reg.register("a", toy("a", 1.0));
+        let before = reg.compiled("a").unwrap().analyze().unwrap();
+        reg.register("a", toy("a", 5.0));
+        assert_eq!(reg.len(), 1);
+        let after = reg.compiled("a").unwrap().analyze().unwrap();
+        assert!(after.final_cost_per_shipped() > before.final_cost_per_shipped());
+    }
+}

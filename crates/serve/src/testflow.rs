@@ -1,0 +1,45 @@
+//! The protocol's reference flow: a small, fully deterministic
+//! production line the golden wire transcripts and the test battery
+//! are pinned against. Deliberately *not* one of the paper's GPS
+//! solutions — those evolve with the model; this one exists to keep
+//! the wire format stable and must not change shape.
+
+use ipass_moe::{
+    Attach, CostCategory, FailAction, Flow, Line, Part, Process, StepCost, Test, YieldModel,
+};
+use ipass_units::{Money, Probability};
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).expect("literal probabilities are in range")
+}
+
+/// The `demo` flow: carrier `c`, process `p`, attach `a` consuming two
+/// `die` parts, final test `ft` scrapping failures.
+pub fn demo_flow() -> Flow {
+    let line = Line::builder(
+        "demo",
+        Part::new("c", CostCategory::Substrate).with_cost(StepCost::fixed(Money::new(10.0))),
+    )
+    .process(
+        Process::new("p")
+            .with_cost(StepCost::fixed(Money::new(1.0)))
+            .with_yield(YieldModel::flat(p(0.9))),
+    )
+    .attach(
+        Attach::new("a").input(
+            Part::new("die", CostCategory::Chip)
+                .with_cost(StepCost::fixed(Money::new(5.0)))
+                .with_incoming_yield(YieldModel::flat(p(0.95))),
+            2,
+        ),
+    )
+    .test(
+        Test::new("ft")
+            .with_cost(StepCost::fixed(Money::new(0.5)))
+            .with_coverage(p(0.99))
+            .on_fail(FailAction::Scrap),
+    )
+    .build()
+    .expect("the reference line is valid");
+    Flow::new(line)
+}
